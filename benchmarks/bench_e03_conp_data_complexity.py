@@ -1,0 +1,82 @@
+"""E3 — Theorem 5(1,2): co-NP data complexity of first-order queries over CW databases.
+
+Paper claim: for a *fixed* first-order query, deciding membership in the
+certain answer over a CW logical database is co-NP-complete in the size of
+the database; the hardness reduction embeds graph 3-colorability with the
+single fixed query ``(forall y. M(y)) -> exists z. R(z, z)``.
+
+The benchmark runs the reduction end-to-end on graphs of growing size: the
+query never changes, only the database grows, and the exact evaluator's
+running time grows exponentially — while a direct brute-force 3-coloring
+check (the NP witness search) stays comparatively cheap.  Correctness of the
+reduction is asserted on every instance.
+
+The graphs are a K4 core (not 3-colorable, so the certain-answer evaluator
+cannot terminate early and must examine every admissible collapse — the
+worst case the co-NP bound is about) plus a growing set of extra vertices
+attached to the core, which inflates only the database.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.complexity.three_coloring import (
+    Graph,
+    coloring_database,
+    coloring_query,
+    is_3_colorable_bruteforce,
+    is_3_colorable_via_certain_answers,
+)
+
+SIZES = [4, 5, 6]
+
+
+def _hard_graph(n_vertices: int) -> Graph:
+    """K4 plus ``n_vertices - 4`` pendant vertices hanging off vertex 0."""
+    vertices = list(range(n_vertices))
+    edges = [(u, v) for u in range(4) for v in range(u + 1, 4)]
+    edges += [(0, extra) for extra in range(4, n_vertices)]
+    return Graph(vertices, edges)
+
+
+@pytest.mark.experiment("E3")
+@pytest.mark.parametrize("n_vertices", SIZES)
+def test_certain_answer_decision_scales_exponentially(benchmark, experiment_log, n_vertices):
+    graph = _hard_graph(n_vertices)
+    database = coloring_database(graph)
+    expected = is_3_colorable_bruteforce(graph)
+
+    # A single round: the whole point of the experiment is that this call gets
+    # exponentially slower as the database grows, so repeated rounds only
+    # multiply an already-long runtime without adding information.
+    result = benchmark.pedantic(lambda: is_3_colorable_via_certain_answers(graph), rounds=1, iterations=1)
+    assert result == expected
+
+    experiment_log.append(
+        ("E3", {
+            "evaluator": "certain answers (co-NP side)",
+            "vertices": n_vertices,
+            "edges": graph.n_edges,
+            "db_constants": len(database.constants),
+            "colorable": result,
+            "query_is_fixed": coloring_query().is_boolean,
+        })
+    )
+
+
+@pytest.mark.experiment("E3")
+@pytest.mark.parametrize("n_vertices", SIZES)
+def test_bruteforce_coloring_baseline(benchmark, experiment_log, n_vertices):
+    graph = _hard_graph(n_vertices)
+    result = benchmark(lambda: is_3_colorable_bruteforce(graph))
+    experiment_log.append(
+        ("E3", {
+            "evaluator": "brute-force coloring (NP witness search)",
+            "vertices": n_vertices,
+            "edges": graph.n_edges,
+            "db_constants": len(coloring_database(graph).constants),
+            "colorable": result,
+            "query_is_fixed": True,
+        })
+    )

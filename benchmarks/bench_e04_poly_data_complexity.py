@@ -1,0 +1,60 @@
+"""E4 — Theorem 4(1) + Theorem 14: polynomial data complexity of the feasible paths.
+
+Paper claim: first-order queries over *physical* databases have LOGSPACE
+(hence polynomial-time) data complexity, and the approximation algorithm
+``A(Q, LB) = Q-hat(Ph2(LB))`` has the same data complexity as physical
+evaluation.  The benchmark scales the employee workload and times (a)
+physical evaluation over ``Ph1``, (b) the approximation over ``Ph2`` —
+both should grow polynomially (roughly quadratically for the join query
+used here), in contrast with E3's exponential growth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.approx.evaluator import ApproximateEvaluator
+from repro.logic.parser import parse_query
+from repro.logical.ph import ph1
+from repro.physical.evaluator import evaluate_query
+from repro.workloads.generators import employee_database
+
+SIZES = [10, 20, 40]
+QUERY = parse_query("(e, m) . exists d. EMP_DEPT(e, d) & DEPT_MGR(d, m) & ~(e = m)")
+
+
+def _database(n_employees: int):
+    return employee_database(n_employees, unknown_manager_fraction=0.2, seed=n_employees)
+
+
+@pytest.mark.experiment("E4")
+@pytest.mark.parametrize("n_employees", SIZES)
+def test_physical_evaluation_scales_polynomially(benchmark, experiment_log, n_employees):
+    database = _database(n_employees)
+    storage = ph1(database)
+    answers = benchmark(lambda: evaluate_query(storage, QUERY))
+    experiment_log.append(
+        ("E4", {
+            "evaluator": "physical Ph1 (Theorem 4)",
+            "employees": n_employees,
+            "tuples": storage.total_tuples(),
+            "answers": len(answers),
+        })
+    )
+
+
+@pytest.mark.experiment("E4")
+@pytest.mark.parametrize("n_employees", SIZES)
+def test_approximation_scales_like_physical_evaluation(benchmark, experiment_log, n_employees):
+    database = _database(n_employees)
+    evaluator = ApproximateEvaluator()
+    storage = evaluator.storage(database)
+    answers = benchmark(lambda: evaluator.answers_on_storage(storage, QUERY))
+    experiment_log.append(
+        ("E4", {
+            "evaluator": "approximation on Ph2 (Theorem 14)",
+            "employees": n_employees,
+            "tuples": storage.total_tuples(),
+            "answers": len(answers),
+        })
+    )

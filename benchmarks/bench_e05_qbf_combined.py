@@ -1,0 +1,62 @@
+"""E5 — Theorem 7: combined complexity of Sigma_k queries climbs to Pi^p_{k+1}.
+
+Paper claim: evaluating Sigma_k first-order queries over CW logical
+databases is Pi^p_{k+1}-complete in the combined size of query and database;
+hardness is by reduction from quantified Boolean formulas in B_{k+1}.
+
+The benchmark runs the reduction end-to-end on random QBF instances for
+k = 1 and k = 2, asserting on every instance that the certain-answer
+decision agrees with direct QBF evaluation, and timing both (the logical
+route pays for the universal quantification over mappings on top of the
+first-order quantifier alternation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.complexity.qbf import random_qbf
+from repro.complexity.qbf_reduction import decide_qbf_via_certain_answers, reduce_qbf
+
+CASES = {
+    "B2 (k=1), 2 vars/block": dict(n_blocks=2, vars_per_block=2, n_clauses=3, seed=5),
+    "B3 (k=2), 1 var/block": dict(n_blocks=3, vars_per_block=1, n_clauses=3, seed=5),
+    "B3 (k=2), 2 vars/block": dict(n_blocks=3, vars_per_block=2, n_clauses=4, seed=5),
+}
+
+
+@pytest.mark.experiment("E5")
+@pytest.mark.parametrize("label", sorted(CASES))
+def test_reduction_decides_qbf_through_certain_answers(benchmark, experiment_log, label):
+    qbf = random_qbf(**CASES[label])
+    expected = qbf.is_true()
+    reduction = reduce_qbf(qbf)
+
+    result = benchmark(lambda: decide_qbf_via_certain_answers(qbf))
+    assert result == expected
+
+    experiment_log.append(
+        ("E5", {
+            "instance": label,
+            "evaluator": "certain answers (Pi^p_{k+1} side)",
+            "query_prefix": reduction.query.prefix_class_name(),
+            "db_constants": len(reduction.database.constants),
+            "qbf_true": result,
+        })
+    )
+
+
+@pytest.mark.experiment("E5")
+@pytest.mark.parametrize("label", sorted(CASES))
+def test_direct_qbf_evaluation_baseline(benchmark, experiment_log, label):
+    qbf = random_qbf(**CASES[label])
+    result = benchmark(qbf.is_true)
+    experiment_log.append(
+        ("E5", {
+            "instance": label,
+            "evaluator": "direct QBF evaluation",
+            "query_prefix": "-",
+            "db_constants": 0,
+            "qbf_true": result,
+        })
+    )

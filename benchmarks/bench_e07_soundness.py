@@ -1,0 +1,64 @@
+"""E7 — Theorem 11: soundness of the approximation algorithm, measured at scale.
+
+Paper claim: ``A(Q, LB) ⊆ Q(LB)`` for every query and database.  The
+benchmark sweeps hundreds of random (database, query) pairs, counts
+soundness violations (must be zero) and records the aggregate recall, while
+timing the approximate evaluator (the thing a production system would run).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.approx.evaluator import ApproximateEvaluator
+from repro.logical.exact import certain_answers
+from repro.workloads.generators import random_cw_database, random_query
+
+SCHEMA = {"P": 1, "R": 2}
+N_PAIRS = 60
+
+
+def _pairs(unknown_fraction: float):
+    pairs = []
+    for seed in range(N_PAIRS):
+        database = random_cw_database(4, SCHEMA, 6, unknown_fraction, seed=seed)
+        query = random_query(SCHEMA, database.constants, arity=1, depth=2, seed=10_000 + seed)
+        pairs.append((database, query))
+    return pairs
+
+
+@pytest.mark.experiment("E7")
+@pytest.mark.parametrize("unknown_fraction", [0.3, 0.7])
+def test_soundness_sweep(benchmark, experiment_log, unknown_fraction):
+    pairs = _pairs(unknown_fraction)
+    evaluator = ApproximateEvaluator()
+
+    def run_approximation():
+        return [evaluator.answers(database, query) for database, query in pairs]
+
+    approximate_answers = benchmark(run_approximation)
+
+    violations = 0
+    missed_total = 0
+    exact_total = 0
+    returned_total = 0
+    for (database, query), approx in zip(pairs, approximate_answers):
+        exact = certain_answers(database, query)
+        if not approx <= exact:
+            violations += 1
+        missed_total += len(exact - approx)
+        exact_total += len(exact)
+        returned_total += len(approx)
+
+    assert violations == 0
+    recall = 1.0 if exact_total == 0 else (exact_total - missed_total) / exact_total
+    experiment_log.append(
+        ("E7", {
+            "unknown_fraction": unknown_fraction,
+            "query/db pairs": len(pairs),
+            "soundness_violations": violations,
+            "certain_answers_total": exact_total,
+            "returned_total": returned_total,
+            "recall": round(recall, 3),
+        })
+    )

@@ -1,0 +1,101 @@
+"""E8 — Theorems 12 and 13: completeness on fully specified databases and positive queries.
+
+Paper claim: the approximation returns *exactly* the certain answers when the
+database has no unknown values (Theorem 12) or when the query is positive
+(Theorem 13).  The benchmark sweeps random instances of both guaranteed
+classes, counts incompleteness violations (must be zero) and, as a contrast
+row, measures how often the approximation is incomplete *outside* the
+guaranteed classes (it should be sometimes — otherwise the guarantees would
+be vacuous).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.approx.evaluator import ApproximateEvaluator
+from repro.logical.exact import certain_answers
+from repro.workloads.generators import random_cw_database, random_positive_query, random_query
+
+SCHEMA = {"P": 1, "R": 2}
+N_PAIRS = 50
+_EVALUATOR = ApproximateEvaluator()
+
+
+def _sweep(pairs):
+    incomplete = 0
+    unsound = 0
+    for database, query in pairs:
+        approx = _EVALUATOR.answers(database, query)
+        exact = certain_answers(database, query)
+        if not approx <= exact:
+            unsound += 1
+        if approx != exact:
+            incomplete += 1
+    return incomplete, unsound
+
+
+@pytest.mark.experiment("E8")
+def test_completeness_on_fully_specified_databases(benchmark, experiment_log):
+    pairs = [
+        (
+            random_cw_database(4, SCHEMA, 6, unknown_fraction=0.0, seed=seed),
+            random_query(SCHEMA, ("c0", "c1"), arity=1, depth=2, seed=20_000 + seed),
+        )
+        for seed in range(N_PAIRS)
+    ]
+    incomplete, unsound = benchmark(lambda: _sweep(pairs))
+    assert incomplete == 0 and unsound == 0
+    experiment_log.append(
+        ("E8", {
+            "class": "fully specified DBs (Theorem 12)",
+            "pairs": len(pairs),
+            "incomplete": incomplete,
+            "unsound": unsound,
+            "guaranteed": True,
+        })
+    )
+
+
+@pytest.mark.experiment("E8")
+def test_completeness_on_positive_queries(benchmark, experiment_log):
+    pairs = [
+        (
+            random_cw_database(4, SCHEMA, 6, unknown_fraction=0.6, seed=seed),
+            random_positive_query(SCHEMA, ("c0", "c1"), arity=1, depth=2, seed=30_000 + seed),
+        )
+        for seed in range(N_PAIRS)
+    ]
+    incomplete, unsound = benchmark(lambda: _sweep(pairs))
+    assert incomplete == 0 and unsound == 0
+    experiment_log.append(
+        ("E8", {
+            "class": "positive queries (Theorem 13)",
+            "pairs": len(pairs),
+            "incomplete": incomplete,
+            "unsound": unsound,
+            "guaranteed": True,
+        })
+    )
+
+
+@pytest.mark.experiment("E8")
+def test_incompleteness_outside_the_guaranteed_classes(benchmark, experiment_log):
+    pairs = [
+        (
+            random_cw_database(4, SCHEMA, 6, unknown_fraction=0.8, seed=seed),
+            random_query(SCHEMA, ("c0", "c1"), arity=1, depth=2, seed=40_000 + seed),
+        )
+        for seed in range(N_PAIRS)
+    ]
+    incomplete, unsound = benchmark(lambda: _sweep(pairs))
+    assert unsound == 0
+    experiment_log.append(
+        ("E8", {
+            "class": "general queries + unknown values (no guarantee)",
+            "pairs": len(pairs),
+            "incomplete": incomplete,
+            "unsound": unsound,
+            "guaranteed": False,
+        })
+    )

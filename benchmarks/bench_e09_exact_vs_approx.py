@@ -1,0 +1,73 @@
+"""E9 — the crossover: exponential exact evaluation vs the polynomial approximation.
+
+Paper claim (Sections 4-5 taken together): exact certain-answer evaluation
+pays an exponential price for unknown values, which is why the sound,
+polynomial approximation is the practical implementation route.  The
+benchmark fixes the employee workload and the intro-style query and grows
+the number of *unknown* (null-manager) constants; exact evaluation blows up
+with each extra unknown while the approximation's cost barely moves, and its
+answers remain a sound subset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.approx.evaluator import ApproximateEvaluator
+from repro.logic.parser import parse_query
+from repro.logical.exact import certain_answers
+from repro.workloads.generators import employee_database
+
+QUERY = parse_query("(e) . forall d. EMP_DEPT(e, d) -> ~DEPT_MGR(d, e)")
+
+#: (employees, departments with unknown managers) — every department manager is
+#: a null constant, so the number of unknowns equals the number of departments.
+#: The employee count is deliberately small: the exact evaluator's cost is
+#: governed by the total constant count and explodes with each extra unknown.
+CASES = {
+    "1 unknown": dict(n_employees=4, n_departments=1),
+    "2 unknowns": dict(n_employees=4, n_departments=2),
+    "3 unknowns": dict(n_employees=4, n_departments=3),
+}
+
+
+def _database(n_employees: int, n_departments: int):
+    return employee_database(
+        n_employees, n_departments=n_departments, unknown_manager_fraction=1.0, seed=13
+    )
+
+
+@pytest.mark.experiment("E9")
+@pytest.mark.parametrize("label", sorted(CASES))
+def test_exact_evaluation_cost_grows_with_unknowns(benchmark, experiment_log, label):
+    database = _database(**CASES[label])
+    answers = benchmark.pedantic(lambda: certain_answers(database, QUERY), rounds=1, iterations=1)
+    experiment_log.append(
+        ("E9", {
+            "unknowns": label,
+            "evaluator": "exact (Theorem 1)",
+            "constants": len(database.constants),
+            "answers": len(answers),
+            "sound_subset": True,
+        })
+    )
+
+
+@pytest.mark.experiment("E9")
+@pytest.mark.parametrize("label", sorted(CASES))
+def test_approximation_cost_stays_flat(benchmark, experiment_log, label):
+    database = _database(**CASES[label])
+    evaluator = ApproximateEvaluator()
+    storage = evaluator.storage(database)
+    approx = benchmark(lambda: evaluator.answers_on_storage(storage, QUERY))
+    exact = certain_answers(database, QUERY)
+    assert approx <= exact
+    experiment_log.append(
+        ("E9", {
+            "unknowns": label,
+            "evaluator": "approximation (Section 5)",
+            "constants": len(database.constants),
+            "answers": len(approx),
+            "sound_subset": approx <= exact,
+        })
+    )

@@ -1,0 +1,102 @@
+"""Using a logical database as a co-NP oracle: the Theorem 5 reduction, live.
+
+Theorem 5(2) proves co-NP-hardness of query evaluation over CW logical
+databases by embedding graph 3-colorability: a graph ``G`` is 3-colorable
+exactly when the *fixed* Boolean query
+
+    (forall y. M(y)) -> (exists z. R(z, z))
+
+is NOT a certain answer of the database built from ``G``.  This example runs
+that construction on a few graphs, checks it against a brute-force coloring
+search, and reports how the work grows with the graph — the empirical face
+of the co-NP lower bound.
+
+Run with::
+
+    python examples/graph_coloring_oracle.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.complexity.three_coloring import (
+    coloring_database,
+    coloring_query,
+    complete_graph,
+    cycle_graph,
+    is_3_colorable_bruteforce,
+    is_3_colorable_via_certain_answers,
+    random_graph,
+)
+from repro.harness.reporting import format_table
+from repro.logical.mappings import count_canonical_mappings
+
+
+def main() -> None:
+    # Sizes are kept small: the certain-answer route enumerates every admissible
+    # collapse of the vertex constants, which grows like a Bell number — that
+    # blow-up is the point of the example, so we stop while it is still visible
+    # rather than painful (a 6-vertex graph already needs thousands of mappings).
+    graphs = {
+        "triangle (K3)": complete_graph(3),
+        "K4": complete_graph(4),
+        "5-cycle": cycle_graph(5),
+        "random G(5, 0.5)": random_graph(5, 0.5, seed=1),
+        "random G(6, 0.6)": random_graph(6, 0.6, seed=2),
+    }
+
+    print("fixed query:", coloring_query())
+    print()
+
+    rows = []
+    for name, graph in graphs.items():
+        database = coloring_database(graph)
+        start = time.perf_counter()
+        via_logic = is_3_colorable_via_certain_answers(graph)
+        logic_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        via_bruteforce = is_3_colorable_bruteforce(graph)
+        brute_seconds = time.perf_counter() - start
+
+        assert via_logic == via_bruteforce
+        rows.append(
+            [
+                name,
+                graph.n_vertices,
+                graph.n_edges,
+                len(database.constants),
+                count_canonical_mappings(database),
+                "yes" if via_logic else "no",
+                f"{logic_seconds * 1000:.1f} ms",
+                f"{brute_seconds * 1000:.2f} ms",
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "graph",
+                "vertices",
+                "edges",
+                "db constants",
+                "mappings enumerated",
+                "3-colorable",
+                "via certain answers",
+                "via brute force",
+            ],
+            rows,
+        )
+    )
+    print()
+    print(
+        "The certain-answer route re-derives the answer by quantifying over every\n"
+        "admissible collapse of the vertex constants onto the three colors — the\n"
+        "exponential growth of the 'mappings enumerated' column with the graph size\n"
+        "is Theorem 5's co-NP-hardness made visible."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e .`` works in offline environments whose
+setuptools/wheel combination cannot build PEP 517 editable wheels; all
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,100 @@
+"""Reproduction of "Querying Logical Databases" (Vardi, PODS 1985 / JCSS 1986).
+
+The library implements, from scratch:
+
+* a first-/second-order logic substrate (:mod:`repro.logic`);
+* physical databases with Tarskian and relational-algebra evaluation
+  (:mod:`repro.physical`);
+* closed-world logical databases with unknown values and exact
+  certain-answer evaluation via Theorem 1 (:mod:`repro.logical`);
+* the precise second-order simulation of Theorem 3 (:mod:`repro.simulation`);
+* the sound approximation algorithm of Section 5 (:mod:`repro.approx`);
+* the complexity reductions of Section 4 (:mod:`repro.complexity`);
+* workload generators, scenarios and the experiment harness
+  (:mod:`repro.workloads`, :mod:`repro.harness`).
+
+Quick start::
+
+    from repro import CWDatabase, parse_query, certain_answers, approximate_answers
+
+    lb = CWDatabase(
+        constants=("socrates", "plato", "aristotle"),
+        predicates={"TEACHES": 2},
+        facts={"TEACHES": [("socrates", "plato"), ("plato", "aristotle")]},
+        unequal=[("socrates", "plato"), ("plato", "aristotle")],
+    )
+    q = parse_query("(x, y) . TEACHES(x, y) & ~(x = y)")
+    print(certain_answers(lb, q))        # exact (exponential)
+    print(approximate_answers(lb, q))    # sound approximation (polynomial)
+"""
+
+from repro.approx import ApproximateEvaluator, approximate_answers, approximately_holds, rewrite_query
+from repro.logic import (
+    Atom,
+    C,
+    Constant,
+    Eq,
+    Formula,
+    Neq,
+    Pred,
+    Query,
+    V,
+    Variable,
+    Vocabulary,
+    boolean_query,
+    parse_formula,
+    parse_query,
+    to_text,
+)
+from repro.logical import (
+    CWDatabase,
+    CertainAnswerEvaluator,
+    certain_answers,
+    certainly_holds,
+    ph1,
+    ph2,
+)
+from repro.physical import PhysicalDatabase, Relation, evaluate_query, satisfies
+from repro.simulation import build_simulation_query, evaluate_by_simulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # logic
+    "Variable",
+    "Constant",
+    "Atom",
+    "Formula",
+    "Query",
+    "Vocabulary",
+    "boolean_query",
+    "parse_formula",
+    "parse_query",
+    "to_text",
+    "V",
+    "C",
+    "Pred",
+    "Eq",
+    "Neq",
+    # physical
+    "PhysicalDatabase",
+    "Relation",
+    "evaluate_query",
+    "satisfies",
+    # logical
+    "CWDatabase",
+    "certain_answers",
+    "certainly_holds",
+    "CertainAnswerEvaluator",
+    "ph1",
+    "ph2",
+    # simulation
+    "build_simulation_query",
+    "evaluate_by_simulation",
+    # approximation
+    "ApproximateEvaluator",
+    "approximate_answers",
+    "approximately_holds",
+    "rewrite_query",
+]

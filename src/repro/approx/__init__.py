@@ -1,0 +1,34 @@
+"""The sound approximation algorithm of Section 5.
+
+Rewrites queries (``Q -> Q-hat``), stores the logical database as
+``Ph2(LB)`` and evaluates with an ordinary relational engine — sound always,
+complete for fully specified databases and for positive queries, and with
+the same complexity as physical query evaluation.
+"""
+
+from repro.approx.alpha import AlphaAtom, build_alpha_formula, connectivity_formula, disagree
+from repro.approx.evaluator import ApproximateEvaluator, approximate_answers, approximately_holds
+from repro.approx.guarantees import (
+    ApproximationReport,
+    check_completeness,
+    check_soundness,
+    compare,
+)
+from repro.approx.rewrite import REWRITE_MODES, rewrite_formula, rewrite_query
+
+__all__ = [
+    "AlphaAtom",
+    "disagree",
+    "build_alpha_formula",
+    "connectivity_formula",
+    "rewrite_query",
+    "rewrite_formula",
+    "REWRITE_MODES",
+    "ApproximateEvaluator",
+    "approximate_answers",
+    "approximately_holds",
+    "ApproximationReport",
+    "compare",
+    "check_soundness",
+    "check_completeness",
+]

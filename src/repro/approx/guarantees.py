@@ -1,0 +1,105 @@
+"""Checkers for the approximation algorithm's guarantees (Theorems 11-13).
+
+These helpers compare the approximate answer ``A(Q, LB)`` against the exact
+certain answer ``Q(LB)`` on a concrete instance and report:
+
+* soundness — ``A(Q, LB) ⊆ Q(LB)`` (must always hold, Theorem 11);
+* completeness — ``A(Q, LB) = Q(LB)`` (guaranteed for fully specified
+  databases by Theorem 12 and for positive queries by Theorem 13, and often
+  true anyway);
+* the missed tuples and the recall, which experiments E7-E9 aggregate.
+
+They are used by the test suite, the property-based tests and the benchmark
+harness; they are *not* needed in production use of the approximation (whose
+point is precisely to avoid computing the exact answer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.logic.queries import Query
+from repro.logical.database import CWDatabase
+from repro.logical.exact import CertainAnswerEvaluator
+from repro.approx.evaluator import ApproximateEvaluator
+
+__all__ = ["ApproximationReport", "compare", "check_soundness", "check_completeness"]
+
+
+@dataclass(frozen=True)
+class ApproximationReport:
+    """Outcome of comparing the approximation against the exact certain answers."""
+
+    exact: frozenset[tuple[str, ...]]
+    approximate: frozenset[tuple[str, ...]]
+    query_is_positive: bool
+    database_fully_specified: bool
+
+    @property
+    def is_sound(self) -> bool:
+        """Theorem 11: the approximation never returns a non-certain tuple."""
+        return self.approximate <= self.exact
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether the approximation returned every certain answer."""
+        return self.approximate >= self.exact
+
+    @property
+    def missed(self) -> frozenset[tuple[str, ...]]:
+        """Certain answers the approximation failed to return."""
+        return self.exact - self.approximate
+
+    @property
+    def spurious(self) -> frozenset[tuple[str, ...]]:
+        """Returned tuples that are not certain answers (must be empty)."""
+        return self.approximate - self.exact
+
+    @property
+    def recall(self) -> float:
+        """|A(Q,LB) ∩ Q(LB)| / |Q(LB)| (1.0 when the exact answer is empty)."""
+        if not self.exact:
+            return 1.0
+        return len(self.approximate & self.exact) / len(self.exact)
+
+    @property
+    def completeness_guaranteed(self) -> bool:
+        """True when Theorem 12 or Theorem 13 promises completeness for this instance."""
+        return self.database_fully_specified or self.query_is_positive
+
+
+def compare(
+    database: CWDatabase,
+    query: Query,
+    approximate: ApproximateEvaluator | None = None,
+    exact: CertainAnswerEvaluator | None = None,
+) -> ApproximationReport:
+    """Evaluate both algorithms and package the comparison."""
+    approximate = approximate or ApproximateEvaluator()
+    exact = exact or CertainAnswerEvaluator()
+    return ApproximationReport(
+        exact=exact.certain_answers(database, query),
+        approximate=approximate.answers(database, query),
+        query_is_positive=query.is_positive,
+        database_fully_specified=database.is_fully_specified,
+    )
+
+
+def check_soundness(database: CWDatabase, query: Query, **kwargs) -> ApproximationReport:
+    """Compare and raise ``AssertionError`` if soundness (Theorem 11) is violated."""
+    report = compare(database, query, **kwargs)
+    if not report.is_sound:
+        raise AssertionError(
+            f"soundness violated: spurious answers {sorted(report.spurious)} for query {query}"
+        )
+    return report
+
+
+def check_completeness(database: CWDatabase, query: Query, **kwargs) -> ApproximationReport:
+    """Compare and raise ``AssertionError`` if a guaranteed-complete case is incomplete."""
+    report = compare(database, query, **kwargs)
+    if report.completeness_guaranteed and not report.is_complete:
+        raise AssertionError(
+            f"completeness violated on a guaranteed case: missed {sorted(report.missed)} for query {query}"
+        )
+    return report

@@ -1,0 +1,115 @@
+"""The query rewriting ``Q -> Q-hat`` of Section 5.
+
+Given a query ``Q`` over the vocabulary ``L`` of a CW logical database, the
+approximation algorithm evaluates a rewritten query over the physical
+database ``Ph2(LB)`` (which stores the inequality relation ``NE``).  The
+rewriting is purely syntactic:
+
+1. push all negations down to atomic formulas (negation normal form);
+2. replace every negated equality ``~(t1 = t2)`` by the atom ``NE(t1, t2)``;
+3. replace every negated predicate atom ``~P(t)`` by ``alpha_P(t)`` — either
+   the :class:`~repro.approx.alpha.AlphaAtom` extension atom (``mode="direct"``,
+   the default, evaluated by the union-find disagreement test) or the literal
+   first-order formula of Lemma 10 (``mode="formula"``, which keeps the
+   rewritten query inside first-order logic so it can be handed to any
+   relational engine);
+4. leave positive atoms, equalities and both kinds of quantifier untouched
+   (Theorem 11's induction covers first- and second-order quantification).
+
+For a positive query the rewriting is the identity (Theorem 13); for any
+query it never *adds* answers (Theorem 11, soundness), and over a fully
+specified database it is exact (Theorem 12).
+"""
+
+from __future__ import annotations
+
+from repro.errors import FormulaError, UnsupportedFormulaError
+from repro.logic.formulas import (
+    And,
+    Atom,
+    Bottom,
+    Equals,
+    Exists,
+    ExtensionAtom,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    SecondOrderExists,
+    SecondOrderForall,
+    Top,
+)
+from repro.logic.queries import Query
+from repro.logic.transform import substitute, to_nnf
+from repro.logic.vocabulary import NE_PREDICATE
+from repro.approx.alpha import AlphaAtom, build_alpha_formula
+
+__all__ = ["rewrite_formula", "rewrite_query", "REWRITE_MODES"]
+
+#: Supported treatments of negated predicate atoms.
+REWRITE_MODES = ("direct", "formula")
+
+
+def rewrite_query(query: Query, mode: str = "direct") -> Query:
+    """Rewrite a query for evaluation over ``Ph2(LB)`` (the map ``Q -> Q-hat``)."""
+    return query.with_formula(rewrite_formula(query.formula, mode))
+
+
+def rewrite_formula(formula: Formula, mode: str = "direct") -> Formula:
+    """Rewrite a formula: NNF, then replace negated atoms as described above."""
+    if mode not in REWRITE_MODES:
+        raise ValueError(f"unknown rewrite mode {mode!r}; expected one of {REWRITE_MODES}")
+    return _rewrite(to_nnf(formula), mode)
+
+
+def _rewrite(formula: Formula, mode: str) -> Formula:
+    if isinstance(formula, Not):
+        return _rewrite_negated_atom(formula.operand, mode)
+    if isinstance(formula, (Atom, Equals, ExtensionAtom, Top, Bottom)):
+        return formula
+    if isinstance(formula, And):
+        return And(tuple(_rewrite(op, mode) for op in formula.operands))
+    if isinstance(formula, Or):
+        return Or(tuple(_rewrite(op, mode) for op in formula.operands))
+    if isinstance(formula, (Exists, Forall)):
+        return type(formula)(formula.variables, _rewrite(formula.body, mode))
+    if isinstance(formula, (SecondOrderExists, SecondOrderForall)):
+        return type(formula)(formula.predicate, formula.arity, _rewrite(formula.body, mode))
+    raise UnsupportedFormulaError(
+        f"unexpected node {type(formula).__name__} after negation normal form"
+    )
+
+
+def _rewrite_negated_atom(atom: Formula, mode: str) -> Formula:
+    """Translate the negated atomic formula ``~atom``."""
+    if isinstance(atom, Equals):
+        return Atom(NE_PREDICATE, (atom.left, atom.right))
+    if isinstance(atom, Atom):
+        if atom.predicate == NE_PREDICATE:
+            # NE is only introduced by this rewriting itself; source queries
+            # are over L, which does not contain NE.
+            raise FormulaError("source queries must not mention the reserved NE predicate")
+        if mode == "direct":
+            return AlphaAtom(atom.predicate, atom.args)
+        template = build_alpha_formula(atom.predicate, len(atom.args))
+        # The template's free variables are x1..xk; substitute the atom's
+        # actual argument terms for them.
+        placeholders = [  # x1..xk in order
+            variable
+            for variable in _alpha_placeholders(len(atom.args))
+        ]
+        return substitute(template, dict(zip(placeholders, atom.args)))
+    if isinstance(atom, ExtensionAtom):
+        raise UnsupportedFormulaError("cannot rewrite a negated extension atom")
+    if isinstance(atom, (Top, Bottom)):
+        # NNF never leaves a negation on TOP/BOTTOM, but be defensive.
+        return Bottom() if isinstance(atom, Top) else Top()
+    raise UnsupportedFormulaError(
+        f"negation normal form should only negate atoms, found {type(atom).__name__}"
+    )
+
+
+def _alpha_placeholders(arity: int):
+    from repro.logic.terms import Variable
+
+    return [Variable(f"x{i + 1}") for i in range(arity)]

@@ -1,0 +1,141 @@
+"""Command-line interface for querying CW logical databases stored as CSV.
+
+This is the thin "DBA view" of the library: point it at a directory written
+by :func:`repro.physical.csvio.save_cw_database` (``schema.json``, one CSV
+per predicate, ``unequal.csv``) and ask queries in the textual query
+language.  Three evaluation routes are exposed:
+
+* ``approx`` (default) — the sound polynomial approximation of Section 5;
+* ``exact`` — certain answers via Theorem 1 (exponential; refuses to start
+  past a capacity limit);
+* ``both`` — run both and report whether the approximation was complete.
+
+Examples::
+
+    python -m repro.cli info db_dir/
+    python -m repro.cli query db_dir/ "(x) . ~MURDERER(x)"
+    python -m repro.cli query db_dir/ "(x) . P(x)" --method exact
+    python -m repro.cli classify "(x) . exists y. R(x, y) & ~P(y)"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.approx.evaluator import ApproximateEvaluator
+from repro.complexity.classes import classify_query
+from repro.errors import ReproError
+from repro.harness.reporting import format_table
+from repro.logic.parser import parse_query
+from repro.logical.exact import certain_answers
+from repro.physical.csvio import load_cw_database
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Query closed-world logical databases with unknown values (Vardi, PODS 1985).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    info = commands.add_parser("info", help="describe a stored CW logical database")
+    info.add_argument("database", help="directory written by save_cw_database()")
+
+    query = commands.add_parser("query", help="evaluate a query against a stored database")
+    query.add_argument("database", help="directory written by save_cw_database()")
+    query.add_argument("query", help="query text, e.g. \"(x) . ~MURDERER(x)\"")
+    query.add_argument(
+        "--method",
+        choices=("approx", "exact", "both"),
+        default="approx",
+        help="evaluation route (default: the sound polynomial approximation)",
+    )
+    query.add_argument(
+        "--engine",
+        choices=("tarski", "algebra"),
+        default="algebra",
+        help="engine used by the approximation (default: relational algebra)",
+    )
+    query.add_argument(
+        "--virtual-ne",
+        action="store_true",
+        help="store the inequality relation virtually (U/NE' encoding)",
+    )
+
+    classify = commands.add_parser("classify", help="show a query's prefix class and the paper's bounds")
+    classify.add_argument("query", help="query text")
+
+    return parser
+
+
+def _command_info(arguments: argparse.Namespace) -> int:
+    database = load_cw_database(arguments.database)
+    print(database.describe())
+    rows = [
+        [predicate, arity, len(database.facts_for(predicate))]
+        for predicate, arity in sorted(database.predicates.items())
+    ]
+    print(format_table(["predicate", "arity", "facts"], rows))
+    unknowns = sorted(database.unknown_constants())
+    print(f"unknown constants ({len(unknowns)}):", ", ".join(unknowns) or "none")
+    return 0
+
+
+def _command_query(arguments: argparse.Namespace) -> int:
+    database = load_cw_database(arguments.database)
+    query = parse_query(arguments.query)
+
+    results: dict[str, frozenset[tuple[str, ...]]] = {}
+    if arguments.method in ("approx", "both"):
+        evaluator = ApproximateEvaluator(engine=arguments.engine, virtual_ne=arguments.virtual_ne)
+        results["approximate"] = evaluator.answers(database, query)
+    if arguments.method in ("exact", "both"):
+        results["exact"] = certain_answers(database, query)
+
+    for label, answers in results.items():
+        print(f"{label} answers ({len(answers)}):")
+        for row in sorted(answers):
+            print("  " + ", ".join(row) if row else "  <true>")
+        if not answers:
+            print("  <empty>" if query.arity else "  <false>")
+
+    if arguments.method == "both":
+        approx, exact = results["approximate"], results["exact"]
+        if not approx <= exact:
+            print("WARNING: soundness violated — please report this as a bug")
+            return 1
+        status = "complete" if approx == exact else f"sound but missed {len(exact - approx)} certain answer(s)"
+        print(f"approximation was {status} on this instance")
+    return 0
+
+
+def _command_classify(arguments: argparse.Namespace) -> int:
+    query = parse_query(arguments.query)
+    info = classify_query(query)
+    print(info.summary())
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        if arguments.command == "info":
+            return _command_info(arguments)
+        if arguments.command == "query":
+            return _command_query(arguments)
+        if arguments.command == "classify":
+            return _command_classify(arguments)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    parser.error(f"unknown command {arguments.command!r}")
+    return 2  # pragma: no cover - parser.error raises
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,73 @@
+"""Executable versions of the paper's complexity reductions (Section 4)."""
+
+from repro.complexity.classes import (
+    ComplexityResult,
+    PAPER_RESULTS,
+    QueryClassification,
+    classify_query,
+    results_for,
+)
+from repro.complexity.qbf import (
+    Clause,
+    PropAnd,
+    PropFormula,
+    PropNot,
+    PropOr,
+    PropVar,
+    QBF,
+    QuantifierBlock,
+    clauses_to_formula,
+    random_3cnf_qbf,
+    random_qbf,
+)
+from repro.complexity.qbf_reduction import QBFReduction, decide_qbf_via_certain_answers, reduce_qbf
+from repro.complexity.so_reduction import (
+    SOReduction,
+    decide_3cnf_qbf_via_certain_answers,
+    reduce_3cnf_qbf,
+)
+from repro.complexity.three_coloring import (
+    COLOR_CONSTANTS,
+    Graph,
+    coloring_database,
+    coloring_query,
+    complete_graph,
+    cycle_graph,
+    is_3_colorable_bruteforce,
+    is_3_colorable_via_certain_answers,
+    random_graph,
+)
+
+__all__ = [
+    "Graph",
+    "random_graph",
+    "cycle_graph",
+    "complete_graph",
+    "coloring_database",
+    "coloring_query",
+    "is_3_colorable_bruteforce",
+    "is_3_colorable_via_certain_answers",
+    "COLOR_CONSTANTS",
+    "PropFormula",
+    "PropVar",
+    "PropNot",
+    "PropAnd",
+    "PropOr",
+    "Clause",
+    "clauses_to_formula",
+    "QuantifierBlock",
+    "QBF",
+    "random_qbf",
+    "random_3cnf_qbf",
+    "QBFReduction",
+    "reduce_qbf",
+    "decide_qbf_via_certain_answers",
+    "SOReduction",
+    "reduce_3cnf_qbf",
+    "decide_3cnf_qbf_via_certain_answers",
+    "ComplexityResult",
+    "PAPER_RESULTS",
+    "results_for",
+    "classify_query",
+    "QueryClassification",
+]

@@ -1,0 +1,131 @@
+"""Catalogue of the paper's complexity results (Theorems 4-9).
+
+The paper's "evaluation" is a set of completeness theorems rather than
+tables; this module records them as structured data so the experiment
+harness can print, next to every measured row, the claim it is meant to
+illustrate.  It also provides :func:`classify_query`, which reports the
+syntactic class a given query falls into (first- vs second-order, Sigma_k /
+Pi_k prefix) and looks up the matching data/expression/combined complexity
+entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.logic.analysis import (
+    first_order_prefix_class,
+    is_first_order,
+    second_order_prefix_class,
+)
+from repro.logic.queries import Query
+
+__all__ = ["ComplexityResult", "PAPER_RESULTS", "results_for", "classify_query", "QueryClassification"]
+
+
+@dataclass(frozen=True)
+class ComplexityResult:
+    """One row of the paper's complexity picture."""
+
+    theorem: str
+    query_class: str
+    database_kind: str  # "physical" or "logical"
+    measure: str  # "data", "expression" or "combined"
+    complexity: str
+    note: str = ""
+
+
+PAPER_RESULTS: tuple[ComplexityResult, ...] = (
+    # Physical databases (Theorem 4, citing [Va82], [CM77]).
+    ComplexityResult("Theorem 4(1)", "first-order", "physical", "data", "LOGSPACE",
+                     "membership; hence polynomial time"),
+    ComplexityResult("Theorem 4(2,3)", "first-order", "physical", "expression", "PSPACE-complete", ""),
+    ComplexityResult("Theorem 4(4)", "first-order", "physical", "combined", "PSPACE-complete", ""),
+    # CW logical databases, first-order queries (Theorem 5).
+    ComplexityResult("Theorem 5(1,2)", "first-order", "logical", "data", "co-NP-complete",
+                     "hardness via graph 3-colorability"),
+    ComplexityResult("Theorem 5(3)", "first-order", "logical", "combined", "PSPACE-complete", ""),
+    ComplexityResult("Section 4 (remark)", "first-order", "logical", "expression",
+                     "PSPACE-complete",
+                     "at most a constant factor above the physical case for a fixed database"),
+    # Sigma_k first-order queries (Theorems 6, 7).
+    ComplexityResult("Theorem 6", "Sigma_k first-order", "physical", "combined", "Sigma^p_k-complete", ""),
+    ComplexityResult("Theorem 7", "Sigma_k first-order", "logical", "combined", "Pi^p_{k+1}-complete",
+                     "hardness via quantified Boolean formulas B_{k+1}"),
+    # Sigma_k second-order queries (Theorems 8, 9).
+    ComplexityResult("Theorem 8(1,2)", "Sigma_k second-order", "physical", "data", "Sigma^p_k-complete", ""),
+    ComplexityResult("Theorem 8(3)", "Sigma_k second-order", "physical", "combined", "NEXPTIME-hard", ""),
+    ComplexityResult("Theorem 9", "Sigma_k second-order", "logical", "data", "Pi^p_{k+1}-complete",
+                     "hardness via 3-CNF quantified Boolean formulas"),
+    # The approximation algorithm (Theorem 14).
+    ComplexityResult("Theorem 14", "any class studied", "logical (approximate algorithm)", "data/combined",
+                     "same as the physical case",
+                     "A(Q, LB) = Q-hat(Ph2(LB)); alpha_P satisfaction checkable in polynomial time"),
+)
+
+
+def results_for(
+    database_kind: str | None = None,
+    measure: str | None = None,
+    query_class: str | None = None,
+) -> list[ComplexityResult]:
+    """Filter the catalogue by any combination of axes."""
+    rows = []
+    for result in PAPER_RESULTS:
+        if database_kind is not None and result.database_kind != database_kind:
+            continue
+        if measure is not None and measure not in result.measure:
+            continue
+        if query_class is not None and result.query_class != query_class:
+            continue
+        rows.append(result)
+    return rows
+
+
+@dataclass(frozen=True)
+class QueryClassification:
+    """Syntactic classification of a query plus the paper's matching bounds."""
+
+    is_first_order: bool
+    prefix_class: str
+    is_positive: bool
+    logical_data_complexity: str
+    logical_combined_complexity: str
+
+    def summary(self) -> str:
+        order = "first-order" if self.is_first_order else "second-order"
+        positive = "positive" if self.is_positive else "not positive"
+        return (
+            f"{order} query, prefix class {self.prefix_class}, {positive}; "
+            f"logical data complexity {self.logical_data_complexity}, "
+            f"combined {self.logical_combined_complexity}"
+        )
+
+
+def classify_query(query: Query) -> QueryClassification:
+    """Classify *query* and attach the paper's complexity bounds for logical databases."""
+    first_order = is_first_order(query.formula)
+    if first_order:
+        prefix = first_order_prefix_class(query.formula)
+        level = max(prefix.level, 1)
+        data = "co-NP-complete (Theorem 5)"
+        if prefix.starts_with_exists or prefix.level == 0:
+            combined = f"Pi^p_{level + 1} (Theorem 7, for Sigma_{level} queries)"
+        else:
+            combined = "PSPACE (Theorem 5(3) upper bound)"
+        return QueryClassification(
+            is_first_order=True,
+            prefix_class=prefix.name,
+            is_positive=query.is_positive,
+            logical_data_complexity=data,
+            logical_combined_complexity=combined,
+        )
+    prefix = second_order_prefix_class(query.formula)
+    level = max(prefix.level, 1)
+    return QueryClassification(
+        is_first_order=False,
+        prefix_class=f"SO-{prefix.name}",
+        is_positive=query.is_positive,
+        logical_data_complexity=f"Pi^p_{level + 1}-complete (Theorem 9, for SO Sigma_{level} queries)",
+        logical_combined_complexity="NEXPTIME-hard already for physical databases (Theorem 8(3))",
+    )

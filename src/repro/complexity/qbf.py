@@ -1,0 +1,296 @@
+"""Quantified Boolean formulas (the sets ``B_{k+1}`` of Theorems 7 and 9).
+
+Stockmeyer's sets ``B_{k+1}`` consist of prenex quantified Boolean formulas
+whose quantifier prefix has ``k+1`` alternating blocks starting with a
+universal block:
+
+    (forall x_{1,1} ... x_{1,m_1})(exists x_{2,*}) ... (Q x_{k+1,*})  psi
+
+Deciding truth of such formulas is Pi^p_{k+1}-complete, which is what the
+paper's hardness proofs lean on.  This module provides
+
+* a tiny propositional-formula AST (:class:`PropVar`, :class:`PropNot`,
+  :class:`PropAnd`, :class:`PropOr`) with evaluation under an assignment;
+* :class:`QBF` — prefix blocks plus a matrix, with a recursive truth
+  evaluator (exponential, used as ground truth in tests and benchmarks);
+* a 3-CNF matrix representation (:class:`Clause`, lists of signed literals)
+  needed by the Theorem 9 reduction;
+* random instance generators for both shapes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import ReductionError
+
+__all__ = [
+    "PropFormula",
+    "PropVar",
+    "PropNot",
+    "PropAnd",
+    "PropOr",
+    "Clause",
+    "clauses_to_formula",
+    "QuantifierBlock",
+    "QBF",
+    "random_qbf",
+    "random_3cnf_qbf",
+]
+
+
+class PropFormula:
+    """Base class of propositional formulas (the matrix of a QBF)."""
+
+    __slots__ = ()
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        raise NotImplementedError
+
+    def variables(self) -> frozenset[str]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class PropVar(PropFormula):
+    """A propositional variable."""
+
+    name: str
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        try:
+            return assignment[self.name]
+        except KeyError:
+            raise ReductionError(f"unassigned propositional variable {self.name!r}") from None
+
+    def variables(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+
+@dataclass(frozen=True, slots=True)
+class PropNot(PropFormula):
+    """Negation."""
+
+    operand: PropFormula
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return not self.operand.evaluate(assignment)
+
+    def variables(self) -> frozenset[str]:
+        return self.operand.variables()
+
+
+@dataclass(frozen=True, slots=True)
+class PropAnd(PropFormula):
+    """Conjunction of one or more operands."""
+
+    operands: tuple[PropFormula, ...]
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return all(operand.evaluate(assignment) for operand in self.operands)
+
+    def variables(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for operand in self.operands:
+            result |= operand.variables()
+        return result
+
+
+@dataclass(frozen=True, slots=True)
+class PropOr(PropFormula):
+    """Disjunction of one or more operands."""
+
+    operands: tuple[PropFormula, ...]
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return any(operand.evaluate(assignment) for operand in self.operands)
+
+    def variables(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for operand in self.operands:
+            result |= operand.variables()
+        return result
+
+
+@dataclass(frozen=True, slots=True)
+class Clause:
+    """A disjunctive clause of signed literals: ``(variable, positive)`` pairs."""
+
+    literals: tuple[tuple[str, bool], ...]
+
+    def __init__(self, literals: Iterable[tuple[str, bool]]) -> None:
+        items = tuple((str(name), bool(sign)) for name, sign in literals)
+        if not items:
+            raise ReductionError("empty clause (unsatisfiable) not supported")
+        object.__setattr__(self, "literals", items)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return any(assignment[name] == sign for name, sign in self.literals)
+
+    def variables(self) -> frozenset[str]:
+        return frozenset(name for name, __ in self.literals)
+
+
+def clauses_to_formula(clauses: Sequence[Clause]) -> PropFormula:
+    """Convert a CNF clause list into a :class:`PropFormula` tree."""
+    disjunctions = []
+    for clause in clauses:
+        literals = [
+            PropVar(name) if sign else PropNot(PropVar(name)) for name, sign in clause.literals
+        ]
+        disjunctions.append(PropOr(tuple(literals)))
+    return PropAnd(tuple(disjunctions))
+
+
+@dataclass(frozen=True)
+class QuantifierBlock:
+    """One block of the prefix: a quantifier plus the variables it binds."""
+
+    universal: bool
+    variables: tuple[str, ...]
+
+    def __init__(self, universal: bool, variables: Iterable[str]) -> None:
+        names = tuple(variables)
+        if not names:
+            raise ReductionError("a quantifier block must bind at least one variable")
+        object.__setattr__(self, "universal", bool(universal))
+        object.__setattr__(self, "variables", names)
+
+
+@dataclass(frozen=True)
+class QBF:
+    """A prenex quantified Boolean formula: alternating blocks plus a matrix.
+
+    Membership in ``B_{k+1}`` (``k + 1`` alternating blocks, the first
+    universal) is checked on construction when ``require_b_form=True``
+    (the default checks only strict alternation, not that the first block is
+    universal, so the class can also represent the existential-first duals).
+    """
+
+    blocks: tuple[QuantifierBlock, ...]
+    matrix: PropFormula
+    clauses: tuple[Clause, ...] | None = None
+
+    def __init__(
+        self,
+        blocks: Iterable[QuantifierBlock],
+        matrix: PropFormula | None = None,
+        clauses: Iterable[Clause] | None = None,
+    ) -> None:
+        block_tuple = tuple(blocks)
+        if not block_tuple:
+            raise ReductionError("a QBF needs at least one quantifier block")
+        for first, second in zip(block_tuple, block_tuple[1:]):
+            if first.universal == second.universal:
+                raise ReductionError("quantifier blocks must strictly alternate")
+        clause_tuple = tuple(clauses) if clauses is not None else None
+        if matrix is None:
+            if clause_tuple is None:
+                raise ReductionError("a QBF needs a matrix or a clause list")
+            matrix = clauses_to_formula(clause_tuple)
+        bound = [name for block in block_tuple for name in block.variables]
+        if len(set(bound)) != len(bound):
+            raise ReductionError("a variable is bound by two blocks")
+        free = matrix.variables() - set(bound)
+        if free:
+            raise ReductionError(f"matrix mentions unquantified variables: {sorted(free)}")
+        object.__setattr__(self, "blocks", block_tuple)
+        object.__setattr__(self, "matrix", matrix)
+        object.__setattr__(self, "clauses", clause_tuple)
+
+    def __hash__(self) -> int:
+        return hash((self.blocks, id(self.matrix)))
+
+    @property
+    def alternations(self) -> int:
+        """Number of quantifier blocks (``k + 1`` for a formula in ``B_{k+1}``)."""
+        return len(self.blocks)
+
+    @property
+    def starts_universal(self) -> bool:
+        return self.blocks[0].universal
+
+    @property
+    def is_b_form(self) -> bool:
+        """True when the formula is in ``B_{k+1}`` shape (first block universal)."""
+        return self.starts_universal
+
+    def variable_count(self) -> int:
+        return sum(len(block.variables) for block in self.blocks)
+
+    def is_true(self) -> bool:
+        """Recursive truth evaluation (exponential in the number of variables)."""
+        return self._evaluate(0, {})
+
+    def _evaluate(self, block_index: int, assignment: dict[str, bool]) -> bool:
+        if block_index == len(self.blocks):
+            return self.matrix.evaluate(assignment)
+        block = self.blocks[block_index]
+        outcomes = []
+        for values in product((False, True), repeat=len(block.variables)):
+            extended = dict(assignment)
+            extended.update(zip(block.variables, values))
+            result = self._evaluate(block_index + 1, extended)
+            if block.universal and not result:
+                return False
+            if not block.universal and result:
+                return True
+            outcomes.append(result)
+        return block.universal
+
+
+def _random_matrix(variables: Sequence[str], rng: random.Random, n_clauses: int) -> tuple[PropFormula, tuple[Clause, ...]]:
+    clauses = []
+    for __ in range(n_clauses):
+        width = min(3, len(variables))
+        chosen = rng.sample(list(variables), width)
+        clauses.append(Clause([(name, rng.random() < 0.5) for name in chosen]))
+    clause_tuple = tuple(clauses)
+    return clauses_to_formula(clause_tuple), clause_tuple
+
+
+def random_qbf(
+    n_blocks: int,
+    vars_per_block: int,
+    n_clauses: int,
+    seed: int | None = None,
+) -> QBF:
+    """Random formula in ``B_{n_blocks}``: alternating prefix starting universally."""
+    if n_blocks < 1 or vars_per_block < 1:
+        raise ReductionError("need at least one block and one variable per block")
+    rng = random.Random(seed)
+    blocks = []
+    variables: list[str] = []
+    for index in range(n_blocks):
+        names = tuple(f"x_{index + 1}_{j + 1}" for j in range(vars_per_block))
+        variables.extend(names)
+        blocks.append(QuantifierBlock(universal=(index % 2 == 0), variables=names))
+    matrix, clauses = _random_matrix(variables, rng, n_clauses)
+    return QBF(blocks, matrix, clauses)
+
+
+def random_3cnf_qbf(
+    n_blocks: int,
+    vars_per_block: int,
+    n_clauses: int,
+    seed: int | None = None,
+) -> QBF:
+    """Random ``B_{n_blocks}`` formula whose matrix is a strict 3-CNF (for Theorem 9).
+
+    Every clause has exactly three literals (over three distinct variables
+    when at least three variables exist).
+    """
+    qbf = random_qbf(n_blocks, vars_per_block, n_clauses, seed)
+    if qbf.clauses is None or any(len(clause.literals) != 3 for clause in qbf.clauses):
+        # Re-pad clauses to width three by repeating literals if necessary.
+        padded = []
+        for clause in qbf.clauses or ():
+            literals = list(clause.literals)
+            while len(literals) < 3:
+                literals.append(literals[0])
+            padded.append(Clause(literals[:3]))
+        qbf = QBF(qbf.blocks, clauses=tuple(padded))
+    return qbf

@@ -1,0 +1,129 @@
+"""The QBF reduction of Theorem 7 (combined complexity of Sigma_k queries).
+
+Theorem 7: for the class of first-order Sigma_k queries, the combined
+complexity of evaluation over CW logical databases is Pi^p_{k+1}-complete.
+Hardness is shown by reducing truth of quantified Boolean formulas in
+``B_{k+1}`` (prefix ``forall / exists / ... `` with ``k+1`` alternating
+blocks) to membership in the logical answer set.  Given
+
+    phi = (forall x_{1,1..m_1})(exists x_{2,*}) ... (Q x_{k+1,*})  psi
+
+the reduction builds
+
+* a CW logical database ``LB`` with unary predicates ``M`` and
+  ``N_1 .. N_{m_1}``, constants ``0, 1, c_1 .. c_{m_1}``, atomic facts
+  ``M(1)`` and ``N_j(c_j)``, and the single uniqueness axiom ``0 != 1``;
+* a Sigma_k first-order sentence ``sigma`` obtained from ``psi`` by replacing
+  the outer-block variable ``x_{1,j}`` by the atom ``N_j(1)`` and each inner
+  variable ``x_{i,j}`` (``i >= 2``) by ``M(y_{i,j})``, quantifying the
+  ``y_{i,j}`` existentially/universally following blocks ``2 .. k+1``.
+
+The universal quantification over respecting mappings ``h`` (Theorem 1)
+simulates the universal first block — ``N_j(1)`` is true in ``h(Ph1(LB))``
+exactly when ``h`` collapses ``c_j`` onto ``1`` — and the first-order
+quantifiers over the two-or-more-element domain simulate the remaining
+blocks through the ``M(y)`` test (``M`` holds only of the image of ``1``).
+
+Then ``phi`` is true iff ``sigma`` is a certain answer of ``LB``; the
+function :func:`decide_qbf_via_certain_answers` runs that end-to-end and the
+tests compare it against the direct QBF evaluator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReductionError
+from repro.logic.formulas import Atom, Exists, Forall, Formula, Not, conjoin, disjoin
+from repro.logic.queries import Query, boolean_query
+from repro.logic.terms import Constant, Variable
+from repro.logical.database import CWDatabase
+from repro.logical.exact import certainly_holds
+from repro.complexity.qbf import Clause, PropAnd, PropFormula, PropNot, PropOr, PropVar, QBF
+
+__all__ = ["QBFReduction", "reduce_qbf", "decide_qbf_via_certain_answers"]
+
+
+@dataclass(frozen=True)
+class QBFReduction:
+    """The output of the Theorem 7 reduction: a database plus a Sigma_k query."""
+
+    database: CWDatabase
+    query: Query
+    source: QBF
+
+    def __hash__(self) -> int:
+        return hash((self.database, self.query))
+
+
+def reduce_qbf(qbf: QBF) -> QBFReduction:
+    """Build the CW logical database and Sigma_k query for a ``B_{k+1}`` formula."""
+    if not qbf.is_b_form:
+        raise ReductionError("Theorem 7's reduction expects a B_{k+1} formula (first block universal)")
+
+    first_block = qbf.blocks[0]
+    inner_blocks = qbf.blocks[1:]
+    m1 = len(first_block.variables)
+
+    # Database: constants 0, 1, c_1..c_m1; facts M(1), N_j(c_j); axiom 0 != 1.
+    constants = ("0", "1") + tuple(f"c{j + 1}" for j in range(m1))
+    predicates: dict[str, int] = {"M": 1}
+    facts: dict[str, list[tuple[str, ...]]] = {"M": [("1",)]}
+    for j in range(m1):
+        predicate = f"N{j + 1}"
+        predicates[predicate] = 1
+        facts[predicate] = [(f"c{j + 1}",)]
+    database = CWDatabase(
+        constants=constants,
+        predicates=predicates,
+        facts=facts,
+        unequal=[("0", "1")],
+    )
+
+    # Query: replace x_{1,j} by N_j(1), inner x_{i,j} by M(y_{i,j}).
+    replacement: dict[str, Formula] = {}
+    for j, name in enumerate(first_block.variables):
+        replacement[name] = Atom(f"N{j + 1}", (Constant("1"),))
+    inner_variables: dict[str, Variable] = {}
+    for i, block in enumerate(inner_blocks, start=2):
+        for j, name in enumerate(block.variables):
+            fresh = Variable(f"y_{i}_{j + 1}")
+            inner_variables[name] = fresh
+            replacement[name] = Atom("M", (fresh,))
+
+    matrix = _translate_matrix(qbf.matrix, replacement)
+
+    sentence: Formula = matrix
+    for block in reversed(inner_blocks):
+        bound = tuple(inner_variables[name] for name in block.variables)
+        sentence = Forall(bound, sentence) if block.universal else Exists(bound, sentence)
+
+    return QBFReduction(database=database, query=boolean_query(sentence), source=qbf)
+
+
+def _translate_matrix(matrix: PropFormula, replacement: dict[str, Formula]) -> Formula:
+    """Replace propositional variables by their first-order stand-ins."""
+    if isinstance(matrix, PropVar):
+        try:
+            return replacement[matrix.name]
+        except KeyError:
+            raise ReductionError(f"matrix variable {matrix.name!r} is not bound by any block") from None
+    if isinstance(matrix, PropNot):
+        return Not(_translate_matrix(matrix.operand, replacement))
+    if isinstance(matrix, PropAnd):
+        return conjoin([_translate_matrix(operand, replacement) for operand in matrix.operands])
+    if isinstance(matrix, PropOr):
+        return disjoin([_translate_matrix(operand, replacement) for operand in matrix.operands])
+    raise ReductionError(f"unknown propositional node {type(matrix).__name__}")
+
+
+def decide_qbf_via_certain_answers(qbf: QBF, strategy: str = "canonical") -> bool:
+    """Decide truth of a ``B_{k+1}`` formula through the logical-database reduction.
+
+    ``phi`` is true iff the reduced sentence is finitely implied by the
+    reduced database's theory (i.e. is a certain answer).  Exponential — this
+    routes the decision through the Theorem 1 evaluator — and meant for the
+    correctness tests and the E5 benchmark, not as a practical QBF solver.
+    """
+    reduction = reduce_qbf(qbf)
+    return certainly_holds(reduction.database, reduction.query.formula, strategy=strategy)

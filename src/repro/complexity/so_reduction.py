@@ -1,0 +1,197 @@
+"""The 3-CNF QBF reduction of Theorem 9 (data complexity of second-order Sigma_k queries).
+
+Theorem 9: for the class Sigma_k of second-order queries, the data complexity
+of evaluation over CW logical databases is Pi^p_{k+1}-complete.  Hardness is
+again by reduction from truth of ``B_{k+1}`` formulas, this time with a
+3-CNF matrix, and the constructed query is *fixed once the block structure
+and clause shapes are fixed* — only the database grows with the instance,
+which is what makes it a data-complexity result.
+
+Construction (following the proof):
+
+* For block indices ``1 <= i, j, l <= k+1`` and signs ``p, q, r`` in ``{0,1}``
+  there is a ternary predicate ``R^{pqr}_{ijl}``; a clause
+  ``(~)^{1+p} x_{i,a} | (~)^{1+q} x_{j,b} | (~)^{1+r} x_{l,c}`` contributes
+  the atomic fact ``R^{pqr}_{ijl}(c_{i,a}, c_{j,b}, c_{l,c})``.
+  (``(~)^1`` is a negation, ``(~)^2`` is no negation, so ``p = 1`` means the
+  literal is positive.)
+* Constants: ``1`` and ``c_{i,j}`` for every variable; atomic fact ``N_1(1)``;
+  uniqueness axioms declaring every inner-block constant (``i >= 2``)
+  distinct from every other constant, so that the only unknown values are the
+  first-block constants (free to collapse onto ``1``) and the quantified
+  ``N_i`` can realize every truth assignment of their block independently.
+* The query quantifies unary predicates ``N_2 .. N_{k+1}`` (existential for
+  even blocks, mirroring the source prefix) over the sentence ``xi``: the
+  conjunction, over every predicate ``R^{pqr}_{ijl}`` of the vocabulary, of
+
+      forall x y z . R^{pqr}_{ijl}(x, y, z) ->
+          (~)^{p+1} N_i(x) | (~)^{q+1} N_j(y) | (~)^{r+1} N_l(z)
+
+The universal quantification over respecting mappings simulates the first
+(universal) block — ``N_1(c_{1,j})`` holds in ``h(Ph1(LB))`` iff ``h``
+collapses ``c_{1,j}`` onto ``1`` — and the second-order quantifiers over the
+``N_i`` simulate the remaining blocks.  ``phi`` is true iff the query is a
+certain answer of the database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReductionError
+from repro.logic.formulas import (
+    Atom,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    SecondOrderExists,
+    SecondOrderForall,
+    conjoin,
+    disjoin,
+)
+from repro.logic.queries import Query, boolean_query
+from repro.logic.terms import Variable
+from repro.logical.database import CWDatabase
+from repro.logical.exact import CertainAnswerEvaluator
+from repro.complexity.qbf import QBF
+
+__all__ = ["SOReduction", "reduce_3cnf_qbf", "decide_3cnf_qbf_via_certain_answers"]
+
+
+@dataclass(frozen=True)
+class SOReduction:
+    """Output of the Theorem 9 reduction: database plus second-order Sigma_k query."""
+
+    database: CWDatabase
+    query: Query
+    source: QBF
+
+    def __hash__(self) -> int:
+        return hash((self.database, self.query))
+
+
+def _constant_name(block: int, position: int) -> str:
+    return f"c_{block}_{position}"
+
+
+def _relation_name(i: int, j: int, l: int, p: int, q: int, r: int) -> str:
+    return f"R_{i}{j}{l}_{p}{q}{r}"
+
+
+def reduce_3cnf_qbf(qbf: QBF) -> SOReduction:
+    """Build the database and the SO Sigma_k query for a 3-CNF ``B_{k+1}`` formula."""
+    if not qbf.is_b_form:
+        raise ReductionError("Theorem 9's reduction expects a B_{k+1} formula (first block universal)")
+    if qbf.clauses is None:
+        raise ReductionError("Theorem 9's reduction needs an explicit 3-CNF clause list")
+    for clause in qbf.clauses:
+        if len(clause.literals) != 3:
+            raise ReductionError("every clause must have exactly three literals")
+
+    blocks = qbf.blocks
+    k_plus_1 = len(blocks)
+
+    # Map every propositional variable to (block index, position) and its constant.
+    position_of: dict[str, tuple[int, int]] = {}
+    for block_index, block in enumerate(blocks, start=1):
+        for position, name in enumerate(block.variables, start=1):
+            position_of[name] = (block_index, position)
+
+    constants = ["1"]
+    for block_index, block in enumerate(blocks, start=1):
+        for position in range(1, len(block.variables) + 1):
+            constants.append(_constant_name(block_index, position))
+
+    # Vocabulary: N_1 plus one ternary predicate per (i, j, l, p, q, r) combination
+    # actually used by some clause.  (The paper indexes all combinations; using
+    # only the occurring ones keeps the database linear in the formula without
+    # changing the construction.)
+    predicates: dict[str, int] = {"N1": 1}
+    facts: dict[str, list[tuple[str, ...]]] = {"N1": [("1",)]}
+    used_relations: set[tuple[int, int, int, int, int, int]] = set()
+    for clause in qbf.clauses:
+        (name_a, sign_a), (name_b, sign_b), (name_c, sign_c) = clause.literals
+        (i, a) = position_of[name_a]
+        (j, b) = position_of[name_b]
+        (l, c) = position_of[name_c]
+        p, q, r = int(sign_a), int(sign_b), int(sign_c)
+        used_relations.add((i, j, l, p, q, r))
+        relation = _relation_name(i, j, l, p, q, r)
+        predicates.setdefault(relation, 3)
+        facts.setdefault(relation, []).append(
+            (_constant_name(i, a), _constant_name(j, b), _constant_name(l, c))
+        )
+
+    # Uniqueness: every inner-block constant (block >= 2) is declared distinct
+    # from every other constant — the only "unknown values" are the
+    # first-block constants, which are free to collapse onto ``1`` (that
+    # collapse is what encodes the universal first block).  Keeping the inner
+    # constants pairwise distinct is what lets the quantified N_i realize
+    # every truth assignment of their block independently.
+    inner_constants = [
+        _constant_name(block_index, position)
+        for block_index, block in enumerate(blocks, start=1)
+        if block_index >= 2
+        for position in range(1, len(block.variables) + 1)
+    ]
+    unequal = []
+    for inner in inner_constants:
+        for other in constants:
+            if other != inner:
+                unequal.append((inner, other))
+
+    database = CWDatabase(
+        constants=tuple(constants),
+        predicates=predicates,
+        facts=facts,
+        unequal=unequal,
+    )
+
+    query = _build_query(k_plus_1, used_relations)
+    return SOReduction(database=database, query=query, source=qbf)
+
+
+def _build_query(k_plus_1: int, used_relations: set[tuple[int, int, int, int, int, int]]) -> Query:
+    """The fixed Sigma_k second-order sentence of the reduction."""
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+    def literal(block_index: int, sign: int, variable: Variable) -> Formula:
+        atom = Atom(f"N{block_index}", (variable,))
+        # sign == 1 -> positive literal -> N_i(x); sign == 0 -> negated literal.
+        return atom if sign == 1 else Not(atom)
+
+    conjuncts = []
+    for (i, j, l, p, q, r) in sorted(used_relations):
+        relation = _relation_name(i, j, l, p, q, r)
+        body = Implies(
+            Atom(relation, (x, y, z)),
+            disjoin([literal(i, p, x), literal(j, q, y), literal(l, r, z)]),
+        )
+        conjuncts.append(Forall((x, y, z), body))
+    xi = conjoin(conjuncts)
+
+    sentence: Formula = xi
+    # Blocks 2 .. k+1 become second-order quantifiers over unary N_i, innermost last.
+    for block_index in range(k_plus_1, 1, -1):
+        # Source block parity: block 1 universal, block 2 existential, ...
+        existential = block_index % 2 == 0
+        quantifier = SecondOrderExists if existential else SecondOrderForall
+        sentence = quantifier(f"N{block_index}", 1, sentence)
+    return boolean_query(sentence)
+
+
+def decide_3cnf_qbf_via_certain_answers(
+    qbf: QBF,
+    strategy: str = "canonical",
+    max_relations: int = 2**12,
+) -> bool:
+    """Decide a 3-CNF ``B_{k+1}`` formula through the Theorem 9 reduction.
+
+    Doubly expensive (mapping enumeration times second-order relation
+    enumeration); usable only on tiny instances, which is all the correctness
+    tests and experiment E6 need.
+    """
+    reduction = reduce_3cnf_qbf(qbf)
+    evaluator = CertainAnswerEvaluator(strategy=strategy, max_relations=max_relations)
+    return evaluator.certainly_holds(reduction.database, reduction.query.formula)

@@ -1,0 +1,205 @@
+"""The graph 3-colorability reduction of Theorem 5(2).
+
+Theorem 5(2) shows that first-order query evaluation over CW logical
+databases is co-NP-hard in the size of the database, by reducing graph
+3-colorability to the *complement* of the logical answer set of a fixed
+Boolean query.  Given a graph ``G = (V, E)`` build the logical database
+
+* constants: ``c_v`` for every vertex plus the three colors ``1, 2, 3``;
+* atomic facts: ``M(1), M(2), M(3)`` and ``R(c_u, c_v)`` for every edge;
+* uniqueness axioms: ``1 != 2``, ``1 != 3``, ``2 != 3`` (and nothing else —
+  the vertex constants are "unknown values" free to collapse onto colors);
+
+and use the fixed Boolean query
+
+    phi  =  (forall y. M(y))  ->  (exists z. R(z, z)).
+
+Then ``G`` is 3-colorable iff ``LB`` does **not** finitely imply ``phi``:
+a counter-model is exactly a collapse of the vertices onto the three colors
+that never maps an edge onto a loop, i.e. a proper 3-coloring.
+
+The module also contains an independent brute-force 3-coloring decision
+procedure (and a simple undirected graph value type plus generators) so the
+reduction's correctness can be tested and benchmarked against ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterable, Mapping
+
+from repro.errors import ReductionError
+from repro.logic.formulas import Atom, Exists, Forall, Formula, Implies
+from repro.logic.queries import Query, boolean_query
+from repro.logic.terms import Variable
+from repro.logical.database import CWDatabase
+from repro.logical.exact import certainly_holds
+
+__all__ = [
+    "Graph",
+    "random_graph",
+    "cycle_graph",
+    "complete_graph",
+    "coloring_query",
+    "coloring_database",
+    "is_3_colorable_bruteforce",
+    "is_3_colorable_via_certain_answers",
+    "COLOR_CONSTANTS",
+]
+
+#: The three color constants used by the reduction.
+COLOR_CONSTANTS = ("1", "2", "3")
+
+
+@dataclass(frozen=True)
+class Graph:
+    """A finite undirected graph with hashable vertex labels."""
+
+    vertices: tuple
+    edges: frozenset[frozenset]
+
+    def __init__(self, vertices: Iterable, edges: Iterable[tuple]) -> None:
+        vertex_tuple = tuple(vertices)
+        vertex_set = set(vertex_tuple)
+        if len(vertex_set) != len(vertex_tuple):
+            raise ReductionError("duplicate vertices in graph")
+        edge_set = set()
+        for edge in edges:
+            u, v = edge
+            if u == v:
+                raise ReductionError(f"self-loop on vertex {u!r} (never 3-colorable, rejected)")
+            if u not in vertex_set or v not in vertex_set:
+                raise ReductionError(f"edge {edge!r} mentions a vertex not in the graph")
+            edge_set.add(frozenset((u, v)))
+        object.__setattr__(self, "vertices", vertex_tuple)
+        object.__setattr__(self, "edges", frozenset(edge_set))
+
+    @property
+    def n_vertices(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.edges)
+
+    def edge_list(self) -> list[tuple]:
+        """Edges as ordered pairs (sorted for determinism)."""
+        return sorted((tuple(sorted(edge, key=repr)) for edge in self.edges), key=repr)
+
+    def neighbours(self, vertex) -> frozenset:
+        return frozenset(next(iter(edge - {vertex})) for edge in self.edges if vertex in edge)
+
+
+def random_graph(n_vertices: int, edge_probability: float, seed: int | None = None) -> Graph:
+    """Erdős–Rényi ``G(n, p)`` random graph with integer vertices ``0..n-1``."""
+    rng = random.Random(seed)
+    vertices = tuple(range(n_vertices))
+    edges = [
+        (u, v)
+        for u in vertices
+        for v in vertices
+        if u < v and rng.random() < edge_probability
+    ]
+    return Graph(vertices, edges)
+
+
+def cycle_graph(n_vertices: int) -> Graph:
+    """The cycle on ``n`` vertices (3-colorable iff it is not an odd... it always is for n >= 3).
+
+    Cycles are always 3-colorable; odd cycles are *not* 2-colorable, which
+    makes them handy small positive instances.
+    """
+    if n_vertices < 3:
+        raise ReductionError("a cycle needs at least 3 vertices")
+    vertices = tuple(range(n_vertices))
+    edges = [(i, (i + 1) % n_vertices) for i in range(n_vertices)]
+    return Graph(vertices, edges)
+
+
+def complete_graph(n_vertices: int) -> Graph:
+    """The complete graph ``K_n`` (3-colorable iff ``n <= 3``)."""
+    vertices = tuple(range(n_vertices))
+    edges = [(u, v) for u in vertices for v in vertices if u < v]
+    return Graph(vertices, edges)
+
+
+def coloring_query() -> Query:
+    """The fixed Boolean query of Theorem 5(2): ``(forall y. M(y)) -> exists z. R(z, z)``."""
+    y = Variable("y")
+    z = Variable("z")
+    phi: Formula = Implies(Forall((y,), Atom("M", (y,))), Exists((z,), Atom("R", (z, z))))
+    return boolean_query(phi)
+
+
+def _vertex_constant(vertex) -> str:
+    return f"v_{vertex}"
+
+
+def coloring_database(graph: Graph) -> CWDatabase:
+    """The CW logical database the reduction associates with *graph*."""
+    constants = tuple(_vertex_constant(v) for v in graph.vertices) + COLOR_CONSTANTS
+    facts = {
+        "M": [(color,) for color in COLOR_CONSTANTS],
+        "R": [(_vertex_constant(u), _vertex_constant(v)) for u, v in graph.edge_list()],
+    }
+    unequal = [
+        (COLOR_CONSTANTS[0], COLOR_CONSTANTS[1]),
+        (COLOR_CONSTANTS[0], COLOR_CONSTANTS[2]),
+        (COLOR_CONSTANTS[1], COLOR_CONSTANTS[2]),
+    ]
+    return CWDatabase(
+        constants=constants,
+        predicates={"M": 1, "R": 2},
+        facts=facts,
+        unequal=unequal,
+    )
+
+
+def is_3_colorable_bruteforce(graph: Graph) -> bool:
+    """Ground-truth decision procedure: try every assignment with simple pruning.
+
+    Backtracking over vertices in order; exponential in the worst case but
+    fine for the benchmark sizes (n <= 12 or so).
+    """
+    vertices = list(graph.vertices)
+    adjacency: Mapping = {v: graph.neighbours(v) for v in vertices}
+    coloring: dict = {}
+
+    def assign(index: int) -> bool:
+        if index == len(vertices):
+            return True
+        vertex = vertices[index]
+        for color in range(3):
+            if all(coloring.get(neighbour) != color for neighbour in adjacency[vertex]):
+                coloring[vertex] = color
+                if assign(index + 1):
+                    return True
+                del coloring[vertex]
+        return False
+
+    return assign(0)
+
+
+def exhaustive_colorings(graph: Graph) -> int:
+    """Count all proper 3-colorings (exhaustive; used only in tests on tiny graphs)."""
+    count = 0
+    vertices = list(graph.vertices)
+    for assignment in product(range(3), repeat=len(vertices)):
+        coloring = dict(zip(vertices, assignment))
+        if all(coloring[u] != coloring[v] for u, v in graph.edge_list()):
+            count += 1
+    return count
+
+
+def is_3_colorable_via_certain_answers(graph: Graph, strategy: str = "canonical") -> bool:
+    """Decide 3-colorability through the logical-database reduction.
+
+    ``G`` is 3-colorable iff the fixed query is **not** certainly implied by
+    the constructed database — i.e. the exact certain-answer evaluator is
+    being used as a co-NP oracle, which is the content of Theorem 5(2).
+    """
+    database = coloring_database(graph)
+    query = coloring_query()
+    return not certainly_holds(database, query.formula, strategy=strategy)

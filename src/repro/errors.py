@@ -1,0 +1,68 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised deliberately by the library derive from
+:class:`ReproError`, so callers can catch a single base class.  The
+sub-classes mirror the main subsystems: the logic substrate, physical
+databases, closed-world logical databases, and the evaluation engines.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the library."""
+
+
+class FormulaError(ReproError):
+    """A formula is structurally invalid (bad arity, wrong node types...)."""
+
+
+class ParseError(ReproError):
+    """The query-language parser rejected its input.
+
+    Attributes
+    ----------
+    position:
+        Zero-based character offset at which the error was detected, or
+        ``None`` when the offset is not meaningful (e.g. unexpected end of
+        input is reported at ``len(text)``).
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message if position is None else f"{message} (at position {position})")
+        self.position = position
+
+
+class VocabularyError(ReproError):
+    """A formula, query or database does not match its relational vocabulary."""
+
+
+class DatabaseError(ReproError):
+    """A physical or logical database is malformed."""
+
+
+class EvaluationError(ReproError):
+    """Query evaluation could not proceed (unbound variable, unknown symbol...)."""
+
+
+class UnsupportedFormulaError(EvaluationError):
+    """An evaluator met a formula kind it cannot handle.
+
+    Raised for instance when the plain first-order evaluator encounters a
+    second-order quantifier, or when the algebra compiler meets an unsafe
+    (non range-restricted) sub-formula.
+    """
+
+
+class CapacityError(EvaluationError):
+    """A combinatorial enumeration would exceed the configured safety bound.
+
+    Exact certain-answer evaluation and second-order evaluation are
+    exponential by nature (that intractability is the point of the paper);
+    the evaluators refuse to silently launch astronomically large
+    enumerations and raise this exception instead.
+    """
+
+
+class ReductionError(ReproError):
+    """A complexity reduction received an input outside its expected shape."""

@@ -1,0 +1,83 @@
+"""Experiment harness: timing, result collection and report generation.
+
+Every benchmark module in ``benchmarks/`` builds an :class:`Experiment`
+(an id, the paper claim it reproduces, and a list of measured rows), runs it
+and prints the resulting report.  EXPERIMENTS.md is the curated record of
+those reports next to the paper's claims.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.harness.reporting import format_report
+
+__all__ = ["timed", "Measurement", "Experiment", "run_experiment"]
+
+
+def timed(function: Callable[[], object]) -> tuple[object, float]:
+    """Run *function* once and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = function()
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One row of an experiment's result table."""
+
+    values: tuple[object, ...]
+
+
+@dataclass
+class Experiment:
+    """A named experiment: metadata plus collected measurements."""
+
+    experiment_id: str
+    title: str
+    claim: str
+    headers: tuple[str, ...]
+    rows: list[Measurement] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"experiment {self.experiment_id}: row has {len(values)} values, expected {len(self.headers)}"
+            )
+        self.rows.append(Measurement(tuple(values)))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def report(self) -> str:
+        return format_report(
+            f"{self.experiment_id}: {self.title}",
+            self.claim,
+            self.headers,
+            [measurement.values for measurement in self.rows],
+            self.notes,
+        )
+
+
+def run_experiment(
+    experiment: Experiment,
+    populate: Callable[[Experiment], None],
+    echo: bool = True,
+) -> Experiment:
+    """Populate an experiment's rows via *populate* and (optionally) print the report."""
+    populate(experiment)
+    if echo:
+        print(experiment.report())
+    return experiment
+
+
+def scaling_rows(
+    sizes: Sequence[int],
+    measure: Callable[[int], dict[str, object]],
+) -> list[dict[str, object]]:
+    """Run ``measure(size)`` for every size and collect the result dictionaries."""
+    return [dict(measure(size), size=size) for size in sizes]

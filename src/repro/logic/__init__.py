@@ -1,0 +1,136 @@
+"""First- and second-order logic substrate.
+
+Public surface of the logic layer: terms, formulas, vocabularies, queries,
+the parser/printer pair and the standard transformations.  Everything the
+higher layers (physical databases, CW logical databases, the approximation
+algorithm, the complexity reductions) need is re-exported here.
+"""
+
+from repro.logic.analysis import (
+    PrefixClass,
+    all_variables,
+    constants_in,
+    first_order_prefix_class,
+    free_variables,
+    is_first_order,
+    is_positive,
+    is_quantifier_free,
+    is_sentence,
+    predicates_in,
+    quantifier_rank,
+    second_order_prefix_class,
+)
+from repro.logic.builders import C, Eq, Neq, Pred, V, vars_
+from repro.logic.formulas import (
+    And,
+    Atom,
+    BOTTOM,
+    Bottom,
+    Equals,
+    Exists,
+    ExtensionAtom,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    SecondOrderExists,
+    SecondOrderForall,
+    TOP,
+    Top,
+    conjoin,
+    disjoin,
+    exists,
+    forall,
+    walk,
+)
+from repro.logic.parser import parse_formula, parse_query, parse_term
+from repro.logic.printer import query_to_text, term_to_text, to_text
+from repro.logic.queries import FALSE_ANSWER, Query, TRUE_ANSWER, boolean_query
+from repro.logic.terms import Constant, Term, Variable, fresh_variable
+from repro.logic.transform import (
+    eliminate_implications,
+    prenex_normal_form,
+    rename_predicate,
+    simplify,
+    standardize_apart,
+    substitute,
+    to_nnf,
+)
+from repro.logic.vocabulary import EQUALITY, NE_PREDICATE, Vocabulary
+
+__all__ = [
+    # terms
+    "Variable",
+    "Constant",
+    "Term",
+    "fresh_variable",
+    # formulas
+    "Formula",
+    "Atom",
+    "Equals",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Iff",
+    "Exists",
+    "Forall",
+    "SecondOrderExists",
+    "SecondOrderForall",
+    "ExtensionAtom",
+    "Top",
+    "Bottom",
+    "TOP",
+    "BOTTOM",
+    "conjoin",
+    "disjoin",
+    "exists",
+    "forall",
+    "walk",
+    # vocabulary
+    "Vocabulary",
+    "EQUALITY",
+    "NE_PREDICATE",
+    # queries
+    "Query",
+    "boolean_query",
+    "TRUE_ANSWER",
+    "FALSE_ANSWER",
+    # analysis
+    "free_variables",
+    "all_variables",
+    "constants_in",
+    "predicates_in",
+    "is_sentence",
+    "is_first_order",
+    "is_quantifier_free",
+    "is_positive",
+    "quantifier_rank",
+    "PrefixClass",
+    "first_order_prefix_class",
+    "second_order_prefix_class",
+    # transforms
+    "substitute",
+    "rename_predicate",
+    "eliminate_implications",
+    "to_nnf",
+    "simplify",
+    "standardize_apart",
+    "prenex_normal_form",
+    # parser / printer
+    "parse_formula",
+    "parse_query",
+    "parse_term",
+    "to_text",
+    "query_to_text",
+    "term_to_text",
+    # builders
+    "V",
+    "C",
+    "Pred",
+    "Eq",
+    "Neq",
+    "vars_",
+]

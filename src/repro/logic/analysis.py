@@ -1,0 +1,234 @@
+"""Structural analysis of formulas.
+
+These helpers answer the syntactic questions the paper's results are phrased
+in terms of: which variables are free (queries must list all of them in
+their head, Section 2.1), whether a query is *positive* (Theorem 13),
+whether it is first-order, and which prefix class (Sigma_k / Pi_k, first- or
+second-order) it belongs to (Theorems 6-9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FormulaError
+from repro.logic.formulas import (
+    And,
+    Atom,
+    Bottom,
+    Equals,
+    Exists,
+    ExtensionAtom,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    SecondOrderExists,
+    SecondOrderForall,
+    Top,
+    walk,
+)
+from repro.logic.terms import Constant, Term, Variable
+
+__all__ = [
+    "free_variables",
+    "all_variables",
+    "constants_in",
+    "predicates_in",
+    "is_sentence",
+    "is_first_order",
+    "is_quantifier_free",
+    "is_positive",
+    "quantifier_rank",
+    "PrefixClass",
+    "first_order_prefix_class",
+    "second_order_prefix_class",
+]
+
+
+def _term_variables(terms: tuple[Term, ...]) -> set[Variable]:
+    return {term for term in terms if isinstance(term, Variable)}
+
+
+def free_variables(formula: Formula) -> frozenset[Variable]:
+    """Return the set of free (individual) variables of *formula*."""
+    if isinstance(formula, (Atom, ExtensionAtom)):
+        return frozenset(_term_variables(formula.args))
+    if isinstance(formula, Equals):
+        return frozenset(_term_variables((formula.left, formula.right)))
+    if isinstance(formula, (Top, Bottom)):
+        return frozenset()
+    if isinstance(formula, Not):
+        return free_variables(formula.operand)
+    if isinstance(formula, (And, Or)):
+        result: set[Variable] = set()
+        for operand in formula.operands:
+            result |= free_variables(operand)
+        return frozenset(result)
+    if isinstance(formula, Implies):
+        return free_variables(formula.antecedent) | free_variables(formula.consequent)
+    if isinstance(formula, Iff):
+        return free_variables(formula.left) | free_variables(formula.right)
+    if isinstance(formula, (Exists, Forall)):
+        return free_variables(formula.body) - set(formula.variables)
+    if isinstance(formula, (SecondOrderExists, SecondOrderForall)):
+        return free_variables(formula.body)
+    raise FormulaError(f"unknown formula node: {formula!r}")
+
+
+def all_variables(formula: Formula) -> frozenset[Variable]:
+    """Return every variable occurring in *formula*, free or bound."""
+    result: set[Variable] = set()
+    for node in walk(formula):
+        if isinstance(node, (Atom, ExtensionAtom)):
+            result |= _term_variables(node.args)
+        elif isinstance(node, Equals):
+            result |= _term_variables((node.left, node.right))
+        elif isinstance(node, (Exists, Forall)):
+            result |= set(node.variables)
+    return frozenset(result)
+
+
+def constants_in(formula: Formula) -> frozenset[Constant]:
+    """Return the constant symbols occurring in *formula*."""
+    result: set[Constant] = set()
+    for node in walk(formula):
+        terms: tuple[Term, ...] = ()
+        if isinstance(node, (Atom, ExtensionAtom)):
+            terms = node.args
+        elif isinstance(node, Equals):
+            terms = (node.left, node.right)
+        result |= {term for term in terms if isinstance(term, Constant)}
+    return frozenset(result)
+
+
+def predicates_in(formula: Formula) -> frozenset[str]:
+    """Return the predicate names applied in *formula* (excluding equality).
+
+    Predicates bound by second-order quantifiers are included: callers that
+    need only the vocabulary predicates should use
+    :meth:`repro.logic.vocabulary.Vocabulary.predicates_used`.
+    """
+    result: set[str] = set()
+    for node in walk(formula):
+        if isinstance(node, Atom):
+            result.add(node.predicate)
+    return frozenset(result)
+
+
+def is_sentence(formula: Formula) -> bool:
+    """A sentence has no free individual variables."""
+    return not free_variables(formula)
+
+
+def is_first_order(formula: Formula) -> bool:
+    """True when *formula* contains no second-order quantifier."""
+    return not any(isinstance(node, (SecondOrderExists, SecondOrderForall)) for node in walk(formula))
+
+
+def is_quantifier_free(formula: Formula) -> bool:
+    """True when *formula* contains no quantifier of either order."""
+    return not any(
+        isinstance(node, (Exists, Forall, SecondOrderExists, SecondOrderForall)) for node in walk(formula)
+    )
+
+
+def is_positive(formula: Formula) -> bool:
+    """Return True when every atomic formula sits under an even number of negations.
+
+    This is the notion used by Theorem 13 ("a formula is positive if every
+    atomic formula is governed by an even number of negations").  An
+    implication ``a -> b`` counts as one negation of ``a``; a bi-implication
+    places both sides under both parities and therefore is positive only if
+    it contains no atoms at all.
+    """
+    return _is_positive(formula, negated=False)
+
+
+def _is_positive(formula: Formula, negated: bool) -> bool:
+    if isinstance(formula, (Atom, Equals, ExtensionAtom)):
+        return not negated
+    if isinstance(formula, (Top, Bottom)):
+        return True
+    if isinstance(formula, Not):
+        return _is_positive(formula.operand, not negated)
+    if isinstance(formula, (And, Or)):
+        return all(_is_positive(op, negated) for op in formula.operands)
+    if isinstance(formula, Implies):
+        return _is_positive(formula.antecedent, not negated) and _is_positive(formula.consequent, negated)
+    if isinstance(formula, Iff):
+        left_ok = _is_positive(formula.left, negated) and _is_positive(formula.left, not negated)
+        right_ok = _is_positive(formula.right, negated) and _is_positive(formula.right, not negated)
+        return left_ok and right_ok
+    if isinstance(formula, (Exists, Forall, SecondOrderExists, SecondOrderForall)):
+        return _is_positive(formula.body, negated)
+    raise FormulaError(f"unknown formula node: {formula!r}")
+
+
+def quantifier_rank(formula: Formula) -> int:
+    """Return the maximum nesting depth of first-order quantifiers."""
+    if isinstance(formula, (Atom, Equals, ExtensionAtom, Top, Bottom)):
+        return 0
+    if isinstance(formula, (Exists, Forall)):
+        return len(formula.variables) + quantifier_rank(formula.body)
+    if isinstance(formula, (SecondOrderExists, SecondOrderForall)):
+        return quantifier_rank(formula.body)
+    children = formula.children()
+    return max((quantifier_rank(child) for child in children), default=0)
+
+
+@dataclass(frozen=True)
+class PrefixClass:
+    """Quantifier-prefix classification of a formula.
+
+    ``level`` is the number of quantifier blocks; ``starts_with_exists``
+    says whether the outermost block is existential.  A formula with
+    ``level == k`` starting existentially is in the class the paper calls
+    Sigma_k; starting universally it is in Pi_k.  ``level == 0`` means the
+    relevant kind of quantifier does not occur at the top of the prefix.
+    """
+
+    level: int
+    starts_with_exists: bool
+
+    @property
+    def name(self) -> str:
+        if self.level == 0:
+            return "quantifier-free"
+        greek = "Sigma" if self.starts_with_exists else "Pi"
+        return f"{greek}_{self.level}"
+
+
+def first_order_prefix_class(formula: Formula) -> PrefixClass:
+    """Classify the leading first-order quantifier prefix of *formula*.
+
+    Only the maximal prefix of ``Exists``/``Forall`` nodes is inspected
+    (the paper's Sigma^E_k classes of Theorem 6/7 are defined this way);
+    quantifiers buried under connectives are not counted.
+    """
+    blocks = _prefix_blocks(formula, (Exists, Forall))
+    if not blocks:
+        return PrefixClass(0, False)
+    return PrefixClass(len(blocks), blocks[0] == "E")
+
+
+def second_order_prefix_class(formula: Formula) -> PrefixClass:
+    """Classify the leading second-order quantifier prefix of *formula*."""
+    blocks = _prefix_blocks(formula, (SecondOrderExists, SecondOrderForall))
+    if not blocks:
+        return PrefixClass(0, False)
+    return PrefixClass(len(blocks), blocks[0] == "E")
+
+
+def _prefix_blocks(formula: Formula, kinds: tuple[type, ...]) -> list[str]:
+    existential_kind, universal_kind = kinds
+    blocks: list[str] = []
+    node = formula
+    while isinstance(node, kinds):
+        label = "E" if isinstance(node, existential_kind) else "A"
+        if not blocks or blocks[-1] != label:
+            blocks.append(label)
+        node = node.body  # type: ignore[union-attr]
+    return blocks

@@ -1,0 +1,89 @@
+"""Small construction DSL for formulas.
+
+Writing ASTs by hand is verbose; tests, examples and the reductions build
+formulas constantly.  This module provides:
+
+* :func:`V` / :func:`C` — shorthand constructors for variables and constants;
+* :class:`Pred` — a callable predicate symbol: ``TEACHES = Pred("TEACHES", 2)``
+  then ``TEACHES(x, 'Plato')`` builds an :class:`~repro.logic.formulas.Atom`
+  (bare strings are interpreted as constants, which matches how the paper
+  writes atomic facts);
+* :func:`Eq` / :func:`Neq` — equality and its negation;
+* re-exports of the quantifier helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import FormulaError
+from repro.logic.formulas import Atom, Equals, Formula, Not, exists, forall
+from repro.logic.terms import Constant, Term, Variable
+
+__all__ = ["V", "C", "Pred", "Eq", "Neq", "vars_", "exists", "forall"]
+
+
+def V(name: str) -> Variable:
+    """Shorthand for :class:`Variable`."""
+    return Variable(name)
+
+
+def C(name: str) -> Constant:
+    """Shorthand for :class:`Constant`."""
+    return Constant(name)
+
+
+def vars_(names: str) -> tuple[Variable, ...]:
+    """Build several variables from a whitespace-separated string: ``vars_("x y z")``."""
+    return tuple(Variable(name) for name in names.split())
+
+
+def _coerce_term(value: object) -> Term:
+    """Accept terms directly and turn bare strings into constants."""
+    if isinstance(value, (Variable, Constant)):
+        return value
+    if isinstance(value, str):
+        return Constant(value)
+    raise FormulaError(f"cannot interpret {value!r} as a term; pass a Variable, Constant or str")
+
+
+@dataclass(frozen=True)
+class Pred:
+    """A predicate symbol usable as an atom factory.
+
+    ``arity`` is optional; when given, applications with the wrong number of
+    arguments are rejected immediately rather than at validation time.
+    """
+
+    name: str
+    arity: int | None = None
+
+    def __call__(self, *args: object) -> Atom:
+        terms = tuple(_coerce_term(arg) for arg in args)
+        if self.arity is not None and len(terms) != self.arity:
+            raise FormulaError(f"predicate {self.name!r} has arity {self.arity}, got {len(terms)} arguments")
+        return Atom(self.name, terms)
+
+    def declaration(self) -> tuple[str, int]:
+        """Return the ``(name, arity)`` pair for vocabulary declarations."""
+        if self.arity is None:
+            raise FormulaError(f"predicate {self.name!r} was created without an arity")
+        return (self.name, self.arity)
+
+
+def Eq(left: object, right: object) -> Equals:
+    """Equality atom; bare strings become constants."""
+    return Equals(_coerce_term(left), _coerce_term(right))
+
+
+def Neq(left: object, right: object) -> Formula:
+    """Negated equality, the shape of the paper's uniqueness axioms."""
+    return Not(Eq(left, right))
+
+
+def atoms_to_conjunction(atoms: Iterable[Formula]) -> Formula:
+    """Conjoin an iterable of formulas (re-exported convenience)."""
+    from repro.logic.formulas import conjoin
+
+    return conjoin(atoms)

@@ -1,0 +1,352 @@
+"""Parser for the textual query language.
+
+The syntax is deliberately small — it exists so that examples, tests and the
+CSV loaders can state queries as strings instead of building ASTs by hand.
+
+Grammar (loosest binding first)::
+
+    query     := '(' [var {',' var}] ')' '.' formula | formula
+    formula   := iff
+    iff       := implies { '<->' implies }
+    implies   := or [ '->' implies ]                     (right associative)
+    or        := and { '|' and }
+    and       := unary { '&' unary }
+    unary     := '~' unary | quantified | atom
+    quantified:= ('forall' | 'exists') var+ '.' formula
+               | ('forall2' | 'exists2') pred '/' INT '.' formula
+    atom      := 'true' | 'false' | '(' formula ')'
+               | pred '(' [term {',' term}] ')'
+               | term ('=' | '!=') term
+    term      := var | constant
+    var       := IDENT                                   (unquoted identifier)
+    constant  := "'" chars "'" | INTEGER
+
+Unquoted identifiers in term position are variables; quoted strings and bare
+integers are constants.  ``!=`` abbreviates a negated equality.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+from repro.logic.formulas import (
+    And,
+    Atom,
+    BOTTOM,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    SecondOrderExists,
+    SecondOrderForall,
+    TOP,
+)
+from repro.logic.queries import Query
+from repro.logic.terms import Constant, Term, Variable
+
+__all__ = ["parse_formula", "parse_query", "parse_term"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<constant>'(?:[^'\\]|\\.)*')
+  | (?P<integer>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><->|->|!=|[()&|~=.,/])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"forall", "exists", "forall2", "exists2", "true", "false"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"unexpected character {text[position]!r}", position)
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._tokens = _tokenize(text)
+        self._index = 0
+
+    # Token helpers ----------------------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input", len(self._text))
+        self._index += 1
+        return token
+
+    def _accept(self, text: str) -> bool:
+        token = self._peek()
+        if token is not None and token.text == text:
+            self._index += 1
+            return True
+        return False
+
+    def _expect(self, text: str) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError(f"expected {text!r} but input ended", len(self._text))
+        if token.text != text:
+            raise ParseError(f"expected {text!r} but found {token.text!r}", token.position)
+        self._index += 1
+        return token
+
+    def at_end(self) -> bool:
+        return self._index >= len(self._tokens)
+
+    # Grammar ----------------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        token = self._peek()
+        if token is not None and token.text == "(" and self._looks_like_head():
+            head = self._parse_head()
+            self._expect(".")
+            formula = self.parse_formula()
+            return Query(head, formula)
+        formula = self.parse_formula()
+        return Query((), formula)
+
+    def _looks_like_head(self) -> bool:
+        """Decide whether a leading '(' opens a query head rather than a formula.
+
+        A head is a (possibly empty) comma-separated list of identifiers
+        followed by ')' and then '.'.
+        """
+        index = self._index + 1
+        expect_ident = True
+        while index < len(self._tokens):
+            token = self._tokens[index]
+            if expect_ident:
+                if token.text == ")" and index == self._index + 1:
+                    index += 1
+                    break
+                if token.kind != "ident" or token.text in _KEYWORDS:
+                    return False
+                expect_ident = False
+            else:
+                if token.text == ",":
+                    expect_ident = True
+                elif token.text == ")":
+                    index += 1
+                    break
+                else:
+                    return False
+            index += 1
+        else:
+            return False
+        return index < len(self._tokens) and self._tokens[index].text == "."
+
+    def _parse_head(self) -> tuple[Variable, ...]:
+        self._expect("(")
+        head: list[Variable] = []
+        if self._accept(")"):
+            return tuple(head)
+        while True:
+            token = self._next()
+            if token.kind != "ident" or token.text in _KEYWORDS:
+                raise ParseError(f"expected a variable in query head, found {token.text!r}", token.position)
+            head.append(Variable(token.text))
+            if self._accept(")"):
+                return tuple(head)
+            self._expect(",")
+
+    def parse_formula(self) -> Formula:
+        return self._parse_iff()
+
+    def _parse_iff(self) -> Formula:
+        left = self._parse_implies()
+        while self._accept("<->"):
+            right = self._parse_implies()
+            left = Iff(left, right)
+        return left
+
+    def _parse_implies(self) -> Formula:
+        left = self._parse_or()
+        if self._accept("->"):
+            right = self._parse_implies()
+            return Implies(left, right)
+        return left
+
+    def _parse_or(self) -> Formula:
+        operands = [self._parse_and()]
+        while self._accept("|"):
+            operands.append(self._parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return Or(tuple(operands))
+
+    def _parse_and(self) -> Formula:
+        operands = [self._parse_unary()]
+        while self._accept("&"):
+            operands.append(self._parse_unary())
+        if len(operands) == 1:
+            return operands[0]
+        return And(tuple(operands))
+
+    def _parse_unary(self) -> Formula:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input", len(self._text))
+        if token.text == "~":
+            self._next()
+            return Not(self._parse_unary())
+        if token.text in ("forall", "exists"):
+            return self._parse_quantifier()
+        if token.text in ("forall2", "exists2"):
+            return self._parse_second_order_quantifier()
+        return self._parse_atom()
+
+    def _parse_quantifier(self) -> Formula:
+        keyword = self._next()
+        variables: list[Variable] = []
+        while True:
+            token = self._peek()
+            if token is None:
+                raise ParseError("unexpected end of input in quantifier", len(self._text))
+            if token.text == ".":
+                break
+            if token.kind != "ident" or token.text in _KEYWORDS:
+                raise ParseError(f"expected a variable after {keyword.text!r}, found {token.text!r}", token.position)
+            variables.append(Variable(token.text))
+            self._next()
+        if not variables:
+            raise ParseError(f"{keyword.text!r} must bind at least one variable", keyword.position)
+        self._expect(".")
+        body = self.parse_formula()
+        if keyword.text == "forall":
+            return Forall(tuple(variables), body)
+        return Exists(tuple(variables), body)
+
+    def _parse_second_order_quantifier(self) -> Formula:
+        keyword = self._next()
+        name_token = self._next()
+        if name_token.kind != "ident" or name_token.text in _KEYWORDS:
+            raise ParseError(
+                f"expected a predicate name after {keyword.text!r}, found {name_token.text!r}", name_token.position
+            )
+        self._expect("/")
+        arity_token = self._next()
+        if arity_token.kind != "integer":
+            raise ParseError(f"expected an arity after '/', found {arity_token.text!r}", arity_token.position)
+        self._expect(".")
+        body = self.parse_formula()
+        if keyword.text == "forall2":
+            return SecondOrderForall(name_token.text, int(arity_token.text), body)
+        return SecondOrderExists(name_token.text, int(arity_token.text), body)
+
+    def _parse_atom(self) -> Formula:
+        token = self._next()
+        if token.text == "(":
+            inner = self.parse_formula()
+            self._expect(")")
+            return inner
+        if token.text == "true":
+            return TOP
+        if token.text == "false":
+            return BOTTOM
+        if token.kind == "ident" and not self._at_comparison():
+            follower = self._peek()
+            if follower is not None and follower.text == "(":
+                return self._parse_predicate_application(token.text)
+        term = self._token_to_term(token)
+        operator = self._peek()
+        if operator is not None and operator.text in ("=", "!="):
+            self._next()
+            right = self._token_to_term(self._next())
+            equality = Equals(term, right)
+            return Not(equality) if operator.text == "!=" else equality
+        raise ParseError(f"expected '=', '!=' or a predicate application, found {token.text!r}", token.position)
+
+    def _at_comparison(self) -> bool:
+        token = self._peek()
+        return token is not None and token.text in ("=", "!=")
+
+    def _parse_predicate_application(self, predicate: str) -> Formula:
+        self._expect("(")
+        args: list[Term] = []
+        if self._accept(")"):
+            raise ParseError(f"predicate {predicate!r} applied to zero arguments", self._position())
+        while True:
+            args.append(self._token_to_term(self._next()))
+            if self._accept(")"):
+                return Atom(predicate, tuple(args))
+            self._expect(",")
+
+    def _token_to_term(self, token: _Token) -> Term:
+        if token.kind == "constant":
+            raw = token.text[1:-1]
+            return Constant(raw.replace("\\'", "'"))
+        if token.kind == "integer":
+            return Constant(token.text)
+        if token.kind == "ident" and token.text not in _KEYWORDS:
+            return Variable(token.text)
+        raise ParseError(f"expected a term, found {token.text!r}", token.position)
+
+    def _position(self) -> int:
+        token = self._peek()
+        return token.position if token is not None else len(self._text)
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse *text* as a formula."""
+    parser = _Parser(text)
+    formula = parser.parse_formula()
+    if not parser.at_end():
+        token = parser._peek()
+        assert token is not None
+        raise ParseError(f"unexpected trailing input {token.text!r}", token.position)
+    return formula
+
+
+def parse_query(text: str) -> Query:
+    """Parse *text* as a query; a bare formula becomes a Boolean query."""
+    parser = _Parser(text)
+    query = parser.parse_query()
+    if not parser.at_end():
+        token = parser._peek()
+        assert token is not None
+        raise ParseError(f"unexpected trailing input {token.text!r}", token.position)
+    return query
+
+
+def parse_term(text: str) -> Term:
+    """Parse a single term (variable, quoted constant or integer constant)."""
+    tokens = _tokenize(text)
+    if len(tokens) != 1:
+        raise ParseError(f"expected a single term, got {text!r}")
+    parser = _Parser(text)
+    return parser._token_to_term(parser._next())

@@ -1,0 +1,117 @@
+"""Pretty-printer for formulas and queries.
+
+The textual syntax is the one accepted by :mod:`repro.logic.parser`, so
+``parse_formula(to_text(phi))`` round-trips structurally (modulo redundant
+parentheses).  Grammar sketch::
+
+    forall x y. exists z. (EMP_DEPT(x, z) & DEPT_MGR(z, y)) -> ~(x = y)
+    exists2 P/1. forall x. P(x) | ~M(x)
+
+Variables are bare lower-case identifiers, constants are single-quoted
+strings, predicates are identifiers applied to parenthesized arguments.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FormulaError
+from repro.logic.formulas import (
+    And,
+    Atom,
+    Bottom,
+    Equals,
+    Exists,
+    ExtensionAtom,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    SecondOrderExists,
+    SecondOrderForall,
+    Top,
+)
+from repro.logic.queries import Query
+from repro.logic.terms import Constant, Term, Variable
+
+__all__ = ["to_text", "query_to_text", "term_to_text"]
+
+# Binding strength, loosest first.  Quantifiers bind their whole scope.
+_PRECEDENCE = {
+    "iff": 1,
+    "implies": 2,
+    "or": 3,
+    "and": 4,
+    "not": 5,
+    "atom": 6,
+}
+
+
+def term_to_text(term: Term) -> str:
+    """Render a term: variables bare, constants single-quoted."""
+    if isinstance(term, Variable):
+        return term.name
+    if isinstance(term, Constant):
+        escaped = term.name.replace("'", "\\'")
+        return f"'{escaped}'"
+    raise FormulaError(f"not a term: {term!r}")
+
+
+def to_text(formula: Formula) -> str:
+    """Render *formula* in the concrete query-language syntax."""
+    return _render(formula, parent_level=0)
+
+
+def query_to_text(query: Query) -> str:
+    """Render a query as ``(x, y) . formula``."""
+    head = ", ".join(v.name for v in query.head)
+    return f"({head}) . {to_text(query.formula)}"
+
+
+def _parenthesize(text: str, level: int, parent_level: int) -> str:
+    return f"({text})" if level < parent_level else text
+
+
+def _render(formula: Formula, parent_level: int) -> str:
+    if isinstance(formula, Top):
+        return "true"
+    if isinstance(formula, Bottom):
+        return "false"
+    if isinstance(formula, ExtensionAtom):
+        args = ", ".join(term_to_text(t) for t in formula.args)
+        return f"<{type(formula).__name__}>({args})"
+    if isinstance(formula, Atom):
+        args = ", ".join(term_to_text(t) for t in formula.args)
+        return f"{formula.predicate}({args})"
+    if isinstance(formula, Equals):
+        text = f"{term_to_text(formula.left)} = {term_to_text(formula.right)}"
+        return _parenthesize(text, _PRECEDENCE["atom"] - 1, parent_level)
+    if isinstance(formula, Not):
+        inner = _render(formula.operand, _PRECEDENCE["not"])
+        return f"~{inner}"
+    if isinstance(formula, And):
+        level = _PRECEDENCE["and"]
+        text = " & ".join(_render(op, level + 1) for op in formula.operands)
+        return _parenthesize(text, level, parent_level)
+    if isinstance(formula, Or):
+        level = _PRECEDENCE["or"]
+        text = " | ".join(_render(op, level + 1) for op in formula.operands)
+        return _parenthesize(text, level, parent_level)
+    if isinstance(formula, Implies):
+        level = _PRECEDENCE["implies"]
+        text = f"{_render(formula.antecedent, level + 1)} -> {_render(formula.consequent, level)}"
+        return _parenthesize(text, level, parent_level)
+    if isinstance(formula, Iff):
+        level = _PRECEDENCE["iff"]
+        text = f"{_render(formula.left, level + 1)} <-> {_render(formula.right, level + 1)}"
+        return _parenthesize(text, level, parent_level)
+    if isinstance(formula, (Exists, Forall)):
+        keyword = "exists" if isinstance(formula, Exists) else "forall"
+        names = " ".join(v.name for v in formula.variables)
+        text = f"{keyword} {names}. {_render(formula.body, 1)}"
+        return _parenthesize(text, 1, parent_level)
+    if isinstance(formula, (SecondOrderExists, SecondOrderForall)):
+        keyword = "exists2" if isinstance(formula, SecondOrderExists) else "forall2"
+        text = f"{keyword} {formula.predicate}/{formula.arity}. {_render(formula.body, 1)}"
+        return _parenthesize(text, 1, parent_level)
+    raise FormulaError(f"unknown formula node: {formula!r}")

@@ -1,0 +1,107 @@
+"""Queries: expressions of the form ``(x) . phi(x)`` (Section 2.1).
+
+A query pairs a tuple of distinct *head variables* with a formula whose free
+variables are all listed in the head.  Queries with an empty head are
+*Boolean* queries; their answer over any database is either the empty
+relation (false) or the relation containing the empty tuple (true).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import FormulaError
+from repro.logic.analysis import (
+    first_order_prefix_class,
+    free_variables,
+    is_first_order,
+    is_positive,
+    second_order_prefix_class,
+)
+from repro.logic.formulas import Formula
+from repro.logic.terms import Variable
+
+__all__ = ["Query", "boolean_query", "TRUE_ANSWER", "FALSE_ANSWER"]
+
+#: Answer of a Boolean query that holds: the relation containing the empty tuple.
+TRUE_ANSWER: frozenset[tuple] = frozenset({()})
+
+#: Answer of a Boolean query that fails: the empty relation.
+FALSE_ANSWER: frozenset[tuple] = frozenset()
+
+
+@dataclass(frozen=True)
+class Query:
+    """A query ``(head) . formula``.
+
+    Parameters
+    ----------
+    head:
+        The answer variables, in output order.  They must be pairwise
+        distinct and must include every free variable of ``formula`` (the
+        paper requires the head to contain *all* free variables; it may also
+        contain variables that do not occur in the formula, in which case
+        those output columns range over the whole domain).
+    formula:
+        The query condition.
+    """
+
+    head: tuple[Variable, ...]
+    formula: Formula
+
+    def __init__(self, head: Iterable[Variable], formula: Formula) -> None:
+        head_vars = tuple(head)
+        for var in head_vars:
+            if not isinstance(var, Variable):
+                raise FormulaError(f"query head must contain Variables, got {var!r}")
+        if len({v.name for v in head_vars}) != len(head_vars):
+            raise FormulaError(f"query head variables must be distinct: {head_vars}")
+        if not isinstance(formula, Formula):
+            raise FormulaError(f"query body must be a Formula, got {formula!r}")
+        missing = free_variables(formula) - set(head_vars)
+        if missing:
+            names = ", ".join(sorted(v.name for v in missing))
+            raise FormulaError(f"free variables not listed in the query head: {names}")
+        object.__setattr__(self, "head", head_vars)
+        object.__setattr__(self, "formula", formula)
+
+    @property
+    def arity(self) -> int:
+        """Number of output columns (``|x|`` in the paper)."""
+        return len(self.head)
+
+    @property
+    def is_boolean(self) -> bool:
+        """True for sentences queried with an empty head."""
+        return not self.head
+
+    @property
+    def is_first_order(self) -> bool:
+        return is_first_order(self.formula)
+
+    @property
+    def is_positive(self) -> bool:
+        """True when the query condition is a positive formula (Theorem 13)."""
+        return is_positive(self.formula)
+
+    def prefix_class_name(self) -> str:
+        """Human-readable prefix classification (Sigma_k / Pi_k), FO or SO."""
+        if self.is_first_order:
+            return first_order_prefix_class(self.formula).name
+        return f"SO-{second_order_prefix_class(self.formula).name}"
+
+    def with_formula(self, formula: Formula) -> "Query":
+        """Return a query with the same head but a different condition."""
+        return Query(self.head, formula)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        from repro.logic.printer import to_text
+
+        head = ", ".join(v.name for v in self.head)
+        return f"({head}) . {to_text(self.formula)}"
+
+
+def boolean_query(formula: Formula) -> Query:
+    """Build a Boolean query from a sentence."""
+    return Query((), formula)

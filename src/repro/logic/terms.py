@@ -1,0 +1,94 @@
+"""Terms of the relational first-order language.
+
+The paper's relational vocabularies contain *constant symbols* and
+*predicate symbols* but no function symbols (Section 2.1), so a term is
+either a :class:`Variable` or a :class:`Constant`.  Both are immutable,
+hashable value objects: two terms are equal exactly when their names are
+equal, which lets formulas be used as dictionary keys and stored in sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import FormulaError
+
+__all__ = [
+    "Variable",
+    "Constant",
+    "Term",
+    "is_term",
+    "term_name",
+    "fresh_variable",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """An individual (first-order) variable, identified by its name."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise FormulaError(f"variable name must be a non-empty string, got {self.name!r}")
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Constant:
+    """A constant symbol.
+
+    Constant *symbols* are always named by strings; the value a constant
+    denotes is decided by an interpretation (a physical database).  In a
+    closed-world logical database the constants are interpreted by
+    themselves (the database ``Ph1(LB)`` of Section 3.1).
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise FormulaError(f"constant name must be a non-empty string, got {self.name!r}")
+
+    def __repr__(self) -> str:
+        return f"Constant({self.name!r})"
+
+    def __str__(self) -> str:
+        return f"'{self.name}'"
+
+
+Term = Union[Variable, Constant]
+
+
+def is_term(value: object) -> bool:
+    """Return ``True`` when *value* is a :class:`Variable` or :class:`Constant`."""
+    return isinstance(value, (Variable, Constant))
+
+
+def term_name(term: Term) -> str:
+    """Return the symbol name of a term regardless of its kind."""
+    if not is_term(term):
+        raise FormulaError(f"not a term: {term!r}")
+    return term.name
+
+
+def fresh_variable(avoid: set[str], stem: str = "v") -> Variable:
+    """Return a variable whose name does not occur in *avoid*.
+
+    Used by capture-avoiding substitution and by the formula constructions
+    of Lemma 10 and Section 3.2, which need names guaranteed not to clash
+    with those already present in a query.
+    """
+    if stem not in avoid:
+        return Variable(stem)
+    index = 0
+    while f"{stem}{index}" in avoid:
+        index += 1
+    return Variable(f"{stem}{index}")

@@ -1,0 +1,440 @@
+"""Formula transformations.
+
+The approximation algorithm of Section 5 begins by "pushing, in the standard
+way, all negations in Q down to the atomic formulas"; the simulation of
+Section 3.2 and the reductions of Section 4 need substitution of terms and
+of predicate names.  This module implements those transformations:
+
+* :func:`substitute` — capture-avoiding substitution of terms for variables;
+* :func:`rename_predicate` — replace a predicate name throughout a formula
+  (used to build the primed formula ``phi'`` of Section 3.2);
+* :func:`eliminate_implications` — rewrite ``->`` and ``<->`` using
+  ``not/and/or``;
+* :func:`to_nnf` — negation normal form (negations only on atoms);
+* :func:`simplify` — constant folding of ``TOP``/``BOTTOM``;
+* :func:`standardize_apart` — give every quantifier a fresh variable name;
+* :func:`prenex_normal_form` — pull first-order quantifiers to the front.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import FormulaError, UnsupportedFormulaError
+from repro.logic.analysis import all_variables, free_variables
+from repro.logic.formulas import (
+    And,
+    Atom,
+    Bottom,
+    BOTTOM,
+    Equals,
+    Exists,
+    ExtensionAtom,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    SecondOrderExists,
+    SecondOrderForall,
+    TOP,
+    Top,
+    conjoin,
+    disjoin,
+)
+from repro.logic.terms import Term, Variable, fresh_variable
+
+__all__ = [
+    "substitute",
+    "replace_constants",
+    "rename_predicate",
+    "eliminate_implications",
+    "to_nnf",
+    "simplify",
+    "standardize_apart",
+    "prenex_normal_form",
+]
+
+
+def substitute(formula: Formula, mapping: Mapping[Variable, Term]) -> Formula:
+    """Replace free occurrences of variables according to *mapping*.
+
+    The substitution is capture avoiding: when a quantifier binds a variable
+    that occurs in one of the substituted terms, the bound variable is
+    renamed to a fresh name first.
+    """
+    if not mapping:
+        return formula
+    return _substitute(formula, dict(mapping))
+
+
+def _substitute_term(term: Term, mapping: Mapping[Variable, Term]) -> Term:
+    if isinstance(term, Variable) and term in mapping:
+        return mapping[term]
+    return term
+
+
+def _substitute(formula: Formula, mapping: dict[Variable, Term]) -> Formula:
+    if isinstance(formula, ExtensionAtom):
+        return formula.with_args(tuple(_substitute_term(t, mapping) for t in formula.args))
+    if isinstance(formula, Atom):
+        return Atom(formula.predicate, tuple(_substitute_term(t, mapping) for t in formula.args))
+    if isinstance(formula, Equals):
+        return Equals(_substitute_term(formula.left, mapping), _substitute_term(formula.right, mapping))
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(_substitute(formula.operand, mapping))
+    if isinstance(formula, And):
+        return And(tuple(_substitute(op, mapping) for op in formula.operands))
+    if isinstance(formula, Or):
+        return Or(tuple(_substitute(op, mapping) for op in formula.operands))
+    if isinstance(formula, Implies):
+        return Implies(_substitute(formula.antecedent, mapping), _substitute(formula.consequent, mapping))
+    if isinstance(formula, Iff):
+        return Iff(_substitute(formula.left, mapping), _substitute(formula.right, mapping))
+    if isinstance(formula, (Exists, Forall)):
+        return _substitute_quantifier(formula, mapping)
+    if isinstance(formula, (SecondOrderExists, SecondOrderForall)):
+        cls = type(formula)
+        return cls(formula.predicate, formula.arity, _substitute(formula.body, mapping))
+    raise FormulaError(f"unknown formula node: {formula!r}")
+
+
+def _substitute_quantifier(formula: Exists | Forall, mapping: dict[Variable, Term]) -> Formula:
+    cls = type(formula)
+    # Drop substitutions shadowed by the quantifier.
+    inner = {var: term for var, term in mapping.items() if var not in formula.variables}
+    if not inner:
+        return formula
+    # Rename bound variables that would capture a substituted term.
+    term_vars: set[str] = set()
+    for term in inner.values():
+        if isinstance(term, Variable):
+            term_vars.add(term.name)
+    body = formula.body
+    new_bound: list[Variable] = []
+    renaming: dict[Variable, Term] = {}
+    avoid = {v.name for v in all_variables(body)} | term_vars | {v.name for v in inner}
+    for bound_var in formula.variables:
+        if bound_var.name in term_vars:
+            replacement = fresh_variable(avoid, bound_var.name)
+            avoid.add(replacement.name)
+            renaming[bound_var] = replacement
+            new_bound.append(replacement)
+        else:
+            new_bound.append(bound_var)
+    if renaming:
+        body = _substitute(body, renaming)
+    return cls(tuple(new_bound), _substitute(body, inner))
+
+
+def replace_constants(formula: Formula, mapping: Mapping[str, Term]) -> Formula:
+    """Replace occurrences of constant symbols (by name) with arbitrary terms.
+
+    Used by the precise simulation of Section 3.2, which must route the
+    constants mentioned by a query through the mapping relation ``H`` just
+    like the answer variables.  If a replacement term is a variable that some
+    quantifier in the formula binds, that quantifier's variable is renamed
+    first (capture avoidance), by way of :func:`standardize_apart`.
+    """
+    if not mapping:
+        return formula
+    replacement_names = {term.name for term in mapping.values() if isinstance(term, Variable)}
+    from repro.logic.analysis import all_variables
+
+    if replacement_names & {variable.name for variable in all_variables(formula)}:
+        formula = standardize_apart(formula, set(replacement_names))
+    return _replace_constants(formula, dict(mapping))
+
+
+def _replace_constants(formula: Formula, mapping: dict[str, Term]) -> Formula:
+    from repro.logic.terms import Constant
+
+    def convert(term: Term) -> Term:
+        if isinstance(term, Constant) and term.name in mapping:
+            return mapping[term.name]
+        return term
+
+    if isinstance(formula, ExtensionAtom):
+        return formula.with_args(tuple(convert(t) for t in formula.args))
+    if isinstance(formula, Atom):
+        return Atom(formula.predicate, tuple(convert(t) for t in formula.args))
+    if isinstance(formula, Equals):
+        return Equals(convert(formula.left), convert(formula.right))
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(_replace_constants(formula.operand, mapping))
+    if isinstance(formula, And):
+        return And(tuple(_replace_constants(op, mapping) for op in formula.operands))
+    if isinstance(formula, Or):
+        return Or(tuple(_replace_constants(op, mapping) for op in formula.operands))
+    if isinstance(formula, Implies):
+        return Implies(
+            _replace_constants(formula.antecedent, mapping), _replace_constants(formula.consequent, mapping)
+        )
+    if isinstance(formula, Iff):
+        return Iff(_replace_constants(formula.left, mapping), _replace_constants(formula.right, mapping))
+    if isinstance(formula, (Exists, Forall)):
+        return type(formula)(formula.variables, _replace_constants(formula.body, mapping))
+    if isinstance(formula, (SecondOrderExists, SecondOrderForall)):
+        return type(formula)(formula.predicate, formula.arity, _replace_constants(formula.body, mapping))
+    raise FormulaError(f"unknown formula node: {formula!r}")
+
+
+def rename_predicate(formula: Formula, renaming: Mapping[str, str]) -> Formula:
+    """Replace predicate names of atoms according to *renaming*.
+
+    Second-order quantifiers shadow the renaming for their bound predicate.
+    Extension atoms are left untouched (their predicate is semantic, not a
+    vocabulary symbol).
+    """
+    if not renaming:
+        return formula
+    return _rename_predicate(formula, dict(renaming))
+
+
+def _rename_predicate(formula: Formula, renaming: dict[str, str]) -> Formula:
+    if isinstance(formula, ExtensionAtom):
+        return formula
+    if isinstance(formula, Atom):
+        return Atom(renaming.get(formula.predicate, formula.predicate), formula.args)
+    if isinstance(formula, (Equals, Top, Bottom)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(_rename_predicate(formula.operand, renaming))
+    if isinstance(formula, And):
+        return And(tuple(_rename_predicate(op, renaming) for op in formula.operands))
+    if isinstance(formula, Or):
+        return Or(tuple(_rename_predicate(op, renaming) for op in formula.operands))
+    if isinstance(formula, Implies):
+        return Implies(
+            _rename_predicate(formula.antecedent, renaming), _rename_predicate(formula.consequent, renaming)
+        )
+    if isinstance(formula, Iff):
+        return Iff(_rename_predicate(formula.left, renaming), _rename_predicate(formula.right, renaming))
+    if isinstance(formula, (Exists, Forall)):
+        return type(formula)(formula.variables, _rename_predicate(formula.body, renaming))
+    if isinstance(formula, (SecondOrderExists, SecondOrderForall)):
+        inner = {old: new for old, new in renaming.items() if old != formula.predicate}
+        return type(formula)(formula.predicate, formula.arity, _rename_predicate(formula.body, inner))
+    raise FormulaError(f"unknown formula node: {formula!r}")
+
+
+def eliminate_implications(formula: Formula) -> Formula:
+    """Rewrite implications and bi-implications in terms of not/and/or."""
+    if isinstance(formula, (Atom, Equals, ExtensionAtom, Top, Bottom)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(eliminate_implications(formula.operand))
+    if isinstance(formula, And):
+        return And(tuple(eliminate_implications(op) for op in formula.operands))
+    if isinstance(formula, Or):
+        return Or(tuple(eliminate_implications(op) for op in formula.operands))
+    if isinstance(formula, Implies):
+        return Or((Not(eliminate_implications(formula.antecedent)), eliminate_implications(formula.consequent)))
+    if isinstance(formula, Iff):
+        left = eliminate_implications(formula.left)
+        right = eliminate_implications(formula.right)
+        return And((Or((Not(left), right)), Or((Not(right), left))))
+    if isinstance(formula, (Exists, Forall)):
+        return type(formula)(formula.variables, eliminate_implications(formula.body))
+    if isinstance(formula, (SecondOrderExists, SecondOrderForall)):
+        return type(formula)(formula.predicate, formula.arity, eliminate_implications(formula.body))
+    raise FormulaError(f"unknown formula node: {formula!r}")
+
+
+def to_nnf(formula: Formula) -> Formula:
+    """Negation normal form: negations occur only directly on atomic formulas.
+
+    Implications and bi-implications are eliminated first.  Double negations
+    are removed; De Morgan's laws and the quantifier dualities (including the
+    second-order ones, needed by Theorem 11's induction) push negation
+    inward.
+    """
+    return _nnf(eliminate_implications(formula), negated=False)
+
+
+def _nnf(formula: Formula, negated: bool) -> Formula:
+    if isinstance(formula, (Atom, Equals, ExtensionAtom)):
+        return Not(formula) if negated else formula
+    if isinstance(formula, Top):
+        return BOTTOM if negated else TOP
+    if isinstance(formula, Bottom):
+        return TOP if negated else BOTTOM
+    if isinstance(formula, Not):
+        return _nnf(formula.operand, not negated)
+    if isinstance(formula, And):
+        parts = tuple(_nnf(op, negated) for op in formula.operands)
+        return Or(parts) if negated else And(parts)
+    if isinstance(formula, Or):
+        parts = tuple(_nnf(op, negated) for op in formula.operands)
+        return And(parts) if negated else Or(parts)
+    if isinstance(formula, Exists):
+        body = _nnf(formula.body, negated)
+        return Forall(formula.variables, body) if negated else Exists(formula.variables, body)
+    if isinstance(formula, Forall):
+        body = _nnf(formula.body, negated)
+        return Exists(formula.variables, body) if negated else Forall(formula.variables, body)
+    if isinstance(formula, SecondOrderExists):
+        body = _nnf(formula.body, negated)
+        if negated:
+            return SecondOrderForall(formula.predicate, formula.arity, body)
+        return SecondOrderExists(formula.predicate, formula.arity, body)
+    if isinstance(formula, SecondOrderForall):
+        body = _nnf(formula.body, negated)
+        if negated:
+            return SecondOrderExists(formula.predicate, formula.arity, body)
+        return SecondOrderForall(formula.predicate, formula.arity, body)
+    raise FormulaError(f"unknown formula node: {formula!r}")
+
+
+def simplify(formula: Formula) -> Formula:
+    """Fold TOP/BOTTOM constants and flatten nested conjunctions/disjunctions.
+
+    The result is logically equivalent to the input.  Only cheap, purely
+    syntactic simplifications are applied; no satisfiability reasoning.
+    """
+    if isinstance(formula, (Atom, Equals, ExtensionAtom, Top, Bottom)):
+        return formula
+    if isinstance(formula, Not):
+        inner = simplify(formula.operand)
+        if isinstance(inner, Top):
+            return BOTTOM
+        if isinstance(inner, Bottom):
+            return TOP
+        if isinstance(inner, Not):
+            return inner.operand
+        return Not(inner)
+    if isinstance(formula, And):
+        flattened: list[Formula] = []
+        for operand in formula.operands:
+            part = simplify(operand)
+            if isinstance(part, Bottom):
+                return BOTTOM
+            if isinstance(part, Top):
+                continue
+            if isinstance(part, And):
+                flattened.extend(part.operands)
+            else:
+                flattened.append(part)
+        return conjoin(flattened)
+    if isinstance(formula, Or):
+        flattened = []
+        for operand in formula.operands:
+            part = simplify(operand)
+            if isinstance(part, Top):
+                return TOP
+            if isinstance(part, Bottom):
+                continue
+            if isinstance(part, Or):
+                flattened.extend(part.operands)
+            else:
+                flattened.append(part)
+        return disjoin(flattened)
+    if isinstance(formula, Implies):
+        antecedent = simplify(formula.antecedent)
+        consequent = simplify(formula.consequent)
+        if isinstance(antecedent, Bottom) or isinstance(consequent, Top):
+            return TOP
+        if isinstance(antecedent, Top):
+            return consequent
+        if isinstance(consequent, Bottom):
+            return simplify(Not(antecedent))
+        return Implies(antecedent, consequent)
+    if isinstance(formula, Iff):
+        return Iff(simplify(formula.left), simplify(formula.right))
+    if isinstance(formula, (Exists, Forall)):
+        body = simplify(formula.body)
+        if isinstance(body, (Top, Bottom)):
+            return body
+        return type(formula)(formula.variables, body)
+    if isinstance(formula, (SecondOrderExists, SecondOrderForall)):
+        body = simplify(formula.body)
+        if isinstance(body, (Top, Bottom)):
+            return body
+        return type(formula)(formula.predicate, formula.arity, body)
+    raise FormulaError(f"unknown formula node: {formula!r}")
+
+
+def standardize_apart(formula: Formula, avoid: set[str] | None = None) -> Formula:
+    """Rename bound variables so that every quantifier binds a distinct name.
+
+    Names listed in *avoid* (and the free variables of the formula) are never
+    used for the renamed bound variables.
+    """
+    used = set(avoid or set())
+    used |= {v.name for v in free_variables(formula)}
+    return _standardize(formula, {}, used)
+
+
+def _standardize(formula: Formula, renaming: dict[Variable, Term], used: set[str]) -> Formula:
+    if isinstance(formula, (Atom, Equals, ExtensionAtom, Top, Bottom)):
+        return _substitute(formula, renaming) if renaming else formula
+    if isinstance(formula, Not):
+        return Not(_standardize(formula.operand, renaming, used))
+    if isinstance(formula, And):
+        return And(tuple(_standardize(op, renaming, used) for op in formula.operands))
+    if isinstance(formula, Or):
+        return Or(tuple(_standardize(op, renaming, used) for op in formula.operands))
+    if isinstance(formula, Implies):
+        return Implies(
+            _standardize(formula.antecedent, renaming, used), _standardize(formula.consequent, renaming, used)
+        )
+    if isinstance(formula, Iff):
+        return Iff(_standardize(formula.left, renaming, used), _standardize(formula.right, renaming, used))
+    if isinstance(formula, (Exists, Forall)):
+        new_renaming = dict(renaming)
+        new_vars: list[Variable] = []
+        for var in formula.variables:
+            if var.name in used:
+                replacement = fresh_variable(used, var.name)
+            else:
+                replacement = var
+            used.add(replacement.name)
+            new_renaming[var] = replacement
+            new_vars.append(replacement)
+        return type(formula)(tuple(new_vars), _standardize(formula.body, new_renaming, used))
+    if isinstance(formula, (SecondOrderExists, SecondOrderForall)):
+        return type(formula)(formula.predicate, formula.arity, _standardize(formula.body, renaming, used))
+    raise FormulaError(f"unknown formula node: {formula!r}")
+
+
+def prenex_normal_form(formula: Formula) -> Formula:
+    """Pull all first-order quantifiers to the front of the formula.
+
+    The input must be first-order (second-order quantifiers are not moved
+    and cause :class:`UnsupportedFormulaError`).  Implications are
+    eliminated and bound variables standardized apart first, so the familiar
+    prenexing rules apply without capture.
+    """
+    from repro.logic.analysis import is_first_order
+
+    if not is_first_order(formula):
+        raise UnsupportedFormulaError("prenex_normal_form only supports first-order formulas")
+    prepared = standardize_apart(to_nnf(formula))
+    prefix, matrix = _extract_prefix(prepared)
+    result = matrix
+    for kind, variables in reversed(prefix):
+        result = kind(variables, result)
+    return result
+
+
+def _extract_prefix(formula: Formula) -> tuple[list[tuple[type, tuple[Variable, ...]]], Formula]:
+    if isinstance(formula, (Exists, Forall)):
+        inner_prefix, matrix = _extract_prefix(formula.body)
+        return [(type(formula), formula.variables)] + inner_prefix, matrix
+    if isinstance(formula, (And, Or)):
+        prefix: list[tuple[type, tuple[Variable, ...]]] = []
+        matrices: list[Formula] = []
+        for operand in formula.operands:
+            op_prefix, op_matrix = _extract_prefix(operand)
+            prefix.extend(op_prefix)
+            matrices.append(op_matrix)
+        return prefix, type(formula)(tuple(matrices))
+    if isinstance(formula, Not):
+        # After NNF the operand is atomic, so there is nothing to extract.
+        return [], formula
+    return [], formula

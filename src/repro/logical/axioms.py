@@ -1,0 +1,187 @@
+"""The five axiom components of a closed-world logical database (Section 2.2).
+
+A CW logical database ``LB = (L, T)`` has a first-order theory ``T`` made of
+
+1. *atomic fact axioms* — ground atoms such as ``TEACHES(Socrates, Plato)``;
+2. *uniqueness axioms* — ``~(c_i = c_j)`` for pairs of constants known to
+   denote distinct objects;
+3. the *domain closure axiom* — ``forall x. x = c_1 | ... | x = c_n``;
+4. *completion axioms* — for each predicate ``P`` with stored facts
+   ``P(c^1), ..., P(c^m)``, the axiom
+   ``forall x. P(x) -> x = c^1 | ... | x = c^m`` (or ``forall x. ~P(x)``
+   when there are no facts);
+5. (equality axioms are omitted, as in the paper, because we use the
+   semantic rather than the proof-theoretic route).
+
+In practice only the atomic facts and the uniqueness axioms are specified;
+the closure and completion axioms are determined by them.  This module
+provides the value classes for the explicit components and builders for the
+generated axioms, so a :class:`~repro.logical.database.CWDatabase` can
+produce its full theory as a list of formulas — useful for model checking
+and for tests that verify the theory/semantics correspondence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import DatabaseError
+from repro.logic.formulas import (
+    Atom,
+    Equals,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    conjoin,
+    disjoin,
+)
+from repro.logic.terms import Constant, Variable
+
+__all__ = [
+    "AtomicFact",
+    "UniquenessAxiom",
+    "fact_formula",
+    "uniqueness_formula",
+    "domain_closure_axiom",
+    "completion_axiom",
+    "completion_axioms",
+    "theory_formulas",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class AtomicFact:
+    """A ground atomic fact ``P(c_1, ..., c_k)`` stored in the theory."""
+
+    predicate: str
+    constants: tuple[str, ...]
+
+    def __init__(self, predicate: str, constants: Iterable[str]) -> None:
+        values = tuple(constants)
+        if not predicate:
+            raise DatabaseError("atomic fact needs a predicate name")
+        if not values:
+            raise DatabaseError("atomic fact needs at least one argument")
+        for value in values:
+            if not isinstance(value, str) or not value:
+                raise DatabaseError(f"atomic fact arguments must be constant names, got {value!r}")
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "constants", values)
+
+    @property
+    def arity(self) -> int:
+        return len(self.constants)
+
+    def to_formula(self) -> Atom:
+        return fact_formula(self.predicate, self.constants)
+
+
+@dataclass(frozen=True, slots=True)
+class UniquenessAxiom:
+    """An axiom ``~(c_i = c_j)`` asserting two constants denote distinct objects.
+
+    The pair is stored in sorted order so ``UniquenessAxiom('a', 'b')`` and
+    ``UniquenessAxiom('b', 'a')`` compare equal, matching the paper's
+    identification of ``~(c_i = c_j)`` with ``~(c_j = c_i)``.
+    """
+
+    left: str
+    right: str
+
+    def __init__(self, left: str, right: str) -> None:
+        if not left or not right:
+            raise DatabaseError("uniqueness axiom needs two constant names")
+        if left == right:
+            raise DatabaseError(f"uniqueness axiom between a constant and itself: {left!r}")
+        first, second = sorted((left, right))
+        object.__setattr__(self, "left", first)
+        object.__setattr__(self, "right", second)
+
+    @property
+    def pair(self) -> frozenset[str]:
+        return frozenset((self.left, self.right))
+
+    def to_formula(self) -> Formula:
+        return uniqueness_formula(self.left, self.right)
+
+
+def fact_formula(predicate: str, constants: Sequence[str]) -> Atom:
+    """The ground atom for a stored fact."""
+    return Atom(predicate, tuple(Constant(name) for name in constants))
+
+
+def uniqueness_formula(left: str, right: str) -> Formula:
+    """The sentence ``~(left = right)``."""
+    return Not(Equals(Constant(left), Constant(right)))
+
+
+def domain_closure_axiom(constants: Sequence[str]) -> Formula:
+    """The domain closure axiom ``forall x. x = c_1 | ... | x = c_n``.
+
+    The paper's closed-world reading: objects we do not know of do not exist.
+    The constant list must be nonempty (a CW database always has at least one
+    constant, otherwise it has no models with a nonempty domain).
+    """
+    if not constants:
+        raise DatabaseError("domain closure axiom needs at least one constant")
+    x = Variable("x")
+    return Forall((x,), disjoin([Equals(x, Constant(name)) for name in constants]))
+
+
+def completion_axiom(predicate: str, arity: int, facts: Iterable[Sequence[str]]) -> Formula:
+    """The completion axiom for one predicate.
+
+    With stored facts ``P(c^1), ..., P(c^m)`` the axiom is
+    ``forall x1..xk. P(x) -> (x = c^1 | ... | x = c^m)`` where ``x = c^i``
+    abbreviates the componentwise conjunction of equalities; with no stored
+    facts it degenerates to ``forall x1..xk. ~P(x)``.
+    """
+    variables = tuple(Variable(f"x{i + 1}") for i in range(arity))
+    head = Atom(predicate, variables)
+    rows = [tuple(row) for row in facts]
+    for row in rows:
+        if len(row) != arity:
+            raise DatabaseError(
+                f"fact {row!r} for predicate {predicate!r} does not match arity {arity}"
+            )
+    if not rows:
+        return Forall(variables, Not(head))
+    matches = [
+        conjoin([Equals(variable, Constant(value)) for variable, value in zip(variables, row)])
+        for row in sorted(rows)
+    ]
+    return Forall(variables, Implies(head, disjoin(matches)))
+
+
+def completion_axioms(
+    predicates: Mapping[str, int], facts: Mapping[str, Iterable[Sequence[str]]]
+) -> list[Formula]:
+    """Completion axioms for every declared predicate (even fact-less ones)."""
+    axioms = []
+    for predicate in sorted(predicates):
+        axioms.append(completion_axiom(predicate, predicates[predicate], facts.get(predicate, ())))
+    return axioms
+
+
+def theory_formulas(
+    constants: Sequence[str],
+    predicates: Mapping[str, int],
+    facts: Mapping[str, Iterable[Sequence[str]]],
+    unequal: Iterable[tuple[str, str]],
+) -> list[Formula]:
+    """The full theory ``T`` as a list of sentences, in the paper's order.
+
+    Atomic facts first, then uniqueness axioms, then the domain closure
+    axiom, then the completion axioms.
+    """
+    formulas: list[Formula] = []
+    for predicate in sorted(facts):
+        for row in sorted(facts[predicate]):
+            formulas.append(fact_formula(predicate, row))
+    for left, right in sorted(frozenset(tuple(sorted(pair)) for pair in unequal)):
+        formulas.append(uniqueness_formula(left, right))
+    formulas.append(domain_closure_axiom(constants))
+    formulas.extend(completion_axioms(predicates, facts))
+    return formulas

@@ -1,0 +1,65 @@
+"""The physical databases ``Ph1(LB)`` and ``Ph2(LB)`` (Sections 3.1, 3.2, 5).
+
+* ``Ph1(LB)`` interprets the vocabulary ``L`` over the domain ``C`` of
+  constant symbols: every constant denotes itself, and each predicate holds
+  exactly the stored facts.  It is the "minimal" model of the theory and the
+  anchor of the combinatorial characterization (Theorem 1).
+* ``Ph2(LB)`` is ``Ph1(LB)`` over the extended vocabulary ``L'`` which adds
+  the binary predicate ``NE`` holding exactly the pairs with a uniqueness
+  axiom.  It is the stored representation used by both the precise
+  (second-order) simulation of Theorem 3 and the approximation algorithm of
+  Section 5.
+
+``ph2`` can materialize ``NE`` explicitly (quadratic in the worst case) or
+store it as a *virtual* relation backed by the compact ``U``/``NE'``
+encoding the paper recommends at the end of Section 5.
+"""
+
+from __future__ import annotations
+
+from repro.logic.vocabulary import NE_PREDICATE
+from repro.physical.database import PhysicalDatabase
+from repro.logical.database import CWDatabase
+from repro.logical.unknowns import VirtualNERelation, compact_ne_encoding
+
+__all__ = ["ph1", "ph2", "NE_PREDICATE"]
+
+
+def ph1(database: CWDatabase) -> PhysicalDatabase:
+    """Construct ``Ph1(LB)``: domain ``C``, identity constants, stored facts."""
+    constants = database.constants
+    return PhysicalDatabase(
+        vocabulary=database.vocabulary,
+        domain=constants,
+        constants={name: name for name in constants},
+        relations={predicate: rows for predicate, rows in database.facts.items()},
+    )
+
+
+def ph2(database: CWDatabase, virtual_ne: bool = False) -> PhysicalDatabase:
+    """Construct ``Ph2(LB)``: ``Ph1(LB)`` plus the inequality relation ``NE``.
+
+    With ``virtual_ne=True`` the ``NE`` relation is not materialized; instead
+    a :class:`~repro.logical.unknowns.VirtualNERelation` answers membership
+    queries from the compact ``U``/``NE'`` encoding (Section 5, final
+    paragraph).  Both representations yield identical query answers —
+    experiment E10 checks that and compares their sizes.
+    """
+    constants = database.constants
+    vocabulary = database.vocabulary.with_ne()
+    relations: dict[str, object] = {predicate: rows for predicate, rows in database.facts.items()}
+    if virtual_ne:
+        relations[NE_PREDICATE] = VirtualNERelation(compact_ne_encoding(database))
+    else:
+        ne_tuples = set()
+        for pair in database.unequal:
+            left, right = sorted(pair)
+            ne_tuples.add((left, right))
+            ne_tuples.add((right, left))
+        relations[NE_PREDICATE] = ne_tuples
+    return PhysicalDatabase(
+        vocabulary=vocabulary,
+        domain=constants,
+        constants={name: name for name in constants},
+        relations=relations,
+    )

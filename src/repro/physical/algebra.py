@@ -1,0 +1,149 @@
+"""Execution of relational-algebra plans over a physical database.
+
+The executor is a straightforward pull-based interpreter: each plan node is
+evaluated to a :class:`~repro.physical.plan.Table`.  It is deliberately
+simple — the goal is a faithful "standard relational system" substrate for
+the approximation algorithm of Section 5, not a competitive query engine —
+but joins use hash partitioning on the shared columns so the asymptotics are
+reasonable for the benchmark workloads.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.errors import EvaluationError
+from repro.physical.database import PhysicalDatabase
+from repro.physical.plan import (
+    ActiveDomain,
+    CrossProduct,
+    Difference,
+    LiteralTable,
+    NaturalJoin,
+    PlanNode,
+    Projection,
+    RenameColumns,
+    ScanRelation,
+    Selection,
+    Table,
+    UnionAll,
+)
+
+__all__ = ["execute", "plan_size", "plan_to_text"]
+
+
+def execute(plan: PlanNode, database: PhysicalDatabase) -> Table:
+    """Execute *plan* against *database* and return the result table."""
+    if isinstance(plan, ScanRelation):
+        relation = database.relation(plan.relation)
+        arity = database.vocabulary.arity(plan.relation)
+        if len(plan.columns) != arity:
+            raise EvaluationError(
+                f"scan of {plan.relation!r} names {len(plan.columns)} columns but the relation has arity {arity}"
+            )
+        return Table(plan.columns, frozenset(tuple(row) for row in relation))
+    if isinstance(plan, ActiveDomain):
+        return Table((plan.column,), frozenset((value,) for value in database.active_domain()))
+    if isinstance(plan, LiteralTable):
+        return Table(plan.columns, plan.rows)
+    if isinstance(plan, Selection):
+        source = execute(plan.source, database)
+        kept = frozenset(row for row in source.rows if plan.condition(dict(zip(source.columns, row))))
+        return Table(source.columns, kept)
+    if isinstance(plan, Projection):
+        source = execute(plan.source, database)
+        return source.project(plan.columns)
+    if isinstance(plan, RenameColumns):
+        source = execute(plan.source, database)
+        mapping = dict(plan.renaming)
+        columns = tuple(mapping.get(column, column) for column in source.columns)
+        if len(set(columns)) != len(columns):
+            raise EvaluationError(f"renaming produces duplicate columns: {columns}")
+        return Table(columns, source.rows)
+    if isinstance(plan, NaturalJoin):
+        return _natural_join(execute(plan.left, database), execute(plan.right, database))
+    if isinstance(plan, CrossProduct):
+        left = execute(plan.left, database)
+        right = execute(plan.right, database)
+        overlap = set(left.columns) & set(right.columns)
+        if overlap:
+            raise EvaluationError(f"cross product operands share columns: {sorted(overlap)}")
+        rows = frozenset(lrow + rrow for lrow in left.rows for rrow in right.rows)
+        return Table(left.columns + right.columns, rows)
+    if isinstance(plan, UnionAll):
+        left = execute(plan.left, database)
+        right = execute(plan.right, database)
+        right_aligned = _align(right, left.columns)
+        return Table(left.columns, left.rows | right_aligned.rows)
+    if isinstance(plan, Difference):
+        left = execute(plan.left, database)
+        right = execute(plan.right, database)
+        right_aligned = _align(right, left.columns)
+        return Table(left.columns, left.rows - right_aligned.rows)
+    raise EvaluationError(f"unknown plan node: {plan!r}")
+
+
+def _align(table: Table, columns: tuple[str, ...]) -> Table:
+    """Reorder *table*'s columns to match *columns* (they must be the same set)."""
+    if table.columns == columns:
+        return table
+    if set(table.columns) != set(columns):
+        raise EvaluationError(
+            f"set operation operands have different columns: {table.columns} vs {columns}"
+        )
+    return table.project(columns)
+
+
+def _natural_join(left: Table, right: Table) -> Table:
+    shared = tuple(column for column in left.columns if column in right.columns)
+    right_only = tuple(column for column in right.columns if column not in shared)
+    result_columns = left.columns + right_only
+
+    if not shared:
+        rows = frozenset(lrow + rrow for lrow in left.rows for rrow in right.rows)
+        return Table(result_columns, rows)
+
+    left_key_indexes = [left.columns.index(column) for column in shared]
+    right_key_indexes = [right.columns.index(column) for column in shared]
+    right_rest_indexes = [right.columns.index(column) for column in right_only]
+
+    buckets: dict[tuple, list[tuple]] = defaultdict(list)
+    for row in right.rows:
+        key = tuple(row[i] for i in right_key_indexes)
+        buckets[key].append(tuple(row[i] for i in right_rest_indexes))
+
+    rows = set()
+    for row in left.rows:
+        key = tuple(row[i] for i in left_key_indexes)
+        for rest in buckets.get(key, ()):
+            rows.add(row + rest)
+    return Table(result_columns, frozenset(rows))
+
+
+def plan_size(plan: PlanNode) -> int:
+    """Number of operator nodes in a plan (used by tests and reports)."""
+    return 1 + sum(plan_size(child) for child in plan.children())
+
+
+def plan_to_text(plan: PlanNode, indent: int = 0) -> str:
+    """Indented textual rendering of a plan tree (debugging aid)."""
+    pad = "  " * indent
+    if isinstance(plan, ScanRelation):
+        header = f"{pad}Scan {plan.relation}({', '.join(plan.columns)})"
+    elif isinstance(plan, ActiveDomain):
+        header = f"{pad}ActiveDomain({plan.column})"
+    elif isinstance(plan, LiteralTable):
+        header = f"{pad}Literal({', '.join(plan.columns)}; {len(plan.rows)} rows)"
+    elif isinstance(plan, Selection):
+        header = f"{pad}Select[{plan.description}]"
+    elif isinstance(plan, Projection):
+        header = f"{pad}Project({', '.join(plan.columns)})"
+    elif isinstance(plan, RenameColumns):
+        renames = ", ".join(f"{old}->{new}" for old, new in plan.renaming)
+        header = f"{pad}Rename({renames})"
+    else:
+        header = f"{pad}{type(plan).__name__}"
+    parts = [header]
+    for child in plan.children():
+        parts.append(plan_to_text(child, indent + 1))
+    return "\n".join(parts)

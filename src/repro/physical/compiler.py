@@ -1,0 +1,253 @@
+"""Compilation of first-order queries into relational-algebra plans.
+
+Section 5 of the paper ends by noting that the approximation scheme "can be
+practically implemented on the top of existing database management systems":
+the rewritten query ``Q-hat`` is evaluated over the stored database
+``Ph2(LB)`` by an ordinary relational engine.  This compiler provides that
+second evaluation path, next to the direct Tarskian evaluator, using the
+classical *active-domain* translation of the relational calculus into the
+relational algebra:
+
+* every variable ranges over the active domain (the values stored in some
+  relation or assigned to some constant);
+* conjunction becomes a natural join, disjunction a union (after padding the
+  operands to a common column set), negation a set difference against the
+  active-domain product, and existential quantification a projection.
+
+For the databases this library builds from logical databases (``Ph1``/``Ph2``)
+the active domain equals the whole domain, so the compiled plan computes
+exactly the Tarskian answer; the ablation experiment E12 checks this
+agreement and compares run times.
+
+Extension atoms (the ``alpha_P`` atoms of Lemma 10) are materialized into
+literal tables at compile time by enumerating active-domain tuples — a
+polynomial step, mirroring Theorem 14's observation that satisfaction of
+``alpha_P`` is checkable in polynomial time.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.errors import UnsupportedFormulaError
+from repro.logic.analysis import free_variables, is_first_order
+from repro.logic.formulas import (
+    And,
+    Atom,
+    Bottom,
+    Equals,
+    Exists,
+    ExtensionAtom,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    Top,
+)
+from repro.logic.queries import Query
+from repro.logic.terms import Constant, Variable
+from repro.logic.transform import eliminate_implications, standardize_apart
+from repro.physical.algebra import execute
+from repro.physical.database import PhysicalDatabase
+from repro.physical.plan import (
+    ActiveDomain,
+    CrossProduct,
+    Difference,
+    LiteralTable,
+    NaturalJoin,
+    PlanNode,
+    Projection,
+    RenameColumns,
+    ScanRelation,
+    Selection,
+    Table,
+)
+
+__all__ = ["compile_query", "compile_formula", "evaluate_query_algebra"]
+
+_TRUE_TABLE = LiteralTable((), frozenset({()}))
+_FALSE_TABLE = LiteralTable((), frozenset())
+
+
+def evaluate_query_algebra(database: PhysicalDatabase, query: Query) -> frozenset[tuple]:
+    """Evaluate *query* by compiling it to algebra and executing the plan."""
+    plan = compile_query(query, database)
+    return execute(plan, database).rows
+
+
+def compile_query(query: Query, database: PhysicalDatabase) -> PlanNode:
+    """Compile a first-order query into a plan whose columns follow the head order."""
+    plan, columns = compile_formula(query.formula, database)
+    head_names = tuple(variable.name for variable in query.head)
+    for name in head_names:
+        if name not in columns:
+            plan = CrossProduct(plan, ActiveDomain(name)) if columns else _pad_empty(plan, name)
+            columns = columns + (name,)
+    return Projection(plan, head_names)
+
+
+def _pad_empty(plan: PlanNode, column: str) -> PlanNode:
+    """Extend a 0-column plan with an active-domain column."""
+    return CrossProduct(plan, ActiveDomain(column))
+
+
+def compile_formula(formula: Formula, database: PhysicalDatabase) -> tuple[PlanNode, tuple[str, ...]]:
+    """Compile *formula*; returns the plan and its output columns (free variables).
+
+    The formula must be first-order.  Implications are eliminated and bound
+    variables standardized apart before translation so column names never
+    collide across quantifier scopes.
+    """
+    if not is_first_order(formula):
+        raise UnsupportedFormulaError("the algebra compiler only supports first-order formulas")
+    avoid = {variable.name for variable in free_variables(formula)}
+    prepared = standardize_apart(eliminate_implications(formula), avoid)
+    return _compile(prepared, database)
+
+
+def _compile(formula: Formula, database: PhysicalDatabase) -> tuple[PlanNode, tuple[str, ...]]:
+    if isinstance(formula, Top):
+        return _TRUE_TABLE, ()
+    if isinstance(formula, Bottom):
+        return _FALSE_TABLE, ()
+    if isinstance(formula, ExtensionAtom):
+        return _compile_extension_atom(formula, database)
+    if isinstance(formula, Atom):
+        return _compile_atom(formula, database)
+    if isinstance(formula, Equals):
+        return _compile_equality(formula, database)
+    if isinstance(formula, Not):
+        return _compile_negation(formula, database)
+    if isinstance(formula, And):
+        plan, columns = _compile(formula.operands[0], database)
+        for operand in formula.operands[1:]:
+            other_plan, other_columns = _compile(operand, database)
+            plan = NaturalJoin(plan, other_plan)
+            columns = columns + tuple(c for c in other_columns if c not in columns)
+        return plan, columns
+    if isinstance(formula, Or):
+        compiled = [_compile(operand, database) for operand in formula.operands]
+        all_columns: tuple[str, ...] = ()
+        for __, columns in compiled:
+            all_columns = all_columns + tuple(c for c in columns if c not in all_columns)
+        padded = [_pad_to(plan, columns, all_columns) for plan, columns in compiled]
+        plan = padded[0]
+        from repro.physical.plan import UnionAll
+
+        for other in padded[1:]:
+            plan = UnionAll(plan, other)
+        return plan, all_columns
+    if isinstance(formula, Exists):
+        body_plan, body_columns = _compile(formula.body, database)
+        bound = {variable.name for variable in formula.variables}
+        remaining = tuple(column for column in body_columns if column not in bound)
+        return Projection(body_plan, remaining), remaining
+    if isinstance(formula, Forall):
+        # forall x. phi  ==  not exists x. not phi
+        rewritten = Not(Exists(formula.variables, Not(formula.body)))
+        return _compile(rewritten, database)
+    raise UnsupportedFormulaError(f"cannot compile formula node {type(formula).__name__}")
+
+
+def _compile_atom(atom: Atom, database: PhysicalDatabase) -> tuple[PlanNode, tuple[str, ...]]:
+    raw_columns = tuple(f"__col{i}" for i in range(len(atom.args)))
+    plan: PlanNode = ScanRelation(atom.predicate, raw_columns)
+
+    conditions: list[tuple[str, object]] = []
+    variable_columns: dict[str, list[str]] = {}
+    for column, term in zip(raw_columns, atom.args):
+        if isinstance(term, Constant):
+            conditions.append((column, database.constant_value(term.name)))
+        else:
+            variable_columns.setdefault(term.name, []).append(column)
+
+    if conditions:
+        required = dict(conditions)
+        plan = Selection(
+            plan,
+            lambda row, required=required: all(row[column] == value for column, value in required.items()),
+            description=" & ".join(f"{column}={value!r}" for column, value in conditions),
+        )
+    repeated = {name: cols for name, cols in variable_columns.items() if len(cols) > 1}
+    if repeated:
+        plan = Selection(
+            plan,
+            lambda row, repeated=repeated: all(
+                len({row[column] for column in columns}) == 1 for columns in repeated.values()
+            ),
+            description="repeated-variable equality",
+        )
+
+    renaming = tuple((columns[0], name) for name, columns in variable_columns.items())
+    output = tuple(name for name in variable_columns)
+    keep = tuple(columns[0] for columns in variable_columns.values())
+    plan = Projection(plan, keep)
+    if renaming:
+        plan = RenameColumns(plan, renaming)
+    return plan, output
+
+
+def _compile_extension_atom(atom: ExtensionAtom, database: PhysicalDatabase) -> tuple[PlanNode, tuple[str, ...]]:
+    """Materialize an extension atom over the active domain into a literal table."""
+    adom = sorted(database.active_domain(), key=repr)
+    variables: list[str] = []
+    for term in atom.args:
+        if isinstance(term, Variable) and term.name not in variables:
+            variables.append(term.name)
+    rows = set()
+    for values in product(adom, repeat=len(variables)):
+        assignment = dict(zip(variables, values))
+        arg_values = []
+        for term in atom.args:
+            if isinstance(term, Constant):
+                arg_values.append(database.constant_value(term.name))
+            else:
+                arg_values.append(assignment[term.name])
+        if atom.holds(database, tuple(arg_values)):
+            rows.add(values)
+    return LiteralTable(tuple(variables), frozenset(rows)), tuple(variables)
+
+
+def _compile_equality(formula: Equals, database: PhysicalDatabase) -> tuple[PlanNode, tuple[str, ...]]:
+    left, right = formula.left, formula.right
+    if isinstance(left, Constant) and isinstance(right, Constant):
+        equal = database.constant_value(left.name) == database.constant_value(right.name)
+        return (_TRUE_TABLE if equal else _FALSE_TABLE), ()
+    if isinstance(left, Constant) or isinstance(right, Constant):
+        constant = left if isinstance(left, Constant) else right
+        variable = right if isinstance(left, Constant) else left
+        assert isinstance(variable, Variable)
+        value = database.constant_value(constant.name)
+        return LiteralTable((variable.name,), frozenset({(value,)})), (variable.name,)
+    assert isinstance(left, Variable) and isinstance(right, Variable)
+    if left.name == right.name:
+        return ActiveDomain(left.name), (left.name,)
+    pairs = CrossProduct(ActiveDomain(left.name), ActiveDomain(right.name))
+    plan = Selection(
+        pairs,
+        lambda row, a=left.name, b=right.name: row[a] == row[b],
+        description=f"{left.name} = {right.name}",
+    )
+    return plan, (left.name, right.name)
+
+
+def _compile_negation(formula: Not, database: PhysicalDatabase) -> tuple[PlanNode, tuple[str, ...]]:
+    inner_plan, columns = _compile(formula.operand, database)
+    if not columns:
+        return Difference(_TRUE_TABLE, inner_plan), ()
+    universe: PlanNode = ActiveDomain(columns[0])
+    for column in columns[1:]:
+        universe = CrossProduct(universe, ActiveDomain(column))
+    return Difference(universe, inner_plan), columns
+
+
+def _pad_to(plan: PlanNode, columns: tuple[str, ...], target: tuple[str, ...]) -> PlanNode:
+    """Extend *plan* with active-domain columns so it covers *target*."""
+    current = columns
+    for column in target:
+        if column not in current:
+            plan = CrossProduct(plan, ActiveDomain(column))
+            current = current + (column,)
+    if current != target:
+        plan = Projection(plan, target)
+    return plan

@@ -1,0 +1,237 @@
+"""Physical databases: finite interpretations of a relational vocabulary.
+
+Section 2.1 of the paper: a physical database ``(L, I)`` consists of a
+nonempty finite domain ``D``, an assignment of an element of ``D`` to each
+constant symbol, and a relation of the appropriate arity over ``D`` for each
+predicate symbol; equality is always interpreted as true equality.
+
+:class:`PhysicalDatabase` is immutable; the ``with_*`` methods produce
+modified copies.  Relations may be ordinary :class:`~repro.physical.relation.Relation`
+objects or lazy relation-like objects (used for the virtual ``NE`` relation
+of Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import DatabaseError, VocabularyError
+from repro.logic.vocabulary import Vocabulary
+from repro.physical.relation import Relation, RelationLike
+
+__all__ = ["PhysicalDatabase"]
+
+
+@dataclass(frozen=True)
+class PhysicalDatabase:
+    """A finite interpretation ``(L, I)`` of a relational vocabulary.
+
+    Parameters
+    ----------
+    vocabulary:
+        The relational vocabulary ``L``.
+    domain:
+        The finite, nonempty domain ``D``.  Elements may be any hashable
+        Python values; in databases derived from logical databases they are
+        constant-symbol names (strings).
+    constants:
+        Assignment of a domain element to every constant symbol of ``L``.
+    relations:
+        For each predicate symbol of ``L``, a relation over ``D`` of the
+        declared arity.  Predicates missing from the mapping are interpreted
+        as empty relations.
+    """
+
+    vocabulary: Vocabulary
+    domain: frozenset
+    constants: Mapping[str, object]
+    relations: Mapping[str, RelationLike]
+
+    def __init__(
+        self,
+        vocabulary: Vocabulary,
+        domain: Iterable,
+        constants: Mapping[str, object],
+        relations: Mapping[str, RelationLike] | Mapping[str, Iterable[tuple]] | None = None,
+    ) -> None:
+        domain_set = frozenset(domain)
+        if not domain_set:
+            raise DatabaseError("the domain of a physical database must be nonempty")
+        constant_map = dict(constants)
+        for symbol in vocabulary.constants:
+            if symbol not in constant_map:
+                raise DatabaseError(f"no interpretation given for constant symbol {symbol!r}")
+            if constant_map[symbol] not in domain_set:
+                raise DatabaseError(
+                    f"constant {symbol!r} is interpreted as {constant_map[symbol]!r}, which is outside the domain"
+                )
+        unknown_constants = set(constant_map) - set(vocabulary.constants)
+        if unknown_constants:
+            raise VocabularyError(f"interpretation given for undeclared constants: {sorted(unknown_constants)}")
+
+        relation_map: dict[str, RelationLike] = {}
+        provided = dict(relations or {})
+        unknown_predicates = set(provided) - set(vocabulary.predicates)
+        if unknown_predicates:
+            raise VocabularyError(f"relations given for undeclared predicates: {sorted(unknown_predicates)}")
+        for predicate, arity in vocabulary.predicates.items():
+            value = provided.get(predicate)
+            if value is None:
+                relation_map[predicate] = Relation(predicate, arity, ())
+            elif isinstance(value, Relation):
+                relation_map[predicate] = self._check_relation(value, predicate, arity, domain_set)
+            elif isinstance(value, RelationLike) and not isinstance(value, (set, frozenset, list, tuple)):
+                # Lazy relation: trust its declared arity, skip materialization.
+                if value.arity != arity:
+                    raise DatabaseError(
+                        f"relation for {predicate!r} has arity {value.arity}, vocabulary declares {arity}"
+                    )
+                relation_map[predicate] = value
+            else:
+                relation_map[predicate] = self._check_relation(
+                    Relation(predicate, arity, value), predicate, arity, domain_set
+                )
+
+        object.__setattr__(self, "vocabulary", vocabulary)
+        object.__setattr__(self, "domain", domain_set)
+        object.__setattr__(self, "constants", constant_map)
+        object.__setattr__(self, "relations", relation_map)
+
+    @staticmethod
+    def _check_relation(relation: Relation, predicate: str, arity: int, domain: frozenset) -> Relation:
+        if relation.arity != arity:
+            raise DatabaseError(
+                f"relation for {predicate!r} has arity {relation.arity}, vocabulary declares {arity}"
+            )
+        outside = relation.values() - domain
+        if outside:
+            raise DatabaseError(
+                f"relation {predicate!r} mentions values outside the domain: {sorted(map(repr, outside))}"
+            )
+        if relation.name != predicate:
+            relation = relation.renamed(predicate)
+        return relation
+
+    def __hash__(self) -> int:
+        frozen_relations = tuple(
+            sorted((name, frozenset(rel) if not isinstance(rel, Relation) else rel.tuples)
+                   for name, rel in self.relations.items())
+        )
+        return hash((self.vocabulary, self.domain, tuple(sorted(self.constants.items(), key=repr)), frozen_relations))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PhysicalDatabase):
+            return NotImplemented
+        if self.vocabulary != other.vocabulary or self.domain != other.domain:
+            return False
+        if self.constants != other.constants:
+            return False
+        if set(self.relations) != set(other.relations):
+            return False
+        for name, relation in self.relations.items():
+            if frozenset(relation) != frozenset(other.relations[name]):
+                return False
+        return True
+
+    # Lookups -----------------------------------------------------------------
+
+    def constant_value(self, symbol: str) -> object:
+        """Return the domain element assigned to a constant symbol."""
+        try:
+            return self.constants[symbol]
+        except KeyError:
+            raise DatabaseError(f"unknown constant symbol {symbol!r}") from None
+
+    def relation(self, predicate: str) -> RelationLike:
+        """Return the relation assigned to a predicate symbol."""
+        try:
+            return self.relations[predicate]
+        except KeyError:
+            raise DatabaseError(f"unknown predicate {predicate!r}") from None
+
+    def has_relation(self, predicate: str) -> bool:
+        return predicate in self.relations
+
+    def active_domain(self) -> frozenset:
+        """Values mentioned by some relation tuple or assigned to a constant."""
+        values = set(self.constants.values())
+        for relation in self.relations.values():
+            if isinstance(relation, Relation):
+                values |= relation.values()
+            else:
+                for row in relation:
+                    values |= set(row)
+        return frozenset(values)
+
+    def total_tuples(self) -> int:
+        """Number of stored tuples across all relations (a size measure)."""
+        return sum(len(relation) for relation in self.relations.values())
+
+    # Functional updates -------------------------------------------------------
+
+    def with_relation(self, predicate: str, tuples: Iterable[tuple] | RelationLike) -> "PhysicalDatabase":
+        """Return a copy in which *predicate* is interpreted by *tuples*.
+
+        The predicate must already be declared; use :meth:`with_new_predicate`
+        to extend the vocabulary at the same time.
+        """
+        if predicate not in self.vocabulary.predicates:
+            raise VocabularyError(f"predicate {predicate!r} is not declared in the vocabulary")
+        relations = dict(self.relations)
+        relations[predicate] = tuples
+        return PhysicalDatabase(self.vocabulary, self.domain, self.constants, relations)
+
+    def with_new_predicate(self, predicate: str, arity: int, tuples: Iterable[tuple] = ()) -> "PhysicalDatabase":
+        """Return a copy whose vocabulary and interpretation include a new predicate."""
+        vocabulary = self.vocabulary.with_predicates({predicate: arity})
+        relations = dict(self.relations)
+        relations[predicate] = Relation(predicate, arity, tuples)
+        return PhysicalDatabase(vocabulary, self.domain, self.constants, relations)
+
+    def restricted_to(self, vocabulary: Vocabulary) -> "PhysicalDatabase":
+        """Return the reduct of the database to a sub-vocabulary.
+
+        This is the operation written ``PB|_{L'}`` in the proof of Theorem 3.
+        Every constant and predicate of *vocabulary* must already be
+        interpreted here.
+        """
+        for symbol in vocabulary.constants:
+            if symbol not in self.constants:
+                raise VocabularyError(f"cannot restrict: constant {symbol!r} is not interpreted")
+        relations = {}
+        for predicate, arity in vocabulary.predicates.items():
+            if predicate not in self.relations:
+                raise VocabularyError(f"cannot restrict: predicate {predicate!r} is not interpreted")
+            if self.vocabulary.arity(predicate) != arity:
+                raise VocabularyError(f"cannot restrict: predicate {predicate!r} has a different arity")
+            relations[predicate] = self.relations[predicate]
+        constants = {symbol: self.constants[symbol] for symbol in vocabulary.constants}
+        return PhysicalDatabase(vocabulary, self.domain, constants, relations)
+
+    def map_domain(self, mapping: Mapping) -> "PhysicalDatabase":
+        """Apply an element mapping ``h`` to the whole database.
+
+        Returns ``h(PB)``: the domain becomes ``h(D)``, every constant ``c``
+        is reinterpreted as ``h(I(c))`` and every relation becomes its image
+        under ``h`` (Section 3.1).
+        """
+        new_domain = frozenset(mapping[value] for value in self.domain)
+        new_constants = {symbol: mapping[value] for symbol, value in self.constants.items()}
+        new_relations = {}
+        for predicate, relation in self.relations.items():
+            if isinstance(relation, Relation):
+                new_relations[predicate] = relation.map_values(mapping)
+            else:
+                arity = self.vocabulary.arity(predicate)
+                new_relations[predicate] = Relation(
+                    predicate, arity, {tuple(mapping[v] for v in row) for row in relation}
+                )
+        return PhysicalDatabase(self.vocabulary, new_domain, new_constants, new_relations)
+
+    def describe(self) -> str:
+        """Short human-readable summary used by examples and the harness."""
+        parts = [f"domain size {len(self.domain)}", f"{len(self.constants)} constants"]
+        for name in sorted(self.relations):
+            parts.append(f"{name}: {len(self.relations[name])} tuples")
+        return ", ".join(parts)

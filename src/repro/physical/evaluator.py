@@ -1,0 +1,146 @@
+"""Tarskian evaluation of queries over physical databases.
+
+This is the classical semantic notion of truth the paper attributes to the
+"database as interpretation" view (Section 1): the answer to a query
+``(x) . phi(x)`` over a physical database ``PB = (L, I)`` is the set of
+tuples ``d`` over the domain such that ``I`` satisfies ``phi(d)``
+(Section 2.1).
+
+The evaluator walks the formula with an explicit variable assignment.
+Quantifiers range over the whole (finite) domain.  Second-order quantifiers
+are *not* handled here — see :mod:`repro.physical.second_order` — so that
+callers that expect first-order behaviour get a clear error instead of an
+accidental exponential enumeration.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Mapping
+
+from repro.errors import EvaluationError, UnsupportedFormulaError
+from repro.logic.formulas import (
+    And,
+    Atom,
+    Bottom,
+    Equals,
+    Exists,
+    ExtensionAtom,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    SecondOrderExists,
+    SecondOrderForall,
+    Top,
+)
+from repro.logic.queries import Query
+from repro.logic.terms import Constant, Term, Variable
+from repro.physical.database import PhysicalDatabase
+
+__all__ = ["evaluate_term", "satisfies", "evaluate_query", "evaluate_sentence"]
+
+
+def evaluate_term(database: PhysicalDatabase, term: Term, assignment: Mapping[Variable, object]) -> object:
+    """Return the domain element denoted by *term* under *assignment*."""
+    if isinstance(term, Constant):
+        return database.constant_value(term.name)
+    if isinstance(term, Variable):
+        try:
+            return assignment[term]
+        except KeyError:
+            raise EvaluationError(f"unbound variable {term.name!r}") from None
+    raise EvaluationError(f"not a term: {term!r}")
+
+
+def satisfies(
+    database: PhysicalDatabase,
+    formula: Formula,
+    assignment: Mapping[Variable, object] | None = None,
+) -> bool:
+    """Return ``True`` when *database* satisfies *formula* under *assignment*."""
+    return _satisfies(database, formula, dict(assignment or {}))
+
+
+def _satisfies(database: PhysicalDatabase, formula: Formula, assignment: dict[Variable, object]) -> bool:
+    if isinstance(formula, Top):
+        return True
+    if isinstance(formula, Bottom):
+        return False
+    if isinstance(formula, ExtensionAtom):
+        values = tuple(evaluate_term(database, term, assignment) for term in formula.args)
+        return formula.holds(database, values)
+    if isinstance(formula, Atom):
+        values = tuple(evaluate_term(database, term, assignment) for term in formula.args)
+        return values in database.relation(formula.predicate)
+    if isinstance(formula, Equals):
+        return evaluate_term(database, formula.left, assignment) == evaluate_term(
+            database, formula.right, assignment
+        )
+    if isinstance(formula, Not):
+        return not _satisfies(database, formula.operand, assignment)
+    if isinstance(formula, And):
+        return all(_satisfies(database, operand, assignment) for operand in formula.operands)
+    if isinstance(formula, Or):
+        return any(_satisfies(database, operand, assignment) for operand in formula.operands)
+    if isinstance(formula, Implies):
+        if not _satisfies(database, formula.antecedent, assignment):
+            return True
+        return _satisfies(database, formula.consequent, assignment)
+    if isinstance(formula, Iff):
+        return _satisfies(database, formula.left, assignment) == _satisfies(database, formula.right, assignment)
+    if isinstance(formula, Exists):
+        return _satisfies_quantifier(database, formula, assignment, want=True)
+    if isinstance(formula, Forall):
+        return not _satisfies_quantifier(database, formula, assignment, want=False)
+    if isinstance(formula, (SecondOrderExists, SecondOrderForall)):
+        raise UnsupportedFormulaError(
+            "second-order quantifier met by the first-order evaluator; "
+            "use repro.physical.second_order.satisfies_so instead"
+        )
+    raise EvaluationError(f"unknown formula node: {formula!r}")
+
+
+def _satisfies_quantifier(
+    database: PhysicalDatabase,
+    formula: Exists | Forall,
+    assignment: dict[Variable, object],
+    want: bool,
+) -> bool:
+    """Search for an assignment of the bound variables making the body == *want*.
+
+    ``Exists`` asks whether some extension satisfies the body (``want=True``);
+    ``Forall`` is evaluated as "no extension falsifies the body"
+    (``want=False``), which is why the caller negates the result.
+    """
+    variables = formula.variables
+    domain = sorted(database.domain, key=repr)
+    for values in product(domain, repeat=len(variables)):
+        extended = dict(assignment)
+        extended.update(zip(variables, values))
+        if _satisfies(database, formula.body, extended) == want:
+            return True
+    return False
+
+
+def evaluate_query(database: PhysicalDatabase, query: Query) -> frozenset[tuple]:
+    """Return ``Q(PB)``: all domain tuples satisfying the query condition.
+
+    For a Boolean query the result is ``{()}`` (true) or ``frozenset()``
+    (false), matching the paper's convention that the answer to a sentence is
+    a 0-ary relation.
+    """
+    domain = sorted(database.domain, key=repr)
+    answers = set()
+    for values in product(domain, repeat=query.arity):
+        assignment = dict(zip(query.head, values))
+        if _satisfies(database, query.formula, assignment):
+            answers.add(tuple(values))
+    return frozenset(answers)
+
+
+def evaluate_sentence(database: PhysicalDatabase, formula: Formula) -> bool:
+    """Evaluate a sentence (no free variables) to a truth value."""
+    return satisfies(database, formula, {})

@@ -1,0 +1,180 @@
+"""Relational-algebra plan nodes.
+
+The approximation algorithm of Section 5 is meant to run "on the top of a
+standard database management system": the rewritten query ``Q-hat`` is an
+ordinary relational query over the stored database ``Ph2(LB)``.  To make
+that concrete we provide a small relational-algebra engine.  This module
+defines the operator tree; :mod:`repro.physical.algebra` executes it and
+:mod:`repro.physical.compiler` translates first-order queries into it under
+active-domain semantics.
+
+Plans are immutable trees.  Every node produces a :class:`Table` — a bag of
+rows with named columns — when executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.errors import EvaluationError
+
+__all__ = [
+    "Table",
+    "PlanNode",
+    "ScanRelation",
+    "ActiveDomain",
+    "LiteralTable",
+    "Selection",
+    "Projection",
+    "RenameColumns",
+    "NaturalJoin",
+    "CrossProduct",
+    "UnionAll",
+    "Difference",
+]
+
+
+@dataclass(frozen=True)
+class Table:
+    """An executed intermediate result: named columns plus a set of rows.
+
+    Rows are tuples aligned with ``columns``.  Duplicate rows are not kept
+    (set semantics), which matches the paper's relations.
+    """
+
+    columns: tuple[str, ...]
+    rows: frozenset[tuple]
+
+    def __post_init__(self) -> None:
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise EvaluationError(
+                    f"row {row!r} does not match columns {self.columns!r}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def project(self, columns: Iterable[str]) -> "Table":
+        wanted = tuple(columns)
+        indexes = [self.columns.index(column) for column in wanted]
+        return Table(wanted, frozenset(tuple(row[i] for i in indexes) for row in self.rows))
+
+    def as_dicts(self) -> list[dict[str, object]]:
+        """Rows as dictionaries, ordered deterministically (for display/tests)."""
+        return [dict(zip(self.columns, row)) for row in sorted(self.rows, key=repr)]
+
+
+class PlanNode:
+    """Base class of all plan operators."""
+
+    __slots__ = ()
+
+    def children(self) -> tuple["PlanNode", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class ScanRelation(PlanNode):
+    """Scan a stored relation, producing the given column names."""
+
+    relation: str
+    columns: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ActiveDomain(PlanNode):
+    """Produce the active domain of the database as a single-column table.
+
+    Used by the compiler to give range-unrestricted variables something to
+    range over (active-domain semantics).
+    """
+
+    column: str
+
+
+@dataclass(frozen=True)
+class LiteralTable(PlanNode):
+    """A constant table, e.g. the single empty row (the 0-ary TRUE relation)."""
+
+    columns: tuple[str, ...]
+    rows: frozenset[tuple]
+
+
+@dataclass(frozen=True)
+class Selection(PlanNode):
+    """Keep the rows satisfying a predicate over the named columns."""
+
+    source: PlanNode
+    condition: Callable[[dict[str, object]], bool]
+    description: str = "<condition>"
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.source,)
+
+
+@dataclass(frozen=True)
+class Projection(PlanNode):
+    """Project onto the named columns (removing duplicates)."""
+
+    source: PlanNode
+    columns: tuple[str, ...]
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.source,)
+
+
+@dataclass(frozen=True)
+class RenameColumns(PlanNode):
+    """Rename columns according to a mapping (missing columns keep their name)."""
+
+    source: PlanNode
+    renaming: tuple[tuple[str, str], ...]
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.source,)
+
+
+@dataclass(frozen=True)
+class NaturalJoin(PlanNode):
+    """Natural join on shared column names."""
+
+    left: PlanNode
+    right: PlanNode
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class CrossProduct(PlanNode):
+    """Cartesian product; the operand column sets must be disjoint."""
+
+    left: PlanNode
+    right: PlanNode
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class UnionAll(PlanNode):
+    """Set union of two tables over the same columns (order-normalized)."""
+
+    left: PlanNode
+    right: PlanNode
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Difference(PlanNode):
+    """Set difference (left minus right) over the same columns."""
+
+    left: PlanNode
+    right: PlanNode
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)

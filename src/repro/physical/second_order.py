@@ -1,0 +1,164 @@
+"""Second-order query evaluation by relation enumeration.
+
+The precise simulation of Section 3.2 produces queries with universal
+second-order quantifiers (``forall H``, ``forall P'_i``), and Theorems 8/9
+study the Sigma^k_2 classes of second-order queries.  Over a *finite*
+physical database a second-order quantifier ranges over all relations of the
+given arity on the domain, of which there are ``2^(|D|^arity)`` — evaluation
+is therefore only feasible for tiny instances, which is exactly the point
+the paper makes about the cost of unknown values.
+
+To keep accidental blow-ups from hanging a test run, the evaluator refuses
+to enumerate more than ``max_relations`` candidate relations per quantifier
+(default ``2**16``) and raises :class:`~repro.errors.CapacityError` instead.
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations, product
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import CapacityError, EvaluationError
+from repro.logic.formulas import (
+    And,
+    Atom,
+    Bottom,
+    Equals,
+    Exists,
+    ExtensionAtom,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    SecondOrderExists,
+    SecondOrderForall,
+    Top,
+)
+from repro.logic.queries import Query
+from repro.logic.terms import Variable
+from repro.physical.database import PhysicalDatabase
+from repro.physical.evaluator import evaluate_term
+
+__all__ = ["satisfies_so", "evaluate_query_so", "enumerate_relations", "DEFAULT_MAX_RELATIONS"]
+
+#: Default cap on the number of candidate relations per second-order quantifier.
+DEFAULT_MAX_RELATIONS = 2**16
+
+
+def enumerate_relations(domain: Iterable, arity: int, max_relations: int = DEFAULT_MAX_RELATIONS) -> Iterator[frozenset[tuple]]:
+    """Yield every relation of the given arity over *domain*.
+
+    Relations are produced in increasing cardinality (the empty relation
+    first), which lets existential searches succeed quickly on sparse
+    witnesses.  Raises :class:`CapacityError` when there are more than
+    *max_relations* candidate relations.
+    """
+    elements = sorted(domain, key=repr)
+    all_tuples = list(product(elements, repeat=arity))
+    count = 2 ** len(all_tuples)
+    if count > max_relations:
+        raise CapacityError(
+            f"enumerating relations of arity {arity} over a domain of size {len(elements)} "
+            f"needs {count} candidates, above the cap of {max_relations}"
+        )
+    subsets = chain.from_iterable(combinations(all_tuples, size) for size in range(len(all_tuples) + 1))
+    for subset in subsets:
+        yield frozenset(subset)
+
+
+def satisfies_so(
+    database: PhysicalDatabase,
+    formula: Formula,
+    assignment: Mapping[Variable, object] | None = None,
+    relation_assignment: Mapping[str, frozenset[tuple]] | None = None,
+    max_relations: int = DEFAULT_MAX_RELATIONS,
+) -> bool:
+    """Satisfaction for formulas that may contain second-order quantifiers.
+
+    ``relation_assignment`` interprets second-order variables (predicate
+    names bound by an enclosing second-order quantifier).  Free predicate
+    names fall back to the database's stored relations.
+    """
+    return _satisfies(
+        database,
+        formula,
+        dict(assignment or {}),
+        dict(relation_assignment or {}),
+        max_relations,
+    )
+
+
+def _satisfies(
+    database: PhysicalDatabase,
+    formula: Formula,
+    assignment: dict[Variable, object],
+    relations: dict[str, frozenset[tuple]],
+    max_relations: int,
+) -> bool:
+    if isinstance(formula, Top):
+        return True
+    if isinstance(formula, Bottom):
+        return False
+    if isinstance(formula, ExtensionAtom):
+        values = tuple(evaluate_term(database, term, assignment) for term in formula.args)
+        return formula.holds_with(database, values, relations)
+    if isinstance(formula, Atom):
+        values = tuple(evaluate_term(database, term, assignment) for term in formula.args)
+        if formula.predicate in relations:
+            return values in relations[formula.predicate]
+        return values in database.relation(formula.predicate)
+    if isinstance(formula, Equals):
+        return evaluate_term(database, formula.left, assignment) == evaluate_term(
+            database, formula.right, assignment
+        )
+    if isinstance(formula, Not):
+        return not _satisfies(database, formula.operand, assignment, relations, max_relations)
+    if isinstance(formula, And):
+        return all(_satisfies(database, op, assignment, relations, max_relations) for op in formula.operands)
+    if isinstance(formula, Or):
+        return any(_satisfies(database, op, assignment, relations, max_relations) for op in formula.operands)
+    if isinstance(formula, Implies):
+        if not _satisfies(database, formula.antecedent, assignment, relations, max_relations):
+            return True
+        return _satisfies(database, formula.consequent, assignment, relations, max_relations)
+    if isinstance(formula, Iff):
+        left = _satisfies(database, formula.left, assignment, relations, max_relations)
+        right = _satisfies(database, formula.right, assignment, relations, max_relations)
+        return left == right
+    if isinstance(formula, (Exists, Forall)):
+        domain = sorted(database.domain, key=repr)
+        want = isinstance(formula, Exists)
+        for values in product(domain, repeat=len(formula.variables)):
+            extended = dict(assignment)
+            extended.update(zip(formula.variables, values))
+            result = _satisfies(database, formula.body, extended, relations, max_relations)
+            if result == want:
+                return want
+        return not want
+    if isinstance(formula, (SecondOrderExists, SecondOrderForall)):
+        want = isinstance(formula, SecondOrderExists)
+        for candidate in enumerate_relations(database.domain, formula.arity, max_relations):
+            extended = dict(relations)
+            extended[formula.predicate] = candidate
+            result = _satisfies(database, formula.body, assignment, extended, max_relations)
+            if result == want:
+                return want
+        return not want
+    raise EvaluationError(f"unknown formula node: {formula!r}")
+
+
+def evaluate_query_so(
+    database: PhysicalDatabase,
+    query: Query,
+    max_relations: int = DEFAULT_MAX_RELATIONS,
+) -> frozenset[tuple]:
+    """Evaluate a (possibly second-order) query over a physical database."""
+    domain = sorted(database.domain, key=repr)
+    answers = set()
+    for values in product(domain, repeat=query.arity):
+        assignment = dict(zip(query.head, values))
+        if _satisfies(database, query.formula, assignment, {}, max_relations):
+            answers.add(tuple(values))
+    return frozenset(answers)

@@ -1,0 +1,10 @@
+"""The precise second-order simulation of Section 3.2 (Theorem 3)."""
+
+from repro.simulation.precise import (
+    H_PREDICATE,
+    SimulationQuery,
+    build_simulation_query,
+    evaluate_by_simulation,
+)
+
+__all__ = ["SimulationQuery", "build_simulation_query", "evaluate_by_simulation", "H_PREDICATE"]

@@ -1,0 +1,29 @@
+"""Synthetic workloads and named scenarios for experiments and examples."""
+
+from repro.workloads.generators import (
+    EMPLOYEE_PREDICATES,
+    employee_database,
+    random_cw_database,
+    random_positive_query,
+    random_query,
+)
+from repro.workloads.scenarios import (
+    Scenario,
+    employee_intro_scenario,
+    intro_query,
+    jack_the_ripper_database,
+    socrates_database,
+)
+
+__all__ = [
+    "random_cw_database",
+    "random_query",
+    "random_positive_query",
+    "employee_database",
+    "EMPLOYEE_PREDICATES",
+    "Scenario",
+    "socrates_database",
+    "jack_the_ripper_database",
+    "employee_intro_scenario",
+    "intro_query",
+]

@@ -1,0 +1,221 @@
+"""Random workload generators.
+
+The paper has no benchmark datasets, so the experiments draw on synthetic
+workloads with controllable size and "unknown-value" fraction:
+
+* :func:`random_cw_database` — random facts over a given schema, with a
+  chosen fraction of constant pairs left without a uniqueness axiom
+  (i.e. unknown identities);
+* :func:`random_positive_query` / :func:`random_query` — random queries of a
+  bounded depth over a schema, either purely positive (the Theorem 13 class)
+  or with negation;
+* :func:`employee_database` — the employee/department/manager scenario the
+  paper's introduction uses to motivate queries, scaled by a size parameter
+  and with "null" managers modelled as unknown constants.
+
+All generators take an explicit seed so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Sequence
+
+from repro.logic.builders import V
+from repro.logic.formulas import (
+    And,
+    Atom,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+)
+from repro.logic.queries import Query
+from repro.logic.terms import Constant, Term, Variable
+from repro.logical.database import CWDatabase
+
+__all__ = [
+    "random_cw_database",
+    "random_query",
+    "random_positive_query",
+    "employee_database",
+    "EMPLOYEE_PREDICATES",
+]
+
+
+def random_cw_database(
+    n_constants: int,
+    predicates: Mapping[str, int],
+    n_facts: int,
+    unknown_fraction: float = 0.3,
+    seed: int | None = None,
+) -> CWDatabase:
+    """Random CW logical database.
+
+    ``unknown_fraction`` is the probability that a pair of distinct constants
+    is left *without* a uniqueness axiom (an unknown identity); 0.0 gives a
+    fully specified database, 1.0 a database with no uniqueness axioms.
+    """
+    if n_constants < 1:
+        raise ValueError("need at least one constant")
+    rng = random.Random(seed)
+    constants = tuple(f"c{i}" for i in range(n_constants))
+
+    facts: dict[str, set[tuple[str, ...]]] = {name: set() for name in predicates}
+    predicate_names = sorted(predicates)
+    for __ in range(n_facts):
+        name = rng.choice(predicate_names)
+        row = tuple(rng.choice(constants) for __ in range(predicates[name]))
+        facts[name].add(row)
+
+    unequal = []
+    for i, left in enumerate(constants):
+        for right in constants[i + 1:]:
+            if rng.random() >= unknown_fraction:
+                unequal.append((left, right))
+
+    return CWDatabase(constants, dict(predicates), facts, unequal)
+
+
+def _random_term(variables: Sequence[Variable], constants: Sequence[str], rng: random.Random) -> Term:
+    if constants and rng.random() < 0.25:
+        return Constant(rng.choice(list(constants)))
+    return rng.choice(list(variables))
+
+
+def _random_atom(
+    predicates: Mapping[str, int],
+    variables: Sequence[Variable],
+    constants: Sequence[str],
+    rng: random.Random,
+) -> Formula:
+    name = rng.choice(sorted(predicates))
+    args = tuple(_random_term(variables, constants, rng) for __ in range(predicates[name]))
+    return Atom(name, args)
+
+
+def _random_formula(
+    depth: int,
+    predicates: Mapping[str, int],
+    variables: list[Variable],
+    constants: Sequence[str],
+    rng: random.Random,
+    allow_negation: bool,
+) -> Formula:
+    if depth <= 0 or rng.random() < 0.3:
+        if rng.random() < 0.15 and len(variables) >= 2:
+            left, right = rng.sample(variables, 2)
+            atom: Formula = Equals(left, right)
+        else:
+            atom = _random_atom(predicates, variables, constants, rng)
+        if allow_negation and rng.random() < 0.4:
+            return Not(atom)
+        return atom
+    choice = rng.random()
+    if choice < 0.35:
+        return And(
+            (
+                _random_formula(depth - 1, predicates, variables, constants, rng, allow_negation),
+                _random_formula(depth - 1, predicates, variables, constants, rng, allow_negation),
+            )
+        )
+    if choice < 0.7:
+        return Or(
+            (
+                _random_formula(depth - 1, predicates, variables, constants, rng, allow_negation),
+                _random_formula(depth - 1, predicates, variables, constants, rng, allow_negation),
+            )
+        )
+    # Quantify a fresh variable.
+    fresh = Variable(f"q{len(variables)}")
+    variables.append(fresh)
+    body = _random_formula(depth - 1, predicates, variables, constants, rng, allow_negation)
+    variables.pop()
+    quantifier = Exists if rng.random() < 0.6 else Forall
+    return quantifier((fresh,), body)
+
+
+def random_query(
+    predicates: Mapping[str, int],
+    constants: Sequence[str] = (),
+    arity: int = 1,
+    depth: int = 2,
+    seed: int | None = None,
+    allow_negation: bool = True,
+) -> Query:
+    """Random query with *arity* head variables and bounded formula depth."""
+    rng = random.Random(seed)
+    head = [V(f"x{i}") for i in range(arity)]
+    variables = list(head)
+    formula = _random_formula(depth, predicates, variables, constants, rng, allow_negation)
+    return Query(tuple(head), formula)
+
+
+def random_positive_query(
+    predicates: Mapping[str, int],
+    constants: Sequence[str] = (),
+    arity: int = 1,
+    depth: int = 2,
+    seed: int | None = None,
+) -> Query:
+    """Random *positive* query (no negation anywhere) — the Theorem 13 class."""
+    return random_query(predicates, constants, arity, depth, seed, allow_negation=False)
+
+
+#: Schema of the employee scenario from the paper's introduction.
+EMPLOYEE_PREDICATES: dict[str, int] = {"EMP_DEPT": 2, "DEPT_MGR": 2, "EMP_SAL": 2}
+
+_SALARY_BANDS = ("low", "mid", "high")
+
+
+def employee_database(
+    n_employees: int,
+    n_departments: int | None = None,
+    unknown_manager_fraction: float = 0.25,
+    seed: int | None = None,
+) -> CWDatabase:
+    """The employee/department/manager workload of the paper's introduction.
+
+    Every employee belongs to a department (``EMP_DEPT``) and has a salary
+    band (``EMP_SAL``); every department has a manager (``DEPT_MGR``).  A
+    fraction of the managers are *null values*: fresh constants whose
+    identity is unknown (no uniqueness axioms link them to the named
+    employees), which is exactly the incomplete-information situation the
+    paper's logical databases are designed to model.
+    """
+    rng = random.Random(seed)
+    if n_departments is None:
+        n_departments = max(1, n_employees // 5)
+    employees = [f"emp{i}" for i in range(n_employees)]
+    departments = [f"dept{i}" for i in range(n_departments)]
+
+    facts: dict[str, set[tuple[str, ...]]] = {"EMP_DEPT": set(), "DEPT_MGR": set(), "EMP_SAL": set()}
+    null_managers: list[str] = []
+    known_constants = employees + departments + list(_SALARY_BANDS)
+
+    for index, employee in enumerate(employees):
+        department = departments[index % n_departments]
+        facts["EMP_DEPT"].add((employee, department))
+        facts["EMP_SAL"].add((employee, rng.choice(_SALARY_BANDS)))
+
+    for index, department in enumerate(departments):
+        if employees and rng.random() >= unknown_manager_fraction:
+            manager = rng.choice(employees)
+        else:
+            manager = f"mgr_null{index}"
+            null_managers.append(manager)
+        facts["DEPT_MGR"].add((department, manager))
+
+    constants = tuple(known_constants + null_managers)
+
+    # Known constants are pairwise distinct; null managers have no uniqueness
+    # axioms at all (their identity could coincide with any employee or with
+    # each other).
+    unequal = []
+    for i, left in enumerate(known_constants):
+        for right in known_constants[i + 1:]:
+            unequal.append((left, right))
+
+    return CWDatabase(constants, dict(EMPLOYEE_PREDICATES), facts, unequal)

@@ -1,0 +1,135 @@
+"""Unit tests for Lemma 10: the disagreement test and the alpha_P formula."""
+
+import pytest
+
+from repro.errors import FormulaError
+from repro.logic.analysis import free_variables, is_first_order
+from repro.logic.queries import Query
+from repro.logic.terms import Variable
+from repro.logical.ph import ph2
+from repro.physical.evaluator import evaluate_query, satisfies
+from repro.approx.alpha import AlphaAtom, build_alpha_formula, connectivity_formula, disagree
+
+
+class TestDisagree:
+    NE = {("a", "b"), ("b", "a")}
+
+    def test_directly_linked_unequal_pair(self):
+        # c = (a), d = (b): the graph joins a-b, and (a, b) is an NE pair.
+        assert disagree(("a",), ("b",), self.NE)
+
+    def test_no_ne_pair_no_disagreement(self):
+        assert not disagree(("a",), ("c",), self.NE)
+
+    def test_identical_tuples_never_disagree(self):
+        assert not disagree(("a", "c"), ("a", "c"), self.NE)
+
+    def test_disagreement_via_connectivity(self):
+        # c = (a, x), d = (x, b): edges a-x and x-b connect a to b, which is an NE pair.
+        assert disagree(("a", "x"), ("x", "b"), self.NE)
+
+    def test_connectivity_through_longer_chain(self):
+        ne = {("a", "e"), ("e", "a")}
+        c = ("a", "x", "y", "z")
+        d = ("x", "y", "z", "e")
+        assert disagree(c, d, ne)
+
+    def test_disconnected_components_do_not_interact(self):
+        ne = {("a", "b"), ("b", "a")}
+        # a is linked only to c, b only to d: a and b end up in different components.
+        assert not disagree(("a", "b"), ("c", "d"), ne)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(FormulaError):
+            disagree(("a",), ("a", "b"), self.NE)
+
+
+class TestAlphaAtom:
+    def test_holds_iff_disagrees_with_every_stored_tuple(self, ripper_cw):
+        storage = ph2(ripper_cw)
+        atom = AlphaAtom("MURDERER", (Variable("x"),))
+        # disraeli might be jack (no uniqueness axiom), so not provably not a murderer.
+        assert not atom.holds(storage, ("disraeli",))
+        # dickens might also be jack.
+        assert not atom.holds(storage, ("dickens",))
+        # jack *is* the murderer: certainly not provably-not.
+        assert not atom.holds(storage, ("jack",))
+
+    def test_holds_with_full_uniqueness(self, ripper_cw):
+        storage = ph2(ripper_cw.fully_specified())
+        atom = AlphaAtom("MURDERER", (Variable("x"),))
+        assert atom.holds(storage, ("disraeli",))
+        assert not atom.holds(storage, ("jack",))
+
+    def test_empty_relation_means_everything_provably_absent(self, teaches_cw):
+        storage = ph2(teaches_cw).with_relation("TEACHES", set())
+        atom = AlphaAtom("TEACHES", (Variable("x"), Variable("y")))
+        assert atom.holds(storage, ("socrates", "plato"))
+
+    def test_with_args_replaces_terms(self):
+        atom = AlphaAtom("P", (Variable("x"),))
+        replaced = atom.with_args((Variable("z"),))
+        assert replaced.predicate == "P"
+        assert replaced.args == (Variable("z"),)
+
+    def test_alpha_atoms_are_hashable_values(self):
+        assert AlphaAtom("P", (Variable("x"),)) == AlphaAtom("P", (Variable("x"),))
+
+
+class TestConnectivityFormula:
+    def test_is_first_order_and_has_expected_free_variables(self):
+        u, v = Variable("u"), Variable("v")
+        from repro.logic.formulas import Equals, Or
+
+        def edge(a, b):
+            return Or((Equals(a, u), Equals(b, v)))
+
+        formula = connectivity_formula(4, edge, u, v, {"u", "v"})
+        assert is_first_order(formula)
+        assert free_variables(formula) <= {u, v}
+
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(FormulaError):
+            connectivity_formula(0, lambda a, b: None, Variable("u"), Variable("v"), set())
+
+
+class TestAlphaFormula:
+    """The literal Lemma 10 formula must agree with the direct AlphaAtom test."""
+
+    def test_unary_formula_agrees_with_direct_test(self, ripper_cw):
+        storage = ph2(ripper_cw)
+        x = Variable("x")
+        formula = build_alpha_formula("MURDERER", 1, (x,))
+        atom = AlphaAtom("MURDERER", (x,))
+        for constant in ripper_cw.constants:
+            assert satisfies(storage, formula, {x: constant}) == atom.holds(storage, (constant,))
+
+    def test_binary_formula_agrees_with_direct_test(self, teaches_cw, ripper_cw):
+        for db in (teaches_cw, ripper_cw.with_fact("LONDONER", ("jack",))):
+            pass
+        storage = ph2(teaches_cw)
+        x, y = Variable("x"), Variable("y")
+        formula = build_alpha_formula("TEACHES", 2, (x, y))
+        atom = AlphaAtom("TEACHES", (x, y))
+        query_formula = evaluate_query(storage, Query((x, y), formula))
+        query_atom = evaluate_query(storage, Query((x, y), atom))
+        assert query_formula == query_atom
+
+    def test_binary_formula_agrees_on_partially_specified_db(self, ripper_cw):
+        db = ripper_cw
+        storage = ph2(db)
+        x = Variable("x")
+        formula = build_alpha_formula("LONDONER", 1, (x,))
+        atom = AlphaAtom("LONDONER", (x,))
+        assert evaluate_query(storage, Query((x,), formula)) == evaluate_query(storage, Query((x,), atom))
+
+    def test_default_argument_variables(self):
+        formula = build_alpha_formula("P", 2)
+        names = {variable.name for variable in free_variables(formula)}
+        assert names == {"x1", "x2"}
+
+    def test_rejects_bad_arity(self):
+        with pytest.raises(FormulaError):
+            build_alpha_formula("P", 0)
+        with pytest.raises(FormulaError):
+            build_alpha_formula("P", 2, (Variable("x"),))

@@ -1,0 +1,44 @@
+"""Size tests for Lemma 10's alpha_P formula.
+
+Lemma 10 promises a formula of length O(k log k) for a k-ary predicate —
+the succinct connectivity trick is what keeps the rewriting polynomial
+(Theorem 14).  These tests check that growth rate empirically and pin the
+structural facts the construction relies on (a single occurrence of the
+stored predicate, free variables exactly x1..xk).
+"""
+
+from repro.approx.alpha import build_alpha_formula
+from repro.logic.analysis import free_variables, is_first_order, predicates_in
+from repro.logic.formulas import Atom, walk
+from repro.logic.vocabulary import NE_PREDICATE
+
+
+def _size(arity: int) -> int:
+    return len(list(walk(build_alpha_formula("P", arity))))
+
+
+class TestAlphaFormulaSize:
+    def test_growth_is_subquadratic(self):
+        sizes = {k: _size(k) for k in (1, 2, 4, 8)}
+        # O(k log k): doubling the arity should much less than quadruple the size.
+        assert sizes[2] < 4 * sizes[1]
+        assert sizes[4] < 3.5 * sizes[2]
+        assert sizes[8] < 3.5 * sizes[4]
+
+    def test_single_occurrence_of_the_stored_predicate(self):
+        formula = build_alpha_formula("P", 4)
+        p_atoms = [node for node in walk(formula) if isinstance(node, Atom) and node.predicate == "P"]
+        assert len(p_atoms) == 1
+
+    def test_single_occurrence_of_ne(self):
+        formula = build_alpha_formula("P", 4)
+        ne_atoms = [node for node in walk(formula) if isinstance(node, Atom) and node.predicate == NE_PREDICATE]
+        assert len(ne_atoms) == 1
+
+    def test_vocabulary_is_p_ne_and_equality_only(self):
+        assert predicates_in(build_alpha_formula("P", 3)) == {"P", NE_PREDICATE}
+
+    def test_formula_is_first_order_with_the_right_free_variables(self):
+        formula = build_alpha_formula("P", 3)
+        assert is_first_order(formula)
+        assert {variable.name for variable in free_variables(formula)} == {"x1", "x2", "x3"}

@@ -1,0 +1,72 @@
+"""Unit tests for the guarantee-checking helpers (Theorems 11-13 as runtime checks)."""
+
+import pytest
+
+from repro.logic.parser import parse_query
+from repro.approx.guarantees import ApproximationReport, check_completeness, check_soundness, compare
+
+
+class TestReport:
+    def test_recall_and_missed(self):
+        report = ApproximationReport(
+            exact=frozenset({("a",), ("b",)}),
+            approximate=frozenset({("a",)}),
+            query_is_positive=False,
+            database_fully_specified=False,
+        )
+        assert report.is_sound
+        assert not report.is_complete
+        assert report.missed == frozenset({("b",)})
+        assert report.spurious == frozenset()
+        assert report.recall == pytest.approx(0.5)
+        assert not report.completeness_guaranteed
+
+    def test_recall_is_one_when_exact_is_empty(self):
+        report = ApproximationReport(frozenset(), frozenset(), False, False)
+        assert report.recall == 1.0
+        assert report.is_complete
+
+    def test_spurious_answers_break_soundness(self):
+        report = ApproximationReport(
+            exact=frozenset(),
+            approximate=frozenset({("a",)}),
+            query_is_positive=True,
+            database_fully_specified=False,
+        )
+        assert not report.is_sound
+        assert report.spurious == frozenset({("a",)})
+
+
+class TestCheckers:
+    def test_compare_on_unknown_value_database(self, ripper_cw):
+        report = compare(ripper_cw, parse_query("(x) . ~MURDERER(x)"))
+        assert report.is_sound
+        assert report.is_complete  # the exact answer happens to be empty too
+
+    def test_check_soundness_passes_everywhere(self, ripper_cw, teaches_cw):
+        for db in (ripper_cw, teaches_cw):
+            report = check_soundness(db, parse_query("(x) . ~LONDONER(x)" if db is ripper_cw else "(x) . ~PHILOSOPHER(x)"))
+            assert report.is_sound
+
+    def test_check_completeness_on_fully_specified(self, teaches_cw):
+        report = check_completeness(teaches_cw, parse_query("(x) . ~TEACHES('socrates', x)"))
+        assert report.completeness_guaranteed
+        assert report.is_complete
+
+    def test_check_completeness_on_positive_query(self, ripper_cw):
+        report = check_completeness(ripper_cw, parse_query("(x) . LONDONER(x) & MURDERER(x)"))
+        assert report.completeness_guaranteed
+        assert report.is_complete
+
+    def test_incomplete_but_unguaranteed_case_does_not_raise(self, tiny_unknown_cw):
+        # ~P(b) is not returned and not certain; but P(a) | ~P(b)-style cases can
+        # give a certain answer the approximation misses.  Use a query where the
+        # approximation is knowably incomplete: "x = x & (P(x) | ~P(x))" is
+        # certain for every constant, but its rewriting needs alpha_P to prove
+        # the negative branch for b, which it cannot.
+        query = parse_query("(x) . P(x) | ~P(x)")
+        report = check_completeness(tiny_unknown_cw, query)
+        assert report.is_sound
+        assert not report.completeness_guaranteed
+        assert not report.is_complete
+        assert report.missed == frozenset({("b",)})

@@ -1,0 +1,87 @@
+"""Unit tests for the Q -> Q-hat rewriting of Section 5."""
+
+import pytest
+
+from repro.errors import FormulaError
+from repro.logic.analysis import free_variables, is_first_order
+from repro.logic.formulas import Atom, Not, walk
+from repro.logic.parser import parse_formula, parse_query
+from repro.logic.vocabulary import NE_PREDICATE
+from repro.approx.alpha import AlphaAtom
+from repro.approx.rewrite import rewrite_formula, rewrite_query
+
+
+class TestEqualityRewriting:
+    def test_negated_equality_becomes_ne(self):
+        rewritten = rewrite_formula(parse_formula("~(x = y)"))
+        assert rewritten == Atom(NE_PREDICATE, (parse_formula("x = y").left, parse_formula("x = y").right))
+
+    def test_positive_equality_is_kept(self):
+        formula = parse_formula("x = y")
+        assert rewrite_formula(formula) == formula
+
+    def test_nested_negation_via_implication(self):
+        # P(x) -> x = y  ==nnf==  ~P(x) | x = y : the negated atom becomes alpha.
+        rewritten = rewrite_formula(parse_formula("P(x) -> ~(x = y)"))
+        atoms = list(walk(rewritten))
+        assert any(isinstance(node, AlphaAtom) for node in atoms)
+        assert any(isinstance(node, Atom) and node.predicate == NE_PREDICATE for node in atoms)
+
+
+class TestNegatedAtomRewriting:
+    def test_direct_mode_uses_alpha_atoms(self):
+        rewritten = rewrite_formula(parse_formula("~P(x)"), mode="direct")
+        assert isinstance(rewritten, AlphaAtom)
+        assert rewritten.predicate == "P"
+
+    def test_formula_mode_stays_first_order(self):
+        rewritten = rewrite_formula(parse_formula("~P(x)"), mode="formula")
+        assert is_first_order(rewritten)
+        assert not any(isinstance(node, AlphaAtom) for node in walk(rewritten))
+        assert free_variables(rewritten) == free_variables(parse_formula("~P(x)"))
+
+    def test_double_negation_becomes_positive_atom(self):
+        assert rewrite_formula(parse_formula("~~P(x)")) == parse_formula("P(x)")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            rewrite_formula(parse_formula("P(x)"), mode="bogus")
+
+    def test_source_query_must_not_mention_ne(self):
+        with pytest.raises(FormulaError):
+            rewrite_formula(parse_formula("~NE(x, y)"))
+
+
+class TestStructuralBehaviour:
+    def test_positive_query_is_untouched(self):
+        query = parse_query("(x, y) . exists z. TEACHES(x, z) & TEACHES(z, y)")
+        assert rewrite_query(query).formula == query.formula
+
+    def test_positive_query_with_implication_only_changes_shape(self):
+        # An implication is not positive: its antecedent is effectively negated.
+        query = parse_query("(x) . forall y. TEACHES(x, y) -> PHILOSOPHER(y)")
+        rewritten = rewrite_query(query)
+        assert any(isinstance(node, AlphaAtom) for node in walk(rewritten.formula))
+
+    def test_quantifiers_are_preserved(self):
+        query = parse_query("(x) . forall y. exists z. ~R(y, z) | R(x, x)")
+        rewritten = rewrite_query(query)
+        kinds = [type(node).__name__ for node in walk(rewritten.formula)]
+        assert "Forall" in kinds and "Exists" in kinds
+
+    def test_second_order_quantifiers_are_preserved(self):
+        from repro.logic.formulas import SecondOrderExists
+
+        formula = SecondOrderExists("Q", 1, parse_formula("exists x. Q(x) & ~P(x)"))
+        rewritten = rewrite_formula(formula)
+        assert isinstance(rewritten, SecondOrderExists)
+        assert any(isinstance(node, AlphaAtom) for node in walk(rewritten))
+
+    def test_head_is_preserved(self):
+        query = parse_query("(a, b) . ~R(a, b)")
+        assert rewrite_query(query).head == query.head
+
+    def test_no_plain_negations_survive_in_direct_mode(self):
+        query = parse_query("(x) . ~(P(x) & exists y. (R(x, y) -> ~P(y)))")
+        rewritten = rewrite_query(query, mode="direct")
+        assert not any(isinstance(node, Not) for node in walk(rewritten.formula))

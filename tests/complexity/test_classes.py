@@ -1,0 +1,51 @@
+"""Tests for the complexity-result catalogue and query classification."""
+
+from repro.logic.parser import parse_formula, parse_query
+from repro.logic.queries import Query
+from repro.complexity.classes import PAPER_RESULTS, classify_query, results_for
+
+
+class TestCatalogue:
+    def test_catalogue_covers_the_main_theorems(self):
+        theorems = {result.theorem for result in PAPER_RESULTS}
+        for needle in ("Theorem 4", "Theorem 5", "Theorem 7", "Theorem 9", "Theorem 14"):
+            assert any(needle in theorem for theorem in theorems)
+
+    def test_filter_by_database_kind(self):
+        logical = results_for(database_kind="logical")
+        assert logical
+        assert all(result.database_kind == "logical" for result in logical)
+
+    def test_filter_by_measure_and_class(self):
+        rows = results_for(measure="data", query_class="first-order")
+        assert any("co-NP" in row.complexity for row in rows)
+
+    def test_headline_result_is_co_np(self):
+        rows = results_for(database_kind="logical", measure="data", query_class="first-order")
+        assert len(rows) == 1
+        assert rows[0].complexity == "co-NP-complete"
+
+
+class TestClassification:
+    def test_first_order_query(self):
+        info = classify_query(parse_query("(x) . exists y. R(x, y)"))
+        assert info.is_first_order
+        assert info.prefix_class == "Sigma_1"
+        assert "co-NP" in info.logical_data_complexity
+        assert "Pi^p_2" in info.logical_combined_complexity
+
+    def test_positive_flag(self):
+        assert classify_query(parse_query("(x) . P(x)")).is_positive
+        assert not classify_query(parse_query("(x) . ~P(x)")).is_positive
+
+    def test_second_order_query(self):
+        query = Query((), parse_formula("exists2 Q/1. forall x. Q(x) -> P(x)"))
+        info = classify_query(query)
+        assert not info.is_first_order
+        assert info.prefix_class == "SO-Sigma_1"
+        assert "Pi^p_2" in info.logical_data_complexity
+
+    def test_summary_is_readable(self):
+        info = classify_query(parse_query("(x) . ~P(x)"))
+        text = info.summary()
+        assert "first-order" in text and "data complexity" in text

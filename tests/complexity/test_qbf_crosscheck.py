@@ -1,0 +1,59 @@
+"""Cross-checks of the QBF evaluator against an independent brute-force decision.
+
+The QBF evaluator is itself used as ground truth for the Theorem 7 and
+Theorem 9 reductions, so it deserves an independent check: a QBF with blocks
+``B1 ... Bm`` is true iff the corresponding game between the universal and
+existential player has a winning strategy for the existential player, which
+for small instances can be decided by expanding the full assignment tree.
+"""
+
+from itertools import product
+
+import pytest
+
+from repro.complexity.qbf import QBF, QuantifierBlock, random_qbf
+
+
+def _truth_by_full_expansion(qbf: QBF) -> bool:
+    """Independent decision: recurse over blocks, trying every assignment."""
+
+    def recurse(block_index: int, assignment: dict[str, bool]) -> bool:
+        if block_index == len(qbf.blocks):
+            return qbf.matrix.evaluate(assignment)
+        block = qbf.blocks[block_index]
+        outcomes = []
+        for values in product((False, True), repeat=len(block.variables)):
+            extended = dict(assignment)
+            extended.update(zip(block.variables, values))
+            outcomes.append(recurse(block_index + 1, extended))
+        return all(outcomes) if block.universal else any(outcomes)
+
+    return recurse(0, {})
+
+
+class TestEvaluatorCrossCheck:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_two_block_formulas(self, seed):
+        qbf = random_qbf(2, 2, 3, seed=seed)
+        assert qbf.is_true() == _truth_by_full_expansion(qbf)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_three_block_formulas(self, seed):
+        qbf = random_qbf(3, 2, 4, seed=seed)
+        assert qbf.is_true() == _truth_by_full_expansion(qbf)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_four_block_formulas(self, seed):
+        qbf = random_qbf(4, 1, 4, seed=seed)
+        assert qbf.is_true() == _truth_by_full_expansion(qbf)
+
+    def test_single_universal_block_tautology_and_contradiction(self):
+        from repro.complexity.qbf import PropNot, PropOr, PropVar
+
+        tautology = QBF(
+            (QuantifierBlock(True, ("a",)),),
+            PropOr((PropVar("a"), PropNot(PropVar("a")))),
+        )
+        assert tautology.is_true() and _truth_by_full_expansion(tautology)
+        contingent = QBF((QuantifierBlock(True, ("a",)),), PropVar("a"))
+        assert not contingent.is_true() and not _truth_by_full_expansion(contingent)

@@ -1,0 +1,86 @@
+"""Tests for the Theorem 7 reduction (QBF -> CW database + Sigma_k query)."""
+
+import pytest
+
+from repro.errors import ReductionError
+from repro.logic.analysis import first_order_prefix_class, is_first_order
+from repro.complexity.qbf import PropVar, QBF, QuantifierBlock, random_qbf
+from repro.complexity.qbf_reduction import decide_qbf_via_certain_answers, reduce_qbf
+
+
+class TestConstruction:
+    def test_database_shape(self):
+        qbf = random_qbf(2, 2, 3, seed=0)
+        reduction = reduce_qbf(qbf)
+        db = reduction.database
+        assert db.constants == ("0", "1", "c1", "c2")
+        assert db.facts_for("M") == frozenset({("1",)})
+        assert db.facts_for("N1") == frozenset({("c1",)})
+        assert db.facts_for("N2") == frozenset({("c2",)})
+        assert db.unequal_pairs() == frozenset({("0", "1")})
+
+    def test_query_is_first_order_and_existential_prefixed(self):
+        qbf = random_qbf(2, 2, 3, seed=1)
+        reduction = reduce_qbf(qbf)
+        assert reduction.query.is_boolean
+        assert is_first_order(reduction.query.formula)
+        prefix = first_order_prefix_class(reduction.query.formula)
+        # Blocks 2..k+1 of a B_{k+1} formula: for k=1 a single existential block.
+        assert prefix.level == 1
+        assert prefix.starts_with_exists
+
+    def test_query_alternation_tracks_source_blocks(self):
+        qbf = random_qbf(3, 1, 3, seed=2)
+        reduction = reduce_qbf(qbf)
+        prefix = first_order_prefix_class(reduction.query.formula)
+        assert prefix.level == 2  # exists (block 2) then forall (block 3)
+
+    def test_database_size_grows_with_first_block_only(self):
+        small = reduce_qbf(random_qbf(2, 1, 3, seed=0)).database
+        large = reduce_qbf(random_qbf(2, 3, 3, seed=0)).database
+        assert len(large.constants) == len(small.constants) + 2
+
+    def test_rejects_existential_first_formulas(self):
+        qbf = QBF((QuantifierBlock(False, ("a",)),), PropVar("a"))
+        with pytest.raises(ReductionError):
+            reduce_qbf(qbf)
+
+
+class TestCorrectness:
+    """phi is true iff the reduced query is a certain answer of the reduced database."""
+
+    def test_simple_true_formula(self):
+        # forall a exists b. (a <-> b)
+        from repro.complexity.qbf import PropAnd, PropNot, PropOr
+
+        matrix = PropAnd(
+            (
+                PropOr((PropNot(PropVar("a")), PropVar("b"))),
+                PropOr((PropVar("a"), PropNot(PropVar("b")))),
+            )
+        )
+        qbf = QBF((QuantifierBlock(True, ("a",)), QuantifierBlock(False, ("b",))), matrix)
+        assert qbf.is_true()
+        assert decide_qbf_via_certain_answers(qbf)
+
+    def test_simple_false_formula(self):
+        qbf = QBF((QuantifierBlock(True, ("a",)), QuantifierBlock(False, ("b",))), PropVar("a"))
+        assert not qbf.is_true()
+        assert not decide_qbf_via_certain_answers(qbf)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_two_block_formulas(self, seed):
+        qbf = random_qbf(2, 2, 3, seed=seed)
+        assert decide_qbf_via_certain_answers(qbf) == qbf.is_true()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_three_block_formulas(self, seed):
+        qbf = random_qbf(3, 1, 3, seed=seed)
+        assert decide_qbf_via_certain_answers(qbf) == qbf.is_true()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_naive_and_canonical_strategies_agree(self, seed):
+        qbf = random_qbf(2, 2, 2, seed=seed)
+        assert decide_qbf_via_certain_answers(qbf, strategy="all") == decide_qbf_via_certain_answers(
+            qbf, strategy="canonical"
+        )

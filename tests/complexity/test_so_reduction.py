@@ -1,0 +1,106 @@
+"""Tests for the Theorem 9 reduction (3-CNF QBF -> CW database + second-order Sigma_k query)."""
+
+import pytest
+
+from repro.errors import ReductionError
+from repro.logic.analysis import is_first_order, second_order_prefix_class
+from repro.complexity.qbf import Clause, QBF, QuantifierBlock, random_3cnf_qbf
+from repro.complexity.so_reduction import decide_3cnf_qbf_via_certain_answers, reduce_3cnf_qbf
+
+
+def _b2_formula(clauses, universal=("a1", "a2"), existential=("b1",)):
+    return QBF(
+        (QuantifierBlock(True, universal), QuantifierBlock(False, existential)),
+        clauses=tuple(Clause(c) for c in clauses),
+    )
+
+
+class TestConstruction:
+    def test_query_is_second_order_sigma_1_for_two_blocks(self):
+        qbf = random_3cnf_qbf(2, 2, 2, seed=0)
+        reduction = reduce_3cnf_qbf(qbf)
+        formula = reduction.query.formula
+        assert not is_first_order(formula)
+        prefix = second_order_prefix_class(formula)
+        assert prefix.level == 1
+        assert prefix.starts_with_exists
+
+    def test_database_facts_encode_clauses(self):
+        qbf = _b2_formula([[("a1", True), ("a2", False), ("b1", True)]])
+        reduction = reduce_3cnf_qbf(qbf)
+        ternary = [p for p, arity in reduction.database.predicates.items() if arity == 3]
+        assert len(ternary) == 1
+        facts = reduction.database.facts_for(ternary[0])
+        assert facts == frozenset({("c_1_1", "c_1_2", "c_2_1")})
+
+    def test_inner_constants_are_fully_distinguished(self):
+        qbf = _b2_formula([[("a1", True), ("a2", True), ("b1", True)]])
+        db = reduce_3cnf_qbf(qbf).database
+        # b1's constant must be distinct from every other constant.
+        for other in db.constants:
+            if other != "c_2_1":
+                assert db.are_known_distinct("c_2_1", other)
+        # first-block constants stay unknown relative to '1'.
+        assert not db.are_known_distinct("c_1_1", "1")
+
+    def test_query_size_depends_on_clause_shapes_not_clause_count(self):
+        one = reduce_3cnf_qbf(_b2_formula([[("a1", True), ("a2", True), ("b1", True)]]))
+        two = reduce_3cnf_qbf(
+            _b2_formula(
+                [
+                    [("a1", True), ("a2", True), ("b1", True)],
+                    [("a2", True), ("a1", True), ("b1", True)],
+                ]
+            )
+        )
+        # the second clause uses the same (i, j, l, p, q, r) shape, so the query is identical
+        assert one.query == two.query
+
+    def test_requires_clause_list(self):
+        from repro.complexity.qbf import PropVar
+
+        qbf = QBF((QuantifierBlock(True, ("a",)), QuantifierBlock(False, ("b",))), PropVar("a"))
+        with pytest.raises(ReductionError):
+            reduce_3cnf_qbf(qbf)
+
+    def test_requires_b_form(self):
+        qbf = QBF(
+            (QuantifierBlock(False, ("a",)),),
+            clauses=(Clause([("a", True), ("a", True), ("a", True)]),),
+        )
+        with pytest.raises(ReductionError):
+            reduce_3cnf_qbf(qbf)
+
+
+class TestCorrectness:
+    def test_trivially_true_formula(self):
+        # clause a1 | ~a1 | b1 is a tautology.
+        qbf = _b2_formula([[("a1", True), ("a1", False), ("b1", True)]], universal=("a1",))
+        assert qbf.is_true()
+        assert decide_3cnf_qbf_via_certain_answers(qbf)
+
+    def test_false_formula(self):
+        # forall a1 exists b1. a1 & ... encoded as two contradictory unit-ish clauses on a1.
+        qbf = _b2_formula(
+            [[("a1", True), ("a1", True), ("a1", True)]],
+            universal=("a1",),
+        )
+        assert not qbf.is_true()
+        assert not decide_3cnf_qbf_via_certain_answers(qbf)
+
+    def test_existential_block_matters(self):
+        # forall a1 exists b1. (a1 | b1) & (~a1 | ~b1): b must be chosen opposite to a — true.
+        qbf = _b2_formula(
+            [
+                [("a1", True), ("a1", True), ("b1", True)],
+                [("a1", False), ("a1", False), ("b1", False)],
+            ],
+            universal=("a1",),
+        )
+        assert qbf.is_true()
+        assert decide_3cnf_qbf_via_certain_answers(qbf)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_tiny_instances(self, seed):
+        qbf = random_3cnf_qbf(2, 2, 2, seed=seed)
+        assert decide_3cnf_qbf_via_certain_answers(qbf) == qbf.is_true()

@@ -1,0 +1,64 @@
+"""Tests for the experiment harness (timing, tables, reports)."""
+
+import pytest
+
+from repro.harness.experiments import Experiment, run_experiment, timed
+from repro.harness.reporting import format_ratio, format_report, format_table
+
+
+class TestTiming:
+    def test_timed_returns_result_and_duration(self):
+        result, elapsed = timed(lambda: sum(range(1000)))
+        assert result == sum(range(1000))
+        assert elapsed >= 0
+
+
+class TestTables:
+    def test_format_table_aligns_columns(self):
+        text = format_table(["name", "value"], [["a", 1], ["longer-name", 123456]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # all lines same width
+        assert "longer-name" in text
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.000123456], [12345678.0], [1.5]])
+        assert "e" in text  # scientific notation for extreme values
+        assert "1.5" in text
+
+    def test_bool_formatting(self):
+        text = format_table(["ok"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_format_report_includes_claim_and_notes(self):
+        text = format_report("title", "the claim", ["a"], [[1]], notes=["careful"])
+        assert "the claim" in text and "careful" in text and "== title ==" in text
+
+    def test_format_ratio(self):
+        assert format_ratio(10, 2) == "5.0x"
+        assert format_ratio(1, 0) == "n/a"
+
+
+class TestExperiment:
+    def test_add_row_checks_width(self):
+        experiment = Experiment("E0", "test", "claim", ("a", "b"))
+        experiment.add_row(1, 2)
+        with pytest.raises(ValueError):
+            experiment.add_row(1)
+
+    def test_report_contains_rows_and_id(self):
+        experiment = Experiment("E0", "test", "claim", ("a",))
+        experiment.add_row("value")
+        experiment.add_note("a note")
+        report = experiment.report()
+        assert "E0" in report and "value" in report and "a note" in report
+
+    def test_run_experiment_invokes_populate(self, capsys):
+        experiment = Experiment("E0", "test", "claim", ("a",))
+
+        def populate(exp):
+            exp.add_row(42)
+
+        run_experiment(experiment, populate, echo=True)
+        captured = capsys.readouterr()
+        assert "42" in captured.out
+        assert experiment.rows

@@ -1,0 +1,74 @@
+"""End-to-end runs of the stories the paper itself tells.
+
+These tests read like the paper: the employee/manager query of the
+introduction, the Socrates facts of Section 2.2, the Jack-the-Ripper
+uniqueness example, and the co-NP-hardness construction of Theorem 5 — each
+wired through the public API the way a user of the library would.
+"""
+
+from repro import (
+    CWDatabase,
+    approximate_answers,
+    certain_answers,
+    certainly_holds,
+    parse_query,
+)
+from repro.logic.parser import parse_formula
+from repro.complexity.three_coloring import (
+    coloring_database,
+    coloring_query,
+    cycle_graph,
+    complete_graph,
+)
+from repro.workloads.scenarios import employee_intro_scenario, jack_the_ripper_database
+
+
+class TestIntroductionExample:
+    def test_employee_manager_relationship_query(self):
+        scenario = employee_intro_scenario()
+        query = parse_query("(x1, x2) . exists y. EMP_DEPT(x1, y) & DEPT_MGR(y, x2)")
+        exact = certain_answers(scenario.database, query)
+        approx = approximate_answers(scenario.database, query)
+        # The query is positive, so Theorem 13 promises the approximation is exact.
+        assert approx == exact
+        assert ("ada", "ada") in exact
+
+
+class TestSection2Examples:
+    def test_teaches_socrates_plato_is_certain(self):
+        db = CWDatabase(
+            ("Socrates", "Plato"),
+            {"TEACHES": 2},
+            {"TEACHES": [("Socrates", "Plato")]},
+            [("Socrates", "Plato")],
+        )
+        assert certainly_holds(db, parse_formula("TEACHES('Socrates', 'Plato')"))
+        # Closed world assumption: the converse fact is certainly false.
+        assert certainly_holds(db, parse_formula("~TEACHES('Plato', 'Socrates')"))
+
+    def test_jack_the_ripper_identity_is_open(self):
+        db = jack_the_ripper_database()
+        # Not certain that Jack is distinct from Disraeli (no uniqueness axiom)...
+        assert not certainly_holds(db, parse_formula("~('jack_the_ripper' = 'benjamin_disraeli')"))
+        # ...nor certain that they are equal.
+        assert not certainly_holds(db, parse_formula("'jack_the_ripper' = 'benjamin_disraeli'"))
+        # But Dickens and Disraeli are certainly distinct.
+        assert certainly_holds(db, parse_formula("~('charles_dickens' = 'benjamin_disraeli')"))
+
+
+class TestTheorem5Construction:
+    def test_colorable_graph_means_query_is_not_certain(self):
+        database = coloring_database(cycle_graph(4))
+        assert not certainly_holds(database, coloring_query().formula)
+
+    def test_uncolorable_graph_means_query_is_certain(self):
+        database = coloring_database(complete_graph(4))
+        assert certainly_holds(database, coloring_query().formula)
+
+    def test_approximation_is_sound_but_weaker_on_the_reduction(self):
+        # The reduction's query is not positive and the database is not fully
+        # specified, so the approximation may (and here does) fail to derive
+        # the sentence even for uncolorable graphs — without ever overclaiming.
+        database = coloring_database(complete_graph(4))
+        query = coloring_query()
+        assert approximate_answers(database, query) <= certain_answers(database, query)

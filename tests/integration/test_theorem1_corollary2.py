@@ -1,0 +1,73 @@
+"""Integration tests for Theorem 1 and Corollary 2.
+
+Theorem 1: ``c ∈ Q(LB)`` iff ``h(c) ∈ Q(h(Ph1(LB)))`` for every respecting
+``h``.  We check the evaluator built on that characterization against the
+*definitional* certain answers (model checking over every model), over a
+grid of small databases and queries.
+
+Corollary 2: for fully specified databases, ``Q(LB) = Q(Ph1(LB))``.
+"""
+
+import pytest
+
+from repro.logic.parser import parse_query
+from repro.logical.exact import certain_answers
+from repro.logical.models import certain_answers_by_model_checking
+from repro.logical.ph import ph1
+from repro.physical.evaluator import evaluate_query
+from repro.workloads.generators import random_cw_database, random_query
+
+QUERY_TEXTS = [
+    "(x) . P(x)",
+    "(x) . ~P(x)",
+    "(x, y) . R(x, y)",
+    "(x, y) . R(x, y) & ~(x = y)",
+    "(x) . exists y. R(x, y) & P(y)",
+    "(x) . forall y. R(x, y) -> P(y)",
+    "() . exists x. P(x) & ~(exists y. R(y, x))",
+    "(x) . P(x) | ~P(x)",
+]
+
+SCHEMA = {"P": 1, "R": 2}
+
+
+def _grid_of_databases():
+    cases = []
+    for seed in range(4):
+        for unknown_fraction in (0.0, 0.4, 1.0):
+            cases.append(random_cw_database(4, SCHEMA, 6, unknown_fraction, seed=seed))
+    return cases
+
+
+class TestTheorem1AgainstTheDefinition:
+    @pytest.mark.parametrize("query_text", QUERY_TEXTS)
+    def test_characterization_matches_model_checking(self, query_text):
+        query = parse_query(query_text)
+        for database in _grid_of_databases():
+            via_theorem_1 = certain_answers(database, query)
+            via_definition = certain_answers_by_model_checking(database, query)
+            assert via_theorem_1 == via_definition, (database.describe(), query_text)
+
+    def test_random_queries_against_the_definition(self):
+        for seed in range(12):
+            database = random_cw_database(3, SCHEMA, 4, unknown_fraction=0.5, seed=seed)
+            query = random_query(SCHEMA, database.constants, arity=1, depth=2, seed=seed)
+            assert certain_answers(database, query) == certain_answers_by_model_checking(database, query)
+
+
+class TestCorollary2:
+    @pytest.mark.parametrize("query_text", QUERY_TEXTS)
+    def test_fully_specified_logical_equals_physical(self, query_text):
+        query = parse_query(query_text)
+        for seed in range(4):
+            database = random_cw_database(4, SCHEMA, 6, unknown_fraction=0.0, seed=seed)
+            assert database.is_fully_specified
+            assert certain_answers(database, query) == evaluate_query(ph1(database), query)
+
+    def test_certain_answers_shrink_as_uniqueness_axioms_are_dropped(self):
+        """Monotonicity sanity check: removing knowledge can only remove certain answers
+        for queries whose certain answers are intersections over more models."""
+        query = parse_query("(x) . ~P(x)")
+        full = random_cw_database(4, SCHEMA, 5, unknown_fraction=0.0, seed=7)
+        partial = full.without_uniqueness()
+        assert certain_answers(partial, query) <= certain_answers(full, query)

@@ -1,0 +1,109 @@
+"""Integration tests for the approximation guarantees (Theorems 11, 12, 13, 14).
+
+Theorem 11 (soundness): ``A(Q, LB) ⊆ Q(LB)`` for every query and database.
+Theorem 12 (completeness, fully specified): equality when there are no
+unknown values.  Theorem 13 (completeness, positive queries): equality for
+positive queries.  The remark after Theorem 12 also notes the rewriting is
+exactly first-order when the source query is, which keeps Theorem 14's
+complexity claim meaningful — checked here syntactically.
+"""
+
+import pytest
+
+from repro.logic.analysis import is_first_order
+from repro.logic.parser import parse_query
+from repro.approx.evaluator import ApproximateEvaluator
+from repro.approx.guarantees import compare
+from repro.approx.rewrite import rewrite_query
+from repro.workloads.generators import (
+    random_cw_database,
+    random_positive_query,
+    random_query,
+)
+
+SCHEMA = {"P": 1, "R": 2}
+
+MIXED_QUERIES = [
+    "(x) . ~P(x)",
+    "(x) . P(x) & ~(exists y. R(x, y))",
+    "(x, y) . R(x, y) & ~(x = y)",
+    "(x) . forall y. R(x, y) -> P(y)",
+    "() . forall x. P(x) -> exists y. R(x, y) & ~(x = y)",
+    "(x) . P(x) | ~P(x)",
+]
+
+
+class TestTheorem11Soundness:
+    @pytest.mark.parametrize("query_text", MIXED_QUERIES)
+    def test_handwritten_queries_are_sound_everywhere(self, query_text):
+        query = parse_query(query_text)
+        for seed in range(4):
+            for unknown_fraction in (0.0, 0.5, 1.0):
+                database = random_cw_database(4, SCHEMA, 6, unknown_fraction, seed=seed)
+                report = compare(database, query)
+                assert report.is_sound, (database.describe(), query_text, report.spurious)
+
+    def test_random_queries_are_sound(self):
+        for seed in range(15):
+            database = random_cw_database(4, SCHEMA, 5, unknown_fraction=0.6, seed=seed)
+            query = random_query(SCHEMA, database.constants, arity=1, depth=3, seed=1000 + seed)
+            assert compare(database, query).is_sound
+
+    def test_soundness_holds_for_both_engines(self):
+        query = parse_query("(x) . ~P(x) & exists y. R(x, y)")
+        for seed in range(4):
+            database = random_cw_database(4, SCHEMA, 6, unknown_fraction=0.5, seed=seed)
+            for engine in ("tarski", "algebra"):
+                report = compare(database, query, approximate=ApproximateEvaluator(engine=engine))
+                assert report.is_sound
+
+
+class TestTheorem12CompletenessFullySpecified:
+    @pytest.mark.parametrize("query_text", MIXED_QUERIES)
+    def test_fully_specified_databases_get_exact_answers(self, query_text):
+        query = parse_query(query_text)
+        for seed in range(4):
+            database = random_cw_database(4, SCHEMA, 6, unknown_fraction=0.0, seed=seed)
+            report = compare(database, query)
+            assert report.is_complete and report.is_sound
+
+    def test_random_queries_complete_when_fully_specified(self):
+        for seed in range(10):
+            database = random_cw_database(4, SCHEMA, 5, unknown_fraction=0.0, seed=seed)
+            query = random_query(SCHEMA, database.constants, arity=1, depth=3, seed=2000 + seed)
+            report = compare(database, query)
+            assert report.is_complete
+
+
+class TestTheorem13CompletenessPositiveQueries:
+    def test_positive_queries_complete_even_with_unknown_values(self):
+        for seed in range(10):
+            database = random_cw_database(4, SCHEMA, 6, unknown_fraction=0.7, seed=seed)
+            query = random_positive_query(SCHEMA, database.constants, arity=1, depth=3, seed=3000 + seed)
+            report = compare(database, query)
+            assert report.is_sound and report.is_complete
+
+    def test_incompleteness_actually_occurs_outside_the_guaranteed_cases(self):
+        """The approximation is *strictly* weaker in general — otherwise
+        Theorems 12/13 would be vacuous and the co-NP lower bound violated."""
+        from repro.logical.database import CWDatabase
+
+        database = CWDatabase(("a", "b"), {"P": 1}, {"P": [("a",)]}, [])
+        query = parse_query("(x) . P(x) | ~P(x)")
+        report = compare(database, query)
+        assert report.is_sound
+        assert not report.is_complete
+
+
+class TestTheorem14ComplexityShape:
+    def test_first_order_queries_stay_first_order_after_rewriting(self):
+        for query_text in MIXED_QUERIES:
+            rewritten = rewrite_query(parse_query(query_text), mode="formula")
+            assert is_first_order(rewritten.formula)
+
+    def test_rewriting_size_is_polynomial_in_the_query(self):
+        from repro.logic.formulas import walk
+
+        query = parse_query("(x) . " + " & ".join(f"~R(x, x)" for __ in range(6)))
+        rewritten = rewrite_query(query, mode="formula")
+        assert len(list(walk(rewritten.formula))) < 120 * 6

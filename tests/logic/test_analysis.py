@@ -1,0 +1,107 @@
+"""Unit tests for structural analysis: free variables, positivity, prefix classes."""
+
+from repro.logic.analysis import (
+    all_variables,
+    constants_in,
+    first_order_prefix_class,
+    free_variables,
+    is_first_order,
+    is_positive,
+    is_quantifier_free,
+    is_sentence,
+    predicates_in,
+    quantifier_rank,
+    second_order_prefix_class,
+)
+from repro.logic.parser import parse_formula
+from repro.logic.formulas import SecondOrderExists, SecondOrderForall
+from repro.logic.terms import Constant, Variable
+
+
+class TestFreeVariables:
+    def test_atom_free_variables(self):
+        assert free_variables(parse_formula("R(x, y)")) == {Variable("x"), Variable("y")}
+
+    def test_quantifier_binds(self):
+        assert free_variables(parse_formula("exists y. R(x, y)")) == {Variable("x")}
+
+    def test_constants_are_not_free_variables(self):
+        assert free_variables(parse_formula("R('a', x)")) == {Variable("x")}
+
+    def test_sentence_has_no_free_variables(self):
+        assert is_sentence(parse_formula("forall x. exists y. R(x, y)"))
+        assert not is_sentence(parse_formula("R(x, x)"))
+
+    def test_second_order_quantifier_does_not_bind_individuals(self):
+        formula = SecondOrderExists("P", 1, parse_formula("P(x)"))
+        assert free_variables(formula) == {Variable("x")}
+
+    def test_all_variables_includes_bound(self):
+        formula = parse_formula("exists y. R(x, y)")
+        assert all_variables(formula) == {Variable("x"), Variable("y")}
+
+    def test_shadowing_same_name(self):
+        # x is both free (outer atom) and bound (inner quantifier).
+        formula = parse_formula("P(x) & (exists x. Q(x))")
+        assert free_variables(formula) == {Variable("x")}
+
+
+class TestSyntacticInfo:
+    def test_constants_in(self):
+        assert constants_in(parse_formula("R('a', x) & P('b')")) == {Constant("a"), Constant("b")}
+
+    def test_predicates_in(self):
+        assert predicates_in(parse_formula("R(x, y) | ~P(x)")) == {"R", "P"}
+
+    def test_is_first_order(self):
+        assert is_first_order(parse_formula("forall x. P(x)"))
+        assert not is_first_order(SecondOrderExists("Q", 1, parse_formula("Q(x)")))
+
+    def test_is_quantifier_free(self):
+        assert is_quantifier_free(parse_formula("P(x) & ~R(x, y)"))
+        assert not is_quantifier_free(parse_formula("exists x. P(x)"))
+
+    def test_quantifier_rank_counts_nesting(self):
+        assert quantifier_rank(parse_formula("P(x)")) == 0
+        assert quantifier_rank(parse_formula("exists x. forall y. R(x, y)")) == 2
+        assert quantifier_rank(parse_formula("(exists x. P(x)) & (exists y. P(y))")) == 1
+
+
+class TestPositivity:
+    def test_plain_atoms_are_positive(self):
+        assert is_positive(parse_formula("P(x) & R(x, y) | x = y"))
+
+    def test_negation_breaks_positivity(self):
+        assert not is_positive(parse_formula("P(x) & ~R(x, y)"))
+
+    def test_double_negation_is_positive(self):
+        assert is_positive(parse_formula("~~P(x)"))
+
+    def test_implication_antecedent_counts_as_negative(self):
+        assert not is_positive(parse_formula("P(x) -> R(x, x)"))
+
+    def test_quantifiers_preserve_positivity(self):
+        assert is_positive(parse_formula("forall x. exists y. R(x, y)"))
+
+
+class TestPrefixClasses:
+    def test_sigma_1(self):
+        cls = first_order_prefix_class(parse_formula("exists x y. R(x, y)"))
+        assert cls.name == "Sigma_1"
+
+    def test_pi_2(self):
+        cls = first_order_prefix_class(parse_formula("forall x. exists y. R(x, y)"))
+        assert cls.name == "Pi_2"
+
+    def test_sigma_2_with_merged_blocks(self):
+        cls = first_order_prefix_class(parse_formula("exists x. exists y. forall z. R(x, z)"))
+        assert cls.level == 2
+        assert cls.starts_with_exists
+
+    def test_quantifier_free_prefix(self):
+        assert first_order_prefix_class(parse_formula("P(x)")).name == "quantifier-free"
+
+    def test_second_order_prefix(self):
+        formula = SecondOrderExists("P", 1, SecondOrderForall("Q", 1, parse_formula("P(x) -> Q(x)")))
+        cls = second_order_prefix_class(formula)
+        assert cls.name == "Sigma_2"

@@ -1,0 +1,51 @@
+"""Unit tests for the construction DSL (Pred, V, C, Eq, Neq)."""
+
+import pytest
+
+from repro.errors import FormulaError
+from repro.logic.builders import C, Eq, Neq, Pred, V, vars_
+from repro.logic.formulas import Atom, Equals, Not
+from repro.logic.terms import Constant, Variable
+
+
+class TestShorthand:
+    def test_v_and_c(self):
+        assert V("x") == Variable("x")
+        assert C("a") == Constant("a")
+
+    def test_vars_splits_on_whitespace(self):
+        assert vars_("x y  z") == (Variable("x"), Variable("y"), Variable("z"))
+
+
+class TestPred:
+    def test_builds_atoms_from_mixed_arguments(self):
+        TEACHES = Pred("TEACHES", 2)
+        atom = TEACHES(V("x"), "plato")
+        assert atom == Atom("TEACHES", (Variable("x"), Constant("plato")))
+
+    def test_checks_arity_when_given(self):
+        P = Pred("P", 1)
+        with pytest.raises(FormulaError):
+            P(V("x"), V("y"))
+
+    def test_no_arity_allows_any_application(self):
+        P = Pred("P")
+        assert P("a", "b", "c").arity == 3
+
+    def test_declaration(self):
+        assert Pred("R", 2).declaration() == ("R", 2)
+        with pytest.raises(FormulaError):
+            Pred("R").declaration()
+
+    def test_rejects_unconvertible_argument(self):
+        P = Pred("P", 1)
+        with pytest.raises(FormulaError):
+            P(3.5)
+
+
+class TestEqualityBuilders:
+    def test_eq_coerces_strings_to_constants(self):
+        assert Eq("a", V("x")) == Equals(Constant("a"), Variable("x"))
+
+    def test_neq_is_negated_equality(self):
+        assert Neq("a", "b") == Not(Equals(Constant("a"), Constant("b")))

@@ -1,0 +1,143 @@
+"""Unit tests for the formula AST: construction, validation, operators, traversal."""
+
+import pytest
+
+from repro.errors import FormulaError
+from repro.logic.formulas import (
+    And,
+    Atom,
+    BOTTOM,
+    Equals,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    SecondOrderExists,
+    SecondOrderForall,
+    TOP,
+    conjoin,
+    disjoin,
+    exists,
+    forall,
+    walk,
+)
+from repro.logic.terms import Constant, Variable
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+a = Constant("a")
+
+
+class TestAtoms:
+    def test_atom_stores_predicate_and_args(self):
+        atom = Atom("P", (x, a))
+        assert atom.predicate == "P"
+        assert atom.args == (x, a)
+        assert atom.arity == 2
+
+    def test_atom_rejects_non_terms(self):
+        with pytest.raises(FormulaError):
+            Atom("P", ("x",))  # type: ignore[arg-type]
+
+    def test_atom_rejects_empty_predicate(self):
+        with pytest.raises(FormulaError):
+            Atom("", (x,))
+
+    def test_atoms_are_hashable_values(self):
+        assert Atom("P", (x,)) == Atom("P", (x,))
+        assert len({Atom("P", (x,)), Atom("P", (x,))}) == 1
+
+    def test_of_constants_helper(self):
+        atom = Atom.of_constants("TEACHES", ("socrates", "plato"))
+        assert atom.args == (Constant("socrates"), Constant("plato"))
+
+    def test_equals_requires_terms(self):
+        with pytest.raises(FormulaError):
+            Equals(x, "a")  # type: ignore[arg-type]
+
+
+class TestConnectives:
+    def test_and_needs_two_operands(self):
+        with pytest.raises(FormulaError):
+            And((Atom("P", (x,)),))
+
+    def test_or_needs_two_operands(self):
+        with pytest.raises(FormulaError):
+            Or((Atom("P", (x,)),))
+
+    def test_nary_and_preserves_order(self):
+        parts = (Atom("P", (x,)), Atom("Q", (x,)), Atom("R", (x,)))
+        assert And(parts).operands == parts
+
+    def test_operator_overloads(self):
+        p, q = Atom("P", (x,)), Atom("Q", (x,))
+        assert (p & q) == And((p, q))
+        assert (p | q) == Or((p, q))
+        assert (~p) == Not(p)
+        assert (p >> q) == Implies(p, q)
+
+    def test_implies_and_iff_children(self):
+        p, q = Atom("P", (x,)), Atom("Q", (x,))
+        assert Implies(p, q).children() == (p, q)
+        assert Iff(p, q).children() == (p, q)
+
+    def test_conjoin_edge_cases(self):
+        p = Atom("P", (x,))
+        assert conjoin([]) == TOP
+        assert conjoin([p]) == p
+        assert isinstance(conjoin([p, p]), And)
+
+    def test_disjoin_edge_cases(self):
+        p = Atom("P", (x,))
+        assert disjoin([]) == BOTTOM
+        assert disjoin([p]) == p
+        assert isinstance(disjoin([p, p]), Or)
+
+
+class TestQuantifiers:
+    def test_quantifier_requires_variables(self):
+        with pytest.raises(FormulaError):
+            Exists((), Atom("P", (x,)))
+
+    def test_quantifier_rejects_duplicate_variables(self):
+        with pytest.raises(FormulaError):
+            Forall((x, x), Atom("P", (x,)))
+
+    def test_quantifier_rejects_constants(self):
+        with pytest.raises(FormulaError):
+            Exists((a,), Atom("P", (a,)))  # type: ignore[arg-type]
+
+    def test_exists_forall_helpers_skip_empty(self):
+        body = Atom("P", (x,))
+        assert exists((), body) is body
+        assert forall((), body) is body
+        assert isinstance(exists((x,), body), Exists)
+        assert isinstance(forall((x,), body), Forall)
+
+    def test_second_order_quantifier_requires_positive_arity(self):
+        with pytest.raises(FormulaError):
+            SecondOrderExists("P", 0, Atom("P", (x,)))
+
+    def test_second_order_quantifiers_store_fields(self):
+        body = Atom("P", (x,))
+        so = SecondOrderForall("P", 1, body)
+        assert so.predicate == "P"
+        assert so.arity == 1
+        assert so.children() == (body,)
+
+
+class TestWalk:
+    def test_walk_visits_every_node_preorder(self):
+        formula = Exists((x,), And((Atom("P", (x,)), Not(Atom("Q", (x,))))))
+        kinds = [type(node).__name__ for node in walk(formula)]
+        assert kinds == ["Exists", "And", "Atom", "Not", "Atom"]
+
+    def test_walk_on_atom_yields_itself(self):
+        atom = Atom("P", (x,))
+        assert list(walk(atom)) == [atom]
+
+    def test_top_bottom_singletons_compare_equal(self):
+        assert TOP == TOP
+        assert BOTTOM == BOTTOM
+        assert TOP != BOTTOM

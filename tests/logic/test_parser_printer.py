@@ -1,0 +1,162 @@
+"""Unit tests for the query-language parser and the pretty-printer round trip."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.logic.formulas import (
+    And,
+    Atom,
+    Equals,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    SecondOrderExists,
+    SecondOrderForall,
+)
+from repro.logic.parser import parse_formula, parse_query, parse_term
+from repro.logic.printer import query_to_text, term_to_text, to_text
+from repro.logic.terms import Constant, Variable
+
+x, y = Variable("x"), Variable("y")
+
+
+class TestTermParsing:
+    def test_identifier_is_variable(self):
+        assert parse_term("x") == Variable("x")
+
+    def test_quoted_string_is_constant(self):
+        assert parse_term("'socrates'") == Constant("socrates")
+
+    def test_integer_is_constant(self):
+        assert parse_term("42") == Constant("42")
+
+    def test_escaped_quote_inside_constant(self):
+        assert parse_term(r"'d\'israeli'") == Constant("d'israeli")
+
+
+class TestFormulaParsing:
+    def test_atom(self):
+        assert parse_formula("TEACHES(x, 'plato')") == Atom("TEACHES", (x, Constant("plato")))
+
+    def test_equality_and_inequality(self):
+        assert parse_formula("x = y") == Equals(x, y)
+        assert parse_formula("x != y") == Not(Equals(x, y))
+
+    def test_precedence_not_binds_tightest(self):
+        assert parse_formula("~P(x) & Q(x)") == And((Not(Atom("P", (x,))), Atom("Q", (x,))))
+
+    def test_precedence_and_over_or(self):
+        formula = parse_formula("P(x) | Q(x) & R(x, x)")
+        assert isinstance(formula, Or)
+        assert isinstance(formula.operands[1], And)
+
+    def test_implication_is_right_associative(self):
+        formula = parse_formula("P(x) -> Q(x) -> R(x, x)")
+        assert isinstance(formula, Implies)
+        assert isinstance(formula.consequent, Implies)
+
+    def test_iff(self):
+        assert isinstance(parse_formula("P(x) <-> Q(x)"), Iff)
+
+    def test_quantifiers_with_multiple_variables(self):
+        formula = parse_formula("forall x y. exists z. R(x, z) & R(z, y)")
+        assert isinstance(formula, Forall)
+        assert [v.name for v in formula.variables] == ["x", "y"]
+        assert isinstance(formula.body, Exists)
+
+    def test_quantifier_scope_extends_to_the_right(self):
+        formula = parse_formula("exists x. P(x) & Q(x)")
+        assert isinstance(formula, Exists)
+        assert isinstance(formula.body, And)
+
+    def test_second_order_quantifiers(self):
+        formula = parse_formula("forall2 H/2. exists2 P/1. P(x) | H(x, x)")
+        assert isinstance(formula, SecondOrderForall)
+        assert formula.arity == 2
+        assert isinstance(formula.body, SecondOrderExists)
+
+    def test_true_false_literals(self):
+        from repro.logic.formulas import BOTTOM, TOP
+
+        assert parse_formula("true") == TOP
+        assert parse_formula("false") == BOTTOM
+
+    def test_parenthesized_grouping(self):
+        formula = parse_formula("(P(x) | Q(x)) & R(x, x)")
+        assert isinstance(formula, And)
+        assert isinstance(formula.operands[0], Or)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "P(x",          # missing close paren
+            "P()",          # empty argument list
+            "exists . P(x)",  # quantifier with no variables
+            "x ==",         # bad operator
+            "P(x)) ",       # trailing input
+            "forall2 P. P(x)",  # missing arity
+            "@P(x)",        # bad character
+            "",             # empty input
+        ],
+    )
+    def test_rejects_bad_input(self, text):
+        with pytest.raises(ParseError):
+            parse_formula(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_formula("P(x) &")
+        assert "position" in str(excinfo.value) or excinfo.value.position is not None
+
+
+class TestQueryParsing:
+    def test_query_with_head(self):
+        query = parse_query("(x, y) . TEACHES(x, y)")
+        assert [v.name for v in query.head] == ["x", "y"]
+
+    def test_bare_formula_is_boolean_query(self):
+        query = parse_query("exists x. P(x)")
+        assert query.is_boolean
+
+    def test_empty_head(self):
+        query = parse_query("() . exists x. P(x)")
+        assert query.is_boolean
+
+    def test_leading_paren_formula_is_not_mistaken_for_head(self):
+        query = parse_query("(forall y. M(y)) -> (exists z. R(z, z))")
+        assert query.is_boolean
+        assert isinstance(query.formula, Implies)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "P(x)",
+            "TEACHES('socrates', x)",
+            "~(x = y)",
+            "P(x) & Q(x) & R(x, x)",
+            "P(x) | (Q(x) & ~R(x, y))",
+            "P(x) -> Q(x) -> R(x, x)",
+            "P(x) <-> Q(x)",
+            "forall x. exists y. R(x, y) & ~(x = y)",
+            "exists2 H/2. forall x. exists y. H(x, y)",
+            "true & (false | P(x))",
+        ],
+    )
+    def test_parse_print_parse_is_stable(self, text):
+        formula = parse_formula(text)
+        assert parse_formula(to_text(formula)) == formula
+
+    def test_query_round_trip(self):
+        query = parse_query("(x1, x2) . exists y. EMP_DEPT(x1, y) & DEPT_MGR(y, x2)")
+        assert parse_query(query_to_text(query)) == query
+
+    def test_term_printing(self):
+        assert term_to_text(Variable("x")) == "x"
+        assert term_to_text(Constant("plato")) == "'plato'"

@@ -1,0 +1,63 @@
+"""Unit tests for the Query value class."""
+
+import pytest
+
+from repro.errors import FormulaError
+from repro.logic.formulas import SecondOrderExists
+from repro.logic.parser import parse_formula, parse_query
+from repro.logic.queries import FALSE_ANSWER, Query, TRUE_ANSWER, boolean_query
+from repro.logic.terms import Variable
+
+x, y = Variable("x"), Variable("y")
+
+
+class TestConstruction:
+    def test_head_must_cover_free_variables(self):
+        with pytest.raises(FormulaError):
+            Query((x,), parse_formula("R(x, y)"))
+
+    def test_head_may_have_extra_variables(self):
+        query = Query((x, y), parse_formula("P(x)"))
+        assert query.arity == 2
+
+    def test_head_variables_must_be_distinct(self):
+        with pytest.raises(FormulaError):
+            Query((x, x), parse_formula("R(x, x)"))
+
+    def test_head_must_contain_variables_only(self):
+        from repro.logic.terms import Constant
+
+        with pytest.raises(FormulaError):
+            Query((Constant("a"),), parse_formula("P('a')"))  # type: ignore[arg-type]
+
+    def test_boolean_query_helper(self):
+        query = boolean_query(parse_formula("exists x. P(x)"))
+        assert query.is_boolean
+        assert query.arity == 0
+
+
+class TestProperties:
+    def test_is_first_order(self):
+        assert parse_query("(x) . P(x)").is_first_order
+        so = Query((), SecondOrderExists("P", 1, parse_formula("exists x. P(x)")))
+        assert not so.is_first_order
+
+    def test_is_positive(self):
+        assert parse_query("(x) . P(x) & exists y. R(x, y)").is_positive
+        assert not parse_query("(x) . ~P(x)").is_positive
+
+    def test_prefix_class_name(self):
+        assert parse_query("(x) . exists y. R(x, y)").prefix_class_name() == "Sigma_1"
+        so = Query((), SecondOrderExists("P", 1, parse_formula("exists x. P(x)")))
+        assert so.prefix_class_name().startswith("SO-")
+
+    def test_with_formula_keeps_head(self):
+        query = parse_query("(x) . P(x)")
+        rewritten = query.with_formula(parse_formula("Q(x)"))
+        assert rewritten.head == query.head
+        assert rewritten.formula == parse_formula("Q(x)")
+
+    def test_true_and_false_answers(self):
+        assert TRUE_ANSWER == frozenset({()})
+        assert FALSE_ANSWER == frozenset()
+        assert TRUE_ANSWER != FALSE_ANSWER

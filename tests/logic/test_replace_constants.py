@@ -1,0 +1,55 @@
+"""Unit tests for the constant-replacement transform (used by the Theorem 3 simulation)."""
+
+from repro.logic.analysis import constants_in, free_variables
+from repro.logic.parser import parse_formula
+from repro.logic.terms import Constant, Variable
+from repro.logic.transform import replace_constants
+
+
+class TestReplaceConstants:
+    def test_constant_becomes_variable(self):
+        formula = parse_formula("P('a') & R('a', x)")
+        replaced = replace_constants(formula, {"a": Variable("v")})
+        assert replaced == parse_formula("P(v) & R(v, x)")
+
+    def test_constant_becomes_other_constant(self):
+        formula = parse_formula("P('a')")
+        replaced = replace_constants(formula, {"a": Constant("b")})
+        assert replaced == parse_formula("P('b')")
+
+    def test_unmapped_constants_are_kept(self):
+        formula = parse_formula("R('a', 'b')")
+        replaced = replace_constants(formula, {"a": Variable("v")})
+        assert constants_in(replaced) == {Constant("b")}
+
+    def test_replacement_inside_quantifiers_and_equalities(self):
+        formula = parse_formula("forall x. x = 'a' -> P('a')")
+        replaced = replace_constants(formula, {"a": Variable("v")})
+        assert free_variables(replaced) == {Variable("v")}
+        assert constants_in(replaced) == frozenset()
+
+    def test_capture_is_avoided_when_replacement_variable_is_bound(self):
+        # 'a' must not be captured by the quantifier that binds v.
+        formula = parse_formula("exists v. R(v, 'a')")
+        replaced = replace_constants(formula, {"a": Variable("v")})
+        assert free_variables(replaced) == {Variable("v")}
+        # the bound variable was renamed away from v
+        bound = [node for node in _walk(replaced) if type(node).__name__ == "Exists"][0]
+        assert bound.variables[0] != Variable("v")
+
+    def test_empty_mapping_is_identity(self):
+        formula = parse_formula("P('a')")
+        assert replace_constants(formula, {}) is formula
+
+    def test_second_order_bodies_are_transformed(self):
+        from repro.logic.formulas import SecondOrderExists
+
+        formula = SecondOrderExists("Q", 1, parse_formula("Q('a')"))
+        replaced = replace_constants(formula, {"a": Variable("v")})
+        assert free_variables(replaced) == {Variable("v")}
+
+
+def _walk(formula):
+    from repro.logic.formulas import walk
+
+    return list(walk(formula))

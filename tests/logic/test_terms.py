@@ -1,0 +1,65 @@
+"""Unit tests for terms (variables, constants, fresh-name generation)."""
+
+import pytest
+
+from repro.errors import FormulaError
+from repro.logic.terms import Constant, Variable, fresh_variable, is_term, term_name
+
+
+class TestVariable:
+    def test_equality_is_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_hashable_and_usable_in_sets(self):
+        assert len({Variable("x"), Variable("x"), Variable("y")}) == 2
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(FormulaError):
+            Variable("")
+
+    def test_str_is_bare_name(self):
+        assert str(Variable("x1")) == "x1"
+
+
+class TestConstant:
+    def test_equality_is_by_name(self):
+        assert Constant("a") == Constant("a")
+        assert Constant("a") != Constant("b")
+
+    def test_constant_and_variable_with_same_name_differ(self):
+        assert Constant("x") != Variable("x")
+
+    def test_rejects_non_string_name(self):
+        with pytest.raises(FormulaError):
+            Constant(3)  # type: ignore[arg-type]
+
+    def test_str_is_quoted(self):
+        assert str(Constant("plato")) == "'plato'"
+
+
+class TestHelpers:
+    def test_is_term(self):
+        assert is_term(Variable("x"))
+        assert is_term(Constant("a"))
+        assert not is_term("x")
+        assert not is_term(None)
+
+    def test_term_name(self):
+        assert term_name(Variable("x")) == "x"
+        assert term_name(Constant("a")) == "a"
+
+    def test_term_name_rejects_non_terms(self):
+        with pytest.raises(FormulaError):
+            term_name("x")  # type: ignore[arg-type]
+
+    def test_fresh_variable_avoids_names(self):
+        fresh = fresh_variable({"v", "v0", "v1"}, "v")
+        assert fresh.name not in {"v", "v0", "v1"}
+
+    def test_fresh_variable_prefers_the_stem(self):
+        assert fresh_variable(set(), "y") == Variable("y")
+
+    def test_fresh_variable_keeps_stem_prefix(self):
+        fresh = fresh_variable({"z"}, "z")
+        assert fresh.name.startswith("z")

@@ -1,0 +1,183 @@
+"""Unit tests for formula transformations (substitution, NNF, prenex, simplify)."""
+
+import pytest
+
+from repro.errors import UnsupportedFormulaError
+from repro.logic.analysis import free_variables, is_positive
+from repro.logic.formulas import (
+    And,
+    Atom,
+    BOTTOM,
+    Equals,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    SecondOrderForall,
+    TOP,
+)
+from repro.logic.parser import parse_formula
+from repro.logic.terms import Constant, Variable
+from repro.logic.transform import (
+    eliminate_implications,
+    prenex_normal_form,
+    rename_predicate,
+    simplify,
+    standardize_apart,
+    substitute,
+    to_nnf,
+)
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestSubstitution:
+    def test_substitutes_free_occurrences(self):
+        formula = parse_formula("R(x, y)")
+        result = substitute(formula, {x: Constant("a")})
+        assert result == Atom("R", (Constant("a"), y))
+
+    def test_does_not_touch_bound_occurrences(self):
+        formula = parse_formula("P(x) & (exists x. Q(x))")
+        result = substitute(formula, {x: Constant("a")})
+        assert result == parse_formula("P('a') & (exists x. Q(x))")
+
+    def test_capture_avoidance_renames_bound_variable(self):
+        # Substituting y for x under "exists y" must not capture the new y.
+        formula = parse_formula("exists y. R(x, y)")
+        result = substitute(formula, {x: y})
+        assert isinstance(result, Exists)
+        bound = result.variables[0]
+        assert bound != y
+        assert free_variables(result) == {y}
+
+    def test_empty_substitution_is_identity(self):
+        formula = parse_formula("exists y. R(x, y)")
+        assert substitute(formula, {}) is formula
+
+    def test_substitution_into_equality(self):
+        assert substitute(Equals(x, y), {y: Constant("b")}) == Equals(x, Constant("b"))
+
+
+class TestRenamePredicate:
+    def test_renames_atoms(self):
+        formula = parse_formula("P(x) & exists y. R(x, y)")
+        renamed = rename_predicate(formula, {"P": "P2"})
+        assert renamed == parse_formula("P2(x) & exists y. R(x, y)")
+
+    def test_second_order_binder_shadows_renaming(self):
+        formula = SecondOrderForall("P", 1, parse_formula("P(x)"))
+        renamed = rename_predicate(formula, {"P": "P2"})
+        assert renamed == formula
+
+
+class TestNNF:
+    def test_double_negation_removed(self):
+        assert to_nnf(parse_formula("~~P(x)")) == parse_formula("P(x)")
+
+    def test_de_morgan_and(self):
+        assert to_nnf(parse_formula("~(P(x) & Q(x))")) == parse_formula("~P(x) | ~Q(x)")
+
+    def test_de_morgan_or(self):
+        assert to_nnf(parse_formula("~(P(x) | Q(x))")) == parse_formula("~P(x) & ~Q(x)")
+
+    def test_implication_elimination(self):
+        assert to_nnf(parse_formula("P(x) -> Q(x)")) == parse_formula("~P(x) | Q(x)")
+
+    def test_quantifier_duality(self):
+        assert to_nnf(parse_formula("~(forall x. P(x))")) == parse_formula("exists x. ~P(x)")
+        assert to_nnf(parse_formula("~(exists x. P(x))")) == parse_formula("forall x. ~P(x)")
+
+    def test_negations_end_up_only_on_atoms(self):
+        formula = parse_formula("~((P(x) -> Q(x)) & exists y. ~(R(x, y) | x = y))")
+        result = to_nnf(formula)
+
+        def check(node):
+            if isinstance(node, Not):
+                assert isinstance(node.operand, (Atom, Equals))
+            for child in node.children():
+                check(child)
+
+        check(result)
+
+    def test_second_order_duality(self):
+        formula = Not(SecondOrderForall("P", 1, parse_formula("P(x)")))
+        result = to_nnf(formula)
+        assert type(result).__name__ == "SecondOrderExists"
+
+    def test_positive_formula_unchanged_by_nnf(self):
+        formula = parse_formula("P(x) & exists y. (R(x, y) | Q(y))")
+        assert to_nnf(formula) == formula
+        assert is_positive(to_nnf(formula))
+
+
+class TestSimplify:
+    def test_top_and_bottom_folding(self):
+        p = parse_formula("P(x)")
+        assert simplify(And((p, TOP))) == p
+        assert simplify(And((p, BOTTOM))) == BOTTOM
+        assert simplify(Or((p, TOP))) == TOP
+        assert simplify(Or((p, BOTTOM))) == p
+
+    def test_flattens_nested_conjunctions(self):
+        p, q, r = parse_formula("P(x)"), parse_formula("Q(x)"), parse_formula("R(x, x)")
+        nested = And((And((p, q)), r))
+        assert simplify(nested) == And((p, q, r))
+
+    def test_double_negation(self):
+        assert simplify(parse_formula("~~P(x)")) == parse_formula("P(x)")
+
+    def test_quantifier_over_constant_body(self):
+        assert simplify(Exists((x,), TOP)) == TOP
+        assert simplify(Forall((x,), BOTTOM)) == BOTTOM
+
+
+class TestStandardizeApart:
+    def test_repeated_bound_names_become_distinct(self):
+        formula = parse_formula("(exists x. P(x)) & (exists x. Q(x))")
+        result = standardize_apart(formula)
+        names = [node.variables[0].name for node in _quantifiers(result)]
+        assert len(set(names)) == 2
+
+    def test_free_variables_are_preserved(self):
+        formula = parse_formula("P(x) & exists x. Q(x)")
+        result = standardize_apart(formula)
+        assert free_variables(result) == {x}
+
+
+def _quantifiers(formula):
+    from repro.logic.formulas import walk
+
+    return [node for node in walk(formula) if isinstance(node, (Exists, Forall))]
+
+
+class TestPrenex:
+    def test_quantifiers_move_to_front(self):
+        formula = parse_formula("(exists x. P(x)) & (forall y. Q(y))")
+        result = prenex_normal_form(formula)
+        assert isinstance(result, (Exists, Forall))
+        # the matrix below the prefix contains no quantifiers
+        node = result
+        while isinstance(node, (Exists, Forall)):
+            node = node.body
+        assert not _quantifiers(node)
+
+    def test_prenex_rejects_second_order(self):
+        with pytest.raises(UnsupportedFormulaError):
+            prenex_normal_form(SecondOrderForall("P", 1, parse_formula("P(x)")))
+
+    def test_prenex_preserves_semantics_on_a_physical_db(self, teaches_physical):
+        from repro.physical.evaluator import satisfies
+
+        formula = parse_formula(
+            "(exists a. TEACHES(x, a)) & ~(forall b. TEACHES(b, x))"
+        )
+        prenexed = prenex_normal_form(formula)
+        for value in teaches_physical.domain:
+            env = {x: value}
+            assert satisfies(teaches_physical, formula, env) == satisfies(teaches_physical, prenexed, env)
+
+    def test_implication_elimination_keeps_structure(self):
+        formula = parse_formula("P(x) <-> Q(x)")
+        result = eliminate_implications(formula)
+        assert isinstance(result, And)

@@ -1,0 +1,99 @@
+"""Unit tests for relational vocabularies and formula validation."""
+
+import pytest
+
+from repro.errors import VocabularyError
+from repro.logic.formulas import Atom, Equals, Exists, Not, SecondOrderExists
+from repro.logic.parser import parse_formula
+from repro.logic.terms import Constant, Variable
+from repro.logic.vocabulary import EQUALITY, NE_PREDICATE, Vocabulary
+
+x = Variable("x")
+
+
+@pytest.fixture
+def vocabulary() -> Vocabulary:
+    return Vocabulary(("a", "b"), {"P": 1, "R": 2})
+
+
+class TestConstruction:
+    def test_duplicate_constants_rejected(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary(("a", "a"), {})
+
+    def test_equality_cannot_be_declared(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary((), {EQUALITY: 2})
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary((), {"P": 0})
+
+    def test_arity_lookup(self, vocabulary):
+        assert vocabulary.arity("R") == 2
+        with pytest.raises(VocabularyError):
+            vocabulary.arity("S")
+
+    def test_constant_set(self, vocabulary):
+        assert vocabulary.constant_set == frozenset({"a", "b"})
+        assert vocabulary.has_constant("a")
+        assert not vocabulary.has_constant("c")
+
+    def test_vocabulary_is_hashable(self, vocabulary):
+        assert hash(vocabulary) == hash(Vocabulary(("a", "b"), {"P": 1, "R": 2}))
+
+
+class TestDerivedVocabularies:
+    def test_with_predicates_extends(self, vocabulary):
+        extended = vocabulary.with_predicates({"S": 3})
+        assert extended.arity("S") == 3
+        assert extended.arity("P") == 1
+        # Original is unchanged (immutability).
+        assert not vocabulary.has_predicate("S")
+
+    def test_with_predicates_rejects_conflicting_arity(self, vocabulary):
+        with pytest.raises(VocabularyError):
+            vocabulary.with_predicates({"P": 2})
+
+    def test_with_predicates_same_arity_is_noop(self, vocabulary):
+        assert vocabulary.with_predicates({"P": 1}).arity("P") == 1
+
+    def test_with_constants_skips_duplicates(self, vocabulary):
+        extended = vocabulary.with_constants(["b", "c"])
+        assert extended.constants == ("a", "b", "c")
+
+    def test_with_ne_adds_binary_ne(self, vocabulary):
+        assert vocabulary.with_ne().arity(NE_PREDICATE) == 2
+
+
+class TestValidation:
+    def test_accepts_well_formed_formula(self, vocabulary):
+        vocabulary.validate_formula(parse_formula("exists x. P(x) & R(x, 'a')"))
+
+    def test_rejects_unknown_predicate(self, vocabulary):
+        with pytest.raises(VocabularyError):
+            vocabulary.validate_formula(Atom("S", (x,)))
+
+    def test_rejects_wrong_arity(self, vocabulary):
+        with pytest.raises(VocabularyError):
+            vocabulary.validate_formula(Atom("R", (x,)))
+
+    def test_rejects_unknown_constant(self, vocabulary):
+        with pytest.raises(VocabularyError):
+            vocabulary.validate_formula(Equals(Constant("zzz"), x))
+
+    def test_second_order_bound_predicate_is_exempt(self, vocabulary):
+        formula = SecondOrderExists("S", 1, Exists((x,), Atom("S", (x,))))
+        vocabulary.validate_formula(formula)
+
+    def test_second_order_bound_predicate_arity_checked(self, vocabulary):
+        formula = SecondOrderExists("S", 2, Exists((x,), Atom("S", (x,))))
+        with pytest.raises(VocabularyError):
+            vocabulary.validate_formula(formula)
+
+    def test_extra_predicates_whitelist(self, vocabulary):
+        vocabulary.validate_formula(Atom("EXTRA", (x, x)), allow_extra_predicates=["EXTRA"])
+
+    def test_predicates_used_ignores_bound(self, vocabulary):
+        formula = SecondOrderExists("S", 1, Not(Atom("S", (x,)))) & Atom("P", (x,))
+        assert vocabulary.predicates_used(formula) == frozenset({"P"})

@@ -1,0 +1,89 @@
+"""Unit tests for the generated axiom components of a CW theory (Section 2.2)."""
+
+import pytest
+
+from repro.errors import DatabaseError
+from repro.logic.parser import parse_formula
+from repro.logic.printer import to_text
+from repro.logical.axioms import (
+    AtomicFact,
+    UniquenessAxiom,
+    completion_axiom,
+    completion_axioms,
+    domain_closure_axiom,
+    fact_formula,
+    theory_formulas,
+    uniqueness_formula,
+)
+
+
+class TestAtomicFact:
+    def test_to_formula(self):
+        fact = AtomicFact("TEACHES", ("socrates", "plato"))
+        assert fact.to_formula() == parse_formula("TEACHES('socrates', 'plato')")
+        assert fact.arity == 2
+
+    def test_rejects_empty_arguments(self):
+        with pytest.raises(DatabaseError):
+            AtomicFact("P", ())
+
+
+class TestUniquenessAxiom:
+    def test_orientation_is_normalized(self):
+        assert UniquenessAxiom("b", "a") == UniquenessAxiom("a", "b")
+        assert UniquenessAxiom("b", "a").pair == frozenset({"a", "b"})
+
+    def test_rejects_reflexive_axiom(self):
+        with pytest.raises(DatabaseError):
+            UniquenessAxiom("a", "a")
+
+    def test_to_formula(self):
+        assert UniquenessAxiom("a", "b").to_formula() == parse_formula("~('a' = 'b')")
+
+
+class TestGeneratedAxioms:
+    def test_domain_closure_mentions_every_constant(self):
+        axiom = domain_closure_axiom(("a", "b", "c"))
+        text = to_text(axiom)
+        assert text.startswith("forall x.")
+        for name in ("a", "b", "c"):
+            assert f"'{name}'" in text
+
+    def test_domain_closure_single_constant(self):
+        axiom = domain_closure_axiom(("only",))
+        assert axiom == parse_formula("forall x. x = 'only'")
+
+    def test_domain_closure_needs_constants(self):
+        with pytest.raises(DatabaseError):
+            domain_closure_axiom(())
+
+    def test_completion_axiom_with_facts(self):
+        axiom = completion_axiom("P", 1, [("a",), ("b",)])
+        assert axiom == parse_formula("forall x1. P(x1) -> (x1 = 'a' | x1 = 'b')")
+
+    def test_completion_axiom_without_facts_is_negative(self):
+        axiom = completion_axiom("P", 2, [])
+        assert axiom == parse_formula("forall x1 x2. ~P(x1, x2)")
+
+    def test_completion_axiom_checks_arity(self):
+        with pytest.raises(DatabaseError):
+            completion_axiom("P", 1, [("a", "b")])
+
+    def test_completion_axioms_cover_factless_predicates(self):
+        axioms = completion_axioms({"P": 1, "Q": 1}, {"P": [("a",)]})
+        assert len(axioms) == 2
+
+    def test_theory_formulas_order_and_count(self):
+        formulas = theory_formulas(
+            constants=("a", "b"),
+            predicates={"P": 1},
+            facts={"P": [("a",)]},
+            unequal=[("a", "b")],
+        )
+        texts = [to_text(formula) for formula in formulas]
+        # fact, uniqueness, domain closure, completion
+        assert len(formulas) == 4
+        assert texts[0] == "P('a')"
+        assert texts[1] == "~'a' = 'b'"
+        assert "forall x." in texts[2]
+        assert texts[3].startswith("forall x1.")

@@ -1,0 +1,72 @@
+"""Tests for certain-answer explanations (counterexample models)."""
+
+import pytest
+
+from repro.errors import FormulaError
+from repro.logic.parser import parse_query
+from repro.logical.exact import certain_answers
+from repro.logical.explain import explain_answer, explain_non_answer, why_unknown
+from repro.logical.models import is_model
+
+
+class TestExplainNonAnswer:
+    def test_counterexample_for_a_non_certain_negative_fact(self, ripper_cw):
+        query = parse_query("(x) . ~MURDERER(x)")
+        witness = explain_non_answer(ripper_cw, query, ("disraeli",))
+        assert witness is not None
+        # The counterexample identifies disraeli with jack (the murderer).
+        assert any("disraeli" in group and "jack" in group for group in witness.collapsed)
+        assert witness.image not in []  # smoke: image computed
+        assert is_model(witness.model, ripper_cw)
+
+    def test_no_counterexample_for_a_certain_answer(self, ripper_cw):
+        query = parse_query("(x) . MURDERER(x)")
+        assert explain_non_answer(ripper_cw, query, ("jack",)) is None
+
+    def test_agrees_with_the_exact_evaluator(self, ripper_cw):
+        query = parse_query("(x) . LONDONER(x) & ~MURDERER(x)")
+        certain = certain_answers(ripper_cw, query)
+        for constant in ripper_cw.constants:
+            witness = explain_non_answer(ripper_cw, query, (constant,))
+            assert (witness is None) == ((constant,) in certain)
+
+    def test_boolean_query_explanation(self, tiny_unknown_cw):
+        query = parse_query("() . exists x. ~P(x)")
+        witness = explain_non_answer(tiny_unknown_cw, query, ())
+        assert witness is not None
+        assert witness.candidate == ()
+        assert "certain answer" in witness.describe()
+
+    def test_arity_mismatch_rejected(self, ripper_cw):
+        with pytest.raises(FormulaError):
+            explain_non_answer(ripper_cw, parse_query("(x) . MURDERER(x)"), ("a", "b"))
+
+    def test_unknown_constant_rejected(self, ripper_cw):
+        with pytest.raises(FormulaError):
+            explain_non_answer(ripper_cw, parse_query("(x) . MURDERER(x)"), ("nobody",))
+
+
+class TestExplainAnswer:
+    def test_yields_one_model_per_kernel_all_satisfying(self, ripper_cw):
+        query = parse_query("(x) . MURDERER(x)")
+        evidence = list(explain_answer(ripper_cw, query, ("jack",)))
+        assert evidence
+        for mapping, model in evidence:
+            assert is_model(model, ripper_cw)
+            assert (mapping["jack"],) in set(model.relation("MURDERER"))
+
+    def test_raises_for_non_certain_candidates(self, ripper_cw):
+        query = parse_query("(x) . ~MURDERER(x)")
+        with pytest.raises(FormulaError):
+            list(explain_answer(ripper_cw, query, ("disraeli",)))
+
+
+class TestWhyUnknown:
+    def test_explains_a_failure_in_plain_language(self, ripper_cw):
+        text = why_unknown(ripper_cw, parse_query("(x) . ~MURDERER(x)"), ("dickens",))
+        assert "not a certain answer" in text
+        assert "same object" in text
+
+    def test_confirms_a_certain_answer(self, ripper_cw):
+        text = why_unknown(ripper_cw, parse_query("(x) . LONDONER(x)"), ("dickens",))
+        assert "IS a certain answer" in text

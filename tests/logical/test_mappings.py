@@ -1,0 +1,103 @@
+"""Unit tests for respecting mappings and their enumeration (Section 3.1)."""
+
+import pytest
+
+from repro.errors import CapacityError
+from repro.logical.database import CWDatabase
+from repro.logical.mappings import (
+    apply_to_ph1,
+    count_all_mappings,
+    count_canonical_mappings,
+    count_respecting_mappings,
+    enumerate_canonical_mappings,
+    enumerate_respecting_mappings,
+    mappings,
+    respects,
+)
+
+
+@pytest.fixture
+def three_constants_one_axiom():
+    return CWDatabase(("a", "b", "c"), {"P": 1}, {"P": [("a",)]}, [("a", "b")])
+
+
+class TestRespects:
+    def test_identity_always_respects(self, three_constants_one_axiom):
+        identity = {name: name for name in three_constants_one_axiom.constants}
+        assert respects(identity, three_constants_one_axiom)
+
+    def test_collapsing_a_declared_unequal_pair_violates(self, three_constants_one_axiom):
+        mapping = {"a": "a", "b": "a", "c": "c"}
+        assert not respects(mapping, three_constants_one_axiom)
+
+    def test_collapsing_an_unconstrained_pair_is_fine(self, three_constants_one_axiom):
+        mapping = {"a": "a", "b": "b", "c": "a"}
+        assert respects(mapping, three_constants_one_axiom)
+
+
+class TestEnumeration:
+    def test_all_mappings_count_without_constraints(self):
+        db = CWDatabase(("a", "b"), {"P": 1})
+        assert count_all_mappings(db) == 4
+        assert count_respecting_mappings(db) == 4
+
+    def test_respecting_count_with_one_axiom(self):
+        db = CWDatabase(("a", "b"), {"P": 1}, unequal=[("a", "b")])
+        # h(a) != h(b): 4 total functions minus the 2 collapsing ones.
+        assert count_respecting_mappings(db) == 2
+
+    def test_canonical_count_is_number_of_admissible_partitions(self):
+        db = CWDatabase(("a", "b", "c"), {"P": 1})
+        # Bell(3) = 5 partitions, none excluded.
+        assert count_canonical_mappings(db) == 5
+
+    def test_canonical_count_respects_uniqueness(self, three_constants_one_axiom):
+        # Partitions of {a,b,c} with a,b never together: 5 - 2 = 3.
+        assert count_canonical_mappings(three_constants_one_axiom) == 3
+
+    def test_fully_specified_leaves_only_the_identity_kernel(self, teaches_cw):
+        assert count_canonical_mappings(teaches_cw) == 1
+
+    def test_every_canonical_mapping_respects(self, three_constants_one_axiom):
+        for mapping in enumerate_canonical_mappings(three_constants_one_axiom):
+            assert respects(mapping, three_constants_one_axiom)
+
+    def test_every_respecting_mapping_listed(self, three_constants_one_axiom):
+        listed = list(enumerate_respecting_mappings(three_constants_one_axiom))
+        assert all(respects(mapping, three_constants_one_axiom) for mapping in listed)
+        assert len(listed) == count_respecting_mappings(three_constants_one_axiom)
+
+    def test_capacity_cap_on_naive_enumeration(self):
+        db = CWDatabase(tuple(f"c{i}" for i in range(10)), {"P": 1})
+        with pytest.raises(CapacityError):
+            list(enumerate_respecting_mappings(db, max_mappings=1000))
+
+    def test_strategy_dispatch(self, three_constants_one_axiom):
+        canonical = list(mappings(three_constants_one_axiom, "canonical"))
+        naive = list(mappings(three_constants_one_axiom, "all"))
+        assert len(canonical) < len(naive)
+        with pytest.raises(ValueError):
+            list(mappings(three_constants_one_axiom, "bogus"))
+
+
+class TestImageDatabases:
+    def test_apply_to_ph1_collapses_constants(self, three_constants_one_axiom):
+        mapping = {"a": "a", "b": "b", "c": "a"}
+        image = apply_to_ph1(mapping, three_constants_one_axiom)
+        assert image.domain == frozenset({"a", "b"})
+        assert image.constant_value("c") == "a"
+        assert ("a",) in image.relation("P")
+
+    def test_canonical_images_are_models(self, ripper_cw):
+        from repro.logical.models import is_model
+
+        for mapping in enumerate_canonical_mappings(ripper_cw):
+            assert is_model(apply_to_ph1(mapping, ripper_cw), ripper_cw)
+
+    def test_non_respecting_image_is_not_a_model(self, teaches_cw):
+        from repro.logical.models import is_model
+        from repro.logical.mappings import apply_to_ph1
+
+        collapse_everything = {name: teaches_cw.constants[0] for name in teaches_cw.constants}
+        image = apply_to_ph1(collapse_everything, teaches_cw)
+        assert not is_model(image, teaches_cw)

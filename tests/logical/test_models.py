@@ -1,0 +1,61 @@
+"""Unit tests for model checking and definitional certain answers."""
+
+import pytest
+
+from repro.logic.parser import parse_query
+from repro.logical.database import CWDatabase
+from repro.logical.exact import certain_answers
+from repro.logical.models import certain_answers_by_model_checking, enumerate_models, is_model
+from repro.logical.ph import ph1
+
+
+class TestIsModel:
+    def test_ph1_is_always_a_model(self, ripper_cw, teaches_cw, tiny_unknown_cw):
+        for db in (ripper_cw, teaches_cw, tiny_unknown_cw):
+            assert is_model(ph1(db), db)
+
+    def test_dropping_a_fact_breaks_the_atomic_axioms(self, teaches_cw):
+        broken = ph1(teaches_cw).with_relation("TEACHES", {("socrates", "plato")})
+        assert not is_model(broken, teaches_cw)
+
+    def test_adding_a_fact_breaks_the_completion_axioms(self, teaches_cw):
+        extended = ph1(teaches_cw).with_relation(
+            "TEACHES",
+            set(ph1(teaches_cw).relation("TEACHES")) | {("aristotle", "socrates")},
+        )
+        assert not is_model(extended, teaches_cw)
+
+    def test_collapsing_an_unequal_pair_breaks_uniqueness(self, teaches_cw):
+        collapse = {name: "socrates" for name in teaches_cw.constants}
+        image = ph1(teaches_cw).map_domain(collapse)
+        assert not is_model(image, teaches_cw)
+
+
+class TestEnumerateModels:
+    def test_fully_specified_database_has_one_model_up_to_iso(self, teaches_cw):
+        assert len(list(enumerate_models(teaches_cw))) == 1
+
+    def test_unknown_values_create_several_models(self, tiny_unknown_cw):
+        models = list(enumerate_models(tiny_unknown_cw))
+        assert len(models) == 2  # a,b identified or kept apart
+        assert all(is_model(model, tiny_unknown_cw) for model in models)
+
+    def test_every_enumerated_model_satisfies_the_theory(self, ripper_cw):
+        for model in enumerate_models(ripper_cw):
+            assert is_model(model, ripper_cw)
+
+
+class TestDefinitionalCertainAnswers:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "(x) . P(x)",
+            "(x) . ~P(x)",
+            "() . exists x. P(x)",
+            "(x, y) . P(x) & ~(x = y)",
+        ],
+    )
+    def test_matches_theorem1_evaluator(self, text):
+        db = CWDatabase(("a", "b", "c"), {"P": 1}, {"P": [("a",), ("b",)]}, [("a", "b")])
+        query = parse_query(text)
+        assert certain_answers_by_model_checking(db, query) == certain_answers(db, query)

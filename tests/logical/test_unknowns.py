@@ -1,0 +1,81 @@
+"""Unit tests for the compact U / NE' representation of the inequality relation."""
+
+from repro.logical.database import CWDatabase
+from repro.logical.unknowns import VirtualNERelation, compact_ne_encoding
+
+
+class TestCompactEncoding:
+    def test_fully_specified_database_has_empty_u_and_ne_prime(self, teaches_cw):
+        encoding = compact_ne_encoding(teaches_cw)
+        assert encoding.unknown == frozenset()
+        assert encoding.explicit == frozenset()
+        assert encoding.stored_size == 0
+
+    def test_u_is_a_vertex_cover_of_the_missing_pairs(self, ripper_cw):
+        encoding = compact_ne_encoding(ripper_cw)
+        # jack alone covers every missing uniqueness pair, so U = {jack}.
+        assert encoding.unknown == frozenset({"jack"})
+        for left, right in ripper_cw.missing_uniqueness_pairs():
+            assert left in encoding.unknown or right in encoding.unknown
+
+    def test_holds_matches_the_definition(self, ripper_cw):
+        encoding = compact_ne_encoding(ripper_cw)
+        # declared unequal (and both unknown because of jack): stored in NE'.
+        assert encoding.holds("disraeli", "dickens")
+        # no axiom between jack and dickens.
+        assert not encoding.holds("jack", "dickens")
+        # never unequal to itself.
+        assert not encoding.holds("jack", "jack")
+
+    def test_known_pairs_are_implicitly_unequal(self):
+        db = CWDatabase(
+            ("a", "b", "u1", "u2"),
+            {"P": 1},
+            {"P": [("a",)]},
+            # a, b known and distinct from everything; u1, u2 unknown.
+            unequal=[("a", "b"), ("a", "u1"), ("a", "u2"), ("b", "u1"), ("b", "u2")],
+        )
+        encoding = compact_ne_encoding(db)
+        # A single unknown constant suffices to cover the one missing pair (u1, u2).
+        assert len(encoding.unknown) == 1
+        assert encoding.unknown <= frozenset({"u1", "u2"})
+        assert encoding.holds("a", "b")            # implicit: both known
+        assert encoding.holds("a", "u1")           # declared
+        assert encoding.holds("a", "u2")           # declared
+        assert not encoding.holds("u1", "u2")      # unknown pair, no axiom
+
+    def test_stored_size_smaller_than_materialized_for_mostly_known_data(self):
+        constants = tuple(f"k{i}" for i in range(20)) + ("u1",)
+        known = constants[:-1]
+        unequal = [
+            (left, right) for i, left in enumerate(known) for right in known[i + 1:]
+        ]
+        db = CWDatabase(constants, {"P": 1}, {"P": [("k0",)]}, unequal)
+        encoding = compact_ne_encoding(db)
+        assert encoding.stored_size < encoding.materialized_size
+        assert encoding.materialized_size == 20 * 19  # ordered pairs among known values
+
+    def test_pairs_iteration_matches_holds(self, ripper_cw):
+        encoding = compact_ne_encoding(ripper_cw)
+        for left, right in encoding.pairs():
+            assert encoding.holds(left, right)
+
+
+class TestVirtualRelation:
+    def test_contains_and_iteration_agree(self, ripper_cw):
+        relation = VirtualNERelation(compact_ne_encoding(ripper_cw))
+        materialized = set(relation)
+        for pair in materialized:
+            assert pair in relation
+        assert len(relation) == len(materialized)
+
+    def test_ill_shaped_members_are_rejected(self, ripper_cw):
+        relation = VirtualNERelation(compact_ne_encoding(ripper_cw))
+        assert ("a",) not in relation
+        assert "ab" not in relation
+
+    def test_relation_protocol_fields(self, ripper_cw):
+        relation = VirtualNERelation(compact_ne_encoding(ripper_cw))
+        assert relation.name == "NE"
+        assert relation.arity == 2
+        assert relation.stored_size == relation.encoding.stored_size

@@ -1,0 +1,141 @@
+"""Unit tests for the relational-algebra plan executor."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.logic.vocabulary import Vocabulary
+from repro.physical.algebra import execute, plan_size, plan_to_text
+from repro.physical.database import PhysicalDatabase
+from repro.physical.plan import (
+    ActiveDomain,
+    CrossProduct,
+    Difference,
+    LiteralTable,
+    NaturalJoin,
+    Projection,
+    RenameColumns,
+    ScanRelation,
+    Selection,
+    Table,
+    UnionAll,
+)
+
+
+@pytest.fixture
+def database():
+    vocabulary = Vocabulary(("eng", "ada"), {"EMP_DEPT": 2, "DEPT_MGR": 2})
+    return PhysicalDatabase(
+        vocabulary,
+        domain={"ada", "boris", "eng", "sales"},
+        constants={"eng": "eng", "ada": "ada"},
+        relations={
+            "EMP_DEPT": {("ada", "eng"), ("boris", "eng")},
+            "DEPT_MGR": {("eng", "ada"), ("sales", "ada")},
+        },
+    )
+
+
+class TestTable:
+    def test_row_width_checked(self):
+        with pytest.raises(EvaluationError):
+            Table(("a", "b"), frozenset({("x",)}))
+
+    def test_project_reorders_and_deduplicates(self):
+        table = Table(("a", "b"), frozenset({("1", "2"), ("3", "2")}))
+        projected = table.project(("b",))
+        assert projected.columns == ("b",)
+        assert projected.rows == frozenset({("2",)})
+
+    def test_as_dicts(self):
+        table = Table(("a",), frozenset({("1",)}))
+        assert table.as_dicts() == [{"a": "1"}]
+
+
+class TestOperators:
+    def test_scan(self, database):
+        table = execute(ScanRelation("EMP_DEPT", ("emp", "dept")), database)
+        assert table.columns == ("emp", "dept")
+        assert ("ada", "eng") in table.rows
+
+    def test_scan_arity_mismatch(self, database):
+        with pytest.raises(EvaluationError):
+            execute(ScanRelation("EMP_DEPT", ("emp",)), database)
+
+    def test_active_domain(self, database):
+        table = execute(ActiveDomain("v"), database)
+        assert table.rows == frozenset({(value,) for value in database.active_domain()})
+
+    def test_selection(self, database):
+        plan = Selection(ScanRelation("EMP_DEPT", ("emp", "dept")), lambda row: row["emp"] == "ada", "emp=ada")
+        table = execute(plan, database)
+        assert table.rows == frozenset({("ada", "eng")})
+
+    def test_projection(self, database):
+        plan = Projection(ScanRelation("EMP_DEPT", ("emp", "dept")), ("dept",))
+        assert execute(plan, database).rows == frozenset({("eng",)})
+
+    def test_rename(self, database):
+        plan = RenameColumns(ScanRelation("EMP_DEPT", ("emp", "dept")), (("emp", "person"),))
+        assert execute(plan, database).columns == ("person", "dept")
+
+    def test_rename_collision_rejected(self, database):
+        plan = RenameColumns(ScanRelation("EMP_DEPT", ("emp", "dept")), (("emp", "dept"),))
+        with pytest.raises(EvaluationError):
+            execute(plan, database)
+
+    def test_natural_join_on_shared_column(self, database):
+        left = ScanRelation("EMP_DEPT", ("emp", "dept"))
+        right = ScanRelation("DEPT_MGR", ("dept", "mgr"))
+        table = execute(NaturalJoin(left, right), database)
+        assert table.columns == ("emp", "dept", "mgr")
+        assert ("ada", "eng", "ada") in table.rows
+        assert ("boris", "eng", "ada") in table.rows
+        assert len(table) == 2
+
+    def test_natural_join_without_shared_columns_is_product(self, database):
+        left = ScanRelation("EMP_DEPT", ("emp", "dept"))
+        right = ScanRelation("DEPT_MGR", ("d2", "mgr"))
+        table = execute(NaturalJoin(left, right), database)
+        assert len(table) == 4
+
+    def test_cross_product_requires_disjoint_columns(self, database):
+        plan = CrossProduct(ScanRelation("EMP_DEPT", ("emp", "dept")), ScanRelation("DEPT_MGR", ("dept", "mgr")))
+        with pytest.raises(EvaluationError):
+            execute(plan, database)
+
+    def test_union_aligns_columns(self, database):
+        left = ScanRelation("EMP_DEPT", ("a", "b"))
+        right = RenameColumns(ScanRelation("DEPT_MGR", ("b", "a")), ())
+        table = execute(UnionAll(left, right), database)
+        assert table.columns == ("a", "b")
+        assert ("ada", "eng") in table.rows   # from EMP_DEPT
+        assert ("ada", "eng") in table.rows
+        assert ("ada", "sales") in table.rows  # DEPT_MGR(sales, ada) reordered
+
+    def test_union_rejects_different_column_sets(self, database):
+        left = ScanRelation("EMP_DEPT", ("a", "b"))
+        right = ScanRelation("DEPT_MGR", ("c", "d"))
+        with pytest.raises(EvaluationError):
+            execute(UnionAll(left, right), database)
+
+    def test_difference(self, database):
+        everything = CrossProduct(ActiveDomain("a"), ActiveDomain("b"))
+        some = ScanRelation("EMP_DEPT", ("a", "b"))
+        table = execute(Difference(everything, some), database)
+        assert ("ada", "eng") not in table.rows
+        assert ("eng", "ada") in table.rows
+
+    def test_literal_table(self, database):
+        plan = LiteralTable(("k",), frozenset({("v",)}))
+        assert execute(plan, database).rows == frozenset({("v",)})
+
+
+class TestPlanUtilities:
+    def test_plan_size(self, database):
+        plan = Projection(NaturalJoin(ScanRelation("EMP_DEPT", ("e", "d")), ScanRelation("DEPT_MGR", ("d", "m"))), ("e",))
+        assert plan_size(plan) == 4
+
+    def test_plan_to_text_mentions_operators(self):
+        plan = Projection(ScanRelation("EMP_DEPT", ("e", "d")), ("e",))
+        text = plan_to_text(plan)
+        assert "Project" in text and "Scan EMP_DEPT" in text

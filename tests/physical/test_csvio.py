@@ -1,0 +1,50 @@
+"""Tests for CSV persistence of physical and logical databases."""
+
+import pytest
+
+from repro.errors import DatabaseError
+from repro.logical.database import CWDatabase
+from repro.physical.csvio import (
+    load_cw_database,
+    load_physical_database,
+    save_cw_database,
+    save_physical_database,
+)
+
+
+class TestPhysicalRoundTrip:
+    def test_round_trip_preserves_contents(self, teaches_physical, tmp_path):
+        save_physical_database(teaches_physical, tmp_path / "db")
+        loaded = load_physical_database(tmp_path / "db")
+        assert loaded.vocabulary.predicates == dict(teaches_physical.vocabulary.predicates)
+        assert frozenset(loaded.relation("TEACHES")) == frozenset(teaches_physical.relation("TEACHES"))
+        assert loaded.constants == teaches_physical.constants
+
+    def test_missing_schema_raises(self, tmp_path):
+        with pytest.raises(DatabaseError):
+            load_physical_database(tmp_path)
+
+    def test_empty_relation_files_are_fine(self, teaches_physical, tmp_path):
+        empty = teaches_physical.with_relation("TEACHES", set())
+        save_physical_database(empty, tmp_path / "db")
+        loaded = load_physical_database(tmp_path / "db")
+        assert len(loaded.relation("TEACHES")) == 0
+
+
+class TestLogicalRoundTrip:
+    def test_round_trip_preserves_facts_and_uniqueness(self, ripper_cw, tmp_path):
+        save_cw_database(ripper_cw, tmp_path / "lb")
+        loaded = load_cw_database(tmp_path / "lb")
+        assert isinstance(loaded, CWDatabase)
+        assert loaded.constants == ripper_cw.constants
+        assert loaded.facts == ripper_cw.facts
+        assert loaded.unequal == ripper_cw.unequal
+
+    def test_round_trip_preserves_queries_answers(self, ripper_cw, tmp_path):
+        from repro.approx import approximate_answers
+        from repro.logic.parser import parse_query
+
+        save_cw_database(ripper_cw, tmp_path / "lb")
+        loaded = load_cw_database(tmp_path / "lb")
+        query = parse_query("(x) . ~MURDERER(x)")
+        assert approximate_answers(loaded, query) == approximate_answers(ripper_cw, query)

@@ -1,0 +1,125 @@
+"""Unit tests for physical databases (interpretations)."""
+
+import pytest
+
+from repro.errors import DatabaseError, VocabularyError
+from repro.logic.vocabulary import Vocabulary
+from repro.physical.database import PhysicalDatabase
+
+
+@pytest.fixture
+def vocabulary():
+    return Vocabulary(("a", "b"), {"P": 1, "R": 2})
+
+
+@pytest.fixture
+def database(vocabulary):
+    return PhysicalDatabase(
+        vocabulary,
+        domain={"a", "b", "c"},
+        constants={"a": "a", "b": "b"},
+        relations={"P": {("a",)}, "R": {("a", "b"), ("b", "c")}},
+    )
+
+
+class TestConstruction:
+    def test_missing_relations_default_to_empty(self, vocabulary):
+        db = PhysicalDatabase(vocabulary, {"a", "b"}, {"a": "a", "b": "b"})
+        assert len(db.relation("P")) == 0
+        assert len(db.relation("R")) == 0
+
+    def test_empty_domain_rejected(self, vocabulary):
+        with pytest.raises(DatabaseError):
+            PhysicalDatabase(vocabulary, set(), {"a": "a", "b": "b"})
+
+    def test_every_constant_needs_an_interpretation(self, vocabulary):
+        with pytest.raises(DatabaseError):
+            PhysicalDatabase(vocabulary, {"a"}, {"a": "a"})
+
+    def test_constant_value_must_be_in_domain(self, vocabulary):
+        with pytest.raises(DatabaseError):
+            PhysicalDatabase(vocabulary, {"a"}, {"a": "a", "b": "zzz"})
+
+    def test_undeclared_constants_rejected(self, vocabulary):
+        with pytest.raises(VocabularyError):
+            PhysicalDatabase(vocabulary, {"a", "b"}, {"a": "a", "b": "b", "c": "a"})
+
+    def test_undeclared_relation_rejected(self, vocabulary):
+        with pytest.raises(VocabularyError):
+            PhysicalDatabase(vocabulary, {"a", "b"}, {"a": "a", "b": "b"}, {"S": {("a",)}})
+
+    def test_relation_values_must_be_in_domain(self, vocabulary):
+        with pytest.raises(DatabaseError):
+            PhysicalDatabase(vocabulary, {"a", "b"}, {"a": "a", "b": "b"}, {"P": {("zzz",)}})
+
+    def test_relation_arity_checked(self, vocabulary):
+        with pytest.raises(DatabaseError):
+            PhysicalDatabase(vocabulary, {"a", "b"}, {"a": "a", "b": "b"}, {"P": {("a", "b")}})
+
+
+class TestAccessors(object):
+    def test_constant_value(self, database):
+        assert database.constant_value("a") == "a"
+        with pytest.raises(DatabaseError):
+            database.constant_value("zzz")
+
+    def test_relation_lookup(self, database):
+        assert ("a", "b") in database.relation("R")
+        with pytest.raises(DatabaseError):
+            database.relation("S")
+
+    def test_active_domain(self, database):
+        assert database.active_domain() == frozenset({"a", "b", "c"})
+
+    def test_total_tuples(self, database):
+        assert database.total_tuples() == 3
+
+    def test_equality_compares_contents(self, database, vocabulary):
+        clone = PhysicalDatabase(
+            vocabulary,
+            {"a", "b", "c"},
+            {"a": "a", "b": "b"},
+            {"P": {("a",)}, "R": {("a", "b"), ("b", "c")}},
+        )
+        assert clone == database
+        assert hash(clone) == hash(database)
+
+    def test_describe_mentions_relations(self, database):
+        text = database.describe()
+        assert "P" in text and "R" in text
+
+
+class TestUpdates:
+    def test_with_relation_replaces_contents(self, database):
+        updated = database.with_relation("P", {("b",)})
+        assert ("b",) in updated.relation("P")
+        assert ("a",) not in updated.relation("P")
+        # original untouched
+        assert ("a",) in database.relation("P")
+
+    def test_with_relation_requires_declared_predicate(self, database):
+        with pytest.raises(VocabularyError):
+            database.with_relation("S", {("a",)})
+
+    def test_with_new_predicate_extends_vocabulary(self, database):
+        updated = database.with_new_predicate("S", 1, {("c",)})
+        assert updated.vocabulary.arity("S") == 1
+        assert ("c",) in updated.relation("S")
+
+    def test_restricted_to_sub_vocabulary(self, database):
+        sub = Vocabulary(("a",), {"P": 1})
+        reduct = database.restricted_to(sub)
+        assert set(reduct.relations) == {"P"}
+        assert reduct.constants == {"a": "a"}
+
+    def test_restricted_to_missing_predicate_fails(self, database):
+        with pytest.raises(VocabularyError):
+            database.restricted_to(Vocabulary(("a",), {"S": 1}))
+
+    def test_map_domain_applies_h_everywhere(self, database):
+        mapping = {"a": "a", "b": "a", "c": "c"}
+        image = database.map_domain(mapping)
+        assert image.domain == frozenset({"a", "c"})
+        assert image.constant_value("b") == "a"
+        assert ("a", "a") in image.relation("R")
+        assert ("a", "c") in image.relation("R")

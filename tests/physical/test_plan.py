@@ -1,0 +1,58 @@
+"""Unit tests for the plan node value classes themselves."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.physical.plan import (
+    ActiveDomain,
+    CrossProduct,
+    Difference,
+    LiteralTable,
+    NaturalJoin,
+    PlanNode,
+    Projection,
+    RenameColumns,
+    ScanRelation,
+    Selection,
+    Table,
+    UnionAll,
+)
+
+
+class TestTable:
+    def test_len_counts_rows(self):
+        table = Table(("a",), frozenset({("1",), ("2",)}))
+        assert len(table) == 2
+
+    def test_mismatched_row_rejected_at_construction(self):
+        with pytest.raises(EvaluationError):
+            Table(("a", "b"), frozenset({("only-one",)}))
+
+    def test_project_to_empty_column_list(self):
+        table = Table(("a",), frozenset({("1",)}))
+        projected = table.project(())
+        assert projected.columns == ()
+        assert projected.rows == frozenset({()})
+
+
+class TestPlanNodes:
+    def test_children_of_leaves_are_empty(self):
+        for leaf in (ScanRelation("R", ("a", "b")), ActiveDomain("v"), LiteralTable(("a",), frozenset())):
+            assert leaf.children() == ()
+
+    def test_children_of_unary_and_binary_nodes(self):
+        scan = ScanRelation("R", ("a", "b"))
+        assert Projection(scan, ("a",)).children() == (scan,)
+        assert Selection(scan, lambda row: True).children() == (scan,)
+        assert RenameColumns(scan, (("a", "x"),)).children() == (scan,)
+        other = ScanRelation("S", ("c",))
+        for node in (NaturalJoin(scan, other), CrossProduct(scan, other), UnionAll(scan, other), Difference(scan, other)):
+            assert node.children() == (scan, other)
+
+    def test_nodes_are_plan_nodes(self):
+        assert isinstance(ScanRelation("R", ("a",)), PlanNode)
+        assert isinstance(ActiveDomain("v"), PlanNode)
+
+    def test_selection_description_defaults(self):
+        selection = Selection(ScanRelation("R", ("a",)), lambda row: True)
+        assert selection.description == "<condition>"

@@ -1,0 +1,68 @@
+"""Unit tests for stored relations."""
+
+import pytest
+
+from repro.errors import DatabaseError
+from repro.physical.relation import Relation, tuples_of
+
+
+class TestConstruction:
+    def test_stores_tuples_as_a_set(self):
+        relation = Relation("R", 2, [("a", "b"), ("a", "b"), ("b", "c")])
+        assert len(relation) == 2
+        assert ("a", "b") in relation
+
+    def test_rejects_wrong_arity_tuples(self):
+        with pytest.raises(DatabaseError):
+            Relation("R", 2, [("a",)])
+
+    def test_rejects_nonpositive_arity(self):
+        with pytest.raises(DatabaseError):
+            Relation("R", 0, [])
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(DatabaseError):
+            Relation("", 1, [])
+
+    def test_iteration_is_deterministic(self):
+        relation = Relation("R", 1, [("b",), ("a",), ("c",)])
+        assert list(relation) == sorted(relation.tuples, key=repr)
+
+
+class TestOperations:
+    def test_values_collects_all_elements(self):
+        relation = Relation("R", 2, [("a", "b"), ("b", "c")])
+        assert relation.values() == frozenset({"a", "b", "c"})
+
+    def test_add_and_remove_are_functional(self):
+        relation = Relation("R", 1, [("a",)])
+        bigger = relation.add(("b",))
+        assert ("b",) in bigger
+        assert ("b",) not in relation
+        smaller = bigger.remove(("a",))
+        assert ("a",) not in smaller
+
+    def test_map_values_applies_componentwise(self):
+        relation = Relation("R", 2, [("a", "b")])
+        mapped = relation.map_values({"a": "x", "b": "x"})
+        assert mapped.tuples == frozenset({("x", "x")})
+
+    def test_map_values_accepts_callables(self):
+        relation = Relation("R", 1, [("a",), ("b",)])
+        mapped = relation.map_values(str.upper)
+        assert mapped.tuples == frozenset({("A",), ("B",)})
+
+    def test_map_values_can_merge_tuples(self):
+        relation = Relation("R", 1, [("a",), ("b",)])
+        mapped = relation.map_values({"a": "z", "b": "z"})
+        assert len(mapped) == 1
+
+    def test_renamed(self):
+        relation = Relation("R", 1, [("a",)])
+        assert relation.renamed("S").name == "S"
+        assert relation.renamed("S").tuples == relation.tuples
+
+    def test_tuples_of_materializes_any_relation_like(self):
+        relation = Relation("R", 1, [("a",)])
+        assert tuples_of(relation) == frozenset({("a",)})
+        assert tuples_of({("b",)}) == frozenset({("b",)})

@@ -1,0 +1,98 @@
+"""Hypothesis strategies shared by the property-based tests.
+
+The strategies generate *small* artifacts on purpose: several properties
+compare the approximation against the exact (exponential) evaluator, so
+databases stay at <= 4 constants and formulas at modest depth.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.logic.formulas import And, Atom, Equals, Exists, Forall, Formula, Not, Or
+from repro.logic.queries import Query
+from repro.logic.terms import Constant, Variable
+from repro.logical.database import CWDatabase
+
+#: Fixed schema used by every generated database and formula.
+SCHEMA = {"P": 1, "R": 2}
+
+CONSTANT_NAMES = ("a", "b", "c", "d")
+VARIABLE_NAMES = ("x", "y", "z")
+
+
+@st.composite
+def cw_databases(draw, max_constants: int = 4, max_facts: int = 6) -> CWDatabase:
+    """A random small CW logical database over the fixed schema.
+
+    Databases always contain the constants ``a`` and ``b`` so that
+    independently generated queries (whose constant pool is exactly
+    ``{a, b}``, see :func:`terms`) are guaranteed to fit the vocabulary.
+    """
+    n_constants = draw(st.integers(min_value=2, max_value=max(2, max_constants)))
+    constants = CONSTANT_NAMES[:n_constants]
+
+    facts: dict[str, set[tuple[str, ...]]] = {"P": set(), "R": set()}
+    n_facts = draw(st.integers(min_value=0, max_value=max_facts))
+    for __ in range(n_facts):
+        predicate = draw(st.sampled_from(sorted(SCHEMA)))
+        row = tuple(draw(st.sampled_from(constants)) for __ in range(SCHEMA[predicate]))
+        facts[predicate].add(row)
+
+    pairs = [
+        (constants[i], constants[j])
+        for i in range(n_constants)
+        for j in range(i + 1, n_constants)
+    ]
+    unequal = [pair for pair in pairs if draw(st.booleans())]
+    return CWDatabase(constants, dict(SCHEMA), facts, unequal)
+
+
+@st.composite
+def terms(draw, variables: tuple[str, ...]):
+    if draw(st.booleans()) and variables:
+        return Variable(draw(st.sampled_from(variables)))
+    return Constant(draw(st.sampled_from(CONSTANT_NAMES[:2])))
+
+
+@st.composite
+def formulas(draw, variables: tuple[str, ...] = VARIABLE_NAMES, depth: int = 3, allow_negation: bool = True) -> Formula:
+    """A random first-order formula over the fixed schema.
+
+    All variables are drawn from a small fixed pool, so generated formulas
+    may have free variables (queries bind them with an explicit head).
+    """
+    if depth <= 0 or draw(st.integers(min_value=0, max_value=3)) == 0:
+        kind = draw(st.sampled_from(["P", "R", "="]))
+        if kind == "=":
+            atom: Formula = Equals(draw(terms(variables)), draw(terms(variables)))
+        else:
+            atom = Atom(kind, tuple(draw(terms(variables)) for __ in range(SCHEMA[kind])))
+        if allow_negation and draw(st.booleans()):
+            return Not(atom)
+        return atom
+
+    connective = draw(st.sampled_from(["and", "or", "exists", "forall", "not"]))
+    if connective == "not" and allow_negation:
+        return Not(draw(formulas(variables, depth - 1, allow_negation)))
+    if connective in ("and", "or"):
+        left = draw(formulas(variables, depth - 1, allow_negation))
+        right = draw(formulas(variables, depth - 1, allow_negation))
+        return And((left, right)) if connective == "and" else Or((left, right))
+    bound = Variable(draw(st.sampled_from(VARIABLE_NAMES)))
+    body = draw(formulas(tuple(set(variables) | {bound.name}), depth - 1, allow_negation))
+    return Exists((bound,), body) if connective == "exists" else Forall((bound,), body)
+
+
+@st.composite
+def queries(draw, max_arity: int = 2, allow_negation: bool = True) -> Query:
+    """A random query whose head covers all free variables of its formula."""
+    from repro.logic.analysis import free_variables
+
+    formula = draw(formulas(allow_negation=allow_negation))
+    free = sorted(free_variables(formula), key=lambda v: v.name)
+    extra_arity = draw(st.integers(min_value=0, max_value=max(0, max_arity - len(free))))
+    head = tuple(free) + tuple(
+        Variable(f"h{i}") for i in range(extra_arity)
+    )
+    return Query(head, formula)

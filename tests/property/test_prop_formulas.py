@@ -1,0 +1,96 @@
+"""Property-based tests on the logic substrate.
+
+Invariants checked:
+
+* negation normal form preserves Tarskian semantics and leaves negations
+  only on atoms;
+* the printer/parser pair round-trips every generated formula;
+* simplification preserves semantics;
+* the algebra compiler agrees with the Tarskian evaluator on databases whose
+  active domain is the whole domain.
+"""
+
+from hypothesis import given, settings
+
+from repro.logic.analysis import free_variables
+from repro.logic.formulas import Atom, Equals, ExtensionAtom, Not, walk
+from repro.logic.parser import parse_formula
+from repro.logic.printer import to_text
+from repro.logic.queries import Query
+from repro.logic.transform import simplify, to_nnf
+from repro.logic.vocabulary import Vocabulary
+from repro.logical.ph import ph1
+from repro.physical.compiler import evaluate_query_algebra
+from repro.physical.evaluator import evaluate_query, satisfies
+
+from tests.property.strategies import SCHEMA, cw_databases, formulas, queries
+
+MAX_EXAMPLES = 60
+
+
+def _some_database():
+    """A fixed physical database over the shared schema, domain == active domain."""
+    from repro.logical.database import CWDatabase
+
+    db = CWDatabase(
+        ("a", "b", "c"),
+        dict(SCHEMA),
+        {"P": [("a",), ("b",)], "R": [("a", "b"), ("b", "c"), ("c", "c")]},
+        [("a", "b"), ("b", "c")],
+    )
+    return ph1(db)
+
+
+PHYSICAL = _some_database()
+
+
+class TestNNF:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(formula=formulas())
+    def test_nnf_preserves_satisfaction(self, formula):
+        nnf = to_nnf(formula)
+        assignment = {variable: "a" for variable in free_variables(formula)}
+        assert satisfies(PHYSICAL, formula, assignment) == satisfies(PHYSICAL, nnf, assignment)
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(formula=formulas())
+    def test_nnf_leaves_negation_only_on_atoms(self, formula):
+        for node in walk(to_nnf(formula)):
+            if isinstance(node, Not):
+                assert isinstance(node.operand, (Atom, Equals, ExtensionAtom))
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(formula=formulas())
+    def test_nnf_does_not_change_free_variables(self, formula):
+        assert free_variables(to_nnf(formula)) == free_variables(formula)
+
+
+class TestSimplify:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(formula=formulas())
+    def test_simplify_preserves_satisfaction(self, formula):
+        simplified = simplify(formula)
+        assignment = {variable: "b" for variable in free_variables(formula)}
+        assert satisfies(PHYSICAL, formula, assignment) == satisfies(PHYSICAL, simplified, assignment)
+
+
+class TestPrinterParserRoundTrip:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(formula=formulas())
+    def test_round_trip_is_identity(self, formula):
+        assert parse_formula(to_text(formula)) == formula
+
+
+class TestVocabularyValidation:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(formula=formulas())
+    def test_generated_formulas_fit_the_schema(self, formula):
+        vocabulary = Vocabulary(("a", "b", "c", "d"), dict(SCHEMA))
+        vocabulary.validate_formula(formula)
+
+
+class TestCompilerAgreement:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(query=queries())
+    def test_algebra_and_tarskian_evaluation_agree(self, query):
+        assert evaluate_query_algebra(PHYSICAL, query) == evaluate_query(PHYSICAL, query)

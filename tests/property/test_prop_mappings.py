@@ -1,0 +1,55 @@
+"""Property-based tests on respecting mappings and model enumeration."""
+
+from hypothesis import given, settings
+
+from repro.logical.mappings import (
+    count_canonical_mappings,
+    count_respecting_mappings,
+    enumerate_canonical_mappings,
+    respects,
+)
+from repro.logical.models import enumerate_models, is_model
+from repro.logical.ph import ph1
+
+from tests.property.strategies import cw_databases
+
+MAX_EXAMPLES = 40
+
+
+class TestMappingInvariants:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(database=cw_databases())
+    def test_canonical_mappings_all_respect_the_theory(self, database):
+        for mapping in enumerate_canonical_mappings(database):
+            assert respects(mapping, database)
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(database=cw_databases())
+    def test_canonical_enumeration_is_never_larger_than_the_naive_one(self, database):
+        assert count_canonical_mappings(database) <= count_respecting_mappings(database)
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(database=cw_databases())
+    def test_identity_is_always_canonical_and_respecting(self, database):
+        identity = {name: name for name in database.constants}
+        assert respects(identity, database)
+        assert identity in list(enumerate_canonical_mappings(database))
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(database=cw_databases())
+    def test_fully_specified_databases_admit_exactly_one_kernel(self, database):
+        assert count_canonical_mappings(database.fully_specified()) == 1
+
+
+class TestModelInvariants:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(database=cw_databases())
+    def test_ph1_is_a_model(self, database):
+        assert is_model(ph1(database), database)
+
+    @settings(max_examples=30, deadline=None)
+    @given(database=cw_databases(max_constants=3, max_facts=4))
+    def test_every_enumerated_model_satisfies_the_theory(self, database):
+        models = list(enumerate_models(database))
+        assert models
+        assert all(is_model(model, database) for model in models)

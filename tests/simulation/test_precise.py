@@ -1,0 +1,96 @@
+"""Tests for the precise second-order simulation of Section 3.2 (Theorem 3).
+
+The instances are tiny on purpose: evaluating ``Q'`` enumerates every
+candidate relation for the universally quantified ``H`` and ``P'_i``.
+"""
+
+import pytest
+
+from repro.errors import UnsupportedFormulaError, VocabularyError
+from repro.logic.analysis import is_first_order, second_order_prefix_class
+from repro.logic.formulas import SecondOrderExists, SecondOrderForall
+from repro.logic.parser import parse_formula, parse_query
+from repro.logic.queries import Query
+from repro.logical.database import CWDatabase
+from repro.logical.exact import certain_answers
+from repro.simulation.precise import H_PREDICATE, build_simulation_query, evaluate_by_simulation
+
+
+@pytest.fixture
+def tiny_db():
+    return CWDatabase(("a", "b"), {"P": 1}, {"P": [("a",)]}, [])
+
+
+@pytest.fixture
+def tiny_specified_db():
+    return CWDatabase(("a", "b"), {"P": 1}, {"P": [("a",)]}, [("a", "b")])
+
+
+class TestConstruction:
+    def test_result_is_second_order_and_universal(self, tiny_db):
+        query = parse_query("(x) . P(x)")
+        simulation = build_simulation_query(query, tiny_db.vocabulary)
+        formula = simulation.query.formula
+        assert isinstance(formula, SecondOrderForall)
+        assert formula.predicate == H_PREDICATE
+        assert second_order_prefix_class(formula).name == "Pi_1"
+        assert not is_first_order(formula)
+
+    def test_primed_predicates_one_per_base_predicate(self):
+        db = CWDatabase(("a",), {"P": 1, "R": 2}, {}, [])
+        simulation = build_simulation_query(parse_query("(x) . P(x) | exists y. R(x, y)"), db.vocabulary)
+        assert set(simulation.primed) == {"P", "R"}
+        assert len(set(simulation.primed.values())) == 2
+
+    def test_head_arity_preserved(self, tiny_db):
+        query = parse_query("(x, y) . P(x) & P(y)")
+        simulation = build_simulation_query(query, tiny_db.vocabulary)
+        assert simulation.query.arity == 2
+
+    def test_rejects_second_order_sources(self, tiny_db):
+        query = Query((), SecondOrderExists("Q", 1, parse_formula("exists x. Q(x)")))
+        with pytest.raises(UnsupportedFormulaError):
+            build_simulation_query(query, tiny_db.vocabulary)
+
+    def test_rejects_undeclared_predicates(self, tiny_db):
+        with pytest.raises(VocabularyError):
+            build_simulation_query(parse_query("(x) . ZZZ(x)"), tiny_db.vocabulary)
+
+    def test_rejects_reserved_predicates(self, tiny_db):
+        with pytest.raises(VocabularyError):
+            build_simulation_query(parse_query("(x, y) . NE(x, y)"), tiny_db.vocabulary.with_ne())
+
+
+class TestTheorem3:
+    """Q(LB) = Q'(Ph2(LB)) on instances small enough to enumerate."""
+
+    QUERIES = [
+        "(x) . P(x)",
+        "(x) . ~P(x)",
+        "() . exists x. P(x)",
+        "() . forall x. P(x)",
+        "(x) . P(x) | ~P(x)",
+        "(x, y) . P(x) & ~(x = y)",
+    ]
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_simulation_equals_certain_answers_with_unknown_value(self, tiny_db, text):
+        query = parse_query(text)
+        assert evaluate_by_simulation(tiny_db, query) == certain_answers(tiny_db, query)
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_simulation_equals_certain_answers_fully_specified(self, tiny_specified_db, text):
+        query = parse_query(text)
+        assert evaluate_by_simulation(tiny_specified_db, query) == certain_answers(tiny_specified_db, query)
+
+    def test_simulation_on_binary_predicate(self):
+        db = CWDatabase(("a", "b"), {"R": 2}, {"R": [("a", "b")]}, [("a", "b")])
+        query = parse_query("(x, y) . R(x, y)")
+        assert evaluate_by_simulation(db, query) == certain_answers(db, query)
+
+    def test_simulation_distinguishes_unknown_from_known(self):
+        unknown = CWDatabase(("a", "b"), {"P": 1}, {"P": [("a",)]}, [])
+        known = unknown.fully_specified()
+        query = parse_query("(x) . ~P(x)")
+        assert evaluate_by_simulation(unknown, query) == frozenset()
+        assert evaluate_by_simulation(known, query) == frozenset({("b",)})

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.physical.csvio import save_cw_database
+
+
+@pytest.fixture
+def stored_database(ripper_cw, tmp_path):
+    directory = tmp_path / "ripper"
+    save_cw_database(ripper_cw, directory)
+    return directory
+
+
+class TestInfo:
+    def test_info_prints_summary(self, stored_database, capsys):
+        assert main(["info", str(stored_database)]) == 0
+        out = capsys.readouterr().out
+        assert "MURDERER" in out
+        assert "unknown constants" in out
+
+    def test_missing_database_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["info", str(tmp_path / "nope")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_approximate_query(self, stored_database, capsys):
+        assert main(["query", str(stored_database), "(x) . LONDONER(x)"]) == 0
+        out = capsys.readouterr().out
+        assert "approximate answers (3)" in out
+        assert "jack" in out
+
+    def test_exact_query(self, stored_database, capsys):
+        assert main(["query", str(stored_database), "(x) . ~MURDERER(x)", "--method", "exact"]) == 0
+        out = capsys.readouterr().out
+        assert "exact answers (0)" in out
+
+    def test_both_reports_completeness(self, stored_database, capsys):
+        code = main(["query", str(stored_database), "(x) . MURDERER(x)", "--method", "both"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "approximation was complete" in out
+
+    def test_boolean_query_prints_truth(self, stored_database, capsys):
+        assert main(["query", str(stored_database), "exists x. MURDERER(x)"]) == 0
+        out = capsys.readouterr().out
+        assert "<true>" in out
+
+    def test_virtual_ne_and_tarski_engine_options(self, stored_database, capsys):
+        code = main(
+            ["query", str(stored_database), "(x) . ~LONDONER(x)", "--engine", "tarski", "--virtual-ne"]
+        )
+        assert code == 0
+
+    def test_bad_query_text_is_a_clean_error(self, stored_database, capsys):
+        assert main(["query", str(stored_database), "P(x"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestClassify:
+    def test_classify_first_order(self, capsys):
+        assert main(["classify", "(x) . exists y. R(x, y) & ~P(y)"]) == 0
+        out = capsys.readouterr().out
+        assert "co-NP" in out
+
+    def test_classify_positive(self, capsys):
+        assert main(["classify", "(x) . P(x)"]) == 0
+        assert "positive" in capsys.readouterr().out

@@ -1,0 +1,58 @@
+"""Tests for the exception hierarchy: everything derives from ReproError and is catchable."""
+
+import pytest
+
+from repro.errors import (
+    CapacityError,
+    DatabaseError,
+    EvaluationError,
+    FormulaError,
+    ParseError,
+    ReductionError,
+    ReproError,
+    UnsupportedFormulaError,
+    VocabularyError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            FormulaError,
+            ParseError,
+            VocabularyError,
+            DatabaseError,
+            EvaluationError,
+            UnsupportedFormulaError,
+            CapacityError,
+            ReductionError,
+        ],
+    )
+    def test_everything_is_a_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+
+    def test_capacity_and_unsupported_are_evaluation_errors(self):
+        assert issubclass(CapacityError, EvaluationError)
+        assert issubclass(UnsupportedFormulaError, EvaluationError)
+
+    def test_parse_error_records_position(self):
+        error = ParseError("boom", position=7)
+        assert error.position == 7
+        assert "position 7" in str(error)
+
+    def test_parse_error_without_position(self):
+        error = ParseError("boom")
+        assert error.position is None
+        assert str(error) == "boom"
+
+
+class TestCatchability:
+    def test_library_failures_are_catchable_with_the_base_class(self):
+        from repro.logic.parser import parse_formula
+        from repro.logical.database import CWDatabase
+
+        with pytest.raises(ReproError):
+            parse_formula("P(")
+        with pytest.raises(ReproError):
+            CWDatabase((), {"P": 1})

@@ -1,0 +1,50 @@
+"""Tests for the top-level public API surface.
+
+A downstream user should be able to do everything through ``import repro``;
+these tests pin the names re-exported at the top level and exercise the
+documented quickstart snippet.
+"""
+
+import repro
+
+
+class TestExports:
+    def test_version_is_exposed(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_key_entry_points_present(self):
+        for name in (
+            "CWDatabase",
+            "PhysicalDatabase",
+            "Query",
+            "parse_query",
+            "certain_answers",
+            "approximate_answers",
+            "ApproximateEvaluator",
+            "evaluate_by_simulation",
+        ):
+            assert name in repro.__all__
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet_runs_and_is_sound(self):
+        academy = repro.CWDatabase(
+            constants=("socrates", "plato", "mystery_teacher"),
+            predicates={"TEACHES": 2},
+            facts={"TEACHES": [("socrates", "plato"), ("mystery_teacher", "plato")]},
+            unequal=[("socrates", "plato")],
+        )
+        query = repro.parse_query("(x) . ~TEACHES(x, 'plato')")
+        exact = repro.certain_answers(academy, query)
+        approx = repro.approximate_answers(academy, query)
+        assert approx <= exact
+
+    def test_module_docstring_example_query_parses(self):
+        query = repro.parse_query("(x1, x2) . exists y. EMP_DEPT(x1, y) & DEPT_MGR(y, x2)")
+        assert query.arity == 2
+        assert query.is_positive

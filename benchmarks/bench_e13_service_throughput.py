@@ -1,0 +1,139 @@
+"""E13 — the serving layer: amortized cost, cache hit-rate, concurrent soundness.
+
+The ROADMAP's north star is a long-lived service, not a one-shot CLI.  This
+experiment measures what the :mod:`repro.service` subsystem buys:
+
+* **warm vs cold** — repeated-query throughput through the warm response
+  cache must beat the cold per-query path (load nothing, but re-parse,
+  re-derive ``Ph2`` and re-evaluate every time — what every CLI invocation
+  pays) by at least 10x on the employee scenario;
+* **hit rate** — a skewed traffic stream (hot keys repeat) should mostly be
+  served from cache once warm;
+* **concurrent soundness** — a concurrent batch of mixed approx/exact
+  requests must return answers identical to sequential one-shot evaluation:
+  Theorem 11's soundness survives behind a thread pool.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.approx.evaluator import ApproximateEvaluator
+from repro.harness.experiments import measure_throughput
+from repro.logic.parser import parse_query
+from repro.logical.exact import certain_answers
+from repro.service.engine import QueryService
+from repro.service.protocol import ErrorResponse, QueryRequest
+from repro.workloads.scenarios import employee_intro_scenario
+from repro.workloads.traffic import (
+    TrafficProfile,
+    default_scenarios,
+    register_scenarios,
+    traffic_stream,
+)
+
+QUERY_TEXT = "(x1, x2) . exists y. EMP_DEPT(x1, y) & DEPT_MGR(y, x2)"
+
+WARM_OPERATIONS = 300
+COLD_OPERATIONS = 10
+REQUIRED_SPEEDUP = 10.0
+
+
+def _cold_one_shot(database, query_text: str):
+    """The per-query cost a one-shot client pays: parse + Ph2 + evaluate."""
+    query = parse_query(query_text)
+    return ApproximateEvaluator(engine="algebra").answers(database, query)
+
+
+@pytest.mark.experiment("E13")
+def test_warm_cache_beats_cold_path_by_10x(benchmark, experiment_log):
+    scenario = employee_intro_scenario()
+    service = QueryService()
+    service.register("employee-intro", scenario.database)
+    request = QueryRequest("employee-intro", QUERY_TEXT)
+
+    # Fill the cache, then measure the repeated-query (warm) path.
+    first = service.execute(request)
+    assert not first.cached
+    warm = measure_throughput(lambda: service.execute(request), WARM_OPERATIONS)
+    cold = measure_throughput(lambda: _cold_one_shot(scenario.database, QUERY_TEXT), COLD_OPERATIONS)
+    benchmark(lambda: service.execute(request))
+
+    # Same answers either way, and the acceptance-criterion speedup.
+    assert service.execute(request).answer_set("approximate") == _cold_one_shot(scenario.database, QUERY_TEXT)
+    speedup = cold.per_operation_seconds / warm.per_operation_seconds
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"warm cache path is only {speedup:.1f}x faster than the cold per-query path"
+    )
+    experiment_log.append(
+        ("E13", {
+            "measurement": "warm vs cold",
+            "warm_qps": round(warm.per_second),
+            "cold_qps": round(cold.per_second),
+            "speedup": round(speedup, 1),
+            "hit_rate": service.stats().answer_cache["hit_rate"],
+        })
+    )
+
+
+@pytest.mark.experiment("E13")
+def test_skewed_traffic_mostly_hits_the_cache(experiment_log):
+    service = QueryService()
+    register_scenarios(service)
+    profile = TrafficProfile(hot_keys=2, hot_fraction=0.8, exact_fraction=0.05)
+    stream = traffic_stream(200, profile=profile, seed=7)
+
+    for request in stream:
+        service.execute(request)
+    stats = service.stats()
+    hit_rate = stats.answer_cache["hit_rate"]
+    # 200 skewed requests over a pool of a few dozen distinct keys: the
+    # steady state is overwhelmingly cached.
+    assert hit_rate > 0.5, f"cache hit rate {hit_rate} is too low for skewed traffic"
+    experiment_log.append(
+        ("E13", {
+            "measurement": "skewed traffic hit rate",
+            "requests": len(stream),
+            "hit_rate": hit_rate,
+            "cache_size": stats.answer_cache["size"],
+        })
+    )
+
+
+@pytest.mark.experiment("E13")
+def test_concurrent_batch_matches_sequential_one_shot(experiment_log):
+    service = QueryService()
+    register_scenarios(service)
+    scenarios = {scenario.name: scenario.database for scenario in default_scenarios()}
+    stream = traffic_stream(60, profile=TrafficProfile(hot_fraction=0.5, exact_fraction=0.2), seed=21)
+
+    batch = service.batch(stream, max_workers=8)
+    assert batch.total == len(stream)
+    assert batch.deduplicated == batch.total - batch.unique
+
+    mismatches = 0
+    for request, response in zip(stream, batch.responses):
+        assert not isinstance(response, ErrorResponse), response
+        database = scenarios[request.database]
+        query = parse_query(request.query)
+        if request.method in ("approx", "both"):
+            expected = ApproximateEvaluator(engine=request.engine, virtual_ne=request.virtual_ne).answers(
+                database, query
+            )
+            if response.answer_set("approximate") != expected:
+                mismatches += 1
+        if request.method in ("exact", "both"):
+            if response.answer_set("exact") != certain_answers(database, query):
+                mismatches += 1
+        if request.method == "both":
+            assert response.answer_set("approximate") <= response.answer_set("exact")
+    assert mismatches == 0, f"{mismatches} concurrent answers differ from sequential one-shot evaluation"
+    experiment_log.append(
+        ("E13", {
+            "measurement": "concurrent batch == sequential",
+            "requests": batch.total,
+            "unique": batch.unique,
+            "deduplicated": batch.deduplicated,
+            "mismatches": mismatches,
+        })
+    )

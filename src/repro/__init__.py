@@ -11,7 +11,10 @@ The library implements, from scratch:
 * the sound approximation algorithm of Section 5 (:mod:`repro.approx`);
 * the complexity reductions of Section 4 (:mod:`repro.complexity`);
 * workload generators, scenarios and the experiment harness
-  (:mod:`repro.workloads`, :mod:`repro.harness`).
+  (:mod:`repro.workloads`, :mod:`repro.harness`);
+* the concurrent query-serving subsystem — snapshot registry, result
+  caching, batch evaluation and a JSON HTTP front-end
+  (:mod:`repro.service`).
 
 Quick start::
 
@@ -55,6 +58,15 @@ from repro.logical import (
     ph2,
 )
 from repro.physical import PhysicalDatabase, Relation, evaluate_query, satisfies
+from repro.service import (
+    BatchEvaluator,
+    QueryRequest,
+    QueryResponse,
+    QueryService,
+    ServiceClient,
+    evaluate_batch,
+    running_server,
+)
 from repro.simulation import build_simulation_query, evaluate_by_simulation
 
 __version__ = "1.0.0"
@@ -97,4 +109,12 @@ __all__ = [
     "approximate_answers",
     "approximately_holds",
     "rewrite_query",
+    # service
+    "QueryService",
+    "QueryRequest",
+    "QueryResponse",
+    "BatchEvaluator",
+    "evaluate_batch",
+    "ServiceClient",
+    "running_server",
 ]

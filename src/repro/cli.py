@@ -10,18 +10,27 @@ language.  Three evaluation routes are exposed:
   past a capacity limit);
 * ``both`` — run both and report whether the approximation was complete.
 
+Every read command also takes ``--json``, which prints the same protocol
+message the HTTP service would return (one serializer,
+:mod:`repro.service.protocol`, feeds both).  Two further commands wrap the
+serving subsystem: ``serve`` starts the JSON HTTP front-end over one or
+more stored databases, and ``client`` talks to a running server.
+
 Examples::
 
     python -m repro.cli info db_dir/
     python -m repro.cli query db_dir/ "(x) . ~MURDERER(x)"
-    python -m repro.cli query db_dir/ "(x) . P(x)" --method exact
+    python -m repro.cli query db_dir/ "(x) . P(x)" --method exact --json
     python -m repro.cli classify "(x) . exists y. R(x, y) & ~P(y)"
+    python -m repro.cli serve db_dir/ --port 8080
+    python -m repro.cli client http://127.0.0.1:8080 query db_dir "(x) . P(x)"
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.approx.evaluator import ApproximateEvaluator
@@ -31,6 +40,17 @@ from repro.harness.reporting import format_table
 from repro.logic.parser import parse_query
 from repro.logical.exact import certain_answers
 from repro.physical.csvio import load_cw_database
+from repro.service.client import ServiceClient
+from repro.service.engine import QueryService
+from repro.service.protocol import (
+    DatabasesResponse,
+    QueryRequest,
+    QueryResponse,
+    build_classify_response,
+    build_info_response,
+    dump_wire,
+)
+from repro.service.server import serve as serve_forever
 
 __all__ = ["main", "build_parser"]
 
@@ -44,36 +64,87 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = commands.add_parser("info", help="describe a stored CW logical database")
     info.add_argument("database", help="directory written by save_cw_database()")
+    info.add_argument("--json", action="store_true", help="print a protocol InfoResponse instead of text")
 
     query = commands.add_parser("query", help="evaluate a query against a stored database")
     query.add_argument("database", help="directory written by save_cw_database()")
     query.add_argument("query", help="query text, e.g. \"(x) . ~MURDERER(x)\"")
-    query.add_argument(
+    _add_query_options(query)
+    query.add_argument("--json", action="store_true", help="print a protocol QueryResponse instead of text")
+
+    classify = commands.add_parser("classify", help="show a query's prefix class and the paper's bounds")
+    classify.add_argument("query", help="query text")
+    classify.add_argument("--json", action="store_true", help="print a protocol ClassifyResponse instead of text")
+
+    serve = commands.add_parser("serve", help="serve stored databases over the JSON HTTP protocol")
+    serve.add_argument(
+        "databases",
+        nargs="+",
+        help="directories written by save_cw_database(); use NAME=DIR to pick the registered name "
+        "(default: the directory basename)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080, help="TCP port (default 8080)")
+    serve.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=None,
+        help="answer-cache capacity (0 disables caching; default: the service default)",
+    )
+
+    client = commands.add_parser("client", help="talk to a running repro service")
+    client.add_argument("url", help="service base URL, e.g. http://127.0.0.1:8080")
+    actions = client.add_subparsers(dest="action", required=True)
+
+    c_health = actions.add_parser("health", help="liveness probe")
+    c_databases = actions.add_parser("databases", help="list registered databases")
+    c_stats = actions.add_parser("stats", help="cache/batch counters")
+    for spare in (c_health, c_databases, c_stats):
+        spare.add_argument("--json", action="store_true", help="print the raw protocol message")
+
+    c_info = actions.add_parser("info", help="describe a registered database")
+    c_info.add_argument("name", help="registered database name")
+    c_info.add_argument("--json", action="store_true", help="print a protocol InfoResponse instead of text")
+
+    c_query = actions.add_parser("query", help="evaluate a query remotely")
+    c_query.add_argument("name", help="registered database name")
+    c_query.add_argument("query", help="query text")
+    _add_query_options(c_query)
+    c_query.add_argument("--json", action="store_true", help="print a protocol QueryResponse instead of text")
+
+    c_classify = actions.add_parser("classify", help="classify a query remotely")
+    c_classify.add_argument("query", help="query text")
+    c_classify.add_argument("--json", action="store_true", help="print a protocol ClassifyResponse instead of text")
+
+    return parser
+
+
+def _add_query_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
         "--method",
         choices=("approx", "exact", "both"),
         default="approx",
         help="evaluation route (default: the sound polynomial approximation)",
     )
-    query.add_argument(
+    parser.add_argument(
         "--engine",
         choices=("tarski", "algebra"),
         default="algebra",
         help="engine used by the approximation (default: relational algebra)",
     )
-    query.add_argument(
+    parser.add_argument(
         "--virtual-ne",
         action="store_true",
         help="store the inequality relation virtually (U/NE' encoding)",
     )
 
-    classify = commands.add_parser("classify", help="show a query's prefix class and the paper's bounds")
-    classify.add_argument("query", help="query text")
-
-    return parser
-
 
 def _command_info(arguments: argparse.Namespace) -> int:
     database = load_cw_database(arguments.database)
+    if arguments.json:
+        name = Path(arguments.database).name or str(arguments.database)
+        print(dump_wire(build_info_response(name, database), indent=2))
+        return 0
     print(database.describe())
     rows = [
         [predicate, arity, len(database.facts_for(predicate))]
@@ -86,6 +157,17 @@ def _command_info(arguments: argparse.Namespace) -> int:
 
 
 def _command_query(arguments: argparse.Namespace) -> int:
+    if arguments.json:
+        # One-shot service: same evaluation and same serialization as the server.
+        name = Path(arguments.database).name or str(arguments.database)
+        service = QueryService()
+        service.register(name, load_cw_database(arguments.database), precompute=False)
+        response = service.execute(
+            QueryRequest(name, arguments.query, arguments.method, arguments.engine, arguments.virtual_ne)
+        )
+        print(dump_wire(response, indent=2))
+        return 0
+
     database = load_cw_database(arguments.database)
     query = parse_query(arguments.query)
 
@@ -96,12 +178,7 @@ def _command_query(arguments: argparse.Namespace) -> int:
     if arguments.method in ("exact", "both"):
         results["exact"] = certain_answers(database, query)
 
-    for label, answers in results.items():
-        print(f"{label} answers ({len(answers)}):")
-        for row in sorted(answers):
-            print("  " + ", ".join(row) if row else "  <true>")
-        if not answers:
-            print("  <empty>" if query.arity else "  <false>")
+    _print_answer_sets(results, query.arity)
 
     if arguments.method == "both":
         approx, exact = results["approximate"], results["exact"]
@@ -116,8 +193,109 @@ def _command_query(arguments: argparse.Namespace) -> int:
 def _command_classify(arguments: argparse.Namespace) -> int:
     query = parse_query(arguments.query)
     info = classify_query(query)
+    if arguments.json:
+        print(dump_wire(build_classify_response(arguments.query, info), indent=2))
+        return 0
     print(info.summary())
     return 0
+
+
+def _command_serve(arguments: argparse.Namespace) -> int:
+    kwargs = {}
+    if arguments.cache_capacity is not None:
+        kwargs["answer_cache_capacity"] = arguments.cache_capacity
+    service = QueryService(**kwargs)
+    for specifier in arguments.databases:
+        # NAME=DIR picks the registered name; a '=' whose left side looks
+        # like a path (contains a separator) is part of the directory.
+        name, separator, directory = specifier.partition("=")
+        if not separator or not name or "/" in name or "\\" in name:
+            directory = specifier
+            name = Path(directory).name or str(directory)
+        if name in service.database_names():
+            print(
+                f"error: two databases would be registered as {name!r} — "
+                f"disambiguate with NAME=DIR (e.g. other_{name}={directory})",
+                file=sys.stderr,
+            )
+            return 2
+        service.register(name, load_cw_database(directory))
+    try:
+        serve_forever(service, host=arguments.host, port=arguments.port)
+    except OSError as error:
+        print(f"error: cannot bind {arguments.host}:{arguments.port} — {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _command_client(arguments: argparse.Namespace) -> int:
+    client = ServiceClient(arguments.url)
+    if arguments.action == "health":
+        health = client.health()
+        print(dump_wire(health, indent=2) if arguments.json else f"status: {health.status}")
+        return 0
+    if arguments.action == "databases":
+        names = client.databases()
+        if arguments.json:
+            print(dump_wire(DatabasesResponse(names), indent=2))
+            return 0
+        print("\n".join(names) or "(no databases registered)")
+        return 0
+    if arguments.action == "stats":
+        stats = client.stats()
+        if arguments.json:
+            print(dump_wire(stats, indent=2))
+            return 0
+        print(f"databases: {', '.join(stats.databases) or 'none'}")
+        for label, counters in (("answer cache", stats.answer_cache), ("parse cache", stats.parse_cache)):
+            print(f"{label}: " + ", ".join(f"{key}={value}" for key, value in sorted(counters.items())))
+        print("batch: " + ", ".join(f"{key}={value}" for key, value in sorted(stats.batch.items())))
+        return 0
+    if arguments.action == "info":
+        info = client.info(arguments.name)
+        if arguments.json:
+            print(dump_wire(info, indent=2))
+            return 0
+        print(f"{info.name} [{info.fingerprint[:12]}]: {info.description}")
+        rows = [
+            [predicate, entry["arity"], entry["facts"]]
+            for predicate, entry in sorted(info.predicates.items())
+        ]
+        print(format_table(["predicate", "arity", "facts"], rows))
+        return 0
+    if arguments.action == "query":
+        response = client.query(
+            arguments.name, arguments.query, arguments.method, arguments.engine, arguments.virtual_ne
+        )
+        if arguments.json:
+            print(dump_wire(response, indent=2))
+            return 0
+        _print_query_response(response)
+        return 0
+    if arguments.action == "classify":
+        classification = client.classify(arguments.query)
+        print(dump_wire(classification, indent=2) if arguments.json else classification.summary)
+        return 0
+    raise ReproError(f"unknown client action {arguments.action!r}")  # pragma: no cover - argparse guards
+
+
+def _print_answer_sets(results: dict[str, frozenset[tuple[str, ...]]], arity: int) -> None:
+    for label, answers in results.items():
+        print(f"{label} answers ({len(answers)}):")
+        for row in sorted(answers):
+            print("  " + ", ".join(row) if row else "  <true>")
+        if not answers:
+            print("  <empty>" if arity else "  <false>")
+
+
+def _print_query_response(response: QueryResponse) -> None:
+    results = {label: response.answer_set(label) for label in response.answers}
+    _print_answer_sets(results, response.arity)
+    if response.complete is not None:
+        status = "complete" if response.complete else f"sound but missed {response.missed} certain answer(s)"
+        print(f"approximation was {status} on this instance")
+    if response.cached:
+        print("(served from cache)")
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -130,6 +308,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_query(arguments)
         if arguments.command == "classify":
             return _command_classify(arguments)
+        if arguments.command == "serve":
+            return _command_serve(arguments)
+        if arguments.command == "client":
+            return _command_client(arguments)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -66,3 +66,19 @@ class CapacityError(EvaluationError):
 
 class ReductionError(ReproError):
     """A complexity reduction received an input outside its expected shape."""
+
+
+class ServiceError(ReproError):
+    """The query service rejected a request (unknown database, bad option...)."""
+
+
+class UnknownDatabaseError(ServiceError):
+    """A request named a database snapshot that is not registered.
+
+    Distinguished from plain :class:`ServiceError` so the HTTP front-end can
+    map it to 404 without inspecting error messages.
+    """
+
+
+class ProtocolError(ServiceError):
+    """A wire payload does not conform to the JSON service protocol."""

@@ -1,6 +1,13 @@
 """Experiment harness: timing helpers and plain-text reporting."""
 
-from repro.harness.experiments import Experiment, Measurement, run_experiment, timed
+from repro.harness.experiments import (
+    Experiment,
+    Measurement,
+    ThroughputResult,
+    measure_throughput,
+    run_experiment,
+    timed,
+)
 from repro.harness.reporting import format_ratio, format_report, format_table
 
 __all__ = [
@@ -8,6 +15,8 @@ __all__ = [
     "Measurement",
     "run_experiment",
     "timed",
+    "ThroughputResult",
+    "measure_throughput",
     "format_table",
     "format_report",
     "format_ratio",

@@ -14,7 +14,7 @@ from typing import Callable, Sequence
 
 from repro.harness.reporting import format_report
 
-__all__ = ["timed", "Measurement", "Experiment", "run_experiment"]
+__all__ = ["timed", "Measurement", "Experiment", "run_experiment", "ThroughputResult", "measure_throughput"]
 
 
 def timed(function: Callable[[], object]) -> tuple[object, float]:
@@ -23,6 +23,37 @@ def timed(function: Callable[[], object]) -> tuple[object, float]:
     result = function()
     elapsed = time.perf_counter() - start
     return result, elapsed
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Operations-per-second measurement used by the serving benchmarks."""
+
+    operations: int
+    elapsed_seconds: float
+
+    @property
+    def per_second(self) -> float:
+        return self.operations / self.elapsed_seconds if self.elapsed_seconds else float("inf")
+
+    @property
+    def per_operation_seconds(self) -> float:
+        return self.elapsed_seconds / self.operations if self.operations else 0.0
+
+
+def measure_throughput(function: Callable[[], object], operations: int) -> ThroughputResult:
+    """Run *function* *operations* times and report aggregate throughput.
+
+    The per-operation path stays as thin as possible (one function call per
+    iteration) so sub-millisecond cached operations are still measured
+    meaningfully.
+    """
+    if operations < 1:
+        raise ValueError("need at least one operation")
+    start = time.perf_counter()
+    for __ in range(operations):
+        function()
+    return ThroughputResult(operations=operations, elapsed_seconds=time.perf_counter() - start)
 
 
 @dataclass(frozen=True)

@@ -13,10 +13,20 @@ Unknown values are modelled by *missing* uniqueness axioms: when no axiom
 ``c_j`` denote the same object.  A database with a uniqueness axiom for every
 pair of distinct constants is *fully specified* and behaves exactly like a
 physical database (Corollary 2).
+
+**Immutability contract.**  A :class:`CWDatabase` is deeply immutable: the
+vocabulary, the fact sets and the uniqueness axioms are all frozen at
+construction time and every "update" (:meth:`CWDatabase.with_fact`, ...)
+returns a fresh instance.  :meth:`CWDatabase.fingerprint` therefore
+identifies the database *content* for its whole lifetime, which is what lets
+the serving layer (:mod:`repro.service`) precompute ``Ph2(LB)`` once per
+registered snapshot and key result caches on the fingerprint.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
@@ -102,6 +112,30 @@ class CWDatabase:
 
     def __hash__(self) -> int:
         return hash((self.vocabulary, tuple(sorted((k, v) for k, v in self.facts.items())), self.unequal))
+
+    def fingerprint(self) -> str:
+        """A stable hex digest of the database content.
+
+        Two databases have the same fingerprint exactly when they have the
+        same constants (in order), predicates, facts and uniqueness axioms.
+        Because instances are immutable the digest is computed once and
+        cached; the service layer uses it as the database component of its
+        cache keys.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            payload = json.dumps(
+                {
+                    "constants": list(self.constants),
+                    "predicates": {name: arity for name, arity in sorted(self.predicates.items())},
+                    "facts": {name: sorted(self.facts[name]) for name in sorted(self.facts)},
+                    "unequal": sorted(sorted(pair) for pair in self.unequal),
+                },
+                separators=(",", ":"),
+            )
+            cached = hashlib.sha256(payload.encode()).hexdigest()
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     # Accessors ----------------------------------------------------------------
 

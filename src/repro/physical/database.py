@@ -9,10 +9,17 @@ predicate symbol; equality is always interpreted as true equality.
 modified copies.  Relations may be ordinary :class:`~repro.physical.relation.Relation`
 objects or lazy relation-like objects (used for the virtual ``NE`` relation
 of Section 5).
+
+**Immutability contract.**  Instances never change after construction —
+updates return fresh copies — so :meth:`PhysicalDatabase.fingerprint` is a
+stable identifier of the interpretation's content.  The serving layer relies
+on this to share one ``Ph2(LB)`` across concurrent queries without locking.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
@@ -133,6 +140,36 @@ class PhysicalDatabase:
             if frozenset(relation) != frozenset(other.relations[name]):
                 return False
         return True
+
+    def fingerprint(self) -> str:
+        """A stable hex digest of the interpretation's content.
+
+        Domain elements enter the digest via ``repr``, so equal databases
+        (same vocabulary, domain, constant assignment and relation contents
+        — lazy relations are materialized) share a fingerprint whenever
+        their values have content-based reprs.  That covers the string
+        domains of ``Ph1``/``Ph2`` and anything loaded from CSV — the cases
+        the serving layer keys on; values with identity-based reprs (plain
+        ``object()``) would not fingerprint stably.  Computed once and
+        cached, which is sound because instances are immutable.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            payload = json.dumps(
+                {
+                    "constants": sorted((symbol, repr(value)) for symbol, value in self.constants.items()),
+                    "predicates": {name: arity for name, arity in sorted(self.vocabulary.predicates.items())},
+                    "domain": sorted(repr(value) for value in self.domain),
+                    "relations": {
+                        name: sorted(repr(row) for row in relation)
+                        for name, relation in sorted(self.relations.items())
+                    },
+                },
+                separators=(",", ":"),
+            )
+            cached = hashlib.sha256(payload.encode()).hexdigest()
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     # Lookups -----------------------------------------------------------------
 

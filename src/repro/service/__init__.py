@@ -1,0 +1,65 @@
+"""The concurrent query-serving subsystem.
+
+Loosely coupled layers, each usable on its own:
+
+* :mod:`repro.service.engine` — :class:`QueryService`: named immutable
+  database snapshots with precomputed ``Ph2`` storage and result caching;
+* :mod:`repro.service.cache` — the thread-safe LRU underneath;
+* :mod:`repro.service.batch` — deduplicated concurrent batch evaluation;
+* :mod:`repro.service.protocol` — versioned JSON request/response messages
+  (also the CLI's ``--json`` serializer);
+* :mod:`repro.service.server` — the stdlib HTTP front-end;
+* :mod:`repro.service.client` — the urllib client.
+"""
+
+from repro.service.batch import BatchEvaluator, evaluate_batch
+from repro.service.cache import CacheStats, LRUCache
+from repro.service.client import ServiceClient
+from repro.service.engine import QueryService, RegisteredDatabase
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    BatchRequest,
+    BatchResponse,
+    ClassifyRequest,
+    ClassifyResponse,
+    DatabasesResponse,
+    ErrorResponse,
+    HealthResponse,
+    InfoResponse,
+    QueryRequest,
+    QueryResponse,
+    StatsResponse,
+    dump_wire,
+    parse_wire,
+    to_wire,
+)
+from repro.service.server import ServiceHTTPServer, make_server, running_server, serve
+
+__all__ = [
+    "QueryService",
+    "RegisteredDatabase",
+    "LRUCache",
+    "CacheStats",
+    "BatchEvaluator",
+    "evaluate_batch",
+    "ServiceClient",
+    "ServiceHTTPServer",
+    "make_server",
+    "running_server",
+    "serve",
+    "PROTOCOL_VERSION",
+    "QueryRequest",
+    "QueryResponse",
+    "ClassifyRequest",
+    "ClassifyResponse",
+    "InfoResponse",
+    "HealthResponse",
+    "DatabasesResponse",
+    "StatsResponse",
+    "BatchRequest",
+    "BatchResponse",
+    "ErrorResponse",
+    "to_wire",
+    "parse_wire",
+    "dump_wire",
+]

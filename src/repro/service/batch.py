@@ -1,0 +1,86 @@
+"""Batched evaluation: deduplicate identical requests, fan out the rest.
+
+Traffic against a query service is heavily skewed — the same hot queries
+arrive over and over (see :mod:`repro.workloads.traffic`) — so a batch is
+first collapsed to its *unique* requests.  Each unique request is evaluated
+at most once, concurrently on a :class:`~concurrent.futures.ThreadPoolExecutor`;
+the positional response list is then rebuilt so ``responses[i]`` always
+answers ``requests[i]``.
+
+Failures stay local: a request that raises a
+:class:`~repro.errors.ReproError` (parse error, capacity refusal, unknown
+database...) yields an :class:`~repro.service.protocol.ErrorResponse` in its
+slot and the rest of the batch completes normally.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.service.protocol import BatchResponse, ErrorResponse, QueryRequest, QueryResponse
+
+__all__ = ["BatchEvaluator", "evaluate_batch", "DEFAULT_MAX_WORKERS"]
+
+DEFAULT_MAX_WORKERS = 8
+
+
+class BatchEvaluator:
+    """Evaluate request batches against a :class:`~repro.service.engine.QueryService`.
+
+    With ``executor`` the evaluator fans out on that long-lived pool (and
+    never shuts it down); otherwise it spins up a pool per :meth:`run` call,
+    sized by ``max_workers``.  :meth:`QueryService.batch` passes the
+    service's shared pool so repeated small batches avoid per-call pool
+    startup.
+    """
+
+    def __init__(self, service, max_workers: int | None = None, executor: ThreadPoolExecutor | None = None) -> None:
+        self.service = service
+        self.max_workers = max_workers or DEFAULT_MAX_WORKERS
+        self.executor = executor
+
+    def run(self, requests: Sequence[QueryRequest]) -> BatchResponse:
+        """Evaluate a batch; duplicates are computed once and fanned back out."""
+        requests = list(requests)
+        if not requests:
+            return BatchResponse(responses=(), total=0, unique=0, deduplicated=0)
+
+        # Frozen QueryRequest dataclasses are their own dedup keys.
+        unique: list[QueryRequest] = []
+        seen: dict[QueryRequest, int] = {}
+        for request in requests:
+            if request not in seen:
+                seen[request] = len(unique)
+                unique.append(request)
+
+        if self.executor is not None:
+            unique_responses = list(self.executor.map(self._evaluate, unique))
+        else:
+            workers = min(self.max_workers, len(unique))
+            if workers <= 1:
+                unique_responses = [self._evaluate(request) for request in unique]
+            else:
+                with ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro-batch") as pool:
+                    unique_responses = list(pool.map(self._evaluate, unique))
+
+        deduplicated = len(requests) - len(unique)
+        self.service.record_batch(executed=len(unique), deduplicated=deduplicated)
+        return BatchResponse(
+            responses=tuple(unique_responses[seen[request]] for request in requests),
+            total=len(requests),
+            unique=len(unique),
+            deduplicated=deduplicated,
+        )
+
+    def _evaluate(self, request: QueryRequest) -> QueryResponse | ErrorResponse:
+        try:
+            return self.service.execute(request)
+        except ReproError as error:
+            return ErrorResponse(error=str(error), kind=type(error).__name__)
+
+
+def evaluate_batch(service, requests: Sequence[QueryRequest], max_workers: int | None = None) -> BatchResponse:
+    """Module-level convenience wrapper around :class:`BatchEvaluator`."""
+    return BatchEvaluator(service, max_workers=max_workers).run(requests)

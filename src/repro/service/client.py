@@ -1,0 +1,148 @@
+"""A thin urllib client for the JSON HTTP front-end.
+
+The client speaks exactly the protocol of :mod:`repro.service.protocol`:
+requests are protocol dataclasses serialized with
+:func:`~repro.service.protocol.to_wire`, responses are deserialized with
+:func:`~repro.service.protocol.parse_wire`.  Server-side errors (an
+:class:`~repro.service.protocol.ErrorResponse` body with a 4xx status) are
+re-raised locally as :class:`~repro.errors.ServiceError`, so remote and
+in-process usage fail the same way.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Sequence
+from urllib.parse import quote
+
+from repro.errors import ProtocolError, ServiceError
+from repro.service.protocol import (
+    BatchRequest,
+    BatchResponse,
+    ClassifyRequest,
+    ClassifyResponse,
+    DatabasesResponse,
+    ErrorResponse,
+    HealthResponse,
+    InfoResponse,
+    QueryRequest,
+    QueryResponse,
+    StatsResponse,
+    parse_wire,
+    to_wire,
+)
+
+__all__ = ["ServiceClient"]
+
+DEFAULT_TIMEOUT_SECONDS = 60.0
+
+
+class ServiceClient:
+    """Talk to a running service at ``base_url`` (e.g. ``http://127.0.0.1:8080``)."""
+
+    def __init__(self, base_url: str, timeout: float = DEFAULT_TIMEOUT_SECONDS) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # Endpoints -----------------------------------------------------------------
+
+    def health(self) -> HealthResponse:
+        """Liveness probe."""
+        return self._expect(self._get("/health"), HealthResponse)
+
+    def databases(self) -> tuple[str, ...]:
+        return self._expect(self._get("/databases"), DatabasesResponse).databases
+
+    def info(self, database: str) -> InfoResponse:
+        return self._expect(self._get(f"/info?db={quote(database)}"), InfoResponse)
+
+    def stats(self) -> StatsResponse:
+        return self._expect(self._get("/stats"), StatsResponse)
+
+    def query(
+        self,
+        database: str,
+        query: str,
+        method: str = "approx",
+        engine: str = "algebra",
+        virtual_ne: bool = False,
+    ) -> QueryResponse:
+        request = QueryRequest(database, query, method, engine, virtual_ne)
+        return self._expect(self._post("/query", request), QueryResponse)
+
+    def execute(self, request: QueryRequest) -> QueryResponse:
+        return self._expect(self._post("/query", request), QueryResponse)
+
+    def classify(self, query: str) -> ClassifyResponse:
+        return self._expect(self._post("/classify", ClassifyRequest(query)), ClassifyResponse)
+
+    def batch(self, requests: Sequence[QueryRequest]) -> BatchResponse:
+        return self._expect(self._post("/batch", BatchRequest(tuple(requests))), BatchResponse)
+
+    def get_raw(self, path: str) -> dict:
+        """GET a route and return the undecoded JSON payload (envelope included)."""
+        payload = self._round_trip(urllib.request.Request(self.base_url + path))
+        if not isinstance(payload, dict):
+            raise ProtocolError(f"expected a JSON object from {path}, got {type(payload).__name__}")
+        return payload
+
+    # Plumbing ------------------------------------------------------------------
+
+    def _get(self, path: str) -> object:
+        return self._parse(self._round_trip(urllib.request.Request(self.base_url + path)))
+
+    def _post(self, path: str, message: object) -> object:
+        body = json.dumps(to_wire(message)).encode()
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        return self._parse(self._round_trip(request))
+
+    def _round_trip(self, request: urllib.request.Request) -> object:
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                body = response.read().decode(errors="replace")
+            try:
+                return json.loads(body)
+            except json.JSONDecodeError:
+                raise ProtocolError(
+                    f"non-JSON response from {request.full_url}: {body[:200]!r} — is that really a repro service?"
+                ) from None
+        except urllib.error.HTTPError as error:
+            body = error.read().decode(errors="replace")
+            try:
+                payload = json.loads(body)
+            except json.JSONDecodeError:
+                raise ServiceError(f"HTTP {error.code} from {request.full_url}: {body[:200]}") from None
+            self._raise_remote_error(payload, error.code)
+            raise ServiceError(f"HTTP {error.code} from {request.full_url}") from None
+        except urllib.error.URLError as error:
+            raise ServiceError(f"cannot reach service at {self.base_url}: {error.reason}") from None
+        except TimeoutError:
+            raise ServiceError(
+                f"service at {self.base_url} did not respond within {self.timeout} seconds"
+            ) from None
+
+    def _parse(self, payload: object) -> object:
+        message = parse_wire(payload)  # type: ignore[arg-type]
+        if isinstance(message, ErrorResponse):
+            raise ServiceError(f"{message.kind}: {message.error}")
+        return message
+
+    def _raise_remote_error(self, payload: object, status: int) -> None:
+        try:
+            message = parse_wire(payload)  # type: ignore[arg-type]
+        except ProtocolError:
+            raise ServiceError(f"HTTP {status}: unrecognized error body") from None
+        if isinstance(message, ErrorResponse):
+            raise ServiceError(f"{message.kind}: {message.error}")
+
+    def _expect(self, message: object, expected: type):
+        if not isinstance(message, expected):
+            raise ProtocolError(f"expected a {expected.__name__}, got {type(message).__name__}")
+        return message

@@ -1,0 +1,318 @@
+"""The long-lived query service: named snapshots, precomputed storage, caches.
+
+The one-shot CLI pays the full pipeline on every invocation: load the CSV
+database, parse the query, derive ``Ph2(LB)``, evaluate.  A
+:class:`QueryService` amortizes all of that across many queries and many
+clients:
+
+* **snapshot registry** — databases are registered under a name as
+  *immutable* :class:`~repro.logical.database.CWDatabase` snapshots; both
+  ``Ph2`` variants (materialized and virtual ``NE``) are precomputed at
+  registration time and shared, lock-free, by every concurrent query;
+* **content fingerprints** — each snapshot's
+  :meth:`~repro.logical.database.CWDatabase.fingerprint` joins the cache
+  key, so re-registering a name with different content can never serve
+  stale answers;
+* **result caching** — parsed queries and full responses live in
+  thread-safe LRU caches (:mod:`repro.service.cache`) keyed on
+  ``(fingerprint, query_text, method, engine, virtual_ne)``.
+
+The service is deliberately transport-agnostic: :mod:`repro.service.server`
+exposes it over HTTP and :mod:`repro.service.batch` fans request lists out
+over a thread pool, but it is equally usable in-process.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from repro.approx.evaluator import ApproximateEvaluator
+from repro.complexity.classes import classify_query
+from repro.errors import ServiceError, UnknownDatabaseError
+from repro.logic.parser import parse_query
+from repro.logic.queries import Query
+from repro.logical.database import CWDatabase
+from repro.logical.exact import CertainAnswerEvaluator
+from repro.logical.mappings import DEFAULT_MAX_MAPPINGS
+from repro.logical.ph import ph2
+from repro.physical.database import PhysicalDatabase
+from repro.service.cache import LRUCache
+from repro.service.protocol import (
+    ClassifyResponse,
+    InfoResponse,
+    QueryRequest,
+    QueryResponse,
+    StatsResponse,
+    answers_to_wire,
+    build_classify_response,
+    build_info_response,
+)
+
+__all__ = ["RegisteredDatabase", "QueryService"]
+
+DEFAULT_ANSWER_CACHE_CAPACITY = 4096
+DEFAULT_PARSE_CACHE_CAPACITY = 512
+
+
+@dataclass(frozen=True)
+class RegisteredDatabase:
+    """One named snapshot with its ``Ph2`` physical representations.
+
+    Each ``NE``-encoding variant is derived once on first use and then
+    shared; :meth:`QueryService.register` touches the materialized variant
+    eagerly by default so a long-lived server pays the derivation at
+    registration time, while one-shot callers that never evaluate against a
+    variant (e.g. the exact-only CLI path) never build it.  Both variants
+    are immutable once built.
+    """
+
+    name: str
+    database: CWDatabase
+    fingerprint: str
+
+    def storage(self, virtual_ne: bool) -> PhysicalDatabase:
+        """``Ph2(LB)`` for the requested ``NE`` encoding (derived on first use)."""
+        attribute = "_storage_virtual" if virtual_ne else "_storage_materialized"
+        cached = self.__dict__.get(attribute)
+        if cached is None:
+            # Benign race: concurrent first requests may both derive it; the
+            # results are equal immutable objects and last-writer-wins.
+            cached = ph2(self.database, virtual_ne=virtual_ne)
+            object.__setattr__(self, attribute, cached)
+        return cached
+
+    @property
+    def storage_materialized(self) -> PhysicalDatabase:
+        return self.storage(False)
+
+    @property
+    def storage_virtual(self) -> PhysicalDatabase:
+        return self.storage(True)
+
+
+class QueryService:
+    """Registry of database snapshots plus cached, thread-safe evaluation.
+
+    Parameters
+    ----------
+    answer_cache_capacity:
+        LRU capacity for full :class:`QueryResponse` objects; 0 disables
+        response caching (the benchmark's "cold" configuration).
+    parse_cache_capacity:
+        LRU capacity for parsed :class:`~repro.logic.queries.Query` objects.
+    max_mappings:
+        Safety cap forwarded to exact certain-answer evaluation.
+    """
+
+    def __init__(
+        self,
+        answer_cache_capacity: int = DEFAULT_ANSWER_CACHE_CAPACITY,
+        parse_cache_capacity: int = DEFAULT_PARSE_CACHE_CAPACITY,
+        max_mappings: int = DEFAULT_MAX_MAPPINGS,
+    ) -> None:
+        self._registry: dict[str, RegisteredDatabase] = {}
+        self._registry_lock = threading.Lock()
+        self._answers = LRUCache(answer_cache_capacity)
+        self._parses = LRUCache(parse_cache_capacity)
+        self._exact = CertainAnswerEvaluator(max_mappings=max_mappings)
+        self._started = time.monotonic()
+        self._batch_executed = 0
+        self._batch_deduplicated = 0
+        self._executor = None
+        self._executor_lock = threading.Lock()
+
+    # Registry ------------------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        database: CWDatabase,
+        replace_existing: bool = False,
+        precompute: bool = True,
+    ) -> RegisteredDatabase:
+        """Register an immutable snapshot under *name* and precompute ``Ph2``.
+
+        Registration is the only expensive mutation the service performs;
+        afterwards every query against the snapshot reads shared immutable
+        state.  ``precompute=False`` defers the default ``Ph2`` derivation
+        to first use — for one-shot callers that may never evaluate against
+        it.  Re-registering a name requires ``replace_existing=True`` —
+        cached responses for the old content stay keyed on the old
+        fingerprint and are dropped from the cache.
+        """
+        if not name:
+            raise ServiceError("a database snapshot needs a nonempty name")
+        # Reject duplicate names before the (expensive) Ph2 derivation; the
+        # registry is re-checked at insertion in case of a racing register.
+        with self._registry_lock:
+            if name in self._registry and not replace_existing:
+                raise ServiceError(f"database {name!r} is already registered (pass replace_existing=True)")
+        entry = RegisteredDatabase(
+            name=name,
+            database=database,
+            fingerprint=database.fingerprint(),
+        )
+        if precompute:
+            entry.storage(False)
+        with self._registry_lock:
+            previous = self._registry.get(name)
+            if previous is not None and not replace_existing:
+                raise ServiceError(f"database {name!r} is already registered (pass replace_existing=True)")
+            self._registry[name] = entry
+        if previous is not None and previous.fingerprint != entry.fingerprint:
+            self._answers.invalidate(lambda key: key[0] == previous.fingerprint)
+        return entry
+
+    def unregister(self, name: str) -> None:
+        """Drop a snapshot and every cached response computed from it."""
+        with self._registry_lock:
+            entry = self._registry.pop(name, None)
+        if entry is None:
+            raise UnknownDatabaseError(f"unknown database {name!r}")
+        self._answers.invalidate(lambda key: key[0] == entry.fingerprint)
+
+    def database_names(self) -> tuple[str, ...]:
+        with self._registry_lock:
+            return tuple(sorted(self._registry))
+
+    def entry(self, name: str) -> RegisteredDatabase:
+        with self._registry_lock:
+            entry = self._registry.get(name)
+            known = None if entry is not None else (", ".join(sorted(self._registry)) or "none registered")
+        if entry is None:
+            raise UnknownDatabaseError(f"unknown database {name!r} (known: {known})")
+        return entry
+
+    # Query paths ---------------------------------------------------------------
+
+    def execute(self, request: QueryRequest) -> QueryResponse:
+        """Evaluate one request, serving repeats from the response cache.
+
+        The cache key pairs the snapshot's content fingerprint with every
+        request field that can change the answer, so distinct methods,
+        engines and ``NE`` encodings never share an entry.
+        """
+        entry = self.entry(request.database)
+        key = (entry.fingerprint, request.query, request.method, request.engine, request.virtual_ne)
+        response, was_cached = self._answers.get_or_compute(key, lambda: self._evaluate(entry, request))
+        if was_cached:
+            # Entries are shared between content-identical snapshots, so the
+            # stored name may be another alias — relabel for this request.
+            response = replace(response, cached=True, database=entry.name)
+        return response
+
+    def query(
+        self,
+        database: str,
+        query: str,
+        method: str = "approx",
+        engine: str = "algebra",
+        virtual_ne: bool = False,
+    ) -> QueryResponse:
+        """Convenience wrapper building the :class:`QueryRequest` inline."""
+        return self.execute(QueryRequest(database, query, method, engine, virtual_ne))
+
+    def classify(self, query_text: str) -> ClassifyResponse:
+        """Classify a query (parse-cached; needs no registered database)."""
+        return build_classify_response(query_text, classify_query(self._parse(query_text)))
+
+    def info(self, name: str) -> InfoResponse:
+        """Describe one registered snapshot."""
+        entry = self.entry(name)
+        return build_info_response(entry.name, entry.database)
+
+    def batch(self, requests, max_workers: int | None = None):
+        """Deduplicated concurrent evaluation; see :mod:`repro.service.batch`.
+
+        With the default worker count, batches share one long-lived thread
+        pool owned by the service, so a bursty client does not pay pool
+        startup/teardown per batch.
+        """
+        from repro.service.batch import BatchEvaluator
+
+        if max_workers is None:
+            return BatchEvaluator(self, executor=self._shared_executor()).run(requests)
+        return BatchEvaluator(self, max_workers=max_workers).run(requests)
+
+    def stats(self) -> StatsResponse:
+        return StatsResponse(
+            databases=self.database_names(),
+            answer_cache=self._answers.stats().as_dict(),
+            parse_cache=self._parses.stats().as_dict(),
+            batch=dict(self._batch_counters()),
+            uptime_seconds=time.monotonic() - self._started,
+        )
+
+    # Internals -----------------------------------------------------------------
+
+    def _shared_executor(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.service.batch import DEFAULT_MAX_WORKERS
+
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=DEFAULT_MAX_WORKERS, thread_name_prefix="repro-batch"
+                )
+            return self._executor
+
+    def close(self) -> None:
+        """Release the shared batch thread pool (idempotent)."""
+        with self._executor_lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=False)
+                self._executor = None
+
+    def record_batch(self, executed: int, deduplicated: int) -> None:
+        """Called by the batch evaluator to fold its counters into stats()."""
+        with self._registry_lock:
+            self._batch_executed += executed
+            self._batch_deduplicated += deduplicated
+
+    def _batch_counters(self) -> Mapping[str, int]:
+        with self._registry_lock:
+            return {"executed": self._batch_executed, "deduplicated": self._batch_deduplicated}
+
+    def _parse(self, query_text: str) -> Query:
+        query, __ = self._parses.get_or_compute(query_text, lambda: parse_query(query_text))
+        return query
+
+    def _evaluate(self, entry: RegisteredDatabase, request: QueryRequest) -> QueryResponse:
+        started = time.perf_counter()
+        query = self._parse(request.query)
+        answers: dict[str, tuple[tuple[str, ...], ...]] = {}
+        approx: frozenset[tuple[str, ...]] | None = None
+        exact: frozenset[tuple[str, ...]] | None = None
+        if request.method in ("approx", "both"):
+            evaluator = ApproximateEvaluator(engine=request.engine, virtual_ne=request.virtual_ne)
+            approx = evaluator.answers_on_storage(entry.storage(request.virtual_ne), query)
+            answers["approximate"] = tuple(tuple(row) for row in answers_to_wire(approx))
+        if request.method in ("exact", "both"):
+            exact = self._exact.certain_answers(entry.database, query)
+            answers["exact"] = tuple(tuple(row) for row in answers_to_wire(exact))
+        complete = missed = None
+        if approx is not None and exact is not None:
+            if not approx <= exact:
+                raise ServiceError(
+                    "soundness violated: the approximation returned a non-certain answer — please report this as a bug"
+                )
+            complete = approx == exact
+            missed = len(exact - approx)
+        return QueryResponse(
+            database=entry.name,
+            fingerprint=entry.fingerprint,
+            query=request.query,
+            method=request.method,
+            engine=request.engine,
+            virtual_ne=request.virtual_ne,
+            arity=query.arity,
+            answers=answers,
+            complete=complete,
+            missed=missed,
+            cached=False,
+            elapsed_seconds=time.perf_counter() - started,
+        )

@@ -1,0 +1,344 @@
+"""JSON request/response messages of the query service.
+
+One wire format serves three consumers: the HTTP front-end
+(:mod:`repro.service.server`), the urllib client
+(:mod:`repro.service.client`) and the ``--json`` mode of the human CLI —
+they all serialize through the dataclasses below, so a response printed by
+``repro query --json`` is byte-compatible with what the server returns.
+
+Every message carries ``"type"`` (its message kind) and ``"v"`` (the
+protocol version).  :func:`parse_wire` is the single entry point for
+deserialization; it validates the version and dispatches on the type tag.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Iterable, Mapping, Sequence
+
+from repro.complexity.classes import QueryClassification
+from repro.errors import ProtocolError, ServiceError
+from repro.logical.database import CWDatabase
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "METHODS",
+    "ENGINES",
+    "QueryRequest",
+    "QueryResponse",
+    "ClassifyRequest",
+    "ClassifyResponse",
+    "InfoResponse",
+    "HealthResponse",
+    "DatabasesResponse",
+    "StatsResponse",
+    "BatchRequest",
+    "BatchResponse",
+    "ErrorResponse",
+    "answers_to_wire",
+    "answers_from_wire",
+    "build_info_response",
+    "build_classify_response",
+    "parse_wire",
+    "dump_wire",
+]
+
+PROTOCOL_VERSION = 1
+
+METHODS = ("approx", "exact", "both")
+ENGINES = ("tarski", "algebra")
+
+
+def answers_to_wire(answers: Iterable[Sequence[str]]) -> list[list[str]]:
+    """Canonical JSON form of an answer set: sorted list of string lists."""
+    return sorted([list(row) for row in answers])
+
+
+def answers_from_wire(rows: Iterable[Sequence[str]]) -> frozenset[tuple[str, ...]]:
+    """Inverse of :func:`answers_to_wire`."""
+    return frozenset(tuple(row) for row in rows)
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """A single query against a registered database snapshot.
+
+    Instances double as cache/deduplication keys: two requests are equal
+    exactly when they would produce the same answer on the same snapshot.
+    """
+
+    database: str
+    query: str
+    method: str = "approx"
+    engine: str = "algebra"
+    virtual_ne: bool = False
+
+    def __post_init__(self) -> None:
+        if self.method not in METHODS:
+            raise ServiceError(f"unknown method {self.method!r}; expected one of {METHODS}")
+        if self.engine not in ENGINES:
+            raise ServiceError(f"unknown engine {self.engine!r}; expected one of {ENGINES}")
+        if self.method == "exact":
+            # The exact route never consults the approximation engine or the
+            # NE encoding; normalizing them makes all equivalent exact
+            # requests equal, so caching and batch dedup collapse them.
+            object.__setattr__(self, "engine", "algebra")
+            object.__setattr__(self, "virtual_ne", False)
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """Answers for one :class:`QueryRequest`.
+
+    ``answers`` maps a route label (``"approximate"`` and/or ``"exact"``) to
+    the wire form of its answer set.  ``complete`` is only meaningful for
+    ``method="both"``: whether the approximation matched the exact answers.
+    """
+
+    database: str
+    fingerprint: str
+    query: str
+    method: str
+    engine: str
+    virtual_ne: bool
+    arity: int
+    answers: Mapping[str, tuple[tuple[str, ...], ...]]
+    complete: bool | None = None
+    missed: int | None = None
+    cached: bool = False
+    elapsed_seconds: float = 0.0
+
+    def answer_set(self, label: str) -> frozenset[tuple[str, ...]]:
+        """The answer set for *label* as the library's frozenset-of-tuples."""
+        try:
+            rows = self.answers[label]
+        except KeyError:
+            raise ServiceError(f"response has no {label!r} answers (method was {self.method!r})") from None
+        return answers_from_wire(rows)
+
+
+@dataclass(frozen=True)
+class ClassifyRequest:
+    """Ask for a query's syntactic class and the paper's complexity bounds."""
+
+    query: str
+
+
+@dataclass(frozen=True)
+class ClassifyResponse:
+    """Wire form of :class:`~repro.complexity.classes.QueryClassification`."""
+
+    query: str
+    is_first_order: bool
+    prefix_class: str
+    is_positive: bool
+    logical_data_complexity: str
+    logical_combined_complexity: str
+    summary: str
+
+
+@dataclass(frozen=True)
+class InfoResponse:
+    """Summary of one registered (or loaded) CW logical database."""
+
+    name: str
+    fingerprint: str
+    constants: int
+    predicates: Mapping[str, Mapping[str, int]]
+    uniqueness_axioms: int
+    unknown_constants: tuple[str, ...]
+    fully_specified: bool
+    description: str
+
+
+@dataclass(frozen=True)
+class HealthResponse:
+    """Liveness probe result."""
+
+    status: str
+    library_version: str
+
+
+@dataclass(frozen=True)
+class DatabasesResponse:
+    """The names of every registered snapshot."""
+
+    databases: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "databases", tuple(self.databases))
+
+
+@dataclass(frozen=True)
+class StatsResponse:
+    """Service-level counters: registered snapshots and cache behaviour."""
+
+    databases: tuple[str, ...]
+    answer_cache: Mapping[str, object]
+    parse_cache: Mapping[str, object]
+    batch: Mapping[str, int]
+    uptime_seconds: float
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """Many query requests evaluated together (deduplicated, concurrent)."""
+
+    requests: tuple[QueryRequest, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "requests", tuple(self.requests))
+
+
+@dataclass(frozen=True)
+class BatchResponse:
+    """Positional responses for a batch; ``responses[i]`` answers request i.
+
+    Failed items carry an :class:`ErrorResponse` in their slot so one bad
+    query cannot poison the rest of the batch.
+    """
+
+    responses: tuple[QueryResponse | ErrorResponse, ...]
+    total: int
+    unique: int
+    deduplicated: int
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """A structured error: the exception kind plus its message."""
+
+    error: str
+    kind: str = "ServiceError"
+
+
+_MESSAGE_TYPES: dict[str, type] = {
+    "query_request": QueryRequest,
+    "query_response": QueryResponse,
+    "classify_request": ClassifyRequest,
+    "classify_response": ClassifyResponse,
+    "info_response": InfoResponse,
+    "health": HealthResponse,
+    "databases": DatabasesResponse,
+    "stats_response": StatsResponse,
+    "batch_request": BatchRequest,
+    "batch_response": BatchResponse,
+    "error": ErrorResponse,
+}
+_TYPE_TAGS = {cls: tag for tag, cls in _MESSAGE_TYPES.items()}
+
+
+def to_wire(message: object) -> dict[str, object]:
+    """Serialize a protocol dataclass to a JSON-compatible dict."""
+    tag = _TYPE_TAGS.get(type(message))
+    if tag is None:
+        raise ProtocolError(f"not a protocol message: {type(message).__name__}")
+    if isinstance(message, BatchRequest):
+        # Shallow envelope: asdict would deep-convert every nested message
+        # only for the list to be rebuilt via to_wire immediately after.
+        payload: dict[str, object] = {"requests": [to_wire(request) for request in message.requests]}
+    elif isinstance(message, BatchResponse):
+        payload = {
+            "responses": [to_wire(response) for response in message.responses],
+            "total": message.total,
+            "unique": message.unique,
+            "deduplicated": message.deduplicated,
+        }
+    else:
+        payload = asdict(message)
+    payload["type"] = tag
+    payload["v"] = PROTOCOL_VERSION
+    return payload
+
+
+def dump_wire(message: object, indent: int | None = None) -> str:
+    """JSON text of a protocol message (the CLI's ``--json`` output)."""
+    return json.dumps(to_wire(message), indent=indent, sort_keys=True)
+
+
+def parse_wire(payload: Mapping[str, object] | str | bytes) -> object:
+    """Deserialize one protocol message, validating version and type tag."""
+    if isinstance(payload, (str, bytes)):
+        try:
+            payload = json.loads(payload)
+        except json.JSONDecodeError as error:
+            raise ProtocolError(f"payload is not valid JSON: {error}") from None
+    if not isinstance(payload, Mapping):
+        raise ProtocolError(f"payload must be a JSON object, got {type(payload).__name__}")
+    if "v" not in payload:
+        raise ProtocolError("message is missing the protocol version field 'v'")
+    version = payload["v"]
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(f"unsupported protocol version {version!r} (this library speaks {PROTOCOL_VERSION})")
+    tag = payload.get("type")
+    if not isinstance(tag, str):
+        raise ProtocolError(f"message type must be a string, got {type(tag).__name__}")
+    message_type = _MESSAGE_TYPES.get(tag)
+    if message_type is None:
+        raise ProtocolError(f"unknown message type {tag!r}")
+    known = {f.name for f in fields(message_type)}
+    arguments = {key: value for key, value in payload.items() if key in known}
+    try:
+        if message_type is BatchRequest:
+            arguments["requests"] = tuple(
+                _expect(parse_wire(item), QueryRequest) for item in arguments.get("requests", ())
+            )
+        if message_type is BatchResponse:
+            arguments["responses"] = tuple(
+                _expect(parse_wire(item), (QueryResponse, ErrorResponse))
+                for item in arguments.get("responses", ())
+            )
+        if message_type is QueryResponse:
+            arguments["answers"] = {
+                label: tuple(tuple(row) for row in rows)
+                for label, rows in dict(arguments.get("answers", {})).items()
+            }
+        if message_type is InfoResponse:
+            arguments["unknown_constants"] = tuple(arguments.get("unknown_constants", ()))
+        if message_type in (StatsResponse, DatabasesResponse):
+            arguments["databases"] = tuple(arguments.get("databases", ()))
+        return message_type(**arguments)
+    except ProtocolError:
+        raise
+    except (TypeError, ServiceError) as error:
+        raise ProtocolError(f"malformed {tag} message: {error}") from None
+
+
+def _expect(message: object, types) -> object:
+    if not isinstance(message, types):
+        raise ProtocolError(f"unexpected nested message {type(message).__name__}")
+    return message
+
+
+# Builders shared by the engine and the human CLI ------------------------------
+
+
+def build_info_response(name: str, database: CWDatabase) -> InfoResponse:
+    """Describe a CW database in wire form (used by ``info`` and ``/info``)."""
+    return InfoResponse(
+        name=name,
+        fingerprint=database.fingerprint(),
+        constants=len(database.constants),
+        predicates={
+            predicate: {"arity": arity, "facts": len(database.facts_for(predicate))}
+            for predicate, arity in sorted(database.predicates.items())
+        },
+        uniqueness_axioms=len(database.unequal),
+        unknown_constants=tuple(sorted(database.unknown_constants())),
+        fully_specified=database.is_fully_specified,
+        description=database.describe(),
+    )
+
+
+def build_classify_response(query_text: str, classification: QueryClassification) -> ClassifyResponse:
+    """Wire form of a classification (used by ``classify`` and ``/classify``)."""
+    return ClassifyResponse(
+        query=query_text,
+        is_first_order=classification.is_first_order,
+        prefix_class=classification.prefix_class,
+        is_positive=classification.is_positive,
+        logical_data_complexity=classification.logical_data_complexity,
+        logical_combined_complexity=classification.logical_combined_complexity,
+        summary=classification.summary(),
+    )

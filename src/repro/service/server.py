@@ -1,0 +1,197 @@
+"""A stdlib JSON HTTP front-end for the query service.
+
+Varda-style loosely coupled components: the engine knows nothing about
+HTTP, and this module knows nothing about query evaluation — it only
+translates between HTTP messages and :mod:`repro.service.protocol`
+messages.  Built on :class:`http.server.ThreadingHTTPServer` so concurrent
+clients exercise the engine's thread safety with zero new dependencies.
+
+Routes
+------
+===========  ======  ==================================================
+``/health``  GET     liveness + library/protocol versions
+``/databases``  GET  registered snapshot names
+``/info``    GET     ``?db=<name>`` → :class:`InfoResponse`
+``/stats``   GET     cache and batch counters
+``/query``   POST    :class:`QueryRequest` → :class:`QueryResponse`
+``/classify``  POST  :class:`ClassifyRequest` → :class:`ClassifyResponse`
+``/batch``   POST    :class:`BatchRequest` → :class:`BatchResponse`
+===========  ======  ==================================================
+
+Errors come back as :class:`ErrorResponse` bodies with a 4xx status.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import CapacityError, ProtocolError, ReproError, ServiceError, UnknownDatabaseError
+from repro.service.engine import QueryService
+from repro.service.protocol import (
+    BatchRequest,
+    ClassifyRequest,
+    DatabasesResponse,
+    ErrorResponse,
+    HealthResponse,
+    QueryRequest,
+    parse_wire,
+    to_wire,
+)
+
+__all__ = ["ServiceHTTPServer", "make_server", "running_server", "serve"]
+
+MAX_REQUEST_BYTES = 4 * 1024 * 1024
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`QueryService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: QueryService, quiet: bool = True) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.quiet = quiet
+
+    @property
+    def base_url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+    server_version = "repro-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # Routing ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        url = urlparse(self.path)
+        try:
+            if url.path == "/health":
+                from repro import __version__
+
+                self._send(200, to_wire(HealthResponse(status="ok", library_version=__version__)))
+            elif url.path == "/databases":
+                self._send(200, to_wire(DatabasesResponse(self.server.service.database_names())))
+            elif url.path == "/info":
+                names = parse_qs(url.query).get("db", [])
+                if len(names) != 1:
+                    raise ServiceError("/info needs exactly one ?db=<name> parameter")
+                self._send(200, to_wire(self.server.service.info(names[0])))
+            elif url.path == "/stats":
+                self._send(200, to_wire(self.server.service.stats()))
+            else:
+                self._send_error_response(404, ServiceError(f"no such route: GET {url.path}"))
+        except ReproError as error:
+            self._send_error_response(_status_for(error), error)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        url = urlparse(self.path)
+        try:
+            if url.path not in ("/query", "/classify", "/batch"):
+                # Route before reading the body so probes of unknown paths
+                # get a 404, not a complaint about their payload.
+                self._send_error_response(404, ServiceError(f"no such route: POST {url.path}"))
+                return
+            message = self._read_message()
+            if url.path == "/query":
+                request = _expect_type(message, QueryRequest)
+                self._send(200, to_wire(self.server.service.execute(request)))
+            elif url.path == "/classify":
+                request = _expect_type(message, ClassifyRequest)
+                self._send(200, to_wire(self.server.service.classify(request.query)))
+            else:
+                request = _expect_type(message, BatchRequest)
+                self._send(200, to_wire(self.server.service.batch(request.requests)))
+        except ReproError as error:
+            self._send_error_response(_status_for(error), error)
+
+    # Plumbing -----------------------------------------------------------------
+
+    def _read_message(self) -> object:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise ProtocolError("Content-Length header is not a number") from None
+        if length <= 0:
+            raise ProtocolError("POST body is empty; send a JSON protocol message")
+        if length > MAX_REQUEST_BYTES:
+            raise ProtocolError(f"request body of {length} bytes exceeds the {MAX_REQUEST_BYTES} byte limit")
+        return parse_wire(self.rfile.read(length))
+
+    def _send(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_response(self, status: int, error: ReproError) -> None:
+        # The request body may not have been drained (bad Content-Length,
+        # oversized payload), which would desync a keep-alive connection —
+        # close it rather than let the leftover bytes parse as a request.
+        self.close_connection = True
+        self._send(status, to_wire(ErrorResponse(error=str(error), kind=type(error).__name__)))
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - http.server API
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+
+def _expect_type(message: object, expected: type):
+    if not isinstance(message, expected):
+        raise ProtocolError(
+            f"this route expects a {expected.__name__} message, got {type(message).__name__}"
+        )
+    return message
+
+
+def _status_for(error: ReproError) -> int:
+    if isinstance(error, UnknownDatabaseError):
+        return 404
+    if isinstance(error, CapacityError):
+        return 413
+    return 400
+
+
+def make_server(service: QueryService, host: str = "127.0.0.1", port: int = 0, quiet: bool = True) -> ServiceHTTPServer:
+    """Bind a server (``port=0`` picks an ephemeral port); does not serve yet."""
+    return ServiceHTTPServer((host, port), service, quiet=quiet)
+
+
+@contextlib.contextmanager
+def running_server(service: QueryService, host: str = "127.0.0.1", port: int = 0, quiet: bool = True):
+    """Context manager: a server serving on a background thread.
+
+    Yields the bound :class:`ServiceHTTPServer`; on exit the server shuts
+    down and the thread joins.  This is how the tests and the benchmark run
+    client↔server round trips on an ephemeral port.
+    """
+    server = make_server(service, host, port, quiet=quiet)
+    thread = threading.Thread(target=server.serve_forever, name="repro-service-http", daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        thread.join(timeout=10)
+        server.server_close()
+
+
+def serve(service: QueryService, host: str = "127.0.0.1", port: int = 8080, quiet: bool = False) -> None:
+    """Serve forever in the foreground (the CLI's ``serve`` command)."""
+    with make_server(service, host, port, quiet=quiet) as server:
+        print(f"repro service listening on {server.base_url}")
+        for name in service.database_names():
+            print(f"  database {name!r}: {service.entry(name).database.describe()}")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("\nshutting down")

@@ -14,6 +14,13 @@ from repro.workloads.scenarios import (
     jack_the_ripper_database,
     socrates_database,
 )
+from repro.workloads.traffic import (
+    TrafficProfile,
+    batch_bursts,
+    default_scenarios,
+    register_scenarios,
+    traffic_stream,
+)
 
 __all__ = [
     "random_cw_database",
@@ -26,4 +33,9 @@ __all__ = [
     "jack_the_ripper_database",
     "employee_intro_scenario",
     "intro_query",
+    "TrafficProfile",
+    "default_scenarios",
+    "traffic_stream",
+    "batch_bursts",
+    "register_scenarios",
 ]

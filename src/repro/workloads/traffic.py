@@ -1,0 +1,133 @@
+"""Traffic generation for the query-serving subsystem.
+
+Real query traffic is not uniform: a few hot queries dominate (skewed
+popularity), requests arrive in bursts, and only a small fraction can
+afford the exponential exact route.  This module turns the named scenarios
+of :mod:`repro.workloads.scenarios` into reproducible request streams with
+exactly those shapes, for the service benchmarks (E13) and the concurrency
+tests:
+
+* **hot-key skew** — with probability ``hot_fraction`` a request repeats
+  one of the few "hot" (database, query) pairs, otherwise it draws
+  uniformly from the whole pool; repeats are what the response cache and
+  the batch deduplicator exploit;
+* **approx-vs-exact mix** — a fraction of requests takes the exact
+  (Theorem 1) route, the rest the Section 5 approximation, with the
+  approximation engines alternating between algebra and Tarski;
+* **batch bursts** — :func:`batch_bursts` chops a stream into the request
+  lists a bursty client would POST to ``/batch``.
+
+All generators take an explicit seed, like the rest of
+:mod:`repro.workloads`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.service.protocol import QueryRequest
+from repro.workloads.scenarios import (
+    Scenario,
+    employee_intro_scenario,
+    jack_the_ripper_database,
+)
+from repro.logic.parser import parse_query
+from repro.logic.printer import query_to_text
+
+__all__ = [
+    "TrafficProfile",
+    "default_scenarios",
+    "scenario_pool",
+    "traffic_stream",
+    "batch_bursts",
+    "register_scenarios",
+]
+
+
+@dataclass(frozen=True)
+class TrafficProfile:
+    """Knobs of a synthetic traffic mix.
+
+    ``hot_keys`` is how many (database, query) pairs form the skewed head of
+    the popularity distribution; ``hot_fraction`` is the probability that a
+    request draws from that head.  ``exact_fraction`` requests take the
+    exponential exact route (keep it small — that is the paper's point);
+    half of those ask for ``method="both"`` so soundness is re-checked in
+    flight.  ``tarski_fraction`` of the approximate requests use the direct
+    Tarskian engine instead of the algebra compiler.
+    """
+
+    hot_keys: int = 2
+    hot_fraction: float = 0.8
+    exact_fraction: float = 0.1
+    tarski_fraction: float = 0.25
+    virtual_ne_fraction: float = 0.2
+
+
+def default_scenarios() -> tuple[Scenario, ...]:
+    """The scenarios traffic draws on: employee-intro and Jack the Ripper."""
+    ripper = Scenario(
+        name="jack-the-ripper",
+        description="The uniqueness-axiom example: an unidentified murderer",
+        database=jack_the_ripper_database(),
+        queries=(
+            parse_query("(x) . MURDERER(x)"),
+            parse_query("(x) . LIVED_IN_LONDON(x)"),
+            parse_query("(x) . ~MURDERER(x)"),
+            parse_query("exists x. MURDERER(x) & LIVED_IN_LONDON(x)"),
+        ),
+    )
+    return (employee_intro_scenario(), ripper)
+
+
+def scenario_pool(scenarios: Iterable[Scenario]) -> list[tuple[str, str]]:
+    """The (database name, query text) pairs a traffic stream draws from."""
+    pool = []
+    for scenario in scenarios:
+        for query in scenario.queries:
+            pool.append((scenario.name, query_to_text(query)))
+    if not pool:
+        raise ValueError("traffic needs at least one scenario with at least one query")
+    return pool
+
+
+def traffic_stream(
+    n_requests: int,
+    scenarios: Sequence[Scenario] | None = None,
+    profile: TrafficProfile = TrafficProfile(),
+    seed: int | None = None,
+) -> list[QueryRequest]:
+    """A reproducible stream of *n_requests* mixed query requests."""
+    rng = random.Random(seed)
+    pool = scenario_pool(default_scenarios() if scenarios is None else scenarios)
+    hot = pool[: max(1, min(profile.hot_keys, len(pool)))]
+
+    stream: list[QueryRequest] = []
+    for __ in range(n_requests):
+        database, query_text = rng.choice(hot) if rng.random() < profile.hot_fraction else rng.choice(pool)
+        if rng.random() < profile.exact_fraction:
+            method = "exact" if rng.random() < 0.5 else "both"
+        else:
+            method = "approx"
+        engine = "tarski" if rng.random() < profile.tarski_fraction else "algebra"
+        virtual_ne = rng.random() < profile.virtual_ne_fraction
+        stream.append(QueryRequest(database, query_text, method, engine, virtual_ne))
+    return stream
+
+
+def batch_bursts(requests: Sequence[QueryRequest], burst_size: int) -> list[list[QueryRequest]]:
+    """Chop a stream into the bursts a batching client would send together."""
+    if burst_size < 1:
+        raise ValueError("burst_size must be at least 1")
+    return [list(requests[start:start + burst_size]) for start in range(0, len(requests), burst_size)]
+
+
+def register_scenarios(service, scenarios: Iterable[Scenario] | None = None) -> tuple[str, ...]:
+    """Register every scenario's database on *service*; returns the names."""
+    names = []
+    for scenario in default_scenarios() if scenarios is None else scenarios:
+        service.register(scenario.name, scenario.database)
+        names.append(scenario.name)
+    return tuple(names)

@@ -1,0 +1,124 @@
+"""Tests for the thread-safe LRU cache."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.service.cache import LRUCache
+
+
+class TestBasics:
+    def test_get_put_roundtrip(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", "fallback") == "fallback"
+
+    def test_len_and_contains(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert len(cache) == 1
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_put_refreshes_existing_key(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+        assert len(cache) == 1
+
+
+class TestEviction:
+    def test_lru_entry_is_evicted_first(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a": now "b" is least recently used
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+
+    def test_eviction_counter(self):
+        cache = LRUCache(1)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.stats().evictions == 2
+
+    def test_zero_capacity_disables_storage(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_invalidate_by_predicate(self):
+        cache = LRUCache(8)
+        cache.put(("fp1", "q1"), 1)
+        cache.put(("fp1", "q2"), 2)
+        cache.put(("fp2", "q1"), 3)
+        dropped = cache.invalidate(lambda key: key[0] == "fp1")
+        assert dropped == 2
+        assert ("fp2", "q1") in cache
+        assert ("fp1", "q1") not in cache
+
+
+class TestCounters:
+    def test_hit_miss_counting(self):
+        cache = LRUCache(4)
+        cache.get("a")
+        cache.put("a", 1)
+        cache.get("a")
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.requests == 2
+        assert stats.hit_rate == 0.5
+
+    def test_hit_rate_with_no_traffic_is_zero(self):
+        assert LRUCache(4).stats().hit_rate == 0.0
+
+    def test_get_or_compute(self):
+        cache = LRUCache(4)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "value"
+
+        value, was_cached = cache.get_or_compute("k", compute)
+        assert (value, was_cached) == ("value", False)
+        value, was_cached = cache.get_or_compute("k", compute)
+        assert (value, was_cached) == ("value", True)
+        assert len(calls) == 1
+
+    def test_stats_as_dict_keys(self):
+        stats = LRUCache(4).stats().as_dict()
+        assert set(stats) == {"capacity", "size", "hits", "misses", "evictions", "hit_rate"}
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_operations_do_not_corrupt(self):
+        cache = LRUCache(32)
+        errors = []
+
+        def worker(worker_id: int):
+            try:
+                for i in range(300):
+                    key = (worker_id % 4, i % 40)
+                    cache.get_or_compute(key, lambda: i)
+                    cache.get(key)
+            except Exception as error:  # pragma: no cover - only on failure
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        stats = cache.stats()
+        assert stats.size <= 32
+        assert stats.requests == stats.hits + stats.misses

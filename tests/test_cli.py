@@ -1,9 +1,19 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
 from repro.physical.csvio import save_cw_database
+from repro.service.engine import QueryService
+from repro.service.protocol import (
+    ClassifyResponse,
+    InfoResponse,
+    QueryResponse,
+    parse_wire,
+)
+from repro.service.server import running_server
 
 
 @pytest.fixture
@@ -68,3 +78,115 @@ class TestClassify:
     def test_classify_positive(self, capsys):
         assert main(["classify", "(x) . P(x)"]) == 0
         assert "positive" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    """--json prints protocol messages — the same serializer the server uses."""
+
+    def test_info_json_is_a_protocol_message(self, stored_database, capsys):
+        assert main(["info", str(stored_database), "--json"]) == 0
+        message = parse_wire(capsys.readouterr().out)
+        assert isinstance(message, InfoResponse)
+        assert message.name == "ripper"
+        assert message.predicates["MURDERER"]["facts"] == 1
+
+    def test_query_json_matches_in_process_service(self, stored_database, ripper_cw, capsys):
+        assert main(["query", str(stored_database), "(x) . MURDERER(x)", "--method", "both", "--json"]) == 0
+        message = parse_wire(capsys.readouterr().out)
+        assert isinstance(message, QueryResponse)
+        assert message.complete is True
+
+        service = QueryService()
+        service.register("ripper", ripper_cw)
+        local = service.query("ripper", "(x) . MURDERER(x)", method="both")
+        assert message.answers == local.answers
+        assert message.fingerprint == local.fingerprint
+
+    def test_classify_json(self, capsys):
+        assert main(["classify", "(x) . P(x)", "--json"]) == 0
+        message = parse_wire(capsys.readouterr().out)
+        assert isinstance(message, ClassifyResponse)
+        assert message.is_positive
+
+    def test_json_output_is_valid_json_document(self, stored_database, capsys):
+        assert main(["query", str(stored_database), "(x) . LONDONER(x)", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["type"] == "query_response"
+
+
+@pytest.fixture
+def live_server(ripper_cw):
+    service = QueryService()
+    service.register("ripper", ripper_cw)
+    with running_server(service) as server:
+        yield server
+
+
+class TestClientCommand:
+    def test_client_health(self, live_server, capsys):
+        assert main(["client", live_server.base_url, "health"]) == 0
+        assert "status: ok" in capsys.readouterr().out
+
+    def test_client_databases(self, live_server, capsys):
+        assert main(["client", live_server.base_url, "databases"]) == 0
+        assert "ripper" in capsys.readouterr().out
+
+    def test_client_info(self, live_server, capsys):
+        assert main(["client", live_server.base_url, "info", "ripper"]) == 0
+        out = capsys.readouterr().out
+        assert "MURDERER" in out
+
+    def test_client_query_text_output(self, live_server, capsys):
+        assert main(["client", live_server.base_url, "query", "ripper", "(x) . MURDERER(x)"]) == 0
+        out = capsys.readouterr().out
+        assert "approximate answers (1)" in out
+        assert "jack" in out
+
+    def test_client_query_json_output(self, live_server, capsys):
+        code = main(["client", live_server.base_url, "query", "ripper", "(x) . MURDERER(x)", "--json"])
+        assert code == 0
+        message = parse_wire(capsys.readouterr().out)
+        assert isinstance(message, QueryResponse)
+
+    def test_client_classify(self, live_server, capsys):
+        assert main(["client", live_server.base_url, "classify", "(x) . P(x)"]) == 0
+        assert "positive" in capsys.readouterr().out
+
+    def test_client_stats(self, live_server, capsys):
+        assert main(["client", live_server.base_url, "stats"]) == 0
+        assert "answer cache" in capsys.readouterr().out
+
+    def test_client_unknown_database_is_clean_error(self, live_server, capsys):
+        assert main(["client", live_server.base_url, "query", "nope", "(x) . P(x)"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_client_unreachable_server_is_clean_error(self, capsys):
+        assert main(["client", "http://127.0.0.1:9", "health"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_client_health_and_databases_json_are_valid_json(self, live_server, capsys):
+        assert main(["client", live_server.base_url, "health", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["status"] == "ok"
+        assert main(["client", live_server.base_url, "databases", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["databases"] == ["ripper"]
+        assert payload["type"] == "databases"
+
+
+class TestServeNaming:
+    def test_duplicate_basenames_are_a_clean_error(self, stored_database, capsys):
+        code = main(["serve", str(stored_database), str(stored_database), "--port", "0"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "NAME=DIR" in err
+
+    def test_name_equals_dir_syntax_disambiguates(self, stored_database, ripper_cw, monkeypatch, capsys):
+        served = {}
+
+        def fake_serve(service, host, port):
+            served["names"] = service.database_names()
+
+        monkeypatch.setattr("repro.cli.serve_forever", fake_serve)
+        code = main(["serve", str(stored_database), f"ripper2={stored_database}", "--port", "0"])
+        assert code == 0
+        assert served["names"] == ("ripper", "ripper2")

@@ -1,0 +1,31 @@
+"""Regression: pytest must collect the whole suite despite duplicate basenames.
+
+The seed tree had ``tests/approx/test_evaluator.py`` and
+``tests/physical/test_evaluator.py`` with no package ``__init__.py`` files,
+so collection aborted with "import file mismatch" and no test ever ran.
+Packages give each module a unique dotted name; this test pins that setup.
+"""
+
+from __future__ import annotations
+
+import importlib
+from pathlib import Path
+
+TESTS_DIR = Path(__file__).parent
+
+
+def test_every_test_directory_is_a_package():
+    missing = [
+        str(directory.relative_to(TESTS_DIR))
+        for directory in sorted(TESTS_DIR.glob("**/"))
+        if any(directory.glob("test_*.py")) and not (directory / "__init__.py").exists()
+    ]
+    assert not missing, f"test directories without __init__.py (breaks collection): {missing}"
+
+
+def test_duplicate_basenames_import_as_distinct_modules():
+    approx = importlib.import_module("tests.approx.test_evaluator")
+    physical = importlib.import_module("tests.physical.test_evaluator")
+    assert approx is not physical
+    assert Path(approx.__file__).parent.name == "approx"
+    assert Path(physical.__file__).parent.name == "physical"

@@ -1,0 +1,82 @@
+"""Tests for the service traffic generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic.parser import parse_query
+from repro.service.engine import QueryService
+from repro.service.protocol import QueryRequest
+from repro.workloads.traffic import (
+    TrafficProfile,
+    batch_bursts,
+    default_scenarios,
+    register_scenarios,
+    scenario_pool,
+    traffic_stream,
+)
+
+
+class TestPool:
+    def test_default_scenarios_have_parsable_queries(self):
+        pool = scenario_pool(default_scenarios())
+        assert len(pool) >= 6
+        for __, text in pool:
+            parse_query(text)  # must round-trip through the printer
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError, match="at least one scenario"):
+            scenario_pool(())
+
+
+class TestStream:
+    def test_stream_is_reproducible(self):
+        a = traffic_stream(50, seed=3)
+        b = traffic_stream(50, seed=3)
+        assert a == b
+        assert a != traffic_stream(50, seed=4)
+
+    def test_stream_items_are_requests(self):
+        stream = traffic_stream(20, seed=1)
+        assert len(stream) == 20
+        assert all(isinstance(request, QueryRequest) for request in stream)
+
+    def test_hot_fraction_drives_skew(self):
+        hot = traffic_stream(300, profile=TrafficProfile(hot_keys=1, hot_fraction=1.0, exact_fraction=0.0), seed=2)
+        assert len({(r.database, r.query) for r in hot}) == 1
+        uniform = traffic_stream(300, profile=TrafficProfile(hot_fraction=0.0, exact_fraction=0.0), seed=2)
+        assert len({(r.database, r.query) for r in uniform}) > 5
+
+    def test_exact_fraction_controls_method_mix(self):
+        stream = traffic_stream(400, profile=TrafficProfile(exact_fraction=0.5), seed=9)
+        exactish = sum(1 for r in stream if r.method in ("exact", "both"))
+        assert 100 < exactish < 300
+        none_exact = traffic_stream(100, profile=TrafficProfile(exact_fraction=0.0), seed=9)
+        assert all(r.method == "approx" for r in none_exact)
+
+    def test_engine_and_encoding_mix(self):
+        stream = traffic_stream(300, profile=TrafficProfile(tarski_fraction=0.5, virtual_ne_fraction=0.5), seed=11)
+        assert {r.engine for r in stream} == {"tarski", "algebra"}
+        assert {r.virtual_ne for r in stream} == {True, False}
+
+
+class TestBursts:
+    def test_bursts_partition_the_stream(self):
+        stream = traffic_stream(25, seed=6)
+        bursts = batch_bursts(stream, 10)
+        assert [len(b) for b in bursts] == [10, 10, 5]
+        assert [r for burst in bursts for r in burst] == stream
+
+    def test_burst_size_must_be_positive(self):
+        with pytest.raises(ValueError, match="burst_size"):
+            batch_bursts([], 0)
+
+
+class TestRegistration:
+    def test_register_scenarios_names_match_traffic(self):
+        service = QueryService()
+        names = register_scenarios(service)
+        assert set(names) == set(service.database_names())
+        # Every generated request targets a registered database.
+        stream = traffic_stream(30, seed=8)
+        assert {request.database for request in stream} <= set(names)

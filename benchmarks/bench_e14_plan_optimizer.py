@@ -1,0 +1,152 @@
+"""E14 — the plan optimizer: join-heavy speedups with answers unchanged.
+
+Section 5's practical pitch is that approximate query answering runs on "a
+standard relational system" with polynomial data complexity.  PR 2 upgraded
+our deliberately naive algebra substrate into an optimizing engine
+(:mod:`repro.physical.optimizer` + per-database hash indexes + a streaming,
+memoizing executor).  This experiment quantifies what that buys and checks
+the only property that matters for the paper's guarantees: **the optimizer
+never changes an answer**.
+
+* **speedup** — on the join-heavy employee workload of
+  :func:`repro.workloads.generators.join_heavy_workload` (shuffled join
+  chains, selective constants, equality links — all over ``Ph2(LB)``), the
+  optimized + indexed engine must beat the naive engine by at least
+  ``REQUIRED_MEDIAN_SPEEDUP`` in the median (>= 1x in the CI quick
+  configuration, i.e. never slower);
+* **equivalence** — for every benchmarked query the optimized plan's answer
+  set is byte-identical (same canonical wire form) to the naive plan's;
+* **ground truth** — on a small instance both agree with the direct
+  Tarskian evaluator.
+
+Set ``REPRO_BENCH_QUICK=1`` for the reduced CI configuration.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.approx.rewrite import rewrite_query
+from repro.harness.experiments import best_of, median
+from repro.logical.ph import ph2
+from repro.physical.algebra import execute, plan_size
+from repro.physical.compiler import compile_query
+from repro.physical.evaluator import evaluate_query
+from repro.physical.optimizer import optimize
+from repro.service.protocol import answers_to_wire
+from repro.workloads.generators import EMPLOYEE_PREDICATES, employee_database, join_heavy_workload
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "").strip() not in ("", "0")
+
+#: Full configuration: a ~240-employee Ph2 instance; quick (CI) mode shrinks
+#: the instance and only requires the optimizer never to lose.
+N_EMPLOYEES = 60 if QUICK else 240
+CHAIN_LENGTH = 4
+CHAINS = 2 if QUICK else 4
+WORKLOAD_SEED = 5
+REPEATS = 2 if QUICK else 3
+REQUIRED_MEDIAN_SPEEDUP = 1.0 if QUICK else 5.0
+
+CLOSING_CONSTANTS = ("dept0", "dept1", "high", "mid")
+
+
+def _storage():
+    return ph2(employee_database(N_EMPLOYEES, seed=11))
+
+
+def _workload():
+    return join_heavy_workload(
+        EMPLOYEE_PREDICATES,
+        constants=CLOSING_CONSTANTS,
+        chains=CHAINS,
+        length=CHAIN_LENGTH,
+        seed=WORKLOAD_SEED,
+    )
+
+
+@pytest.mark.experiment("E14")
+def test_optimizer_beats_naive_engine_on_join_heavy_workload(benchmark, experiment_log):
+    storage = _storage()
+    rows = []
+    speedups = []
+    compiled = []
+    for name, query in _workload():
+        rewritten = rewrite_query(query, "direct")
+        naive_plan = compile_query(rewritten, storage)
+        optimized_plan = optimize(naive_plan, storage)
+        naive_answers, naive_seconds = best_of(
+            lambda: execute(naive_plan, storage, use_indexes=False).rows, REPEATS
+        )
+        optimized_answers, optimized_seconds = best_of(
+            lambda: execute(optimized_plan, storage).rows, REPEATS
+        )
+        # Byte-identical answers: same canonical wire serialization.
+        assert answers_to_wire(optimized_answers) == answers_to_wire(naive_answers), (
+            f"optimizer changed the answers of {name!r}"
+        )
+        speedup = naive_seconds / optimized_seconds if optimized_seconds else float("inf")
+        speedups.append(speedup)
+        compiled.append((name, optimized_plan))
+        rows.append(
+            {
+                "query": name,
+                "naive_ms": round(naive_seconds * 1000, 3),
+                "optimized_ms": round(optimized_seconds * 1000, 3),
+                "speedup": round(speedup, 2),
+                "plan_nodes": f"{plan_size(naive_plan)}->{plan_size(optimized_plan)}",
+                "answers": len(naive_answers),
+            }
+        )
+
+    # Time the optimized hot path (the biggest-win query) for the
+    # pytest-benchmark table.
+    hot_plan = compiled[max(range(len(rows)), key=lambda i: rows[i]["speedup"])][1]
+    benchmark(lambda: execute(hot_plan, storage).rows)
+
+    median_speedup = median(speedups)
+    summary = {
+        "experiment": "E14",
+        "employees": N_EMPLOYEES,
+        "queries": len(rows),
+        "median_speedup": round(median_speedup, 2),
+        "min_speedup": round(min(speedups), 2),
+        "max_speedup": round(max(speedups), 2),
+        "required": REQUIRED_MEDIAN_SPEEDUP,
+        "quick_mode": QUICK,
+    }
+    benchmark.extra_info.update(summary)
+    for row in rows:
+        experiment_log.append(("E14", row))
+    experiment_log.append(("E14", {"query": "== median ==", "speedup": round(median_speedup, 2)}))
+    print(f"\nBENCH-E14-SUMMARY {json.dumps(summary, sort_keys=True)}")
+
+    assert median_speedup >= REQUIRED_MEDIAN_SPEEDUP, (
+        f"optimized engine is only {median_speedup:.2f}x the naive engine "
+        f"(required {REQUIRED_MEDIAN_SPEEDUP}x; per-query: "
+        + ", ".join(f"{row['query']}={row['speedup']}" for row in rows)
+        + ")"
+    )
+
+
+@pytest.mark.experiment("E14")
+def test_optimized_plans_match_tarskian_ground_truth(experiment_log):
+    """On a small instance, both engines agree with direct Tarskian truth."""
+    storage = ph2(employee_database(16, seed=3))
+    checked = 0
+    for name, query in join_heavy_workload(
+        EMPLOYEE_PREDICATES, constants=CLOSING_CONSTANTS[:2], chains=2, length=2, seed=9
+    ):
+        rewritten = rewrite_query(query, "direct")
+        naive_plan = compile_query(rewritten, storage)
+        optimized_plan = optimize(naive_plan, storage)
+        naive = execute(naive_plan, storage, use_indexes=False).rows
+        optimized = execute(optimized_plan, storage).rows
+        tarskian = evaluate_query(storage, rewritten)
+        assert naive == optimized == tarskian, f"engines disagree on {name!r}"
+        checked += 1
+    experiment_log.append(
+        ("E14", {"query": "== tarskian ground truth ==", "answers": checked, "speedup": "n/a"})
+    )

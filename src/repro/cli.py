@@ -29,6 +29,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -40,6 +41,7 @@ from repro.harness.reporting import format_table
 from repro.logic.parser import parse_query
 from repro.logical.exact import certain_answers
 from repro.physical.csvio import load_cw_database
+from repro.physical.optimizer import OPTIMIZER_ENV_FLAG
 from repro.service.client import ServiceClient
 from repro.service.engine import QueryService
 from repro.service.protocol import (
@@ -71,6 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("query", help="query text, e.g. \"(x) . ~MURDERER(x)\"")
     _add_query_options(query)
     query.add_argument("--json", action="store_true", help="print a protocol QueryResponse instead of text")
+    query.add_argument(
+        "--no-optimizer",
+        action="store_true",
+        help="run the algebra engine on naive (unoptimized) plans — a debugging aid; answers are identical",
+    )
 
     classify = commands.add_parser("classify", help="show a query's prefix class and the paper's bounds")
     classify.add_argument("query", help="query text")
@@ -90,6 +97,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="answer-cache capacity (0 disables caching; default: the service default)",
+    )
+    serve.add_argument(
+        "--no-optimizer",
+        action="store_true",
+        help="serve naive (unoptimized) plans — a debugging aid; answers are identical",
     )
 
     client = commands.add_parser("client", help="talk to a running repro service")
@@ -157,6 +169,10 @@ def _command_info(arguments: argparse.Namespace) -> int:
 
 
 def _command_query(arguments: argparse.Namespace) -> int:
+    if arguments.no_optimizer:
+        # The one-shot process is the unit of configuration here: the env
+        # flag also covers the --json path's embedded QueryService.
+        os.environ[OPTIMIZER_ENV_FLAG] = "1"
     if arguments.json:
         # One-shot service: same evaluation and same serialization as the server.
         name = Path(arguments.database).name or str(arguments.database)
@@ -173,7 +189,11 @@ def _command_query(arguments: argparse.Namespace) -> int:
 
     results: dict[str, frozenset[tuple[str, ...]]] = {}
     if arguments.method in ("approx", "both"):
-        evaluator = ApproximateEvaluator(engine=arguments.engine, virtual_ne=arguments.virtual_ne)
+        evaluator = ApproximateEvaluator(
+            engine=arguments.engine,
+            virtual_ne=arguments.virtual_ne,
+            optimize=False if arguments.no_optimizer else None,
+        )
         results["approximate"] = evaluator.answers(database, query)
     if arguments.method in ("exact", "both"):
         results["exact"] = certain_answers(database, query)
@@ -201,6 +221,8 @@ def _command_classify(arguments: argparse.Namespace) -> int:
 
 
 def _command_serve(arguments: argparse.Namespace) -> int:
+    if arguments.no_optimizer:
+        os.environ[OPTIMIZER_ENV_FLAG] = "1"
     kwargs = {}
     if arguments.cache_capacity is not None:
         kwargs["answer_cache_capacity"] = arguments.cache_capacity

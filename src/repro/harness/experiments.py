@@ -10,11 +10,21 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from statistics import median
 from typing import Callable, Sequence
 
 from repro.harness.reporting import format_report
 
-__all__ = ["timed", "Measurement", "Experiment", "run_experiment", "ThroughputResult", "measure_throughput"]
+__all__ = [
+    "timed",
+    "best_of",
+    "median",
+    "Measurement",
+    "Experiment",
+    "run_experiment",
+    "ThroughputResult",
+    "measure_throughput",
+]
 
 
 def timed(function: Callable[[], object]) -> tuple[object, float]:
@@ -23,6 +33,26 @@ def timed(function: Callable[[], object]) -> tuple[object, float]:
     result = function()
     elapsed = time.perf_counter() - start
     return result, elapsed
+
+
+def best_of(function: Callable[[], object], repeats: int = 3) -> tuple[object, float]:
+    """Run *function* *repeats* times; return its result and the best time.
+
+    Minimum-of-N is the standard way to strip scheduler noise from short
+    single-process measurements (the comparison benchmarks use it for both
+    contestants, so neither side benefits from the noise filtering).
+    """
+    if repeats < 1:
+        raise ValueError("need at least one repeat")
+    result, best = timed(function)
+    for __ in range(repeats - 1):
+        __result, elapsed = timed(function)
+        best = min(best, elapsed)
+    return result, best
+
+
+# ``median`` is re-exported from the standard library (statistics.median);
+# benchmark code imports it from here next to best_of/measure_throughput.
 
 
 @dataclass(frozen=True)

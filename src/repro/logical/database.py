@@ -194,26 +194,35 @@ class CWDatabase:
 
         A constant is *unknown* when some other constant is not declared
         distinct from it — this is the set ``U`` of the virtual-``NE``
-        encoding at the end of Section 5.
+        encoding at the end of Section 5.  Derived once and cached on the
+        instance (the ``_fingerprint`` immutability idiom): the serving
+        layer's info endpoint and the virtual-``NE`` encoding both ask
+        repeatedly, and the derivation is quadratic in the constants.
         """
-        constants = self.constants
-        unknown = set()
-        for index, left in enumerate(constants):
-            for right in constants[index + 1:]:
-                if not self.are_known_distinct(left, right):
-                    unknown.add(left)
-                    unknown.add(right)
-        return frozenset(unknown)
+        cached = self.__dict__.get("_unknown_constants")
+        if cached is None:
+            cached = frozenset(
+                constant for pair in self.missing_uniqueness_pairs() for constant in pair
+            )
+            object.__setattr__(self, "_unknown_constants", cached)
+        return cached
 
     def missing_uniqueness_pairs(self) -> frozenset[tuple[str, str]]:
-        """Pairs of distinct constants with no uniqueness axiom (the unknowns)."""
-        constants = self.constants
-        missing = set()
-        for index, left in enumerate(constants):
-            for right in constants[index + 1:]:
-                if not self.are_known_distinct(left, right):
-                    missing.add(tuple(sorted((left, right))))
-        return frozenset(missing)
+        """Pairs of distinct constants with no uniqueness axiom (the unknowns).
+
+        Cached on the instance like :meth:`unknown_constants`.
+        """
+        cached = self.__dict__.get("_missing_uniqueness_pairs")
+        if cached is None:
+            constants = self.constants
+            missing = set()
+            for index, left in enumerate(constants):
+                for right in constants[index + 1:]:
+                    if not self.are_known_distinct(left, right):
+                        missing.add(tuple(sorted((left, right))))
+            cached = frozenset(missing)
+            object.__setattr__(self, "_missing_uniqueness_pairs", cached)
+        return cached
 
     def size(self) -> int:
         """A simple size measure: number of facts plus uniqueness axioms plus constants."""

@@ -1,23 +1,40 @@
 """Execution of relational-algebra plans over a physical database.
 
-The executor is a straightforward pull-based interpreter: each plan node is
-evaluated to a :class:`~repro.physical.plan.Table`.  It is deliberately
-simple — the goal is a faithful "standard relational system" substrate for
-the approximation algorithm of Section 5, not a competitive query engine —
-but joins use hash partitioning on the shared columns so the asymptotics are
-reasonable for the benchmark workloads.
+The executor is pull-based and *streaming*: every operator exposes its rows
+as an iterator, and tuples flow straight through selections, projections,
+renames and unions without intermediate materialization.  Rows are only
+collected into concrete sets at **pipeline breakers** — the build side of a
+hash join, the right side of a set difference, and the final result — plus
+at any subplan that occurs more than once in the tree, which is materialized
+a single time into a **memo table** and replayed for every occurrence (the
+execution half of the optimizer's common-subplan deduplication; plan nodes
+are frozen dataclasses, so structurally equal subtrees compare equal).
+
+Two access paths consult the per-database hash indexes of
+:mod:`repro.physical.indexes` instead of scanning:
+
+* :class:`~repro.physical.plan.IndexScan` probes a key-prefix index with its
+  constant bindings;
+* a :class:`~repro.physical.plan.NaturalJoin` whose build side is a bare
+  relation scan reuses the stored prefix index as its hash table.
+
+Pass ``use_indexes=False`` to force the scan-and-filter paths (the
+benchmarks' naive configuration); answers are identical either way.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from typing import Iterator
 
 from repro.errors import EvaluationError
 from repro.physical.database import PhysicalDatabase
+from repro.physical.indexes import indexes_for
 from repro.physical.plan import (
     ActiveDomain,
     CrossProduct,
     Difference,
+    EquiJoin,
+    IndexScan,
     LiteralTable,
     NaturalJoin,
     PlanNode,
@@ -29,95 +46,291 @@ from repro.physical.plan import (
     UnionAll,
 )
 
-__all__ = ["execute", "plan_size", "plan_to_text"]
+__all__ = ["execute", "output_columns", "plan_size", "plan_to_text"]
 
 
-def execute(plan: PlanNode, database: PhysicalDatabase) -> Table:
+def execute(plan: PlanNode, database: PhysicalDatabase, *, use_indexes: bool = True) -> Table:
     """Execute *plan* against *database* and return the result table."""
-    if isinstance(plan, ScanRelation):
-        relation = database.relation(plan.relation)
-        arity = database.vocabulary.arity(plan.relation)
-        if len(plan.columns) != arity:
-            raise EvaluationError(
-                f"scan of {plan.relation!r} names {len(plan.columns)} columns but the relation has arity {arity}"
-            )
-        return Table(plan.columns, frozenset(tuple(row) for row in relation))
-    if isinstance(plan, ActiveDomain):
-        return Table((plan.column,), frozenset((value,) for value in database.active_domain()))
-    if isinstance(plan, LiteralTable):
-        return Table(plan.columns, plan.rows)
-    if isinstance(plan, Selection):
-        source = execute(plan.source, database)
-        kept = frozenset(row for row in source.rows if plan.condition(dict(zip(source.columns, row))))
-        return Table(source.columns, kept)
-    if isinstance(plan, Projection):
-        source = execute(plan.source, database)
-        return source.project(plan.columns)
-    if isinstance(plan, RenameColumns):
-        source = execute(plan.source, database)
-        mapping = dict(plan.renaming)
-        columns = tuple(mapping.get(column, column) for column in source.columns)
-        if len(set(columns)) != len(columns):
-            raise EvaluationError(f"renaming produces duplicate columns: {columns}")
-        return Table(columns, source.rows)
-    if isinstance(plan, NaturalJoin):
-        return _natural_join(execute(plan.left, database), execute(plan.right, database))
-    if isinstance(plan, CrossProduct):
-        left = execute(plan.left, database)
-        right = execute(plan.right, database)
-        overlap = set(left.columns) & set(right.columns)
-        if overlap:
-            raise EvaluationError(f"cross product operands share columns: {sorted(overlap)}")
-        rows = frozenset(lrow + rrow for lrow in left.rows for rrow in right.rows)
-        return Table(left.columns + right.columns, rows)
-    if isinstance(plan, UnionAll):
-        left = execute(plan.left, database)
-        right = execute(plan.right, database)
-        right_aligned = _align(right, left.columns)
-        return Table(left.columns, left.rows | right_aligned.rows)
-    if isinstance(plan, Difference):
-        left = execute(plan.left, database)
-        right = execute(plan.right, database)
-        right_aligned = _align(right, left.columns)
-        return Table(left.columns, left.rows - right_aligned.rows)
-    raise EvaluationError(f"unknown plan node: {plan!r}")
+    context = _ExecutionContext(database, use_indexes)
+    context.mark_shared_subplans(plan)
+    return context.table(plan)
 
 
-def _align(table: Table, columns: tuple[str, ...]) -> Table:
-    """Reorder *table*'s columns to match *columns* (they must be the same set)."""
-    if table.columns == columns:
-        return table
-    if set(table.columns) != set(columns):
-        raise EvaluationError(
-            f"set operation operands have different columns: {table.columns} vs {columns}"
-        )
-    return table.project(columns)
+def output_columns(plan: PlanNode, database: PhysicalDatabase) -> tuple[str, ...]:
+    """The column tuple *plan* produces, validating operator wiring as it goes."""
+    return _ExecutionContext(database, use_indexes=False).columns(plan)
 
 
-def _natural_join(left: Table, right: Table) -> Table:
-    shared = tuple(column for column in left.columns if column in right.columns)
-    right_only = tuple(column for column in right.columns if column not in shared)
-    result_columns = left.columns + right_only
+class _ExecutionContext:
+    """Per-execution state: column resolution, shared-subplan memo, indexes."""
 
-    if not shared:
-        rows = frozenset(lrow + rrow for lrow in left.rows for rrow in right.rows)
-        return Table(result_columns, rows)
+    def __init__(self, database: PhysicalDatabase, use_indexes: bool) -> None:
+        self.database = database
+        self.use_indexes = use_indexes
+        self._columns: dict[PlanNode, tuple[str, ...]] = {}
+        self._memo: dict[PlanNode, Table] = {}
+        self._shared: frozenset[PlanNode] = frozenset()
 
-    left_key_indexes = [left.columns.index(column) for column in shared]
-    right_key_indexes = [right.columns.index(column) for column in shared]
-    right_rest_indexes = [right.columns.index(column) for column in right_only]
+    def mark_shared_subplans(self, root: PlanNode) -> None:
+        """Record which subplans occur more than once (by structural equality).
 
-    buckets: dict[tuple, list[tuple]] = defaultdict(list)
-    for row in right.rows:
-        key = tuple(row[i] for i in right_key_indexes)
-        buckets[key].append(tuple(row[i] for i in right_rest_indexes))
+        Those nodes are materialized a single time into the memo and replayed
+        at every occurrence; everything else streams.  Below a repeated node
+        the walk does not descend twice — its children only ever execute once.
+        """
+        counts: dict[PlanNode, int] = {}
+        pending = [root]
+        while pending:
+            node = pending.pop()
+            seen = counts.get(node, 0)
+            counts[node] = seen + 1
+            if seen == 0:
+                pending.extend(node.children())
+        self._shared = frozenset(node for node, count in counts.items() if count > 1)
 
-    rows = set()
-    for row in left.rows:
-        key = tuple(row[i] for i in left_key_indexes)
-        for rest in buckets.get(key, ()):
-            rows.add(row + rest)
-    return Table(result_columns, frozenset(rows))
+    # Column resolution --------------------------------------------------------
+
+    def columns(self, plan: PlanNode) -> tuple[str, ...]:
+        cached = self._columns.get(plan)
+        if cached is None:
+            cached = self._resolve_columns(plan)
+            self._columns[plan] = cached
+        return cached
+
+    def _resolve_columns(self, plan: PlanNode) -> tuple[str, ...]:
+        if isinstance(plan, (ScanRelation, IndexScan)):
+            self.database.relation(plan.relation)  # raises on unknown predicates
+            arity = self.database.vocabulary.arity(plan.relation)
+            if len(plan.columns) != arity:
+                raise EvaluationError(
+                    f"scan of {plan.relation!r} names {len(plan.columns)} columns but the relation has arity {arity}"
+                )
+            if isinstance(plan, IndexScan):
+                for column, __ in plan.bindings:
+                    if column not in plan.columns:
+                        raise EvaluationError(f"index scan binds unknown column {column!r}")
+            return plan.columns
+        if isinstance(plan, ActiveDomain):
+            return (plan.column,)
+        if isinstance(plan, LiteralTable):
+            return plan.columns
+        if isinstance(plan, Selection):
+            columns = self.columns(plan.source)
+            referenced = plan.referenced_columns()
+            if referenced is not None:
+                missing = [column for column in referenced if column not in columns]
+                if missing:
+                    raise EvaluationError(f"selection references missing columns: {missing}")
+            return columns
+        if isinstance(plan, Projection):
+            self.columns(plan.source)
+            return plan.columns
+        if isinstance(plan, RenameColumns):
+            mapping = dict(plan.renaming)
+            columns = tuple(mapping.get(column, column) for column in self.columns(plan.source))
+            if len(set(columns)) != len(columns):
+                raise EvaluationError(f"renaming produces duplicate columns: {columns}")
+            return columns
+        if isinstance(plan, NaturalJoin):
+            left = self.columns(plan.left)
+            right = self.columns(plan.right)
+            return left + tuple(column for column in right if column not in left)
+        if isinstance(plan, (EquiJoin, CrossProduct)):
+            left = self.columns(plan.left)
+            right = self.columns(plan.right)
+            overlap = set(left) & set(right)
+            if overlap:
+                kind = "equi-join" if isinstance(plan, EquiJoin) else "cross product"
+                raise EvaluationError(f"{kind} operands share columns: {sorted(overlap)}")
+            if isinstance(plan, EquiJoin):
+                for left_column, right_column in plan.pairs:
+                    if left_column not in left or right_column not in right:
+                        raise EvaluationError(
+                            f"equi-join pair ({left_column!r}, {right_column!r}) is not split across the operands"
+                        )
+            return left + right
+        if isinstance(plan, (UnionAll, Difference)):
+            left = self.columns(plan.left)
+            right = self.columns(plan.right)
+            if set(left) != set(right):
+                raise EvaluationError(
+                    f"set operation operands have different columns: {right} vs {left}"
+                )
+            return left
+        raise EvaluationError(f"unknown plan node: {plan!r}")
+
+    # Materialization ----------------------------------------------------------
+
+    def table(self, plan: PlanNode) -> Table:
+        """Materialize *plan* (through the memo for shared subplans)."""
+        cached = self._memo.get(plan)
+        if cached is None:
+            cached = Table(self.columns(plan), frozenset(self._iterate(plan)))
+            if plan in self._shared:
+                self._memo[plan] = cached
+        return cached
+
+    def rows(self, plan: PlanNode) -> Iterator[tuple]:
+        """Stream *plan*'s rows; shared subplans are served from the memo."""
+        if plan in self._shared:
+            yield from self.table(plan).rows
+        else:
+            yield from self._iterate(plan)
+
+    # Row iteration ------------------------------------------------------------
+
+    def _iterate(self, plan: PlanNode) -> Iterator[tuple]:
+        if isinstance(plan, ScanRelation):
+            relation = self.database.relation(plan.relation)
+            for row in relation:
+                yield tuple(row)
+            return
+        if isinstance(plan, IndexScan):
+            yield from self._iterate_index_scan(plan)
+            return
+        if isinstance(plan, ActiveDomain):
+            for value in self.database.active_domain():
+                yield (value,)
+            return
+        if isinstance(plan, LiteralTable):
+            width = len(plan.columns)
+            for row in plan.rows:
+                if len(row) != width:
+                    raise EvaluationError(f"row {row!r} does not match columns {plan.columns!r}")
+                yield row
+            return
+        if isinstance(plan, Selection):
+            yield from self._iterate_selection(plan)
+            return
+        if isinstance(plan, Projection):
+            source_columns = self.columns(plan.source)
+            indexes = [source_columns.index(column) for column in plan.columns]
+            for row in self.rows(plan.source):
+                yield tuple(row[i] for i in indexes)
+            return
+        if isinstance(plan, RenameColumns):
+            yield from self.rows(plan.source)
+            return
+        if isinstance(plan, NaturalJoin):
+            yield from self._iterate_natural_join(plan)
+            return
+        if isinstance(plan, EquiJoin):
+            yield from self._iterate_equi_join(plan)
+            return
+        if isinstance(plan, CrossProduct):
+            right_rows = list(self.rows(plan.right))
+            for left_row in self.rows(plan.left):
+                for right_row in right_rows:
+                    yield left_row + right_row
+            return
+        if isinstance(plan, UnionAll):
+            columns = self.columns(plan)
+            yield from self.rows(plan.left)
+            yield from self._aligned_rows(plan.right, columns)
+            return
+        if isinstance(plan, Difference):
+            columns = self.columns(plan)
+            excluded = set(self._aligned_rows(plan.right, columns))
+            for row in self.rows(plan.left):
+                if row not in excluded:
+                    yield row
+            return
+        raise EvaluationError(f"unknown plan node: {plan!r}")
+
+    def _iterate_index_scan(self, plan: IndexScan) -> Iterator[tuple]:
+        positions = tuple(plan.columns.index(column) for column, __ in plan.bindings)
+        key = tuple(value for __, value in plan.bindings)
+        if self.use_indexes:
+            rows = indexes_for(self.database).lookup(plan.relation, positions, key)
+            if rows is not None:
+                yield from rows
+                return
+        # No index available (lazy relation) or indexing disabled: filter scan.
+        for row in self.database.relation(plan.relation):
+            row = tuple(row)
+            if all(row[position] == value for position, value in zip(positions, key)):
+                yield row
+
+    def _iterate_selection(self, plan: Selection) -> Iterator[tuple]:
+        columns = self.columns(plan.source)
+        if plan.condition is not None:
+            for row in self.rows(plan.source):
+                if plan.condition(dict(zip(columns, row))):
+                    yield row
+            return
+        bindings = [(columns.index(column), value) for column, value in plan.bindings]
+        groups = [[columns.index(column) for column in group] for group in plan.equalities]
+        for row in self.rows(plan.source):
+            if all(row[index] == value for index, value in bindings) and all(
+                len({row[index] for index in group}) == 1 for group in groups
+            ):
+                yield row
+
+    def _iterate_natural_join(self, plan: NaturalJoin) -> Iterator[tuple]:
+        left_columns = self.columns(plan.left)
+        right_columns = self.columns(plan.right)
+        shared = tuple(column for column in left_columns if column in right_columns)
+        right_only = tuple(column for column in right_columns if column not in shared)
+
+        if not shared:
+            right_rows = list(self.rows(plan.right))
+            for left_row in self.rows(plan.left):
+                for right_row in right_rows:
+                    yield left_row + right_row
+            return
+
+        left_key = [left_columns.index(column) for column in shared]
+        right_key = tuple(right_columns.index(column) for column in shared)
+        right_rest = [right_columns.index(column) for column in right_only]
+
+        buckets = self._join_buckets(plan.right, right_key)
+        for left_row in self.rows(plan.left):
+            key = tuple(left_row[i] for i in left_key)
+            for right_row in buckets.get(key, _NO_ROWS):
+                yield left_row + tuple(right_row[i] for i in right_rest)
+
+    def _join_buckets(self, build: PlanNode, key_positions: tuple[int, ...]):
+        """Hash table for a join build side, reusing a stored index when possible."""
+        if self.use_indexes and isinstance(build, ScanRelation):
+            index = indexes_for(self.database).prefix(build.relation, key_positions)
+            if index is not None:
+                return index
+        buckets: dict[tuple, list[tuple]] = {}
+        for row in self.rows(build):
+            buckets.setdefault(tuple(row[i] for i in key_positions), []).append(row)
+        return buckets
+
+    def _iterate_equi_join(self, plan: EquiJoin) -> Iterator[tuple]:
+        left_columns = self.columns(plan.left)
+        right_columns = self.columns(plan.right)
+        left_key = [left_columns.index(left) for left, __ in plan.pairs]
+        right_key = tuple(right_columns.index(right) for __, right in plan.pairs)
+
+        if not plan.pairs:
+            right_rows = list(self.rows(plan.right))
+            for left_row in self.rows(plan.left):
+                for right_row in right_rows:
+                    yield left_row + right_row
+            return
+
+        buckets = self._join_buckets(plan.right, right_key)
+        for left_row in self.rows(plan.left):
+            key = tuple(left_row[i] for i in left_key)
+            for right_row in buckets.get(key, _NO_ROWS):
+                yield left_row + right_row
+
+    def _aligned_rows(self, plan: PlanNode, columns: tuple[str, ...]) -> Iterator[tuple]:
+        """Stream *plan*'s rows reordered to *columns* (same column set)."""
+        own = self.columns(plan)
+        if own == columns:
+            yield from self.rows(plan)
+            return
+        indexes = [own.index(column) for column in columns]
+        for row in self.rows(plan):
+            yield tuple(row[i] for i in indexes)
+
+
+_NO_ROWS: tuple[tuple, ...] = ()
 
 
 def plan_size(plan: PlanNode) -> int:
@@ -130,6 +343,9 @@ def plan_to_text(plan: PlanNode, indent: int = 0) -> str:
     pad = "  " * indent
     if isinstance(plan, ScanRelation):
         header = f"{pad}Scan {plan.relation}({', '.join(plan.columns)})"
+    elif isinstance(plan, IndexScan):
+        probe = " & ".join(f"{column}={value!r}" for column, value in plan.bindings)
+        header = f"{pad}IndexScan {plan.relation}({', '.join(plan.columns)}; {probe})"
     elif isinstance(plan, ActiveDomain):
         header = f"{pad}ActiveDomain({plan.column})"
     elif isinstance(plan, LiteralTable):
@@ -141,6 +357,9 @@ def plan_to_text(plan: PlanNode, indent: int = 0) -> str:
     elif isinstance(plan, RenameColumns):
         renames = ", ".join(f"{old}->{new}" for old, new in plan.renaming)
         header = f"{pad}Rename({renames})"
+    elif isinstance(plan, EquiJoin):
+        pairs = ", ".join(f"{left}={right}" for left, right in plan.pairs)
+        header = f"{pad}EquiJoin({pairs})"
     else:
         header = f"{pad}{type(plan).__name__}"
     parts = [header]

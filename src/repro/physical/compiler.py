@@ -49,6 +49,7 @@ from repro.logic.terms import Constant, Variable
 from repro.logic.transform import eliminate_implications, standardize_apart
 from repro.physical.algebra import execute
 from repro.physical.database import PhysicalDatabase
+from repro.physical.optimizer import maybe_optimize
 from repro.physical.plan import (
     ActiveDomain,
     CrossProduct,
@@ -69,10 +70,21 @@ _TRUE_TABLE = LiteralTable((), frozenset({()}))
 _FALSE_TABLE = LiteralTable((), frozenset())
 
 
-def evaluate_query_algebra(database: PhysicalDatabase, query: Query) -> frozenset[tuple]:
-    """Evaluate *query* by compiling it to algebra and executing the plan."""
+def evaluate_query_algebra(
+    database: PhysicalDatabase,
+    query: Query,
+    optimize: bool | None = None,
+    use_indexes: bool = True,
+) -> frozenset[tuple]:
+    """Evaluate *query* by compiling it to algebra and executing the plan.
+
+    The compiled plan is rewritten by :mod:`repro.physical.optimizer` unless
+    *optimize* is ``False`` (or ``None`` with the ``REPRO_NO_OPTIMIZER``
+    environment flag set); answers are identical either way.
+    """
     plan = compile_query(query, database)
-    return execute(plan, database).rows
+    plan = maybe_optimize(plan, database, optimize)
+    return execute(plan, database, use_indexes=use_indexes).rows
 
 
 def compile_query(query: Query, database: PhysicalDatabase) -> PlanNode:
@@ -162,20 +174,19 @@ def _compile_atom(atom: Atom, database: PhysicalDatabase) -> tuple[PlanNode, tup
             variable_columns.setdefault(term.name, []).append(column)
 
     if conditions:
-        required = dict(conditions)
         plan = Selection(
             plan,
-            lambda row, required=required: all(row[column] == value for column, value in required.items()),
+            None,
             description=" & ".join(f"{column}={value!r}" for column, value in conditions),
+            bindings=tuple(conditions),
         )
     repeated = {name: cols for name, cols in variable_columns.items() if len(cols) > 1}
     if repeated:
         plan = Selection(
             plan,
-            lambda row, repeated=repeated: all(
-                len({row[column] for column in columns}) == 1 for columns in repeated.values()
-            ),
+            None,
             description="repeated-variable equality",
+            equalities=tuple(tuple(columns) for columns in repeated.values()),
         )
 
     renaming = tuple((columns[0], name) for name, columns in variable_columns.items())
@@ -225,8 +236,9 @@ def _compile_equality(formula: Equals, database: PhysicalDatabase) -> tuple[Plan
     pairs = CrossProduct(ActiveDomain(left.name), ActiveDomain(right.name))
     plan = Selection(
         pairs,
-        lambda row, a=left.name, b=right.name: row[a] == row[b],
+        None,
         description=f"{left.name} = {right.name}",
+        equalities=((left.name, right.name),),
     )
     return plan, (left.name, right.name)
 

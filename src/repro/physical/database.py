@@ -191,15 +191,26 @@ class PhysicalDatabase:
         return predicate in self.relations
 
     def active_domain(self) -> frozenset:
-        """Values mentioned by some relation tuple or assigned to a constant."""
-        values = set(self.constants.values())
-        for relation in self.relations.values():
-            if isinstance(relation, Relation):
-                values |= relation.values()
-            else:
-                for row in relation:
-                    values |= set(row)
-        return frozenset(values)
+        """Values mentioned by some relation tuple or assigned to a constant.
+
+        Computed once and cached on the instance — the same immutability
+        contract as :meth:`fingerprint`.  The algebra engine consults the
+        active domain on every ``ActiveDomain`` plan node and every compile,
+        so recomputing it (which iterates every stored tuple, including lazy
+        relations) used to dominate small-query latency.
+        """
+        cached = self.__dict__.get("_active_domain")
+        if cached is None:
+            values = set(self.constants.values())
+            for relation in self.relations.values():
+                if isinstance(relation, Relation):
+                    values |= relation.values()
+                else:
+                    for row in relation:
+                        values |= set(row)
+            cached = frozenset(values)
+            object.__setattr__(self, "_active_domain", cached)
+        return cached
 
     def total_tuples(self) -> int:
         """Number of stored tuples across all relations (a size measure)."""

@@ -7,18 +7,28 @@ tuples ``d`` over the domain such that ``I`` satisfies ``phi(d)``
 (Section 2.1).
 
 The evaluator walks the formula with an explicit variable assignment.
-Quantifiers range over the whole (finite) domain.  Second-order quantifiers
-are *not* handled here — see :mod:`repro.physical.second_order` — so that
-callers that expect first-order behaviour get a clear error instead of an
-accidental exponential enumeration.
+Quantifiers conceptually range over the whole (finite) domain, but the
+enumeration is **bounded** wherever that is provably lossless: a quantified
+variable that must satisfy a positive atom (in a conjunctive position) can
+only take values stored in the matching relation column, so only those are
+tried — the classic semi-naive restriction.  The candidate sets are
+*necessary* conditions derived per variable (atoms intersect across
+conjunctions, union across disjunctions, nothing through negations), so the
+bounded search returns exactly the unbounded answer; variables with no such
+restriction still range over the full domain, which keeps e.g.
+``(x) . ~P(x)`` ranging over elements mentioned nowhere.  Second-order
+quantifiers are *not* handled here — see
+:mod:`repro.physical.second_order` — so that callers that expect first-order
+behaviour get a clear error instead of an accidental exponential
+enumeration.
 """
 
 from __future__ import annotations
 
 from itertools import product
-from typing import Mapping
+from typing import Callable, Mapping
 
-from repro.errors import EvaluationError, UnsupportedFormulaError
+from repro.errors import DatabaseError, EvaluationError, UnsupportedFormulaError
 from repro.logic.formulas import (
     And,
     Atom,
@@ -39,8 +49,15 @@ from repro.logic.formulas import (
 from repro.logic.queries import Query
 from repro.logic.terms import Constant, Term, Variable
 from repro.physical.database import PhysicalDatabase
+from repro.physical.relation import Relation
 
-__all__ = ["evaluate_term", "satisfies", "evaluate_query", "evaluate_sentence"]
+__all__ = [
+    "evaluate_term",
+    "satisfies",
+    "evaluate_query",
+    "evaluate_sentence",
+    "candidate_values",
+]
 
 
 def evaluate_term(database: PhysicalDatabase, term: Term, assignment: Mapping[Variable, object]) -> object:
@@ -61,10 +78,15 @@ def satisfies(
     assignment: Mapping[Variable, object] | None = None,
 ) -> bool:
     """Return ``True`` when *database* satisfies *formula* under *assignment*."""
-    return _satisfies(database, formula, dict(assignment or {}))
+    return _satisfies(database, formula, dict(assignment or {}), {})
 
 
-def _satisfies(database: PhysicalDatabase, formula: Formula, assignment: dict[Variable, object]) -> bool:
+def _satisfies(
+    database: PhysicalDatabase,
+    formula: Formula,
+    assignment: dict[Variable, object],
+    cache: dict,
+) -> bool:
     if isinstance(formula, Top):
         return True
     if isinstance(formula, Bottom):
@@ -80,21 +102,23 @@ def _satisfies(database: PhysicalDatabase, formula: Formula, assignment: dict[Va
             database, formula.right, assignment
         )
     if isinstance(formula, Not):
-        return not _satisfies(database, formula.operand, assignment)
+        return not _satisfies(database, formula.operand, assignment, cache)
     if isinstance(formula, And):
-        return all(_satisfies(database, operand, assignment) for operand in formula.operands)
+        return all(_satisfies(database, operand, assignment, cache) for operand in formula.operands)
     if isinstance(formula, Or):
-        return any(_satisfies(database, operand, assignment) for operand in formula.operands)
+        return any(_satisfies(database, operand, assignment, cache) for operand in formula.operands)
     if isinstance(formula, Implies):
-        if not _satisfies(database, formula.antecedent, assignment):
+        if not _satisfies(database, formula.antecedent, assignment, cache):
             return True
-        return _satisfies(database, formula.consequent, assignment)
+        return _satisfies(database, formula.consequent, assignment, cache)
     if isinstance(formula, Iff):
-        return _satisfies(database, formula.left, assignment) == _satisfies(database, formula.right, assignment)
+        return _satisfies(database, formula.left, assignment, cache) == _satisfies(
+            database, formula.right, assignment, cache
+        )
     if isinstance(formula, Exists):
-        return _satisfies_quantifier(database, formula, assignment, want=True)
+        return _satisfies_quantifier(database, formula, assignment, want=True, cache=cache)
     if isinstance(formula, Forall):
-        return not _satisfies_quantifier(database, formula, assignment, want=False)
+        return not _satisfies_quantifier(database, formula, assignment, want=False, cache=cache)
     if isinstance(formula, (SecondOrderExists, SecondOrderForall)):
         raise UnsupportedFormulaError(
             "second-order quantifier met by the first-order evaluator; "
@@ -108,19 +132,45 @@ def _satisfies_quantifier(
     formula: Exists | Forall,
     assignment: dict[Variable, object],
     want: bool,
+    cache: dict,
 ) -> bool:
     """Search for an assignment of the bound variables making the body == *want*.
 
     ``Exists`` asks whether some extension satisfies the body (``want=True``);
     ``Forall`` is evaluated as "no extension falsifies the body"
     (``want=False``), which is why the caller negates the result.
+
+    The existential search only tries each variable's candidate values (see
+    :func:`candidate_values`); the universal counterexample search returns
+    immediately when some domain value falls outside a variable's candidates,
+    since such a value falsifies the body by construction.
     """
     variables = formula.variables
-    domain = sorted(database.domain, key=repr)
+    if want:
+        value_lists = []
+        for variable in variables:
+            candidates = _cached_candidates(database, formula.body, variable, cache)
+            if candidates is None:
+                value_lists.append(_sorted_domain(database))
+            elif not candidates:
+                return False
+            else:
+                value_lists.append(sorted(candidates, key=repr))
+        for values in product(*value_lists):
+            extended = dict(assignment)
+            extended.update(zip(variables, values))
+            if _satisfies(database, formula.body, extended, cache):
+                return True
+        return False
+    for variable in variables:
+        candidates = _cached_candidates(database, formula.body, variable, cache)
+        if candidates is not None and database.domain - candidates:
+            return True  # any value outside the necessary set falsifies the body
+    domain = _sorted_domain(database)
     for values in product(domain, repeat=len(variables)):
         extended = dict(assignment)
         extended.update(zip(variables, values))
-        if _satisfies(database, formula.body, extended) == want:
+        if not _satisfies(database, formula.body, extended, cache):
             return True
     return False
 
@@ -130,13 +180,22 @@ def evaluate_query(database: PhysicalDatabase, query: Query) -> frozenset[tuple]
 
     For a Boolean query the result is ``{()}`` (true) or ``frozenset()``
     (false), matching the paper's convention that the answer to a sentence is
-    a 0-ary relation.
+    a 0-ary relation.  Head variables are enumerated over their candidate
+    values when the formula provably confines them (and over the whole
+    domain otherwise), which changes nothing about the answer set.
     """
-    domain = sorted(database.domain, key=repr)
+    cache: dict = {}
+    value_lists = []
+    for variable in query.head:
+        candidates = _cached_candidates(database, query.formula, variable, cache)
+        if candidates is None:
+            value_lists.append(_sorted_domain(database))
+        else:
+            value_lists.append(sorted(candidates, key=repr))
     answers = set()
-    for values in product(domain, repeat=query.arity):
+    for values in product(*value_lists):
         assignment = dict(zip(query.head, values))
-        if _satisfies(database, query.formula, assignment):
+        if _satisfies(database, query.formula, assignment, cache):
             answers.add(tuple(values))
     return frozenset(answers)
 
@@ -144,3 +203,106 @@ def evaluate_query(database: PhysicalDatabase, query: Query) -> frozenset[tuple]
 def evaluate_sentence(database: PhysicalDatabase, formula: Formula) -> bool:
     """Evaluate a sentence (no free variables) to a truth value."""
     return satisfies(database, formula, {})
+
+
+# Bounded quantifier enumeration ----------------------------------------------
+
+
+def candidate_values(
+    formula: Formula,
+    variable: Variable,
+    atom_values: Callable[[str, int], frozenset | None],
+    constant_value: Callable[[str], object],
+) -> frozenset | None:
+    """Values *variable* can take in **any** assignment satisfying *formula*.
+
+    Returns ``None`` when no sound restriction can be derived (the variable
+    then ranges over the whole domain).  The analysis only trusts contexts
+    where an atom *must* hold: positive atoms contribute their relation
+    column's values, conjunctions intersect, disjunctions union (and give up
+    if any branch is unrestricted), quantifiers pass through unless they
+    shadow the variable, and anything under a negation/implication/extension
+    atom contributes nothing.  ``atom_values(predicate, position)`` supplies
+    the distinct values of one relation column, or ``None`` when that
+    relation's interpretation is unknown or too expensive to enumerate
+    (lazy relations, second-order bound predicates).
+    """
+    if isinstance(formula, Bottom):
+        return frozenset()
+    if isinstance(formula, ExtensionAtom):
+        return None
+    if isinstance(formula, Atom):
+        result: frozenset | None = None
+        for position, term in enumerate(formula.args):
+            if isinstance(term, Variable) and term == variable:
+                values = atom_values(formula.predicate, position)
+                if values is None:
+                    return None
+                result = values if result is None else result & values
+        return result
+    if isinstance(formula, Equals):
+        other = None
+        if formula.left == variable and isinstance(formula.right, Constant):
+            other = formula.right
+        elif formula.right == variable and isinstance(formula.left, Constant):
+            other = formula.left
+        if other is None:
+            return None
+        try:
+            return frozenset({constant_value(other.name)})
+        except DatabaseError:
+            return None
+    if isinstance(formula, And):
+        result = None
+        for operand in formula.operands:
+            values = candidate_values(operand, variable, atom_values, constant_value)
+            if values is not None:
+                result = values if result is None else result & values
+        return result
+    if isinstance(formula, Or):
+        result = frozenset()
+        for operand in formula.operands:
+            values = candidate_values(operand, variable, atom_values, constant_value)
+            if values is None:
+                return None
+            result = result | values
+        return result
+    if isinstance(formula, (Exists, Forall)):
+        if variable in formula.variables:
+            return None  # shadowed: inner occurrences are a different variable
+        return candidate_values(formula.body, variable, atom_values, constant_value)
+    return None
+
+
+def _cached_candidates(
+    database: PhysicalDatabase,
+    formula: Formula,
+    variable: Variable,
+    cache: dict,
+) -> frozenset | None:
+    """Candidates for one (sub)formula/variable pair, memoized per evaluation."""
+    key = (id(formula), variable)
+    if key in cache:
+        return cache[key]
+
+    def atom_values(predicate: str, position: int) -> frozenset | None:
+        try:
+            relation = database.relation(predicate)
+        except DatabaseError:
+            return None  # let the satisfaction walk report the error instead
+        if isinstance(relation, Relation):
+            return relation.column_values(position)
+        return None  # lazy relation: enumerating it may be quadratic
+
+    result = candidate_values(formula, variable, atom_values, database.constant_value)
+    cache[key] = result
+    return result
+
+
+def _sorted_domain(database: PhysicalDatabase) -> tuple:
+    """The domain in deterministic order (cached on the immutable instance)."""
+    cached = database.__dict__.get("_sorted_domain")
+    if cached is None:
+        cached = tuple(sorted(database.domain, key=repr))
+        object.__setattr__(database, "_sorted_domain", cached)
+    return cached

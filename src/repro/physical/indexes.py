@@ -1,0 +1,93 @@
+"""Lazily built hash indexes over the stored relations of a physical database.
+
+The executor uses these for two access paths:
+
+* **index scans** — an :class:`~repro.physical.plan.IndexScan` node (produced
+  by the optimizer from a constant-binding selection over a scan) probes a
+  key-prefix index instead of filtering a full scan;
+* **indexed joins** — a :class:`~repro.physical.plan.NaturalJoin` whose build
+  side is a bare relation scan reuses the stored prefix index as its hash
+  table instead of rebuilding one per execution.
+
+Indexes are built on demand per ``(relation, column positions)`` request and
+cached on the database instance with the same ``object.__setattr__`` idiom as
+``PhysicalDatabase.fingerprint`` — databases are immutable, so an index can
+never go stale, and content-addressed cache keys elsewhere (fingerprints)
+remain the sole invalidation mechanism.  Lazy relations (the virtual ``NE``
+encoding) are deliberately *not* indexed: materializing them defeats their
+purpose, so lookups against them fall back to scanning, exactly as before.
+
+Index construction is thread-safe: the serving layer executes plans against
+one shared database from many threads, so a per-database lock guards the
+build; probing built indexes is lock-free (plain dict reads of immutable
+values).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Mapping
+
+from repro.physical.database import PhysicalDatabase
+from repro.physical.relation import Relation
+
+__all__ = ["DatabaseIndexes", "indexes_for"]
+
+_EMPTY: tuple[tuple, ...] = ()
+
+
+class DatabaseIndexes:
+    """Hash indexes (value tuple -> matching rows) for one immutable database."""
+
+    def __init__(self, database: PhysicalDatabase) -> None:
+        self._database = database
+        self._prefix: dict[tuple[str, tuple[int, ...]], Mapping[tuple, tuple[tuple, ...]]] = {}
+        self._lock = threading.Lock()
+        self.built = 0  # number of distinct indexes constructed (observability)
+
+    def prefix(self, relation: str, positions: tuple[int, ...]) -> Mapping[tuple, tuple[tuple, ...]] | None:
+        """Index of *relation* on the given column positions, or ``None``.
+
+        Returns ``None`` for lazy relations (no index is built for them) and
+        for empty position tuples.  The returned mapping sends each key tuple
+        — the row's values at ``positions``, in that order — to the tuple of
+        full rows carrying it.
+        """
+        if not positions:
+            return None
+        stored = self._database.relation(relation)
+        if not isinstance(stored, Relation):
+            return None
+        key = (relation, positions)
+        index = self._prefix.get(key)
+        if index is None:
+            with self._lock:
+                index = self._prefix.get(key)
+                if index is None:
+                    buckets: dict[tuple, list[tuple]] = {}
+                    for row in stored.tuples:
+                        buckets.setdefault(tuple(row[i] for i in positions), []).append(row)
+                    index = {value: tuple(rows) for value, rows in buckets.items()}
+                    self._prefix[key] = index
+                    self.built += 1
+        return index
+
+    def column(self, relation: str, position: int) -> Mapping[tuple, tuple[tuple, ...]] | None:
+        """Single-column convenience wrapper around :meth:`prefix`."""
+        return self.prefix(relation, (position,))
+
+    def lookup(self, relation: str, positions: tuple[int, ...], key: tuple) -> tuple[tuple, ...] | None:
+        """Rows of *relation* whose *positions* equal *key*; ``None`` = no index."""
+        index = self.prefix(relation, positions)
+        if index is None:
+            return None
+        return index.get(key, _EMPTY)
+
+
+def indexes_for(database: PhysicalDatabase) -> DatabaseIndexes:
+    """The (lazily created, instance-cached) index set of *database*."""
+    cached = database.__dict__.get("_indexes")
+    if cached is None:
+        cached = DatabaseIndexes(database)
+        object.__setattr__(database, "_indexes", cached)
+    return cached

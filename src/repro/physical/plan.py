@@ -23,12 +23,14 @@ __all__ = [
     "Table",
     "PlanNode",
     "ScanRelation",
+    "IndexScan",
     "ActiveDomain",
     "LiteralTable",
     "Selection",
     "Projection",
     "RenameColumns",
     "NaturalJoin",
+    "EquiJoin",
     "CrossProduct",
     "UnionAll",
     "Difference",
@@ -84,6 +86,22 @@ class ScanRelation(PlanNode):
 
 
 @dataclass(frozen=True)
+class IndexScan(PlanNode):
+    """Scan a stored relation restricted to rows matching constant bindings.
+
+    Semantically identical to ``Selection(ScanRelation(relation, columns),
+    bindings=bindings)`` but executable through a per-database hash index
+    (:mod:`repro.physical.indexes`) instead of a full scan.  The optimizer
+    produces these nodes; nothing forces an index to exist — execution falls
+    back to a filtered scan when indexing is disabled or unavailable.
+    """
+
+    relation: str
+    columns: tuple[str, ...]
+    bindings: tuple[tuple[str, object], ...]
+
+
+@dataclass(frozen=True)
 class ActiveDomain(PlanNode):
     """Produce the active domain of the database as a single-column table.
 
@@ -104,14 +122,52 @@ class LiteralTable(PlanNode):
 
 @dataclass(frozen=True)
 class Selection(PlanNode):
-    """Keep the rows satisfying a predicate over the named columns."""
+    """Keep the rows satisfying a predicate over the named columns.
+
+    The predicate takes one of two forms:
+
+    * an opaque ``condition`` callable over a ``{column: value}`` dict —
+      always honoured when present, but invisible to the optimizer;
+    * a *structured* condition: ``bindings`` (each named column must equal a
+      constant) and ``equalities`` (each group of columns must share one
+      value), combined conjunctively.  The compiler only emits structured
+      selections, which is what lets the optimizer push them around, compare
+      subplans for equality, and convert them into joins or index lookups.
+
+    When ``condition`` is ``None`` the structured fields are authoritative;
+    an empty structured condition keeps every row.
+    """
 
     source: PlanNode
-    condition: Callable[[dict[str, object]], bool]
+    condition: Callable[[dict[str, object]], bool] | None = None
     description: str = "<condition>"
+    bindings: tuple[tuple[str, object], ...] = ()
+    equalities: tuple[tuple[str, ...], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.condition is not None and (self.bindings or self.equalities):
+            raise EvaluationError(
+                "a Selection takes either an opaque condition or structured "
+                "bindings/equalities, not both (the opaque form would silently "
+                "win at execution)"
+            )
 
     def children(self) -> tuple[PlanNode, ...]:
         return (self.source,)
+
+    def referenced_columns(self) -> tuple[str, ...] | None:
+        """Columns the condition reads, or ``None`` when unknowable (opaque)."""
+        if self.condition is not None:
+            return None
+        seen: list[str] = []
+        for column, __ in self.bindings:
+            if column not in seen:
+                seen.append(column)
+        for group in self.equalities:
+            for column in group:
+                if column not in seen:
+                    seen.append(column)
+        return tuple(seen)
 
 
 @dataclass(frozen=True)
@@ -142,6 +198,26 @@ class NaturalJoin(PlanNode):
 
     left: PlanNode
     right: PlanNode
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class EquiJoin(PlanNode):
+    """Join on explicit column pairs; operand column sets must be disjoint.
+
+    ``pairs`` holds ``(left_column, right_column)`` equalities.  The output
+    keeps *all* columns of both operands (unlike :class:`NaturalJoin`, which
+    merges shared names), so ``EquiJoin(l, r, pairs)`` is row-for-row equal
+    to ``Selection(CrossProduct(l, r), equalities=pairs)`` — the optimizer
+    rewrite that produces it — but executes as a hash join instead of a
+    filtered product.
+    """
+
+    left: PlanNode
+    right: PlanNode
+    pairs: tuple[tuple[str, str], ...]
 
     def children(self) -> tuple[PlanNode, ...]:
         return (self.left, self.right)

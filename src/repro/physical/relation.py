@@ -71,6 +71,28 @@ class Relation:
         """Return every domain element mentioned by some tuple."""
         return frozenset(value for row in self.tuples for value in row)
 
+    def column_values(self, position: int) -> frozenset:
+        """Distinct values appearing in one column position.
+
+        Computed once per position and cached on the instance (sound because
+        relations are immutable); the evaluator's bounded quantifier
+        enumeration and the optimizer's statistics both probe these sets
+        repeatedly.
+        """
+        if not 0 <= position < self.arity:
+            raise DatabaseError(
+                f"column {position} out of range for relation {self.name!r} (arity {self.arity})"
+            )
+        cached = self.__dict__.get("_column_values")
+        if cached is None:
+            columns = [set() for __ in range(self.arity)]
+            for row in self.tuples:
+                for index, value in enumerate(row):
+                    columns[index].add(value)
+            cached = tuple(frozenset(column) for column in columns)
+            object.__setattr__(self, "_column_values", cached)
+        return cached[position]
+
     # Functional updates -----------------------------------------------------
 
     def add(self, row: tuple) -> "Relation":

@@ -35,11 +35,13 @@ from repro.logic.formulas import (
     SecondOrderExists,
     SecondOrderForall,
     Top,
+    walk,
 )
 from repro.logic.queries import Query
 from repro.logic.terms import Variable
 from repro.physical.database import PhysicalDatabase
-from repro.physical.evaluator import evaluate_term
+from repro.physical.evaluator import _sorted_domain, candidate_values, evaluate_term
+from repro.physical.relation import Relation
 
 __all__ = ["satisfies_so", "evaluate_query_so", "enumerate_relations", "DEFAULT_MAX_RELATIONS"]
 
@@ -87,6 +89,7 @@ def satisfies_so(
         dict(assignment or {}),
         dict(relation_assignment or {}),
         max_relations,
+        {},
     )
 
 
@@ -96,6 +99,7 @@ def _satisfies(
     assignment: dict[Variable, object],
     relations: dict[str, frozenset[tuple]],
     max_relations: int,
+    cache: dict,
 ) -> bool:
     if isinstance(formula, Top):
         return True
@@ -114,26 +118,42 @@ def _satisfies(
             database, formula.right, assignment
         )
     if isinstance(formula, Not):
-        return not _satisfies(database, formula.operand, assignment, relations, max_relations)
+        return not _satisfies(database, formula.operand, assignment, relations, max_relations, cache)
     if isinstance(formula, And):
-        return all(_satisfies(database, op, assignment, relations, max_relations) for op in formula.operands)
+        return all(
+            _satisfies(database, op, assignment, relations, max_relations, cache)
+            for op in formula.operands
+        )
     if isinstance(formula, Or):
-        return any(_satisfies(database, op, assignment, relations, max_relations) for op in formula.operands)
+        return any(
+            _satisfies(database, op, assignment, relations, max_relations, cache)
+            for op in formula.operands
+        )
     if isinstance(formula, Implies):
-        if not _satisfies(database, formula.antecedent, assignment, relations, max_relations):
+        if not _satisfies(database, formula.antecedent, assignment, relations, max_relations, cache):
             return True
-        return _satisfies(database, formula.consequent, assignment, relations, max_relations)
+        return _satisfies(database, formula.consequent, assignment, relations, max_relations, cache)
     if isinstance(formula, Iff):
-        left = _satisfies(database, formula.left, assignment, relations, max_relations)
-        right = _satisfies(database, formula.right, assignment, relations, max_relations)
+        left = _satisfies(database, formula.left, assignment, relations, max_relations, cache)
+        right = _satisfies(database, formula.right, assignment, relations, max_relations, cache)
         return left == right
     if isinstance(formula, (Exists, Forall)):
-        domain = sorted(database.domain, key=repr)
         want = isinstance(formula, Exists)
-        for values in product(domain, repeat=len(formula.variables)):
+        value_lists = []
+        for variable in formula.variables:
+            candidates = _first_order_candidates(database, formula.body, variable, relations, cache)
+            if candidates is None:
+                value_lists.append(_sorted_domain(database))
+            elif want and not candidates:
+                return False  # no value can satisfy the body's atoms
+            elif not want and database.domain - candidates:
+                return False  # some domain value falsifies the body: Forall fails
+            else:
+                value_lists.append(sorted(candidates, key=repr))
+        for values in product(*value_lists):
             extended = dict(assignment)
             extended.update(zip(formula.variables, values))
-            result = _satisfies(database, formula.body, extended, relations, max_relations)
+            result = _satisfies(database, formula.body, extended, relations, max_relations, cache)
             if result == want:
                 return want
         return not want
@@ -142,11 +162,66 @@ def _satisfies(
         for candidate in enumerate_relations(database.domain, formula.arity, max_relations):
             extended = dict(relations)
             extended[formula.predicate] = candidate
-            result = _satisfies(database, formula.body, assignment, extended, max_relations)
+            result = _satisfies(database, formula.body, assignment, extended, max_relations, cache)
             if result == want:
                 return want
         return not want
     raise EvaluationError(f"unknown formula node: {formula!r}")
+
+
+def _first_order_candidates(
+    database: PhysicalDatabase,
+    body,
+    variable: Variable,
+    relations: Mapping[str, frozenset[tuple]],
+    cache: dict,
+) -> frozenset | None:
+    """Sound value restriction for a first-order variable (see the evaluator).
+
+    Unlike the first-order evaluator, atoms may be interpreted by an
+    enclosing second-order quantifier (``relations``) or *re*-bound by one
+    nested inside the body — the latter make the stored relation useless as
+    a bound, so those predicates contribute nothing.
+
+    The second-order search revisits the same quantifier under many relation
+    assignments, so results are memoized per ``(body, variable)`` — but only
+    when no second-order-bound relation contributed to the answer, since
+    those change between visits; the rebound-predicate walk is memoized
+    unconditionally (it is purely syntactic).
+    """
+    candidates_key = ("candidates", id(body), variable)
+    if candidates_key in cache:
+        return cache[candidates_key]
+    rebound_key = ("rebound", id(body))
+    rebound = cache.get(rebound_key)
+    if rebound is None:
+        rebound = {
+            node.predicate
+            for node in walk(body)
+            if isinstance(node, (SecondOrderExists, SecondOrderForall))
+        }
+        cache[rebound_key] = rebound
+
+    consulted_bound = False
+
+    def atom_values(predicate: str, position: int) -> frozenset | None:
+        nonlocal consulted_bound
+        if predicate in rebound:
+            return None
+        if predicate in relations:
+            consulted_bound = True
+            return frozenset(row[position] for row in relations[predicate])
+        if not database.has_relation(predicate):
+            return None
+        stored = database.relation(predicate)
+        if isinstance(stored, Relation):
+            return stored.column_values(position)
+        return None  # lazy relation: enumerating it may be quadratic
+
+    result = candidate_values(body, variable, atom_values, database.constant_value)
+    if not consulted_bound:
+        cache[candidates_key] = result
+    return result
 
 
 def evaluate_query_so(
@@ -155,10 +230,17 @@ def evaluate_query_so(
     max_relations: int = DEFAULT_MAX_RELATIONS,
 ) -> frozenset[tuple]:
     """Evaluate a (possibly second-order) query over a physical database."""
-    domain = sorted(database.domain, key=repr)
+    cache: dict = {}
+    value_lists = []
+    for variable in query.head:
+        candidates = _first_order_candidates(database, query.formula, variable, {}, cache)
+        if candidates is None:
+            value_lists.append(_sorted_domain(database))
+        else:
+            value_lists.append(sorted(candidates, key=repr))
     answers = set()
-    for values in product(domain, repeat=query.arity):
+    for values in product(*value_lists):
         assignment = dict(zip(query.head, values))
-        if _satisfies(database, query.formula, assignment, {}, max_relations):
+        if _satisfies(database, query.formula, assignment, {}, max_relations, cache):
             answers.add(tuple(values))
     return frozenset(answers)

@@ -1,0 +1,101 @@
+"""Per-database cardinality statistics for the plan optimizer.
+
+The optimizer's join ordering and index decisions need cheap, reasonably
+accurate cardinality estimates.  A :class:`Statistics` object summarizes one
+:class:`~repro.physical.database.PhysicalDatabase`: per-relation row counts,
+per-column distinct-value counts, and domain sizes.  It is computed lazily,
+once per database instance, and cached on the instance — sound because
+physical databases are immutable (the same contract ``fingerprint()`` and
+``active_domain()`` rely on).
+
+Lazy relations (the virtual ``NE`` of Section 5) are *not* iterated to count
+distinct values: their ``len()`` is cheap but enumeration can be quadratic,
+so their per-column distinct counts are approximated from the domain size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.physical.database import PhysicalDatabase
+from repro.physical.relation import Relation
+
+__all__ = ["RelationStatistics", "Statistics", "statistics_for"]
+
+
+@dataclass(frozen=True)
+class RelationStatistics:
+    """Summary of one stored relation: row count and per-column distincts."""
+
+    name: str
+    arity: int
+    rows: int
+    #: distinct values per column position; ``estimated`` marks lazy relations
+    #: whose columns were approximated rather than counted.
+    distinct: tuple[int, ...]
+    estimated: bool = False
+
+
+class Statistics:
+    """Cardinality summary of one immutable physical database."""
+
+    def __init__(self, database: PhysicalDatabase) -> None:
+        self._database = database
+        self._relations: dict[str, RelationStatistics] = {}
+        self.domain_size = len(database.domain)
+        self.active_domain_size = len(database.active_domain())
+
+    def relation(self, name: str) -> RelationStatistics:
+        """Statistics for one relation (computed on first request)."""
+        cached = self._relations.get(name)
+        if cached is None:
+            cached = self._summarize(name)
+            self._relations[name] = cached
+        return cached
+
+    def row_count(self, name: str) -> int:
+        return self.relation(name).rows
+
+    def distinct(self, name: str, position: int) -> int:
+        """Distinct values in one column (>= 1 whenever the relation is nonempty)."""
+        summary = self.relation(name)
+        if not 0 <= position < summary.arity:
+            raise IndexError(f"column {position} out of range for {name!r} (arity {summary.arity})")
+        return summary.distinct[position]
+
+    def _summarize(self, name: str) -> RelationStatistics:
+        relation = self._database.relation(name)
+        arity = self._database.vocabulary.arity(name)
+        rows = len(relation)
+        if isinstance(relation, Relation):
+            distinct = tuple(len(relation.column_values(position)) for position in range(arity))
+            return RelationStatistics(name, arity, rows, distinct)
+        # Lazy relation: approximate each column as densely populated rather
+        # than enumerate a possibly quadratic extension.
+        approx = min(rows, self.active_domain_size) if rows else 0
+        return RelationStatistics(name, arity, rows, (approx,) * arity, estimated=True)
+
+    def as_dict(self) -> Mapping[str, object]:
+        """Summary of everything computed so far (for reports and debugging)."""
+        return {
+            "domain_size": self.domain_size,
+            "active_domain_size": self.active_domain_size,
+            "relations": {
+                name: {"rows": summary.rows, "distinct": list(summary.distinct)}
+                for name, summary in sorted(self._relations.items())
+            },
+        }
+
+
+def statistics_for(database: PhysicalDatabase) -> Statistics:
+    """The (lazily built, instance-cached) statistics of *database*.
+
+    Uses the same ``object.__setattr__`` caching idiom as
+    ``PhysicalDatabase.fingerprint`` — valid because instances never mutate.
+    """
+    cached = database.__dict__.get("_statistics")
+    if cached is None:
+        cached = Statistics(database)
+        object.__setattr__(database, "_statistics", cached)
+    return cached

@@ -15,7 +15,12 @@ clients:
   stale answers;
 * **result caching** — parsed queries and full responses live in
   thread-safe LRU caches (:mod:`repro.service.cache`) keyed on
-  ``(fingerprint, query_text, method, engine, virtual_ne)``.
+  ``(fingerprint, query_text, method, engine, virtual_ne)``;
+* **plan caching** — compiled + optimized relational-algebra plans are kept
+  per ``(snapshot fingerprint, query_text, engine, NE encoding)``, so a warm
+  server answering an uncached request (e.g. after answer-cache eviction, or
+  with response caching disabled) still skips parse-rewrite-compile-optimize
+  and goes straight to plan execution.
 
 The service is deliberately transport-agnostic: :mod:`repro.service.server`
 exposes it over HTTP and :mod:`repro.service.batch` fans request lists out
@@ -55,6 +60,7 @@ __all__ = ["RegisteredDatabase", "QueryService"]
 
 DEFAULT_ANSWER_CACHE_CAPACITY = 4096
 DEFAULT_PARSE_CACHE_CAPACITY = 512
+DEFAULT_PLAN_CACHE_CAPACITY = 1024
 
 
 @dataclass(frozen=True)
@@ -103,6 +109,9 @@ class QueryService:
         response caching (the benchmark's "cold" configuration).
     parse_cache_capacity:
         LRU capacity for parsed :class:`~repro.logic.queries.Query` objects.
+    plan_cache_capacity:
+        LRU capacity for compiled + optimized algebra plans; 0 disables plan
+        caching (every uncached request recompiles).
     max_mappings:
         Safety cap forwarded to exact certain-answer evaluation.
     """
@@ -111,12 +120,14 @@ class QueryService:
         self,
         answer_cache_capacity: int = DEFAULT_ANSWER_CACHE_CAPACITY,
         parse_cache_capacity: int = DEFAULT_PARSE_CACHE_CAPACITY,
+        plan_cache_capacity: int = DEFAULT_PLAN_CACHE_CAPACITY,
         max_mappings: int = DEFAULT_MAX_MAPPINGS,
     ) -> None:
         self._registry: dict[str, RegisteredDatabase] = {}
         self._registry_lock = threading.Lock()
         self._answers = LRUCache(answer_cache_capacity)
         self._parses = LRUCache(parse_cache_capacity)
+        self._plans = LRUCache(plan_cache_capacity)
         self._exact = CertainAnswerEvaluator(max_mappings=max_mappings)
         self._started = time.monotonic()
         self._batch_executed = 0
@@ -164,6 +175,7 @@ class QueryService:
             self._registry[name] = entry
         if previous is not None and previous.fingerprint != entry.fingerprint:
             self._answers.invalidate(lambda key: key[0] == previous.fingerprint)
+            self._plans.invalidate(lambda key: key[0] == previous.fingerprint)
         return entry
 
     def unregister(self, name: str) -> None:
@@ -173,6 +185,7 @@ class QueryService:
         if entry is None:
             raise UnknownDatabaseError(f"unknown database {name!r}")
         self._answers.invalidate(lambda key: key[0] == entry.fingerprint)
+        self._plans.invalidate(lambda key: key[0] == entry.fingerprint)
 
     def database_names(self) -> tuple[str, ...]:
         with self._registry_lock:
@@ -244,6 +257,7 @@ class QueryService:
             parse_cache=self._parses.stats().as_dict(),
             batch=dict(self._batch_counters()),
             uptime_seconds=time.monotonic() - self._started,
+            plan_cache=self._plans.stats().as_dict(),
         )
 
     # Internals -----------------------------------------------------------------
@@ -289,7 +303,15 @@ class QueryService:
         exact: frozenset[tuple[str, ...]] | None = None
         if request.method in ("approx", "both"):
             evaluator = ApproximateEvaluator(engine=request.engine, virtual_ne=request.virtual_ne)
-            approx = evaluator.answers_on_storage(entry.storage(request.virtual_ne), query)
+            storage = entry.storage(request.virtual_ne)
+            # The plan depends on the snapshot content and the NE encoding
+            # (ph2 derivation is deterministic in both), never on the method,
+            # so content-identical snapshots share plans across aliases.
+            plan_key = (entry.fingerprint, request.query, request.engine, request.virtual_ne)
+            plan, __ = self._plans.get_or_compute(
+                plan_key, lambda: evaluator.plan_on_storage(storage, query)
+            )
+            approx = evaluator.answers_on_storage(storage, query, plan=plan)
             answers["approximate"] = tuple(tuple(row) for row in answers_to_wire(approx))
         if request.method in ("exact", "both"):
             exact = self._exact.certain_answers(entry.database, query)

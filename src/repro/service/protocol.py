@@ -14,7 +14,7 @@ deserialization; it validates the version and dispatches on the type tag.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, fields
+from dataclasses import asdict, dataclass, field, fields
 from typing import Iterable, Mapping, Sequence
 
 from repro.complexity.classes import QueryClassification
@@ -172,13 +172,19 @@ class DatabasesResponse:
 
 @dataclass(frozen=True)
 class StatsResponse:
-    """Service-level counters: registered snapshots and cache behaviour."""
+    """Service-level counters: registered snapshots and cache behaviour.
+
+    ``plan_cache`` reports the compiled-plan LRU (hits mean a query skipped
+    parse-rewrite-compile-optimize).  It defaults to an empty mapping so
+    messages from servers predating the plan cache still parse.
+    """
 
     databases: tuple[str, ...]
     answer_cache: Mapping[str, object]
     parse_cache: Mapping[str, object]
     batch: Mapping[str, int]
     uptime_seconds: float
+    plan_cache: Mapping[str, object] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)

@@ -40,6 +40,8 @@ __all__ = [
     "random_cw_database",
     "random_query",
     "random_positive_query",
+    "join_chain_query",
+    "join_heavy_workload",
     "employee_database",
     "EMPLOYEE_PREDICATES",
 ]
@@ -162,6 +164,169 @@ def random_positive_query(
 ) -> Query:
     """Random *positive* query (no negation anywhere) — the Theorem 13 class."""
     return random_query(predicates, constants, arity, depth, seed, allow_negation=False)
+
+
+def join_chain_query(
+    predicates: Mapping[str, int],
+    length: int = 3,
+    closing_constant: str | None = None,
+    shuffle: bool = False,
+    seed: int | None = None,
+    pattern: Sequence[str] | None = None,
+) -> Query:
+    """A join chain: ``(x0, xL) . exists x1..x(L-1). P1(x0,x1) & ... & PL(x(L-1),xL)``.
+
+    Chains are the canonical join-heavy workload: every conjunct shares one
+    variable with its neighbour, so evaluation cost is dominated by the join
+    order the engine picks.  With *closing_constant* the last atom's second
+    argument is that constant instead of ``xL`` (and the head is ``(x0,)``),
+    making the tail highly selective — exactly the case where starting from
+    the wrong end is expensive.  With ``shuffle=True`` the conjuncts appear
+    in random order, the way a declarative query author writes them: a
+    syntax-directed engine then joins adjacent-but-disconnected atoms into
+    cross products, while a reordering optimizer recovers the connected
+    order.  Only binary predicates are used; *pattern* fixes the exact
+    predicate sequence (and hence the chain length) — useful when the schema
+    is "typed" and only certain compositions produce nonempty joins.
+    """
+    binary = sorted(name for name, arity in predicates.items() if arity == 2)
+    if not binary:
+        raise ValueError("join_chain_query needs at least one binary predicate")
+    if pattern is not None:
+        unknown = [name for name in pattern if predicates.get(name) != 2]
+        if unknown:
+            raise ValueError(f"pattern names non-binary or undeclared predicates: {unknown}")
+        length = len(pattern)
+    if length < 1:
+        raise ValueError("a join chain needs at least one atom")
+    rng = random.Random(seed)
+    variables = [V(f"x{i}") for i in range(length + 1)]
+    atoms: list[Formula] = []
+    for position in range(length):
+        predicate = pattern[position] if pattern is not None else binary[rng.randrange(len(binary))]
+        left: Term = variables[position]
+        right: Term = variables[position + 1]
+        if position == length - 1 and closing_constant is not None:
+            right = Constant(closing_constant)
+        atoms.append(Atom(predicate, (left, right)))
+    if shuffle:
+        rng.shuffle(atoms)
+    body: Formula = atoms[0] if len(atoms) == 1 else And(tuple(atoms))
+    if closing_constant is None:
+        head = (variables[0], variables[length])
+        bound = tuple(variables[1:length])
+    else:
+        head = (variables[0],)
+        bound = tuple(variables[1:length])
+    if bound:
+        body = Exists(bound, body)
+    return Query(head, body)
+
+
+def join_heavy_workload(
+    predicates: Mapping[str, int] | None = None,
+    constants: Sequence[str] = (),
+    chains: int = 4,
+    length: int = 3,
+    seed: int | None = None,
+) -> list[tuple[str, Query]]:
+    """A named mix of join-heavy queries for optimizer benchmarks and tests.
+
+    Contains plain chains, constant-closed chains (selective tails), a
+    co-worker style self-join, and an equality-linking query whose naive
+    plan is a filtered active-domain product.  All queries are positive, so
+    the approximation is complete on them (Theorem 13) and the workload
+    isolates pure join/execution cost.
+    """
+    if predicates is None:
+        predicates = EMPLOYEE_PREDICATES
+    rng = random.Random(seed)
+    binary = sorted(name for name, arity in predicates.items() if arity == 2)
+    if not binary:
+        raise ValueError("join_heavy_workload needs at least one binary predicate")
+    # On the employee schema, compose predicates so every join step is
+    # nonempty: employee -EMP_DEPT-> department -DEPT_MGR-> manager -> ...,
+    # optionally ending at a salary band.  Other schemas fall back to random
+    # predicate choices.
+    typed = set(predicates) >= set(EMPLOYEE_PREDICATES)
+
+    def chain_pattern(chain_length: int, close_with_salary: bool) -> tuple[str, ...] | None:
+        if not typed:
+            return None
+        cycle = ("EMP_DEPT", "DEPT_MGR")
+        names = [cycle[i % 2] for i in range(chain_length)]
+        if close_with_salary and chain_length >= 2 and chain_length % 2 == 0:
+            names[-1] = "EMP_SAL"
+        return tuple(names)
+
+    workload: list[tuple[str, Query]] = []
+    for index in range(chains):
+        workload.append(
+            (
+                f"chain{index}",
+                join_chain_query(
+                    predicates,
+                    length,
+                    shuffle=True,
+                    seed=rng.randrange(1 << 30),
+                    pattern=chain_pattern(length, close_with_salary=index % 2 == 1),
+                ),
+            )
+        )
+        if constants:
+            closing = constants[rng.randrange(len(constants))]
+            workload.append(
+                (
+                    f"chain{index}_closed",
+                    join_chain_query(
+                        predicates,
+                        length,
+                        closing_constant=closing,
+                        shuffle=True,
+                        seed=rng.randrange(1 << 30),
+                        pattern=chain_pattern(length, close_with_salary=False),
+                    ),
+                )
+            )
+    # Co-occurrence (self-join): pairs sharing a right-hand neighbour.  On
+    # the employee schema, join the large membership relation and filter on
+    # salary band; generically, fall back to the first binary predicates.
+    first = "EMP_DEPT" if typed else binary[0]
+    filter_predicate = "EMP_SAL" if typed else binary[min(1, len(binary) - 1)]
+    x, y, z = V("x"), V("y"), V("z")
+    workload.append(
+        ("co_occurrence", Query((x, y), Exists((z,), And((Atom(first, (x, z)), Atom(first, (y, z)))))))
+    )
+    if constants:
+        # Filtered co-occurrence: the selective constant atom appears last in
+        # the written order, first in a good join order.
+        anchor = constants[rng.randrange(len(constants))]
+        workload.append(
+            (
+                "co_occurrence_filtered",
+                Query(
+                    (x, y),
+                    Exists(
+                        (z,),
+                        And(
+                            (
+                                Atom(first, (x, z)),
+                                Atom(first, (y, z)),
+                                Atom(filter_predicate, (x, Constant(anchor))),
+                            )
+                        ),
+                    ),
+                ),
+            )
+        )
+    # Equality link: naively an active-domain product filtered by x = y.
+    workload.append(
+        (
+            "equality_link",
+            Query((x, y), And((Exists((z,), Atom(first, (x, z))), Equals(x, y)))),
+        )
+    )
+    return workload
 
 
 #: Schema of the employee scenario from the paper's introduction.

@@ -1,0 +1,54 @@
+"""Tests for the CLI's --no-optimizer debugging flag."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.physical.csvio import save_cw_database
+from repro.physical.optimizer import OPTIMIZER_ENV_FLAG, optimizer_enabled
+
+
+@pytest.fixture
+def stored_database(ripper_cw, tmp_path):
+    directory = tmp_path / "ripper"
+    save_cw_database(ripper_cw, directory)
+    return directory
+
+
+@pytest.fixture
+def restore_optimizer_env(monkeypatch):
+    # The CLI sets the env flag process-wide; registering it with monkeypatch
+    # first makes pytest restore the original (unset) state afterwards.
+    monkeypatch.setenv(OPTIMIZER_ENV_FLAG, "0")
+
+
+class TestNoOptimizerFlag:
+    def test_answers_identical_with_and_without_optimizer(
+        self, stored_database, capsys, restore_optimizer_env
+    ):
+        assert main(["query", str(stored_database), "(x) . LONDONER(x)"]) == 0
+        optimized_out = capsys.readouterr().out
+        assert main(["query", str(stored_database), "(x) . LONDONER(x)", "--no-optimizer"]) == 0
+        naive_out = capsys.readouterr().out
+        assert naive_out == optimized_out
+
+    def test_flag_disables_optimizer_for_the_process(
+        self, stored_database, capsys, restore_optimizer_env
+    ):
+        assert optimizer_enabled()
+        assert main(["query", str(stored_database), "(x) . LONDONER(x)", "--no-optimizer"]) == 0
+        assert not optimizer_enabled()
+
+    def test_json_path_honours_the_flag(self, stored_database, capsys, restore_optimizer_env):
+        code = main(["query", str(stored_database), "(x) . LONDONER(x)", "--json", "--no-optimizer"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["type"] == "query_response"
+        assert payload["answers"]["approximate"]
+
+    def test_serve_parser_accepts_the_flag(self):
+        from repro.cli import build_parser
+
+        arguments = build_parser().parse_args(["serve", "somedir", "--no-optimizer"])
+        assert arguments.no_optimizer

@@ -1,0 +1,73 @@
+"""Tests for the join-heavy workload generators."""
+
+import pytest
+
+from repro.logic.analysis import free_variables, is_positive
+from repro.logic.formulas import Atom, walk
+from repro.workloads.generators import (
+    EMPLOYEE_PREDICATES,
+    employee_database,
+    join_chain_query,
+    join_heavy_workload,
+)
+from repro.logical.ph import ph2
+from repro.physical.compiler import evaluate_query_algebra
+
+
+class TestJoinChainQuery:
+    def test_chain_shape(self):
+        query = join_chain_query(EMPLOYEE_PREDICATES, length=3, seed=1)
+        assert query.arity == 2
+        atoms = [node for node in walk(query.formula) if isinstance(node, Atom)]
+        assert len(atoms) == 3
+        assert {variable.name for variable in free_variables(query.formula)} == {"x0", "x3"}
+
+    def test_closing_constant_makes_unary_head(self):
+        query = join_chain_query(EMPLOYEE_PREDICATES, length=3, closing_constant="high", seed=1)
+        assert query.arity == 1
+
+    def test_pattern_fixes_predicates_and_length(self):
+        pattern = ("EMP_DEPT", "DEPT_MGR", "EMP_SAL")
+        query = join_chain_query(EMPLOYEE_PREDICATES, length=99, pattern=pattern, seed=0)
+        atoms = [node.predicate for node in walk(query.formula) if isinstance(node, Atom)]
+        assert atoms.count("EMP_DEPT") == 1 and atoms.count("EMP_SAL") == 1
+        assert len(atoms) == 3
+
+    def test_pattern_rejects_unknown_predicates(self):
+        with pytest.raises(ValueError):
+            join_chain_query(EMPLOYEE_PREDICATES, pattern=("NOPE",))
+
+    def test_shuffle_is_deterministic_per_seed(self):
+        first = join_chain_query(EMPLOYEE_PREDICATES, length=4, shuffle=True, seed=9)
+        second = join_chain_query(EMPLOYEE_PREDICATES, length=4, shuffle=True, seed=9)
+        assert first == second
+
+    def test_requires_binary_predicate(self):
+        with pytest.raises(ValueError):
+            join_chain_query({"U": 1})
+
+
+class TestJoinHeavyWorkload:
+    def test_workload_is_named_and_positive(self):
+        workload = join_heavy_workload(constants=("dept0", "high"), chains=2, length=4, seed=3)
+        names = [name for name, __ in workload]
+        assert len(names) == len(set(names))
+        assert any(name.startswith("chain") for name in names)
+        assert "equality_link" in names and "co_occurrence" in names
+        for __, query in workload:
+            assert is_positive(query.formula)
+
+    def test_typed_chains_produce_rows_on_employee_data(self):
+        storage = ph2(employee_database(20, seed=2, unknown_manager_fraction=0.0))
+        workload = join_heavy_workload(chains=2, length=4, seed=3)
+        nonempty = sum(
+            1 for __, query in workload if evaluate_query_algebra(storage, query)
+        )
+        # Typed chains compose employee->dept->manager->..., so the workload
+        # must exercise real joins, not vacuous empty intermediates.
+        assert nonempty >= len(workload) // 2
+
+    def test_deterministic_per_seed(self):
+        first = join_heavy_workload(constants=("dept0",), chains=2, length=3, seed=8)
+        second = join_heavy_workload(constants=("dept0",), chains=2, length=3, seed=8)
+        assert first == second

@@ -14,7 +14,10 @@ The library implements, from scratch:
   (:mod:`repro.workloads`, :mod:`repro.harness`);
 * the concurrent query-serving subsystem — snapshot registry, result
   caching, batch evaluation and a JSON HTTP front-end
-  (:mod:`repro.service`).
+  (:mod:`repro.service`);
+* sharded multi-process serving with a persistent, content-addressed
+  snapshot store — deterministic partitioning, scatter-gather routing with
+  sound merges, replication and failover (:mod:`repro.cluster`).
 
 Quick start::
 
@@ -58,6 +61,7 @@ from repro.logical import (
     ph2,
 )
 from repro.physical import PhysicalDatabase, Relation, evaluate_query, satisfies
+from repro.cluster import ClusterRouter, SnapshotStore, start_cluster
 from repro.service import (
     BatchEvaluator,
     QueryRequest,
@@ -117,4 +121,8 @@ __all__ = [
     "evaluate_batch",
     "ServiceClient",
     "running_server",
+    # cluster
+    "ClusterRouter",
+    "SnapshotStore",
+    "start_cluster",
 ]

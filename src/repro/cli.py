@@ -12,9 +12,12 @@ language.  Three evaluation routes are exposed:
 
 Every read command also takes ``--json``, which prints the same protocol
 message the HTTP service would return (one serializer,
-:mod:`repro.service.protocol`, feeds both).  Two further commands wrap the
+:mod:`repro.service.protocol`, feeds both).  Three further commands wrap the
 serving subsystem: ``serve`` starts the JSON HTTP front-end over one or
-more stored databases, and ``client`` talks to a running server.
+more stored databases — optionally as a sharded multi-process cluster —
+``client`` talks to a running server, and ``cluster`` manages the
+persistent snapshot store (partitioning databases into it, listing its
+contents).
 
 Examples::
 
@@ -23,6 +26,9 @@ Examples::
     python -m repro.cli query db_dir/ "(x) . P(x)" --method exact --json
     python -m repro.cli classify "(x) . exists y. R(x, y) & ~P(y)"
     python -m repro.cli serve db_dir/ --port 8080
+    python -m repro.cli serve db_dir/ --shards 4 --replicas 2 --store store/ --warm traffic.jsonl
+    python -m repro.cli cluster partition db_dir/ --store store/ --shards 4
+    python -m repro.cli cluster snapshots --store store/
     python -m repro.cli client http://127.0.0.1:8080 query db_dir "(x) . P(x)"
 """
 
@@ -103,6 +109,55 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="serve naive (unoptimized) plans — a debugging aid; answers are identical",
     )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="serve as a sharded multi-process cluster with this many worker processes "
+        "(default 1: the single-process service)",
+    )
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="replication factor: how many workers hold each shard (and the full copy)",
+    )
+    serve.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="persistent snapshot store directory (cluster mode; default: a temporary directory)",
+    )
+    serve.add_argument(
+        "--warm",
+        metavar="FILE",
+        default=None,
+        help="replay a recorded traffic log (JSONL of query_request messages) through the "
+        "caches before accepting connections",
+    )
+
+    cluster = commands.add_parser("cluster", help="manage the persistent snapshot store")
+    cluster_actions = cluster.add_subparsers(dest="action", required=True)
+
+    cl_partition = cluster_actions.add_parser(
+        "partition", help="partition a stored database into shard snapshots in a store"
+    )
+    cl_partition.add_argument("database", help="directory written by save_cw_database()")
+    cl_partition.add_argument("--store", metavar="DIR", required=True, help="snapshot store directory")
+    cl_partition.add_argument("--shards", type=int, default=2, help="number of shards (default 2)")
+    cl_partition.add_argument(
+        "--name", default=None, help="base snapshot name (default: the directory basename)"
+    )
+    cl_partition.add_argument(
+        "--replication-threshold",
+        type=int,
+        default=None,
+        help="relations with at most this many facts are replicated to every shard "
+        "instead of split (default: the library default)",
+    )
+
+    cl_snapshots = cluster_actions.add_parser("snapshots", help="list the snapshots in a store")
+    cl_snapshots.add_argument("--store", metavar="DIR", required=True, help="snapshot store directory")
 
     client = commands.add_parser("client", help="talk to a running repro service")
     client.add_argument("url", help="service base URL, e.g. http://127.0.0.1:8080")
@@ -220,34 +275,148 @@ def _command_classify(arguments: argparse.Namespace) -> int:
     return 0
 
 
-def _command_serve(arguments: argparse.Namespace) -> int:
-    if arguments.no_optimizer:
-        os.environ[OPTIMIZER_ENV_FLAG] = "1"
-    kwargs = {}
-    if arguments.cache_capacity is not None:
-        kwargs["answer_cache_capacity"] = arguments.cache_capacity
-    service = QueryService(**kwargs)
-    for specifier in arguments.databases:
+def _named_databases(specifiers: Sequence[str]) -> dict[str, object]:
+    """Resolve ``NAME=DIR`` / ``DIR`` specifiers to loaded databases by name."""
+    databases: dict[str, object] = {}
+    for specifier in specifiers:
         # NAME=DIR picks the registered name; a '=' whose left side looks
         # like a path (contains a separator) is part of the directory.
         name, separator, directory = specifier.partition("=")
         if not separator or not name or "/" in name or "\\" in name:
             directory = specifier
             name = Path(directory).name or str(directory)
-        if name in service.database_names():
-            print(
-                f"error: two databases would be registered as {name!r} — "
-                f"disambiguate with NAME=DIR (e.g. other_{name}={directory})",
-                file=sys.stderr,
+        if name in databases:
+            raise ReproError(
+                f"two databases would be registered as {name!r} — "
+                f"disambiguate with NAME=DIR (e.g. other_{name}={directory})"
             )
-            return 2
-        service.register(name, load_cw_database(directory))
-    try:
-        serve_forever(service, host=arguments.host, port=arguments.port)
-    except OSError as error:
-        print(f"error: cannot bind {arguments.host}:{arguments.port} — {error}", file=sys.stderr)
+        databases[name] = load_cw_database(directory)
+    return databases
+
+
+def _command_serve(arguments: argparse.Namespace) -> int:
+    if arguments.no_optimizer:
+        os.environ[OPTIMIZER_ENV_FLAG] = "1"
+    if arguments.shards < 1:
+        print("error: --shards must be at least 1", file=sys.stderr)
         return 2
+    if arguments.shards == 1 and (arguments.store is not None or arguments.replicas != 1):
+        # Silently ignoring these would let a user believe snapshots were
+        # persisted (or replicated) when nothing of the sort happened.
+        print(
+            "error: --store and --replicas only apply to cluster mode — add --shards N (N > 1)",
+            file=sys.stderr,
+        )
+        return 2
+    if arguments.shards > 1 and not 1 <= arguments.replicas <= arguments.shards:
+        # The library clamps quietly; the operator asked for something
+        # specific and deserves to hear it cannot be honoured.
+        print(
+            f"error: --replicas must be between 1 and --shards ({arguments.shards}), "
+            f"got {arguments.replicas}",
+            file=sys.stderr,
+        )
+        return 2
+    databases = _named_databases(arguments.databases)
+    warm_requests = None
+    if arguments.warm is not None:
+        from repro.workloads.traffic import load_traffic_log
+
+        warm_requests = load_traffic_log(arguments.warm)
+
+    cluster = None
+    temporary_store = None
+    try:
+        if arguments.shards > 1:
+            import tempfile
+
+            from repro.cluster import start_cluster
+
+            if arguments.store is None:
+                temporary_store = tempfile.mkdtemp(prefix="repro-cluster-store-")
+            store_dir = arguments.store or temporary_store
+            cluster = start_cluster(
+                databases,
+                store_dir,
+                shards=arguments.shards,
+                replicas=arguments.replicas,
+                answer_cache_capacity=arguments.cache_capacity,
+            )
+            service = cluster.router
+            print(
+                f"cluster: {arguments.shards} workers, replication factor {arguments.replicas}, "
+                f"snapshot store at {store_dir}"
+            )
+        else:
+            kwargs = {}
+            if arguments.cache_capacity is not None:
+                kwargs["answer_cache_capacity"] = arguments.cache_capacity
+            service = QueryService(**kwargs)
+            for name, database in databases.items():
+                service.register(name, database)
+
+        if warm_requests is not None:
+            report = service.warm(warm_requests)
+            print(
+                f"warm-up: replayed {report.total} requests "
+                f"({report.warmed} warmed, {report.already_cached} already cached, {report.failed} failed)"
+            )
+        try:
+            serve_forever(service, host=arguments.host, port=arguments.port)
+        except OSError as error:
+            print(f"error: cannot bind {arguments.host}:{arguments.port} — {error}", file=sys.stderr)
+            return 2
+    finally:
+        # The cleanup covers boot failures too (a worker that refuses to
+        # start must not strand a cluster's worth of snapshot copies).
+        if cluster is not None:
+            cluster.close()
+        if temporary_store is not None:
+            # A store nobody named is a scratch area, not a persistence
+            # request — leaving it would leak a full database copy per run.
+            import shutil
+
+            shutil.rmtree(temporary_store, ignore_errors=True)
     return 0
+
+
+def _command_cluster(arguments: argparse.Namespace) -> int:
+    from repro.cluster import PartitionScheme, SnapshotStore, partition_database
+
+    if arguments.action == "partition":
+        database = load_cw_database(arguments.database)
+        name = arguments.name or Path(arguments.database).name or str(arguments.database)
+        scheme_kwargs = {}
+        if arguments.replication_threshold is not None:
+            scheme_kwargs["replication_threshold"] = arguments.replication_threshold
+        from repro.cluster.deploy import write_layouts
+
+        store = SnapshotStore(arguments.store)
+        layouts = write_layouts({name: database}, store, PartitionScheme(arguments.shards, **scheme_kwargs))
+        layout = layouts[name]
+        print(
+            f"partitioned {name!r} [{layout.fingerprint[:12]}] into {layout.n_shards} shard(s): "
+            f"{len(layout.replicated)} relation(s) replicated, {len(layout.split)} split"
+        )
+        rows = [
+            [snapshot, layout.snapshot(snapshot).size(), layout.snapshot(snapshot).fingerprint()[:12]]
+            for snapshot in layout.snapshot_names()
+        ]
+        print(format_table(["snapshot", "size", "fingerprint"], rows))
+        return 0
+    if arguments.action == "snapshots":
+        store = SnapshotStore(arguments.store)
+        names = store.names()
+        if not names:
+            print("(no snapshots stored)")
+            return 0
+        rows = []
+        for name in names:
+            record = store.record(name)
+            rows.append([name, record.fingerprint[:12], record.metadata.get("kind", "")])
+        print(format_table(["snapshot", "fingerprint", "kind"], rows))
+        return 0
+    raise ReproError(f"unknown cluster action {arguments.action!r}")  # pragma: no cover - argparse guards
 
 
 def _command_client(arguments: argparse.Namespace) -> int:
@@ -332,6 +501,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_classify(arguments)
         if arguments.command == "serve":
             return _command_serve(arguments)
+        if arguments.command == "cluster":
+            return _command_cluster(arguments)
         if arguments.command == "client":
             return _command_client(arguments)
     except ReproError as error:

@@ -1,0 +1,58 @@
+"""Sharded multi-process serving for closed-world logical databases.
+
+The :mod:`repro.service` package scales one process: snapshots, caches and a
+thread pool behind one GIL.  This package scales *out* while preserving the
+paper's closed-world query semantics across process boundaries:
+
+* :mod:`repro.cluster.partition` — deterministic, fingerprint-stable
+  hash-partitioning of a :class:`~repro.logical.database.CWDatabase` into
+  shard sub-instances (small relations replicated, large ones tuple-split),
+  plus the *decomposition* rules that prove which queries can be answered
+  from shards without changing a single answer;
+* :mod:`repro.cluster.store` — a persistent, content-addressed snapshot
+  store (atomic writes, versioned manifest, persisted optimizer statistics)
+  so workers boot warm across restarts;
+* :mod:`repro.cluster.worker` — one :class:`~repro.service.engine.QueryService`
+  per OS process, loading its shards from the store and speaking the
+  existing versioned JSON protocol over HTTP on a loopback socket;
+* :mod:`repro.cluster.router` — the front-end: single-shard routing,
+  scatter-gather with sound merge (union for certain-answer sets,
+  conjunction for Boolean certainty), full-copy fallback for queries the
+  partitioner cannot prove decomposable, health checks and replica failover;
+* :mod:`repro.cluster.deploy` — :func:`start_cluster` wires all of the
+  above into a running multi-process cluster.
+
+The load-bearing invariant, enforced by the property tests: **every answer
+the cluster returns is byte-identical to single-process evaluation** of the
+same request on the unpartitioned database.
+"""
+
+from repro.cluster.deploy import Cluster, ClusterConfig, start_cluster
+from repro.cluster.partition import (
+    PartitionLayout,
+    PartitionScheme,
+    decompose_query,
+    partition_database,
+    shard_of,
+)
+from repro.cluster.router import ClusterRouter, LocalBackend, RemoteBackend
+from repro.cluster.store import SnapshotStore
+from repro.cluster.worker import WorkerAssignment, WorkerHandle, WorkerSpec
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "ClusterRouter",
+    "LocalBackend",
+    "PartitionLayout",
+    "PartitionScheme",
+    "RemoteBackend",
+    "SnapshotStore",
+    "WorkerAssignment",
+    "WorkerHandle",
+    "WorkerSpec",
+    "decompose_query",
+    "partition_database",
+    "shard_of",
+    "start_cluster",
+]

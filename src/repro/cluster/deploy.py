@@ -1,0 +1,246 @@
+"""Deploying a cluster: partition → persist → spawn → route.
+
+:func:`start_cluster` is the one-call path from "a mapping of CW logical
+databases" to "a running multi-process cluster":
+
+1. every database is partitioned under one :class:`PartitionScheme`
+   (deterministic, fingerprint-stable);
+2. every shard snapshot and the full copy are persisted to the
+   :class:`~repro.cluster.store.SnapshotStore` — content-addressed, so
+   re-deploying unchanged data writes nothing and workers boot warm from
+   disk, optimizer statistics included;
+3. one worker process per shard is spawned; worker ``w`` serves its primary
+   shard ``w`` plus the replicas placed on it by
+   :func:`~repro.cluster.router.shard_hosts`, and the designated full-copy
+   workers additionally serve the unpartitioned database;
+4. a :class:`~repro.cluster.router.ClusterRouter` over HTTP backends is
+   returned, wrapped in a :class:`Cluster` that owns process lifecycles.
+
+The :class:`Cluster` is a context manager; :meth:`Cluster.kill_worker`
+exists so tests and the failover benchmark can murder a process and watch
+replicas absorb the traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from repro.cluster.partition import (
+    PartitionLayout,
+    PartitionScheme,
+    partition_database,
+)
+from repro.cluster.router import (
+    ClusterRouter,
+    LocalBackend,
+    RemoteBackend,
+    full_copy_hosts,
+    shard_hosts,
+)
+from repro.cluster.store import SnapshotStore
+from repro.cluster.worker import WorkerAssignment, WorkerHandle, WorkerSpec
+from repro.errors import ClusterError
+from repro.logical.database import CWDatabase
+
+__all__ = ["ClusterConfig", "Cluster", "start_cluster", "local_router", "write_layouts"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Deployment knobs: shard count, replication, worker cache sizes.
+
+    ``worker_timeout_seconds`` bounds every router→worker round trip
+    (queries, health probes, stats).  Without it a *wedged* — as opposed to
+    dead — worker would stall requests for the client's 60-second default
+    before failover kicks in.  Raise it for workloads with legitimately
+    slow queries (the exponential exact route on large instances).
+    """
+
+    shards: int = 2
+    replicas: int = 1
+    replication_threshold: int | None = None
+    host: str = "127.0.0.1"
+    answer_cache_capacity: int | None = None
+    plan_cache_capacity: int | None = None
+    boot_timeout_seconds: float = 60.0
+    worker_timeout_seconds: float = 30.0
+
+    def scheme(self) -> PartitionScheme:
+        if self.replication_threshold is None:
+            return PartitionScheme(self.shards)
+        return PartitionScheme(self.shards, replication_threshold=self.replication_threshold)
+
+
+@dataclass
+class Cluster:
+    """A running cluster: the router plus the worker processes behind it."""
+
+    router: ClusterRouter
+    workers: list[WorkerHandle]
+    store: SnapshotStore
+    layouts: Mapping[str, PartitionLayout]
+    config: ClusterConfig
+    _closed: bool = field(default=False, repr=False)
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def kill_worker(self, index: int) -> None:
+        """Hard-kill one worker process (failover drills; replicas take over)."""
+        if not 0 <= index < len(self.workers):
+            raise ClusterError(f"no worker {index} (cluster has {len(self.workers)})")
+        self.workers[index].stop()
+
+    def close(self) -> None:
+        """Stop the router's pools and terminate every worker (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.router.close()
+        finally:
+            for worker in self.workers:
+                worker.stop()
+
+
+def write_layouts(
+    databases: Mapping[str, CWDatabase],
+    store: SnapshotStore,
+    scheme: PartitionScheme,
+) -> dict[str, PartitionLayout]:
+    """Partition every database and persist all snapshots to the store."""
+    if not databases:
+        raise ClusterError("a cluster needs at least one database")
+    layouts: dict[str, PartitionLayout] = {}
+    for name, database in sorted(databases.items()):
+        layout = partition_database(name, database, scheme)
+        for snapshot_name in layout.snapshot_names():
+            store.put(
+                snapshot_name,
+                layout.snapshot(snapshot_name),
+                metadata={
+                    "base": name,
+                    "base_fingerprint": layout.fingerprint,
+                    "n_shards": layout.n_shards,
+                    "kind": "full" if snapshot_name == f"{name}::full" else "shard",
+                },
+            )
+        layouts[name] = layout
+    return layouts
+
+
+def worker_specs(
+    layouts: Mapping[str, PartitionLayout],
+    store_dir: str | Path,
+    config: ClusterConfig,
+) -> list[WorkerSpec]:
+    """The per-worker snapshot assignments implied by the placement rules."""
+    n_workers = config.shards
+    assignments: list[list[WorkerAssignment]] = [[] for __ in range(n_workers)]
+    for name in sorted(layouts):
+        layout = layouts[name]
+        for shard in range(layout.n_shards):
+            snapshot = layout.shard_name(shard)
+            for worker in shard_hosts(shard, n_workers, config.replicas):
+                assignments[worker].append(WorkerAssignment(snapshot, snapshot))
+        if layout.n_shards > 1:
+            for worker in full_copy_hosts(n_workers, config.replicas):
+                assignments[worker].append(WorkerAssignment(layout.full_name, layout.full_name))
+    return [
+        WorkerSpec(
+            index=index,
+            store_dir=str(store_dir),
+            assignments=tuple(dict.fromkeys(worker_assignments)),
+            host=config.host,
+            answer_cache_capacity=config.answer_cache_capacity,
+            plan_cache_capacity=config.plan_cache_capacity,
+        )
+        for index, worker_assignments in enumerate(assignments)
+    ]
+
+
+def local_router(
+    databases: Mapping[str, CWDatabase],
+    config: ClusterConfig | None = None,
+    **config_overrides,
+) -> ClusterRouter:
+    """An in-process cluster: same partitioning, routing and merging, no processes.
+
+    Each "worker" is a plain :class:`~repro.service.engine.QueryService` in
+    this process behind a :class:`LocalBackend`.  This exists so tests (and
+    curious readers) can exercise the exact production routing/merging code
+    against thousands of random instances without socket or fork overhead —
+    and it doubles as a single-process sharding mode.
+    """
+    if config is None:
+        config = ClusterConfig(**config_overrides)
+    elif config_overrides:
+        raise ClusterError("pass either a ClusterConfig or keyword overrides, not both")
+    from repro.service.engine import QueryService
+
+    scheme = config.scheme()
+    layouts = {
+        name: partition_database(name, database, scheme)
+        for name, database in sorted(databases.items())
+    }
+    backends = []
+    for worker in range(config.shards):
+        service = QueryService(
+            **{
+                key: value
+                for key, value in (
+                    ("answer_cache_capacity", config.answer_cache_capacity),
+                    ("plan_cache_capacity", config.plan_cache_capacity),
+                )
+                if value is not None
+            }
+        )
+        backends.append(LocalBackend(service, description=f"local-worker-{worker}"))
+    for name in sorted(layouts):
+        layout = layouts[name]
+        for shard in range(layout.n_shards):
+            for worker in shard_hosts(shard, config.shards, config.replicas):
+                backends[worker].service.register(layout.shard_name(shard), layout.shards[shard])
+        if layout.n_shards > 1:
+            for worker in full_copy_hosts(config.shards, config.replicas):
+                backends[worker].service.register(layout.full_name, layout.full)
+    return ClusterRouter(layouts, backends, replicas=config.replicas)
+
+
+def start_cluster(
+    databases: Mapping[str, CWDatabase],
+    store_dir: str | Path,
+    config: ClusterConfig | None = None,
+    **config_overrides,
+) -> Cluster:
+    """Partition, persist, spawn and route; returns the running :class:`Cluster`.
+
+    ``config_overrides`` are convenience keyword overrides for
+    :class:`ClusterConfig` fields (``shards=4, replicas=2, ...``).
+    """
+    if config is None:
+        config = ClusterConfig(**config_overrides)
+    elif config_overrides:
+        raise ClusterError("pass either a ClusterConfig or keyword overrides, not both")
+    store = SnapshotStore(store_dir)
+    layouts = write_layouts(databases, store, config.scheme())
+    specs = worker_specs(layouts, store.root, config)
+    workers: list[WorkerHandle] = []
+    try:
+        for spec in specs:
+            workers.append(WorkerHandle(spec).start(timeout=config.boot_timeout_seconds))
+    except Exception:
+        for worker in workers:
+            worker.stop()
+        raise
+    backends = [
+        RemoteBackend(worker.base_url, handle=worker, timeout=config.worker_timeout_seconds)
+        for worker in workers
+    ]
+    router = ClusterRouter(layouts, backends, replicas=config.replicas)
+    return Cluster(router=router, workers=workers, store=store, layouts=layouts, config=config)

@@ -1,0 +1,520 @@
+"""The cluster front-end: routing, scatter-gather merging, failover.
+
+The router is the only component that understands the partition layout.  It
+decomposes each incoming request with
+:func:`repro.cluster.partition.decompose_query` and executes the resulting
+plan against *backends* — one per worker — merging shard answers with the
+two sound operators:
+
+* **union** for scattered certain-answer sets (the scattered shapes
+  partition their stored answers across shards);
+* **conjunction** for Boolean conjunctions (certainty always distributes
+  over ``&``).
+
+Queries the partitioner cannot prove decomposable go to the full-copy
+replica, so every response is byte-identical to single-process evaluation.
+
+A backend is anything with ``execute``/``stats``/``ping``:
+:class:`RemoteBackend` speaks the JSON protocol to a worker process over
+HTTP, while :class:`LocalBackend` wraps an in-process
+:class:`~repro.service.engine.QueryService` — the property tests use local
+backends to hammer the routing/merging logic without process overhead, so
+the exact code path that runs in production is the one that is
+property-tested.
+
+**Failover.**  Shard placement is replicated: shard ``s`` lives on workers
+``s, s+1, ..., s+K-1 (mod W)`` for replication factor ``K``.  A transport
+failure (:class:`~repro.errors.ServiceUnavailableError`) marks the worker
+dead and the call retries on the next replica; a later :meth:`health_check`
+can revive it.  Replicas hold byte-identical immutable snapshots, so
+failover can never change an answer — only availability.
+
+The router deliberately presents the same surface as a
+:class:`~repro.service.engine.QueryService` (``execute``, ``query``,
+``batch``, ``classify``, ``info``, ``stats``, ``database_names``,
+``close``), so the existing HTTP front-end and batch evaluator serve a
+cluster unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from typing import Mapping, Sequence
+
+from repro.cluster.partition import (
+    BooleanConjunction,
+    FullCopy,
+    PartitionLayout,
+    RoutePlan,
+    ScatterUnion,
+    SingleShard,
+    decompose_query,
+)
+from repro.complexity.classes import classify_query
+from repro.errors import (
+    ClusterError,
+    ProtocolError,
+    ReproError,
+    ServiceError,
+    ServiceUnavailableError,
+    UnknownDatabaseError,
+)
+from repro.logic.parser import parse_query
+from repro.logic.queries import Query
+from repro.service.cache import LRUCache
+from repro.service.lifecycle import ExecutorLifecycle
+from repro.service.client import ServiceClient
+from repro.service.engine import RegisteredDatabase
+from repro.service.protocol import (
+    ClassifyResponse,
+    InfoResponse,
+    QueryRequest,
+    QueryResponse,
+    StatsResponse,
+    answers_to_wire,
+    build_classify_response,
+    build_info_response,
+)
+
+__all__ = [
+    "shard_hosts",
+    "full_copy_hosts",
+    "LocalBackend",
+    "RemoteBackend",
+    "ClusterRouter",
+]
+
+DEFAULT_PLAN_CACHE_CAPACITY = 1024
+
+
+def shard_hosts(shard: int, n_workers: int, replicas: int) -> tuple[int, ...]:
+    """Workers hosting *shard*: the primary plus the next ``K - 1`` workers.
+
+    Shared by the router (who to ask) and the deployer (what to load where)
+    so placement can never drift between them.
+    """
+    count = max(1, min(replicas, n_workers))
+    return tuple((shard + offset) % n_workers for offset in range(count))
+
+
+def full_copy_hosts(n_workers: int, replicas: int) -> tuple[int, ...]:
+    """Workers hosting the designated full copy (for non-decomposable queries)."""
+    count = max(1, min(replicas, n_workers))
+    return tuple(range(count))
+
+
+class LocalBackend:
+    """An in-process backend: routing/merging without sockets or processes."""
+
+    def __init__(self, service, description: str = "local") -> None:
+        self.service = service
+        self.description = description
+
+    def execute(self, request: QueryRequest) -> QueryResponse:
+        return self.service.execute(request)
+
+    def info(self, name: str) -> InfoResponse:
+        return self.service.info(name)
+
+    def stats(self) -> StatsResponse:
+        return self.service.stats()
+
+    def ping(self) -> bool:
+        return True
+
+
+class RemoteBackend:
+    """A backend speaking the JSON protocol to one worker process."""
+
+    def __init__(self, base_url: str, handle=None, timeout: float | None = None) -> None:
+        self.client = ServiceClient(base_url, **({"timeout": timeout} if timeout else {}))
+        self.handle = handle
+        self.description = base_url
+
+    def execute(self, request: QueryRequest) -> QueryResponse:
+        return self.client.execute(request)
+
+    def info(self, name: str) -> InfoResponse:
+        return self.client.info(name)
+
+    def stats(self) -> StatsResponse:
+        return self.client.stats()
+
+    def ping(self) -> bool:
+        try:
+            self.client.health()
+        except ServiceError:
+            # Unreachable, or reachable but not answering the protocol (a
+            # reused port, a wedged worker): either way, not healthy.
+            return False
+        return True
+
+
+class _WorkerState:
+    """Router-side view of one backend: liveness belief plus error counters."""
+
+    def __init__(self, index: int, backend) -> None:
+        self.index = index
+        self.backend = backend
+        self.alive = True
+        self.transport_errors = 0
+
+
+class ClusterRouter:
+    """Route requests across shard workers; merge answers soundly.
+
+    Parameters
+    ----------
+    layouts:
+        One :class:`PartitionLayout` per public database name.  All layouts
+        must share one shard count, equal to the number of backends (one
+        primary shard per worker).
+    backends:
+        One backend per worker, indexed like the shards.
+    replicas:
+        Replication factor used at deploy time; determines which workers are
+        consulted for each shard and for the full copy.
+    """
+
+    def __init__(
+        self,
+        layouts: Mapping[str, PartitionLayout],
+        backends: Sequence[object],
+        replicas: int = 1,
+        plan_cache_capacity: int = DEFAULT_PLAN_CACHE_CAPACITY,
+        fanout_workers: int | None = None,
+    ) -> None:
+        if not layouts:
+            raise ClusterError("a cluster router needs at least one partitioned database")
+        if not backends:
+            raise ClusterError("a cluster router needs at least one worker backend")
+        n_workers = len(backends)
+        for name, layout in layouts.items():
+            if layout.n_shards != n_workers:
+                raise ClusterError(
+                    f"layout {name!r} has {layout.n_shards} shards but the router has "
+                    f"{n_workers} workers; the cluster runs one primary shard per worker"
+                )
+        self._layouts = dict(layouts)
+        self._workers = [_WorkerState(index, backend) for index, backend in enumerate(backends)]
+        self._replicas = max(1, replicas)
+        self._parses = LRUCache(512)
+        self._plans = LRUCache(plan_cache_capacity)
+        self._lock = threading.Lock()
+        self._routed: dict[str, int] = {"single_shard": 0, "scatter": 0, "conjunction": 0, "full_copy": 0}
+        self._failovers = 0
+        self._batch_executed = 0
+        self._batch_deduplicated = 0
+        self._started = time.monotonic()
+        self._lifecycle = ExecutorLifecycle(
+            "ClusterRouter", "start a new cluster instead of reusing it"
+        )
+        # Fan-out tasks are leaves (one HTTP call each, never re-submitting),
+        # so a dedicated pool cannot deadlock against the batch pool.
+        self._fanout_workers = fanout_workers or max(8, 2 * n_workers)
+
+    # Public QueryService-shaped surface ----------------------------------------
+
+    def database_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._layouts))
+
+    def layout(self, name: str) -> PartitionLayout:
+        layout = self._layouts.get(name)
+        if layout is None:
+            known = ", ".join(self.database_names()) or "none registered"
+            raise UnknownDatabaseError(f"unknown database {name!r} (known: {known})")
+        return layout
+
+    def entry(self, name: str) -> RegisteredDatabase:
+        """A :class:`RegisteredDatabase` view of the full database (for the CLI)."""
+        layout = self.layout(name)
+        return RegisteredDatabase(name=name, database=layout.full, fingerprint=layout.fingerprint)
+
+    def execute(self, request: QueryRequest) -> QueryResponse:
+        """Evaluate one request through the cluster.
+
+        Answers are byte-identical to single-process evaluation of the same
+        request on the unpartitioned database — that is the contract every
+        routing rule was chosen to preserve.
+        """
+        layout = self.layout(request.database)
+        started = time.perf_counter()
+        query = self._parse(request.query)
+        plan = self._route_plan(layout, request.query, query)
+        with self._lock:
+            self._routed[_plan_counter(plan)] += 1
+        response = self._run_plan(layout, plan, request, query)
+        if response.database != request.database or response.fingerprint != layout.fingerprint:
+            response = replace(
+                response,
+                database=request.database,
+                fingerprint=layout.fingerprint,
+                query=request.query,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+        return response
+
+    def query(
+        self,
+        database: str,
+        query: str,
+        method: str = "approx",
+        engine: str = "algebra",
+        virtual_ne: bool = False,
+    ) -> QueryResponse:
+        return self.execute(QueryRequest(database, query, method, engine, virtual_ne))
+
+    def classify(self, query_text: str) -> ClassifyResponse:
+        """Classification is pure syntax: answered locally, no worker involved."""
+        return build_classify_response(query_text, classify_query(self._parse(query_text)))
+
+    def info(self, name: str) -> InfoResponse:
+        layout = self.layout(name)
+        return replace(build_info_response(name, layout.full), name=name)
+
+    def batch(self, requests, max_workers: int | None = None):
+        """Deduplicated concurrent evaluation, reusing the service batcher."""
+        from repro.service.batch import BatchEvaluator
+
+        if max_workers is None:
+            return BatchEvaluator(self, executor=self._shared_batch_executor()).run(requests)
+        self._check_open()
+        return BatchEvaluator(self, max_workers=max_workers).run(requests)
+
+    def warm(self, requests):
+        """Replay recorded traffic through the cluster (``serve --warm``).
+
+        Warms the router's parse/plan caches *and* the workers' caches on
+        whichever shards the replayed queries route to — the same placement
+        live traffic will hit.
+        """
+        from repro.service.engine import replay_warmup
+
+        return replay_warmup(self.execute, requests)
+
+    def record_batch(self, executed: int, deduplicated: int) -> None:
+        with self._lock:
+            self._batch_executed += executed
+            self._batch_deduplicated += deduplicated
+
+    def stats(self) -> StatsResponse:
+        """Router counters plus a best-effort stats summary per live worker.
+
+        Worker probes run concurrently on the fan-out pool, so one wedged
+        worker delays the aggregate by a single probe timeout instead of
+        one timeout *per* worker — monitoring stays usable exactly when a
+        worker is misbehaving.
+        """
+
+        def probe(state: _WorkerState) -> dict[str, object]:
+            try:
+                remote = state.backend.stats()
+            except (ReproError, OSError):
+                return {"alive": False}
+            return {
+                "alive": state.alive,
+                "transport_errors": state.transport_errors,
+                "databases": list(remote.databases),
+                "answer_cache": dict(remote.answer_cache),
+                "plan_cache": dict(remote.plan_cache),
+            }
+
+        if len(self._workers) > 1 and not self._lifecycle.closed:
+            summaries = list(self._shared_fanout_executor().map(probe, self._workers))
+        else:
+            summaries = [probe(state) for state in self._workers]
+        workers = {str(state.index): summary for state, summary in zip(self._workers, summaries)}
+        with self._lock:
+            routed = dict(self._routed)
+            batch = {"executed": self._batch_executed, "deduplicated": self._batch_deduplicated}
+            failovers = self._failovers
+        return StatsResponse(
+            databases=self.database_names(),
+            answer_cache={},
+            parse_cache=self._parses.stats().as_dict(),
+            batch=batch,
+            uptime_seconds=time.monotonic() - self._started,
+            plan_cache=self._plans.stats().as_dict(),
+            cluster={
+                "workers": workers,
+                "routing": routed,
+                "failovers": failovers,
+                "replicas": self._replicas,
+                "shards": len(self._workers),
+            },
+        )
+
+    def health_check(self) -> Mapping[int, bool]:
+        """Probe every worker; refresh liveness beliefs (dead workers can revive)."""
+        result = {}
+        for state in self._workers:
+            state.alive = state.backend.ping()
+            result[state.index] = state.alive
+        return result
+
+    def close(self) -> None:
+        """Shut down the router's thread pools; terminal, like the service."""
+        self._lifecycle.close()
+
+    # Plan execution -------------------------------------------------------------
+
+    def _run_plan(
+        self,
+        layout: PartitionLayout,
+        plan: RoutePlan,
+        request: QueryRequest,
+        query: Query,
+    ) -> QueryResponse:
+        if isinstance(plan, SingleShard):
+            return self._on_workers(
+                shard_hosts(plan.shard, len(self._workers), self._replicas),
+                replace(request, database=layout.shard_name(plan.shard)),
+                f"shard {plan.shard} of {layout.name!r}",
+            )
+        if isinstance(plan, ScatterUnion):
+            return self._scatter(layout, request, query)
+        if isinstance(plan, BooleanConjunction):
+            return self._conjunction(layout, plan, request)
+        if isinstance(plan, FullCopy):
+            return self._on_workers(
+                full_copy_hosts(len(self._workers), self._replicas),
+                replace(request, database=layout.full_name),
+                f"full copy of {layout.name!r}",
+            )
+        raise ClusterError(f"unknown route plan {type(plan).__name__}")  # pragma: no cover
+
+    def _scatter(self, layout: PartitionLayout, request: QueryRequest, query: Query) -> QueryResponse:
+        """Fan the request out to every shard; union-merge the answer sets."""
+        n_workers = len(self._workers)
+
+        def on_shard(shard: int) -> QueryResponse:
+            return self._on_workers(
+                shard_hosts(shard, n_workers, self._replicas),
+                replace(request, database=layout.shard_name(shard)),
+                f"shard {shard} of {layout.name!r}",
+            )
+
+        executor = self._shared_fanout_executor()
+        parts = list(executor.map(on_shard, range(layout.n_shards)))
+        merged = {
+            label: frozenset().union(*(part.answer_set(label) for part in parts))
+            for label in parts[0].answers
+        }
+        return self._merged_response(layout, request, query, merged, parts)
+
+    def _conjunction(
+        self, layout: PartitionLayout, plan: BooleanConjunction, request: QueryRequest
+    ) -> QueryResponse:
+        """Evaluate each conjunct on its own route; certainty AND-merges.
+
+        Conjuncts run sequentially in the calling thread (they are few) while
+        any scattered conjunct still fans out on the shared pool; that keeps
+        every pool task a leaf and the pools deadlock-free.
+        """
+        parts = []
+        for sub_text, sub_plan in plan.parts:
+            sub_request = replace(request, query=sub_text)
+            parts.append(self._run_plan(layout, sub_plan, sub_request, self._parse(sub_text)))
+        merged = {}
+        for label in parts[0].answers:
+            certain = all(part.answer_set(label) for part in parts)
+            merged[label] = frozenset({()}) if certain else frozenset()
+        return self._merged_response(layout, request, self._parse(request.query), merged, parts)
+
+    def _merged_response(
+        self,
+        layout: PartitionLayout,
+        request: QueryRequest,
+        query: Query,
+        merged: Mapping[str, frozenset],
+        parts: Sequence[QueryResponse],
+    ) -> QueryResponse:
+        complete = missed = None
+        if "approximate" in merged and "exact" in merged:
+            complete = merged["approximate"] == merged["exact"]
+            missed = len(merged["exact"] - merged["approximate"])
+        return QueryResponse(
+            database=request.database,
+            fingerprint=layout.fingerprint,
+            query=request.query,
+            method=request.method,
+            engine=request.engine,
+            virtual_ne=request.virtual_ne,
+            arity=query.arity,
+            answers={
+                label: tuple(tuple(row) for row in answers_to_wire(rows))
+                for label, rows in merged.items()
+            },
+            complete=complete,
+            missed=missed,
+            cached=all(part.cached for part in parts),
+            elapsed_seconds=max((part.elapsed_seconds for part in parts), default=0.0),
+        )
+
+    # Worker selection -----------------------------------------------------------
+
+    def _on_workers(self, candidates: Sequence[int], request: QueryRequest, what: str) -> QueryResponse:
+        """Execute on the first live candidate, failing over on worker faults.
+
+        Both transport failures (worker unreachable) and protocol failures
+        (something answered, but not with our protocol — a wedged worker, a
+        reused port) mark the worker dead and move on to a replica.
+        Application errors (parse errors, capacity refusals...) are
+        deterministic — a replica would answer identically — so they
+        propagate to the caller untouched.
+        """
+        ordered = sorted(candidates, key=lambda index: not self._workers[index].alive)
+        last_error: ServiceError | None = None
+        for index in ordered:
+            state = self._workers[index]
+            try:
+                response = state.backend.execute(request)
+            except (ServiceUnavailableError, ProtocolError) as error:
+                state.alive = False
+                state.transport_errors += 1
+                last_error = error
+                with self._lock:
+                    self._failovers += 1
+                continue
+            state.alive = True
+            return response
+        raise ClusterError(
+            f"no live replica for {what}: tried workers {list(ordered)}"
+            + (f" (last error: {last_error})" if last_error else "")
+        )
+
+    # Internals ------------------------------------------------------------------
+
+    def _parse(self, query_text: str) -> Query:
+        query, __ = self._parses.get_or_compute(query_text, lambda: parse_query(query_text))
+        return query
+
+    def _route_plan(self, layout: PartitionLayout, query_text: str, query: Query) -> RoutePlan:
+        plan, __ = self._plans.get_or_compute(
+            (layout.fingerprint, query_text), lambda: decompose_query(layout, query)
+        )
+        return plan
+
+    def _check_open(self) -> None:
+        self._lifecycle.check_open()
+
+    def _shared_batch_executor(self) -> ThreadPoolExecutor:
+        from repro.service.batch import DEFAULT_MAX_WORKERS
+
+        return self._lifecycle.executor("batch", DEFAULT_MAX_WORKERS, "repro-router-batch")
+
+    def _shared_fanout_executor(self) -> ThreadPoolExecutor:
+        return self._lifecycle.executor("fanout", self._fanout_workers, "repro-router-fanout")
+
+
+def _plan_counter(plan: RoutePlan) -> str:
+    if isinstance(plan, SingleShard):
+        return "single_shard"
+    if isinstance(plan, ScatterUnion):
+        return "scatter"
+    if isinstance(plan, BooleanConjunction):
+        return "conjunction"
+    return "full_copy"

@@ -80,5 +80,34 @@ class UnknownDatabaseError(ServiceError):
     """
 
 
+class ServiceClosedError(ServiceError):
+    """An operation was attempted on a :class:`QueryService` after ``close()``.
+
+    Closing a service is terminal: the shared batch thread pool is shut down
+    and must not be silently recreated (that used to leak a fresh pool on
+    every post-close batch).  Both a repeated ``close()`` and a post-close
+    ``batch()`` raise this error.
+    """
+
+
+class ServiceUnavailableError(ServiceError):
+    """The remote service could not be reached at the transport level.
+
+    Raised by the urllib client for connection refusals, DNS failures and
+    timeouts — situations where no protocol-level answer exists at all.
+    Distinguished from plain :class:`ServiceError` so the cluster router can
+    tell "this worker is down, fail over to a replica" apart from "the worker
+    answered with an application error".
+    """
+
+
 class ProtocolError(ServiceError):
     """A wire payload does not conform to the JSON service protocol."""
+
+
+class ClusterError(ServiceError):
+    """The cluster layer cannot satisfy a request (no live replica, bad layout...)."""
+
+
+class SnapshotStoreError(ReproError):
+    """The persistent snapshot store is malformed or an operation on it failed."""

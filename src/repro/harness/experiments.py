@@ -24,6 +24,7 @@ __all__ = [
     "run_experiment",
     "ThroughputResult",
     "measure_throughput",
+    "measure_parallel_throughput",
 ]
 
 
@@ -84,6 +85,33 @@ def measure_throughput(function: Callable[[], object], operations: int) -> Throu
     for __ in range(operations):
         function()
     return ThroughputResult(operations=operations, elapsed_seconds=time.perf_counter() - start)
+
+
+def measure_parallel_throughput(
+    function: Callable[[int], object],
+    operations: int,
+    concurrency: int,
+) -> ThroughputResult:
+    """Aggregate throughput of *operations* calls issued by concurrent clients.
+
+    ``function(i)`` is called once per operation index from a pool of
+    *concurrency* client threads.  This is how the cluster benchmarks drive
+    a router: each client thread blocks on one in-flight request while the
+    worker processes evaluate in parallel, so the measured rate reflects the
+    whole serving path rather than one caller's round-trip latency.
+    """
+    if operations < 1:
+        raise ValueError("need at least one operation")
+    if concurrency < 1:
+        raise ValueError("need at least one client")
+    from concurrent.futures import ThreadPoolExecutor
+
+    with ThreadPoolExecutor(max_workers=concurrency, thread_name_prefix="repro-load") as pool:
+        start = time.perf_counter()
+        for __ in pool.map(function, range(operations)):
+            pass
+        elapsed = time.perf_counter() - start
+    return ThroughputResult(operations=operations, elapsed_seconds=elapsed)
 
 
 @dataclass(frozen=True)

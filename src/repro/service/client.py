@@ -1,4 +1,4 @@
-"""A thin urllib client for the JSON HTTP front-end.
+"""A thin stdlib client for the JSON HTTP front-end.
 
 The client speaks exactly the protocol of :mod:`repro.service.protocol`:
 requests are protocol dataclasses serialized with
@@ -6,18 +6,32 @@ requests are protocol dataclasses serialized with
 :func:`~repro.service.protocol.parse_wire`.  Server-side errors (an
 :class:`~repro.service.protocol.ErrorResponse` body with a 4xx status) are
 re-raised locally as :class:`~repro.errors.ServiceError`, so remote and
-in-process usage fail the same way.
+in-process usage fail the same way; transport-level failures (connection
+refused, timeout) raise :class:`~repro.errors.ServiceUnavailableError` so
+the cluster router can tell "worker down" from "worker said no".
+
+Connections are **persistent**: each thread keeps one keep-alive
+``http.client.HTTPConnection`` per client, because the cluster router pushes
+thousands of small requests per second at each worker and a fresh TCP
+connection per request costs more CPU than the query itself.  A stale
+keep-alive connection (the server closed it between requests) is detected by
+its signature errors and retried once on a fresh connection.  Some of those
+signatures (a reset while waiting for the response) can also arrive after
+the server started working, so a retried request may execute twice — safe
+here because every protocol endpoint is a pure read; a future *mutating*
+endpoint must tighten the retry set first.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
-import urllib.error
-import urllib.request
+import socket
+import threading
 from typing import Sequence
-from urllib.parse import quote
+from urllib.parse import quote, urlparse
 
-from repro.errors import ProtocolError, ServiceError
+from repro.errors import ProtocolError, ServiceError, ServiceUnavailableError
 from repro.service.protocol import (
     BatchRequest,
     BatchResponse,
@@ -38,6 +52,17 @@ __all__ = ["ServiceClient"]
 
 DEFAULT_TIMEOUT_SECONDS = 60.0
 
+#: Signatures of a kept-alive connection dying under us — retried exactly
+#: once on a fresh connection.  Retries may re-execute a request the server
+#: had already started on; see the module docstring for why that is safe.
+_STALE_CONNECTION_ERRORS = (
+    http.client.BadStatusLine,
+    http.client.CannotSendRequest,
+    ConnectionResetError,
+    BrokenPipeError,
+    ConnectionAbortedError,
+)
+
 
 class ServiceClient:
     """Talk to a running service at ``base_url`` (e.g. ``http://127.0.0.1:8080``)."""
@@ -45,6 +70,14 @@ class ServiceClient:
     def __init__(self, base_url: str, timeout: float = DEFAULT_TIMEOUT_SECONDS) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        parsed = urlparse(self.base_url)
+        if parsed.scheme not in ("http", "https") or not parsed.hostname:
+            raise ServiceError(f"service URLs must look like http://host:port, got {base_url!r}")
+        self._tls = parsed.scheme == "https"
+        self._host = parsed.hostname
+        self._port = parsed.port or (443 if self._tls else 80)
+        self._prefix = parsed.path.rstrip("/")
+        self._local = threading.local()
 
     # Endpoints -----------------------------------------------------------------
 
@@ -83,50 +116,87 @@ class ServiceClient:
 
     def get_raw(self, path: str) -> dict:
         """GET a route and return the undecoded JSON payload (envelope included)."""
-        payload = self._round_trip(urllib.request.Request(self.base_url + path))
+        payload = self._round_trip("GET", path)
         if not isinstance(payload, dict):
             raise ProtocolError(f"expected a JSON object from {path}, got {type(payload).__name__}")
         return payload
 
+    def close(self) -> None:
+        """Drop this thread's persistent connection (harmless if absent)."""
+        connection = getattr(self._local, "connection", None)
+        self._local.connection = None
+        if connection is not None:
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
     # Plumbing ------------------------------------------------------------------
 
     def _get(self, path: str) -> object:
-        return self._parse(self._round_trip(urllib.request.Request(self.base_url + path)))
+        return self._parse(self._round_trip("GET", path))
 
     def _post(self, path: str, message: object) -> object:
-        body = json.dumps(to_wire(message)).encode()
-        request = urllib.request.Request(
-            self.base_url + path,
-            data=body,
-            headers={"Content-Type": "application/json"},
-            method="POST",
-        )
-        return self._parse(self._round_trip(request))
+        return self._parse(self._round_trip("POST", path, json.dumps(to_wire(message)).encode()))
 
-    def _round_trip(self, request: urllib.request.Request) -> object:
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                body = response.read().decode(errors="replace")
+    def _connection(self) -> http.client.HTTPConnection:
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection_type = http.client.HTTPSConnection if self._tls else http.client.HTTPConnection
+            connection = connection_type(self._host, self._port, timeout=self.timeout)
+            connection.connect()
+            # Headers and body go out as separate writes; without TCP_NODELAY
+            # Nagle holds the second one for the server's delayed ACK, adding
+            # ~40ms to every keep-alive request.
+            connection.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._local.connection = connection
+        return connection
+
+    def _round_trip(self, method: str, path: str, body: bytes | None = None) -> object:
+        url = self._prefix + path
+        headers = {"Content-Type": "application/json"} if body is not None else {}
+        status = payload = None
+        for attempt in (0, 1):
             try:
-                return json.loads(body)
-            except json.JSONDecodeError:
-                raise ProtocolError(
-                    f"non-JSON response from {request.full_url}: {body[:200]!r} — is that really a repro service?"
+                connection = self._connection()
+                connection.request(method, url, body=body, headers=headers)
+                response = connection.getresponse()
+                status = response.status
+                payload = response.read()
+                if response.will_close:
+                    self.close()
+                break
+            except _STALE_CONNECTION_ERRORS as error:
+                # The keep-alive connection died between requests; retry once
+                # on a fresh one, then report the worker as unreachable.
+                self.close()
+                if attempt:
+                    raise ServiceUnavailableError(
+                        f"cannot reach service at {self.base_url}: {error}"
+                    ) from None
+            except TimeoutError:
+                self.close()
+                raise ServiceUnavailableError(
+                    f"service at {self.base_url} did not respond within {self.timeout} seconds"
                 ) from None
-        except urllib.error.HTTPError as error:
-            body = error.read().decode(errors="replace")
-            try:
-                payload = json.loads(body)
-            except json.JSONDecodeError:
-                raise ServiceError(f"HTTP {error.code} from {request.full_url}: {body[:200]}") from None
-            self._raise_remote_error(payload, error.code)
-            raise ServiceError(f"HTTP {error.code} from {request.full_url}") from None
-        except urllib.error.URLError as error:
-            raise ServiceError(f"cannot reach service at {self.base_url}: {error.reason}") from None
-        except TimeoutError:
-            raise ServiceError(
-                f"service at {self.base_url} did not respond within {self.timeout} seconds"
+            except (http.client.HTTPException, OSError) as error:
+                self.close()
+                raise ServiceUnavailableError(
+                    f"cannot reach service at {self.base_url}: {error}"
+                ) from None
+        text = payload.decode(errors="replace")
+        try:
+            decoded = json.loads(text)
+        except json.JSONDecodeError:
+            if status >= 400:
+                raise ServiceError(f"HTTP {status} from {self.base_url}{url}: {text[:200]}") from None
+            raise ProtocolError(
+                f"non-JSON response from {self.base_url}{url}: {text[:200]!r} — is that really a repro service?"
             ) from None
+        if status >= 400:
+            self._raise_remote_error(decoded, status)
+            raise ServiceError(f"HTTP {status} from {self.base_url}{url}")
+        return decoded
 
     def _parse(self, payload: object) -> object:
         message = parse_wire(payload)  # type: ignore[arg-type]

@@ -36,7 +36,7 @@ from typing import Mapping
 
 from repro.approx.evaluator import ApproximateEvaluator
 from repro.complexity.classes import classify_query
-from repro.errors import ServiceError, UnknownDatabaseError
+from repro.errors import ReproError, ServiceError, UnknownDatabaseError
 from repro.logic.parser import parse_query
 from repro.logic.queries import Query
 from repro.logical.database import CWDatabase
@@ -45,6 +45,7 @@ from repro.logical.mappings import DEFAULT_MAX_MAPPINGS
 from repro.logical.ph import ph2
 from repro.physical.database import PhysicalDatabase
 from repro.service.cache import LRUCache
+from repro.service.lifecycle import ExecutorLifecycle
 from repro.service.protocol import (
     ClassifyResponse,
     InfoResponse,
@@ -56,7 +57,7 @@ from repro.service.protocol import (
     build_info_response,
 )
 
-__all__ = ["RegisteredDatabase", "QueryService"]
+__all__ = ["RegisteredDatabase", "QueryService", "WarmupReport", "replay_warmup"]
 
 DEFAULT_ANSWER_CACHE_CAPACITY = 4096
 DEFAULT_PARSE_CACHE_CAPACITY = 512
@@ -99,6 +100,42 @@ class RegisteredDatabase:
         return self.storage(True)
 
 
+@dataclass(frozen=True)
+class WarmupReport:
+    """Outcome of replaying a recorded traffic log through the caches.
+
+    ``failed`` counts requests that raised (unknown database, parse
+    error...); warm-up is best-effort, so failures are tallied rather than
+    aborting the boot sequence.
+    """
+
+    total: int
+    warmed: int
+    already_cached: int
+    failed: int
+
+
+def replay_warmup(execute, requests) -> WarmupReport:
+    """Replay recorded traffic through *execute*, tallying the outcomes.
+
+    Shared by :meth:`QueryService.warm` and the cluster router's warm-up so
+    the semantics (best-effort, errors counted not raised) cannot drift.
+    """
+    total = warmed = already = failed = 0
+    for request in requests:
+        total += 1
+        try:
+            response = execute(request)
+        except ReproError:
+            failed += 1
+            continue
+        if response.cached:
+            already += 1
+        else:
+            warmed += 1
+    return WarmupReport(total=total, warmed=warmed, already_cached=already, failed=failed)
+
+
 class QueryService:
     """Registry of database snapshots plus cached, thread-safe evaluation.
 
@@ -132,8 +169,9 @@ class QueryService:
         self._started = time.monotonic()
         self._batch_executed = 0
         self._batch_deduplicated = 0
-        self._executor = None
-        self._executor_lock = threading.Lock()
+        self._lifecycle = ExecutorLifecycle(
+            "QueryService", "create a new service instead of reusing it"
+        )
 
     # Registry ------------------------------------------------------------------
 
@@ -176,6 +214,33 @@ class QueryService:
         if previous is not None and previous.fingerprint != entry.fingerprint:
             self._answers.invalidate(lambda key: key[0] == previous.fingerprint)
             self._plans.invalidate(lambda key: key[0] == previous.fingerprint)
+        return entry
+
+    def register_from_store(
+        self,
+        store,
+        snapshot_name: str,
+        as_name: str | None = None,
+        replace_existing: bool = False,
+    ) -> RegisteredDatabase:
+        """Register a snapshot loaded from a :class:`~repro.cluster.store.SnapshotStore`.
+
+        This is the warm-boot path of cluster workers: the snapshot's
+        persisted optimizer statistics are seeded onto the precomputed
+        ``Ph2`` storage, so the very first plans run with real cardinalities
+        instead of triggering cold rescans.
+        """
+        from repro.physical.statistics import preload_statistics
+
+        snapshot = store.load(snapshot_name)
+        entry = self.register(
+            as_name or snapshot_name,
+            snapshot.database,
+            replace_existing=replace_existing,
+            precompute=True,
+        )
+        if snapshot.statistics is not None:
+            preload_statistics(entry.storage(False), snapshot.statistics)
         return entry
 
     def unregister(self, name: str) -> None:
@@ -242,13 +307,24 @@ class QueryService:
 
         With the default worker count, batches share one long-lived thread
         pool owned by the service, so a bursty client does not pay pool
-        startup/teardown per batch.
+        startup/teardown per batch.  Raises :class:`ServiceClosedError` once
+        the service has been closed.
         """
         from repro.service.batch import BatchEvaluator
 
         if max_workers is None:
             return BatchEvaluator(self, executor=self._shared_executor()).run(requests)
+        self._check_open()
         return BatchEvaluator(self, max_workers=max_workers).run(requests)
+
+    def warm(self, requests) -> WarmupReport:
+        """Replay recorded traffic through the caches (the ``--warm`` path).
+
+        Each request is executed exactly as live traffic would be, so the
+        parse, plan and answer caches all fill; errors are counted, not
+        raised — a stale log line must not keep a server from booting.
+        """
+        return replay_warmup(self.execute, requests)
 
     def stats(self) -> StatsResponse:
         return StatsResponse(
@@ -262,24 +338,27 @@ class QueryService:
 
     # Internals -----------------------------------------------------------------
 
-    def _shared_executor(self):
-        from concurrent.futures import ThreadPoolExecutor
+    @property
+    def _executor(self):
+        """The shared batch pool, if one currently exists (for tests/debugging)."""
+        return self._lifecycle.pool("batch")
 
+    def _check_open(self) -> None:
+        self._lifecycle.check_open()
+
+    def _shared_executor(self):
         from repro.service.batch import DEFAULT_MAX_WORKERS
 
-        with self._executor_lock:
-            if self._executor is None:
-                self._executor = ThreadPoolExecutor(
-                    max_workers=DEFAULT_MAX_WORKERS, thread_name_prefix="repro-batch"
-                )
-            return self._executor
+        return self._lifecycle.executor("batch", DEFAULT_MAX_WORKERS, "repro-batch")
 
     def close(self) -> None:
-        """Release the shared batch thread pool (idempotent)."""
-        with self._executor_lock:
-            if self._executor is not None:
-                self._executor.shutdown(wait=False)
-                self._executor = None
+        """Shut down the shared batch thread pool; the service is then terminal.
+
+        Closing twice raises :class:`ServiceClosedError` — the old silent
+        idempotence hid real lifecycle bugs in which a post-close ``batch()``
+        quietly spun up a fresh pool that nothing would ever shut down.
+        """
+        self._lifecycle.close()
 
     def record_batch(self, executed: int, deduplicated: int) -> None:
         """Called by the batch evaluator to fold its counters into stats()."""

@@ -1,0 +1,66 @@
+"""Shared terminal-close lifecycle for services that own thread pools.
+
+Both the single-process :class:`~repro.service.engine.QueryService` and the
+cluster :class:`~repro.cluster.router.ClusterRouter` follow the same
+contract: thread pools are created lazily on first use, shared across
+calls, and ``close()`` is *terminal* — a repeated ``close()`` or a
+post-close pool request raises
+:class:`~repro.errors.ServiceClosedError` instead of silently recreating
+(and leaking) a pool.  :class:`ExecutorLifecycle` owns that contract once,
+so a lifecycle fix never has to be applied twice.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.errors import ServiceClosedError
+
+__all__ = ["ExecutorLifecycle"]
+
+
+class ExecutorLifecycle:
+    """Lazily created named thread pools behind one terminal ``close()``."""
+
+    def __init__(self, owner: str, advice: str) -> None:
+        self._owner = owner
+        self._advice = advice
+        self._lock = threading.Lock()
+        self._closed = False
+        self._pools: dict[str, ThreadPoolExecutor] = {}
+
+    def check_open(self) -> None:
+        if self._closed:
+            raise ServiceClosedError(f"this {self._owner} has been closed; {self._advice}")
+
+    def executor(self, name: str, max_workers: int, thread_name_prefix: str) -> ThreadPoolExecutor:
+        """The shared pool called *name*, created on first use.
+
+        Creation is checked under the lock so a request racing ``close()``
+        can never recreate a pool on a closed owner.
+        """
+        with self._lock:
+            self.check_open()
+            pool = self._pools.get(name)
+            if pool is None:
+                pool = ThreadPoolExecutor(max_workers=max_workers, thread_name_prefix=thread_name_prefix)
+                self._pools[name] = pool
+            return pool
+
+    def pool(self, name: str) -> ThreadPoolExecutor | None:
+        """The pool called *name* if it currently exists (for introspection)."""
+        return self._pools.get(name)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Shut every pool down and make the owner terminal."""
+        with self._lock:
+            self.check_open()
+            self._closed = True
+            for pool in self._pools.values():
+                pool.shutdown(wait=False)
+            self._pools.clear()

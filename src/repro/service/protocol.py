@@ -175,8 +175,10 @@ class StatsResponse:
     """Service-level counters: registered snapshots and cache behaviour.
 
     ``plan_cache`` reports the compiled-plan LRU (hits mean a query skipped
-    parse-rewrite-compile-optimize).  It defaults to an empty mapping so
-    messages from servers predating the plan cache still parse.
+    parse-rewrite-compile-optimize).  ``cluster`` is filled by the sharded
+    router front-end (:mod:`repro.cluster.router`): per-plan-kind routing
+    counters, failovers, and one stats summary per worker.  Both default to
+    empty mappings so messages from servers predating them still parse.
     """
 
     databases: tuple[str, ...]
@@ -185,6 +187,7 @@ class StatsResponse:
     batch: Mapping[str, int]
     uptime_seconds: float
     plan_cache: Mapping[str, object] = field(default_factory=dict)
+    cluster: Mapping[str, object] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)

@@ -51,6 +51,10 @@ class ServiceHTTPServer(ThreadingHTTPServer):
     """A threading HTTP server bound to one :class:`QueryService`."""
 
     daemon_threads = True
+    # The socketserver default backlog of 5 drops (ECONNRESET) bursts of new
+    # connections long before the engine is saturated — the cluster router
+    # fans dozens of short-lived urllib connections at each worker.
+    request_queue_size = 128
 
     def __init__(self, address: tuple[str, int], service: QueryService, quiet: bool = True) -> None:
         super().__init__(address, _Handler)
@@ -67,6 +71,9 @@ class _Handler(BaseHTTPRequestHandler):
     server: ServiceHTTPServer
     server_version = "repro-service/1.0"
     protocol_version = "HTTP/1.1"
+    # Response headers and body are separate writes; let them leave
+    # immediately instead of waiting on the client's delayed ACK.
+    disable_nagle_algorithm = True
 
     # Routing ------------------------------------------------------------------
 

@@ -15,7 +15,15 @@ tests:
   (Theorem 1) route, the rest the Section 5 approximation, with the
   approximation engines alternating between algebra and Tarski;
 * **batch bursts** — :func:`batch_bursts` chops a stream into the request
-  lists a bursty client would POST to ``/batch``.
+  lists a bursty client would POST to ``/batch``;
+* **recorded logs** — :func:`save_traffic_log` / :func:`load_traffic_log`
+  persist a stream as JSONL of protocol messages, the format ``repro serve
+  --warm FILE`` replays through the caches before accepting connections;
+* **multi-shard traffic** — :func:`cluster_traffic_stream` generates the
+  skewed mix the cluster benchmarks serve: hot-constant selections that
+  scatter across shards, replicated-relation reads that route to single
+  shards, ground conjunctions, and a trickle of non-decomposable queries
+  that exercise the full-copy fallback.
 
 All generators take an explicit seed, like the rest of
 :mod:`repro.workloads`.
@@ -23,11 +31,15 @@ All generators take an explicit seed, like the rest of
 
 from __future__ import annotations
 
+import json
 import random
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterable, Sequence
 
-from repro.service.protocol import QueryRequest
+from repro.errors import ProtocolError
+from repro.logical.database import CWDatabase
+from repro.service.protocol import QueryRequest, parse_wire, to_wire
 from repro.workloads.scenarios import (
     Scenario,
     employee_intro_scenario,
@@ -38,11 +50,15 @@ from repro.logic.printer import query_to_text
 
 __all__ = [
     "TrafficProfile",
+    "ClusterTrafficProfile",
     "default_scenarios",
     "scenario_pool",
     "traffic_stream",
+    "cluster_traffic_stream",
     "batch_bursts",
     "register_scenarios",
+    "save_traffic_log",
+    "load_traffic_log",
 ]
 
 
@@ -122,6 +138,155 @@ def batch_bursts(requests: Sequence[QueryRequest], burst_size: int) -> list[list
     if burst_size < 1:
         raise ValueError("burst_size must be at least 1")
     return [list(requests[start:start + burst_size]) for start in range(0, len(requests), burst_size)]
+
+
+def save_traffic_log(requests: Iterable[QueryRequest], path: str | Path) -> Path:
+    """Record a request stream as JSONL (one protocol message per line).
+
+    This is the on-disk format of ``repro serve --warm FILE``: replayable,
+    versioned (each line carries the protocol envelope) and greppable.
+    """
+    path = Path(path)
+    with path.open("w") as handle:
+        for request in requests:
+            handle.write(json.dumps(to_wire(request), sort_keys=True) + "\n")
+    return path
+
+
+def load_traffic_log(path: str | Path) -> list[QueryRequest]:
+    """Read back a stream written by :func:`save_traffic_log`.
+
+    Blank lines are skipped; anything that is not a valid ``query_request``
+    message raises :class:`~repro.errors.ProtocolError` with its line number,
+    so a corrupted log fails loudly instead of silently warming nothing.  A
+    missing or unreadable file raises the same library error, so the CLI
+    reports it cleanly instead of leaking a traceback.
+    """
+    try:
+        text = Path(path).read_text()
+    except OSError as error:
+        raise ProtocolError(f"cannot read traffic log {path}: {error}") from None
+    requests = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            message = parse_wire(line)
+        except ProtocolError as error:
+            raise ProtocolError(f"{path}:{line_number}: {error}") from None
+        if not isinstance(message, QueryRequest):
+            raise ProtocolError(
+                f"{path}:{line_number}: expected a query_request, got {type(message).__name__}"
+            )
+        requests.append(message)
+    return requests
+
+
+@dataclass(frozen=True)
+class ClusterTrafficProfile:
+    """Shape of the skewed multi-shard mix for the cluster benchmarks.
+
+    ``scatter_fraction`` of requests are bare-atom reads over split
+    relations (they fan out to every shard and union-merge); the rest route
+    to a single shard via replicated-relation queries.  Within the scatter
+    share, ``hot_fraction`` of the selections reuse one of ``hot_constants``
+    popular keys — the skew that makes some shards hotter than others.
+    ``conjunction_fraction`` and ``fallback_fraction`` carve out ground
+    Boolean conjunctions and deliberately non-decomposable join queries (the
+    full-copy fallback path), so a stream exercises every routing rule.
+    """
+
+    scatter_fraction: float = 0.3
+    hot_fraction: float = 0.7
+    hot_constants: int = 4
+    conjunction_fraction: float = 0.05
+    fallback_fraction: float = 0.05
+    tarski_fraction: float = 0.0
+
+
+def cluster_traffic_stream(
+    n_requests: int,
+    database_name: str,
+    database: CWDatabase,
+    split_relations: Sequence[str],
+    replicated_relations: Sequence[str],
+    profile: ClusterTrafficProfile = ClusterTrafficProfile(),
+    seed: int | None = None,
+) -> list[QueryRequest]:
+    """A reproducible skewed multi-shard stream against one database.
+
+    The caller says which relations the partitioner split and which it
+    replicated (see :func:`repro.cluster.partition.partition_database`); the
+    stream then mixes scatter reads, single-shard reads, ground conjunctions
+    and full-copy fallbacks in the profile's proportions.  Only binary
+    relations are used for the generated shapes.
+    """
+    rng = random.Random(seed)
+    split_binary = [name for name in split_relations if database.predicates.get(name) == 2]
+    replicated_binary = [name for name in replicated_relations if database.predicates.get(name) == 2]
+    if not split_binary or not replicated_binary:
+        raise ValueError("cluster traffic needs at least one split and one replicated binary relation")
+
+    def quoted(constant: str) -> str:
+        return "'" + constant.replace("'", "\\'") + "'"
+
+    # Sorted once per relation: sampling happens on almost every request and
+    # facts_for() returns an (unordered) frozenset.
+    sorted_rows = {
+        relation: sorted(database.facts_for(relation))
+        for relation in set(split_binary) | set(replicated_binary)
+    }
+
+    def sample_row(relation: str) -> tuple[str, ...]:
+        rows = sorted_rows[relation]
+        if rows:
+            return rows[rng.randrange(len(rows))]
+        constants = database.constants
+        return tuple(rng.choice(constants) for __ in range(database.predicates[relation]))
+
+    hot_keys = [sample_row(rng.choice(split_binary))[0] for __ in range(max(1, profile.hot_constants))]
+
+    stream: list[QueryRequest] = []
+    for __ in range(n_requests):
+        roll = rng.random()
+        engine = "tarski" if rng.random() < profile.tarski_fraction else "algebra"
+        if roll < profile.fallback_fraction:
+            # Non-decomposable: a join across a split and a replicated
+            # relation under an existential — full-copy territory.
+            split_name = rng.choice(split_binary)
+            replicated_name = rng.choice(replicated_binary)
+            anchor = sample_row(split_name)[0]
+            text = (
+                f"(x) . exists y. {split_name}({quoted(anchor)}, y) & {replicated_name}(y, x)"
+            )
+        elif roll < profile.fallback_fraction + profile.conjunction_fraction:
+            left_name = rng.choice(split_binary)
+            right_name = rng.choice(replicated_binary)
+            left_row = sample_row(left_name)
+            right_row = sample_row(right_name)
+            text = (
+                f"() . {left_name}({', '.join(map(quoted, left_row))})"
+                f" & {right_name}({', '.join(map(quoted, right_row))})"
+            )
+        elif roll < profile.fallback_fraction + profile.conjunction_fraction + profile.scatter_fraction:
+            relation = rng.choice(split_binary)
+            if rng.random() < profile.hot_fraction:
+                key = hot_keys[rng.randrange(len(hot_keys))]
+            else:
+                key = sample_row(relation)[0]
+            text = f"(x) . {relation}({quoted(key)}, x)"
+        else:
+            relation = rng.choice(replicated_binary)
+            shape = rng.randrange(3)
+            if shape == 0:
+                text = f"(x, y) . {relation}(x, y)"
+            elif shape == 1:
+                key = sample_row(relation)[rng.randrange(2)]
+                text = f"(x) . {relation}({quoted(key)}, x)"
+            else:
+                text = f"(x, y) . exists z. {relation}(x, z) & {relation}(y, z)"
+        stream.append(QueryRequest(database_name, text, "approx", engine, False))
+    return stream
 
 
 def register_scenarios(service, scenarios: Iterable[Scenario] | None = None) -> tuple[str, ...]:

@@ -1,0 +1,190 @@
+"""End-to-end multi-process cluster tests: spawn, serve, kill, reboot.
+
+These are the slowest cluster tests (real ``multiprocessing`` workers and
+HTTP round trips), so the databases are tiny and the cluster is booted once
+per module where possible.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cluster import start_cluster
+from repro.cluster.store import SnapshotStore
+from repro.errors import ClusterError
+from repro.service.engine import QueryService
+from repro.service.protocol import ErrorResponse, QueryRequest
+from repro.workloads.generators import employee_database
+
+TEXTS = [
+    "(x, y) . EMP_DEPT(x, y)",
+    "(x) . EMP_SAL(x, 'mid')",
+    "(x, y) . DEPT_MGR(x, y)",
+    "() . EMP_DEPT('emp0', 'dept0') & DEPT_MGR('dept0', 'emp1')",
+    "(x1, x2) . exists y. EMP_DEPT(x1, y) & DEPT_MGR(y, x2)",
+]
+
+
+@pytest.fixture(scope="module")
+def employee():
+    return employee_database(60, seed=13)
+
+
+@pytest.fixture(scope="module")
+def single(employee):
+    service = QueryService()
+    service.register("emp", employee)
+    return service
+
+
+@pytest.fixture(scope="module")
+def store_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("cluster-store")
+
+
+@pytest.fixture(scope="module")
+def cluster(employee, store_dir):
+    with start_cluster(
+        {"emp": employee}, store_dir, shards=2, replicas=2, replication_threshold=32
+    ) as running:
+        yield running
+
+
+class TestEndToEnd:
+    def test_workers_are_up_and_assigned(self, cluster):
+        assert cluster.router.health_check() == {0: True, 1: True}
+        for worker in cluster.workers:
+            assert worker.running()
+            assert worker.port
+
+    def test_answers_match_single_process(self, cluster, single):
+        for text in TEXTS:
+            clustered = cluster.router.execute(QueryRequest("emp", text))
+            direct = single.execute(QueryRequest("emp", text))
+            assert clustered.answers == direct.answers, text
+            assert clustered.database == "emp"
+            assert clustered.fingerprint == direct.fingerprint
+
+    def test_batch_over_processes(self, cluster, single):
+        requests = [QueryRequest("emp", text) for text in TEXTS] * 2
+        batch = cluster.router.batch(requests)
+        assert batch.total == len(requests)
+        assert batch.deduplicated == len(TEXTS)
+        for request, response in zip(requests, batch.responses):
+            assert not isinstance(response, ErrorResponse)
+            assert response.answers == single.execute(request).answers
+
+    def test_worker_errors_surface_not_hang(self, cluster):
+        batch = cluster.router.batch(
+            [QueryRequest("emp", TEXTS[0]), QueryRequest("emp", "syntax error (")]
+        )
+        assert not isinstance(batch.responses[0], ErrorResponse)
+        assert isinstance(batch.responses[1], ErrorResponse)
+
+    def test_stats_aggregate_worker_summaries(self, cluster):
+        cluster.router.execute(QueryRequest("emp", TEXTS[0]))
+        stats = cluster.router.stats()
+        assert stats.databases == ("emp",)
+        workers = stats.cluster["workers"]
+        assert set(workers) == {"0", "1"}
+        for summary in workers.values():
+            assert summary["alive"] is True
+            assert any(name.startswith("emp::") for name in summary["databases"])
+
+    def test_snapshots_were_persisted(self, cluster, store_dir, employee):
+        store = SnapshotStore(store_dir)
+        assert set(store.names()) == {"emp::shard0", "emp::shard1", "emp::full"}
+        assert store.record("emp::full").fingerprint == employee.fingerprint()
+        assert store.record("emp::full").metadata["kind"] == "full"
+
+
+class TestFailoverAndReboot:
+    def test_kill_one_worker_and_answers_survive_via_replicas(self, employee, single, tmp_path):
+        with start_cluster(
+            {"emp": employee}, tmp_path / "store", shards=2, replicas=2, replication_threshold=32
+        ) as running:
+            baseline = {
+                text: running.router.execute(QueryRequest("emp", text)).answers for text in TEXTS
+            }
+            running.kill_worker(0)
+            deadline = time.monotonic() + 5
+            while running.workers[0].running() and time.monotonic() < deadline:
+                time.sleep(0.05)
+            for text in TEXTS:
+                response = running.router.execute(QueryRequest("emp", text))
+                assert response.answers == baseline[text] == single.execute(QueryRequest("emp", text)).answers
+            stats = running.router.stats()
+            assert stats.cluster["failovers"] >= 1
+            assert running.router.health_check()[0] is False
+
+    def test_without_replication_a_dead_worker_is_a_clear_error(self, employee, tmp_path):
+        with start_cluster(
+            {"emp": employee}, tmp_path / "store", shards=2, replicas=1, replication_threshold=32
+        ) as running:
+            running.kill_worker(1)
+            time.sleep(0.1)
+            # Shard 1 has no replica: scatter queries over split relations fail loudly.
+            with pytest.raises(ClusterError, match="no live replica"):
+                running.router.execute(QueryRequest("emp", TEXTS[0]))
+
+    def test_reboot_from_the_same_store_writes_nothing_new(self, employee, single, tmp_path):
+        store_dir = tmp_path / "store"
+        with start_cluster(
+            {"emp": employee}, store_dir, shards=2, replicas=1, replication_threshold=32
+        ) as first:
+            first.router.execute(QueryRequest("emp", TEXTS[0]))
+        objects = store_dir / "objects"
+        fingerprints = {path.name for path in objects.iterdir()}
+        modified = {path: path.stat().st_mtime_ns for path in objects.iterdir()}
+        # Same data, fresh cluster: content-addressing makes the restart warm.
+        with start_cluster(
+            {"emp": employee}, store_dir, shards=2, replicas=1, replication_threshold=32
+        ) as second:
+            for text in TEXTS:
+                assert (
+                    second.router.execute(QueryRequest("emp", text)).answers
+                    == single.execute(QueryRequest("emp", text)).answers
+                )
+        assert {path.name for path in objects.iterdir()} == fingerprints
+        assert {path: path.stat().st_mtime_ns for path in objects.iterdir()} == modified
+
+
+class TestBootFailureReaping:
+    def test_boot_timeout_reaps_the_slow_child(self, store_dir, employee, monkeypatch):
+        """A worker that outlives the boot timeout must not survive as an orphan."""
+        import multiprocessing
+        import time as time_module
+
+        from repro.cluster import worker as worker_module
+        from repro.cluster.store import SnapshotStore
+        from repro.cluster.worker import WorkerAssignment, WorkerHandle, WorkerSpec
+
+        SnapshotStore(store_dir).put("slowboot", employee)
+
+        def sleepy_worker(spec, channel):  # never reports a port
+            time_module.sleep(30)
+
+        monkeypatch.setattr(worker_module, "worker_main", sleepy_worker)
+        spec = WorkerSpec(
+            index=0,
+            store_dir=str(store_dir),
+            assignments=(WorkerAssignment("slowboot", "slowboot"),),
+        )
+        before = {process.pid for process in multiprocessing.active_children()}
+        with pytest.raises(ClusterError, match="did not report a port"):
+            WorkerHandle(spec).start(timeout=0.3)
+        # Only processes spawned by this failed start count — other tests'
+        # (module-scoped) cluster workers are legitimately alive.
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            stragglers = [
+                process
+                for process in multiprocessing.active_children()
+                if process.pid not in before and "worker-0" in process.name
+            ]
+            if not stragglers:
+                break
+            time.sleep(0.05)
+        assert not stragglers, f"boot-timeout left orphan worker processes: {stragglers}"

@@ -84,7 +84,6 @@ class TestOrderingAndErrors:
         assert service._executor is pool
         service.close()
         assert service._executor is None
-        service.close()  # idempotent
 
     def test_single_worker_path_matches_pool_path(self, service):
         requests = [

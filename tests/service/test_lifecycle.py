@@ -1,0 +1,67 @@
+"""Regression tests for the QueryService close() lifecycle.
+
+Before the fix, ``close()`` was silently idempotent and — worse — a
+post-close ``batch()`` quietly recreated the shared thread pool, leaking a
+pool that nothing would ever shut down.  Now the service is terminal after
+``close()``: the pool is gone, and both a repeated ``close()`` and a
+post-close ``batch()`` raise :class:`~repro.errors.ServiceClosedError`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceClosedError, ServiceError
+from repro.service.engine import QueryService
+from repro.service.protocol import QueryRequest
+
+
+@pytest.fixture
+def service(ripper_cw):
+    service = QueryService()
+    service.register("ripper", ripper_cw)
+    return service
+
+
+REQUEST = QueryRequest("ripper", "(x) . MURDERER(x)")
+
+
+class TestCloseLifecycle:
+    def test_close_shuts_the_shared_pool_down(self, service):
+        service.batch([REQUEST, REQUEST])
+        assert service._executor is not None
+        service.close()
+        assert service._executor is None
+
+    def test_repeated_close_raises_service_closed(self, service):
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.close()
+
+    def test_post_close_batch_raises_instead_of_leaking_a_pool(self, service):
+        service.batch([REQUEST])
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.batch([REQUEST, REQUEST])
+        # The load-bearing part of the regression: no pool was recreated.
+        assert service._executor is None
+
+    def test_post_close_batch_with_explicit_workers_also_raises(self, service):
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.batch([REQUEST], max_workers=2)
+
+    def test_close_before_any_batch_is_fine_once(self, service):
+        service.close()
+        assert service._executor is None
+
+    def test_service_closed_error_is_a_service_error(self):
+        # Callers catching the existing hierarchy keep working.
+        assert issubclass(ServiceClosedError, ServiceError)
+
+    def test_single_queries_still_work_after_close(self, service):
+        # close() is about the batch pool; the lock-free read path survives,
+        # which is what lets an HTTP server drain in-flight single queries.
+        service.close()
+        response = service.execute(REQUEST)
+        assert response.answers["approximate"]

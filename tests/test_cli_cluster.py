@@ -1,0 +1,163 @@
+"""Tests for the cluster-facing CLI: ``cluster ...`` and the new serve flags."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.cluster.store import SnapshotStore
+from repro.physical.csvio import save_cw_database
+from repro.service.protocol import QueryRequest
+from repro.workloads.generators import employee_database
+from repro.workloads.traffic import save_traffic_log
+
+
+@pytest.fixture
+def employee():
+    return employee_database(40, seed=21)
+
+
+@pytest.fixture
+def stored_employee(employee, tmp_path):
+    directory = tmp_path / "employees"
+    save_cw_database(employee, directory)
+    return directory
+
+
+class TestClusterPartition:
+    def test_partition_writes_shards_and_manifest(self, stored_employee, tmp_path, capsys, employee):
+        store_dir = tmp_path / "store"
+        code = main(
+            ["cluster", "partition", str(stored_employee), "--store", str(store_dir), "--shards", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "partitioned 'employees'" in out
+        assert "3 shard(s)" in out
+        store = SnapshotStore(store_dir)
+        assert set(store.names()) == {
+            "employees::shard0",
+            "employees::shard1",
+            "employees::shard2",
+            "employees::full",
+        }
+        assert store.record("employees::full").fingerprint == employee.fingerprint()
+
+    def test_partition_honours_name_and_threshold(self, stored_employee, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        code = main(
+            [
+                "cluster", "partition", str(stored_employee),
+                "--store", str(store_dir),
+                "--shards", "2",
+                "--name", "prod",
+                "--replication-threshold", "0",
+            ]
+        )
+        assert code == 0
+        assert "0 relation(s) replicated, 3 split" in capsys.readouterr().out
+        assert "prod::shard0" in SnapshotStore(store_dir).names()
+
+    def test_snapshots_lists_the_store(self, stored_employee, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        main(["cluster", "partition", str(stored_employee), "--store", str(store_dir), "--shards", "2"])
+        capsys.readouterr()
+        assert main(["cluster", "snapshots", "--store", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "employees::shard0" in out
+        assert "full" in out
+
+    def test_snapshots_on_an_empty_store_says_so(self, tmp_path, capsys):
+        assert main(["cluster", "snapshots", "--store", str(tmp_path / "empty")]) == 0
+        assert "no snapshots" in capsys.readouterr().out
+
+
+class TestServeClusterFlags:
+    def test_sharded_serve_boots_a_cluster_and_answers(
+        self, stored_employee, tmp_path, monkeypatch, capsys, employee
+    ):
+        served = {}
+
+        def fake_serve(service, host, port):
+            served["names"] = service.database_names()
+            served["response"] = service.execute(QueryRequest("employees", "(x, y) . EMP_DEPT(x, y)"))
+
+        monkeypatch.setattr("repro.cli.serve_forever", fake_serve)
+        store_dir = tmp_path / "store"
+        code = main(
+            [
+                "serve", str(stored_employee),
+                "--shards", "2",
+                "--replicas", "2",
+                "--store", str(store_dir),
+                "--port", "0",
+            ]
+        )
+        assert code == 0
+        assert served["names"] == ("employees",)
+        expected = {tuple(row) for row in employee.facts_for("EMP_DEPT")}
+        assert set(served["response"].answer_set("approximate")) == expected
+        assert "cluster: 2 workers" in capsys.readouterr().out
+        # The store was really used (shards persisted for warm reboots).
+        assert "employees::shard0" in SnapshotStore(store_dir).names()
+
+    def test_warm_flag_replays_a_recorded_log(self, stored_employee, tmp_path, monkeypatch, capsys):
+        def fake_serve(service, host, port):
+            pass
+
+        monkeypatch.setattr("repro.cli.serve_forever", fake_serve)
+        log = save_traffic_log(
+            [
+                QueryRequest("employees", "(x, y) . EMP_DEPT(x, y)"),
+                QueryRequest("employees", "(x, y) . EMP_DEPT(x, y)"),
+                QueryRequest("nowhere", "(x) . P(x)"),
+            ],
+            tmp_path / "traffic.jsonl",
+        )
+        code = main(["serve", str(stored_employee), "--warm", str(log), "--port", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "warm-up: replayed 3 requests" in out
+        assert "1 warmed, 1 already cached, 1 failed" in out
+
+    def test_warm_works_in_cluster_mode_too(self, stored_employee, tmp_path, monkeypatch, capsys):
+        def fake_serve(service, host, port):
+            pass
+
+        monkeypatch.setattr("repro.cli.serve_forever", fake_serve)
+        log = save_traffic_log(
+            [QueryRequest("employees", "(x, y) . EMP_DEPT(x, y)")], tmp_path / "traffic.jsonl"
+        )
+        code = main(
+            [
+                "serve", str(stored_employee),
+                "--shards", "2",
+                "--store", str(tmp_path / "store"),
+                "--warm", str(log),
+                "--port", "0",
+            ]
+        )
+        assert code == 0
+        assert "warm-up: replayed 1 requests" in capsys.readouterr().out
+
+    def test_bad_shards_value_is_a_clean_error(self, stored_employee, capsys):
+        assert main(["serve", str(stored_employee), "--shards", "0", "--port", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_replicas_out_of_range_is_a_clean_error(self, stored_employee, capsys):
+        code = main(["serve", str(stored_employee), "--shards", "2", "--replicas", "0", "--port", "0"])
+        assert code == 2
+        assert "--replicas" in capsys.readouterr().err
+        code = main(["serve", str(stored_employee), "--shards", "2", "--replicas", "5", "--port", "0"])
+        assert code == 2
+        assert "--replicas" in capsys.readouterr().err
+
+    def test_cluster_flags_without_shards_are_a_clean_error(self, stored_employee, tmp_path, capsys):
+        # --store/--replicas must not be silently ignored in single-process mode.
+        code = main(["serve", str(stored_employee), "--store", str(tmp_path / "s"), "--port", "0"])
+        assert code == 2
+        assert "cluster mode" in capsys.readouterr().err
+        code = main(["serve", str(stored_employee), "--replicas", "2", "--port", "0"])
+        assert code == 2
+        assert "cluster mode" in capsys.readouterr().err
+        assert not (tmp_path / "s").exists()

@@ -4,14 +4,20 @@ from __future__ import annotations
 
 import pytest
 
+from repro.errors import ProtocolError
 from repro.logic.parser import parse_query
 from repro.service.engine import QueryService
 from repro.service.protocol import QueryRequest
+from repro.workloads.generators import employee_database
 from repro.workloads.traffic import (
+    ClusterTrafficProfile,
     TrafficProfile,
     batch_bursts,
+    cluster_traffic_stream,
     default_scenarios,
+    load_traffic_log,
     register_scenarios,
+    save_traffic_log,
     scenario_pool,
     traffic_stream,
 )
@@ -80,3 +86,111 @@ class TestRegistration:
         # Every generated request targets a registered database.
         stream = traffic_stream(30, seed=8)
         assert {request.database for request in stream} <= set(names)
+
+
+class TestTrafficLog:
+    def test_save_and_load_round_trip(self, tmp_path):
+        stream = traffic_stream(25, seed=4)
+        path = save_traffic_log(stream, tmp_path / "traffic.jsonl")
+        assert load_traffic_log(path) == stream
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        stream = traffic_stream(3, seed=4)
+        path = save_traffic_log(stream, tmp_path / "traffic.jsonl")
+        path.write_text(path.read_text() + "\n\n")
+        assert load_traffic_log(path) == stream
+
+    def test_corrupt_line_fails_with_its_line_number(self, tmp_path):
+        path = save_traffic_log(traffic_stream(2, seed=4), tmp_path / "traffic.jsonl")
+        path.write_text(path.read_text() + "not json\n")
+        with pytest.raises(ProtocolError, match=":3:"):
+            load_traffic_log(path)
+
+    def test_missing_file_is_a_library_error_not_a_traceback(self, tmp_path):
+        with pytest.raises(ProtocolError, match="cannot read traffic log"):
+            load_traffic_log(tmp_path / "missing.jsonl")
+
+    def test_wrong_message_type_is_rejected(self, tmp_path):
+        path = tmp_path / "traffic.jsonl"
+        path.write_text('{"type": "health", "v": 1, "status": "ok", "library_version": "1.0"}\n')
+        with pytest.raises(ProtocolError, match="query_request"):
+            load_traffic_log(path)
+
+    def test_warm_replays_a_recorded_log(self, tmp_path):
+        service = QueryService()
+        register_scenarios(service)
+        stream = traffic_stream(20, profile=TrafficProfile(exact_fraction=0.0), seed=5)
+        path = save_traffic_log(stream, tmp_path / "traffic.jsonl")
+        report = service.warm(load_traffic_log(path))
+        assert report.total == 20
+        assert report.failed == 0
+        assert report.warmed + report.already_cached == 20
+        # The caches are hot now: replaying again is all hits.
+        again = service.warm(load_traffic_log(path))
+        assert again.already_cached == 20
+
+
+class TestClusterTraffic:
+    @pytest.fixture
+    def employee(self):
+        return employee_database(60, seed=9)
+
+    def test_stream_is_reproducible_and_parsable(self, employee):
+        kwargs = dict(
+            database_name="emp",
+            database=employee,
+            split_relations=("EMP_DEPT", "EMP_SAL"),
+            replicated_relations=("DEPT_MGR",),
+        )
+        a = cluster_traffic_stream(40, seed=1, **kwargs)
+        b = cluster_traffic_stream(40, seed=1, **kwargs)
+        assert a == b
+        for request in a:
+            assert request.database == "emp"
+            parse_query(request.query)
+
+    def test_profile_fractions_shape_the_mix(self, employee):
+        stream = cluster_traffic_stream(
+            300,
+            "emp",
+            employee,
+            split_relations=("EMP_DEPT", "EMP_SAL"),
+            replicated_relations=("DEPT_MGR",),
+            profile=ClusterTrafficProfile(
+                scatter_fraction=0.4, conjunction_fraction=0.1, fallback_fraction=0.1
+            ),
+            seed=2,
+        )
+        conjunctions = sum(1 for r in stream if r.query.startswith("() ."))
+        fallbacks = sum(1 for r in stream if "exists y." in r.query)
+        scatters = sum(
+            1 for r in stream
+            if r.query.startswith("(x) . EMP_") and "exists" not in r.query
+        )
+        assert conjunctions > 10
+        assert fallbacks > 10
+        assert scatters > 60
+
+    def test_hot_keys_skew_the_scatter_reads(self, employee):
+        stream = cluster_traffic_stream(
+            300,
+            "emp",
+            employee,
+            split_relations=("EMP_DEPT",),
+            replicated_relations=("DEPT_MGR",),
+            profile=ClusterTrafficProfile(
+                scatter_fraction=1.0,
+                hot_fraction=1.0,
+                hot_constants=2,
+                conjunction_fraction=0.0,
+                fallback_fraction=0.0,
+            ),
+            seed=3,
+        )
+        assert len({request.query for request in stream}) <= 2
+
+    def test_needs_binary_relations_on_both_sides(self, employee):
+        with pytest.raises(ValueError, match="binary"):
+            cluster_traffic_stream(
+                10, "emp", employee, split_relations=(), replicated_relations=("DEPT_MGR",)
+            )

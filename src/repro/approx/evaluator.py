@@ -12,7 +12,11 @@ algorithm is
 
 Two engines are available: the direct Tarskian evaluator and the
 relational-algebra compiler (the "standard relational system" path).  Both
-must produce the same answers; ablation E12 compares their run times.
+must produce the same answers; ablation E12 compares their run times.  A
+third setting, ``engine="auto"``, routes each (query, statistics) pair to
+whichever engine the cost models of :mod:`repro.physical.dispatch` expect to
+be cheaper — including second-order queries, which only the Tarskian side
+can evaluate.
 """
 
 from __future__ import annotations
@@ -26,8 +30,9 @@ from repro.logic.queries import Query, TRUE_ANSWER, boolean_query
 from repro.logical.database import CWDatabase
 from repro.logical.ph import ph2
 from repro.physical.algebra import execute
-from repro.physical.compiler import compile_query, evaluate_query_algebra
+from repro.physical.compiler import compile_query
 from repro.physical.database import PhysicalDatabase
+from repro.physical.dispatch import choose_engine
 from repro.physical.evaluator import evaluate_query
 from repro.physical.optimizer import maybe_optimize
 from repro.physical.plan import PlanNode
@@ -36,7 +41,7 @@ from repro.approx.rewrite import rewrite_query
 
 __all__ = ["ApproximateEvaluator", "approximate_answers", "approximately_holds"]
 
-_ENGINES = ("tarski", "algebra")
+_ENGINES = ("tarski", "algebra", "auto")
 
 
 @dataclass(frozen=True)
@@ -50,7 +55,8 @@ class ApproximateEvaluator:
         or ``"formula"`` (the literal Lemma 10 first-order formula).
     engine:
         ``"tarski"`` for the direct semantic evaluator, ``"algebra"`` for the
-        compile-to-relational-algebra path.
+        compile-to-relational-algebra path, ``"auto"`` for the cost-based
+        dispatcher that picks per query (answers are identical either way).
     virtual_ne:
         When True, ``Ph2(LB)`` stores the inequality relation virtually via
         the compact ``U``/``NE'`` encoding instead of materializing it.
@@ -90,22 +96,45 @@ class ApproximateEvaluator:
         """The compiled, optimized plan for *query* on *storage*, if one applies.
 
         Returns ``None`` when this evaluator would not execute through the
-        algebra engine (Tarskian engine, or a second-order rewrite).  The
-        plan is specific to *storage* — compilation consults its constants
-        and active domain — so cache it keyed on the storage's content (the
+        algebra engine (Tarskian engine — chosen explicitly or by the
+        ``auto`` dispatcher — or a second-order rewrite).  The plan is
+        specific to *storage* — compilation consults its constants and
+        active domain — so cache it keyed on the storage's content (the
         serving layer uses the snapshot fingerprint plus the ``NE`` encoding).
         """
         rewritten = self.rewrite(query)
-        if self.engine != "algebra" or not is_first_order(rewritten.formula):
+        if self.engine == "tarski" or not is_first_order(rewritten.formula):
             return None
+        return self._plan_for(storage, rewritten)
+
+    def _plan_for(self, storage: PhysicalDatabase, rewritten: Query) -> PlanNode | None:
+        """Compile + optimize an already-rewritten first-order query; ``None``
+        when the ``auto`` dispatcher picks Tarskian enumeration instead.
+
+        :func:`~repro.physical.dispatch.choose_engine` is the one place the
+        auto decision lives — every entry point (plans, answers,
+        :meth:`resolve_engine`) funnels through here.
+        """
         plan = compile_query(rewritten, storage)
-        return maybe_optimize(plan, storage, self.optimize)
+        plan = maybe_optimize(plan, storage, self.optimize)
+        if self.engine == "auto" and choose_engine(storage, rewritten, plan) == "tarski":
+            return None
+        return plan
+
+    def resolve_engine(self, storage: PhysicalDatabase, query: Query) -> str:
+        """The concrete engine this evaluator would use for *query* on *storage*."""
+        if self.engine != "auto":
+            return self.engine
+        if not is_first_order(self.rewrite(query).formula):
+            return "tarski"
+        return "algebra" if self.plan_on_storage(storage, query) is not None else "tarski"
 
     def answers_on_storage(
         self,
         storage: PhysicalDatabase,
         query: Query,
         plan: PlanNode | None = None,
+        recorder=None,
     ) -> frozenset[tuple[str, ...]]:
         """Evaluate the rewritten query against an already-built ``Ph2(LB)``.
 
@@ -113,17 +142,23 @@ class ApproximateEvaluator:
         the (one-off) storage cost separately from the per-query cost.  Pass
         a *plan* from :meth:`plan_on_storage` (for the same storage!) to skip
         the rewrite + compile + optimize work entirely — the warm path of the
-        serving layer's plan cache.
+        serving layer's plan cache.  *recorder* is forwarded to the algebra
+        executor to collect actual subplan cardinalities (the feedback loop's
+        input); the Tarskian path has no intermediates to observe.
         """
         if plan is not None:
-            return execute(plan, storage).rows
+            return execute(plan, storage, recorder=recorder).rows
         rewritten = self.rewrite(query)
         if is_first_order(rewritten.formula):
-            if self.engine == "algebra":
-                return frozenset(
-                    evaluate_query_algebra(storage, rewritten, optimize=self.optimize)
-                )
-            return evaluate_query(storage, rewritten)
+            if self.engine == "tarski":
+                return evaluate_query(storage, rewritten)
+            # One dispatch pipeline for "algebra" and "auto" alike: _plan_for
+            # owns compile + optimize + (for auto) the cost comparison, so
+            # the decision cannot drift between entry points.
+            compiled = self._plan_for(storage, rewritten)
+            if compiled is None:  # auto: the dispatcher chose enumeration
+                return evaluate_query(storage, rewritten)
+            return execute(compiled, storage, recorder=recorder).rows
         if self.engine == "algebra":
             raise UnsupportedFormulaError("the algebra engine cannot evaluate second-order queries")
         return evaluate_query_so(storage, rewritten, self.max_relations)

@@ -29,6 +29,7 @@ Examples::
     python -m repro.cli serve db_dir/ --shards 4 --replicas 2 --store store/ --warm traffic.jsonl
     python -m repro.cli cluster partition db_dir/ --store store/ --shards 4
     python -m repro.cli cluster snapshots --store store/
+    python -m repro.cli cluster gc --store store/
     python -m repro.cli client http://127.0.0.1:8080 query db_dir "(x) . P(x)"
 """
 
@@ -47,7 +48,7 @@ from repro.harness.reporting import format_table
 from repro.logic.parser import parse_query
 from repro.logical.exact import certain_answers
 from repro.physical.csvio import load_cw_database
-from repro.physical.optimizer import OPTIMIZER_ENV_FLAG
+from repro.physical.optimizer import OPTIMIZER_ENV_FLAG, SIP_ENV_FLAG
 from repro.service.client import ServiceClient
 from repro.service.engine import QueryService
 from repro.service.protocol import (
@@ -84,6 +85,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the algebra engine on naive (unoptimized) plans — a debugging aid; answers are identical",
     )
+    query.add_argument(
+        "--no-sip",
+        action="store_true",
+        help="disable sideways information passing (semi-join reduction) only; answers are identical",
+    )
 
     classify = commands.add_parser("classify", help="show a query's prefix class and the paper's bounds")
     classify.add_argument("query", help="query text")
@@ -108,6 +114,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-optimizer",
         action="store_true",
         help="serve naive (unoptimized) plans — a debugging aid; answers are identical",
+    )
+    serve.add_argument(
+        "--no-sip",
+        action="store_true",
+        help="serve without sideways information passing (semi-join reduction); answers are identical",
     )
     serve.add_argument(
         "--shards",
@@ -159,6 +170,11 @@ def build_parser() -> argparse.ArgumentParser:
     cl_snapshots = cluster_actions.add_parser("snapshots", help="list the snapshots in a store")
     cl_snapshots.add_argument("--store", metavar="DIR", required=True, help="snapshot store directory")
 
+    cl_gc = cluster_actions.add_parser(
+        "gc", help="delete stored objects no snapshot name references any more"
+    )
+    cl_gc.add_argument("--store", metavar="DIR", required=True, help="snapshot store directory")
+
     client = commands.add_parser("client", help="talk to a running repro service")
     client.add_argument("url", help="service base URL, e.g. http://127.0.0.1:8080")
     actions = client.add_subparsers(dest="action", required=True)
@@ -195,9 +211,11 @@ def _add_query_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--engine",
-        choices=("tarski", "algebra"),
-        default="algebra",
-        help="engine used by the approximation (default: relational algebra)",
+        choices=("auto", "tarski", "algebra"),
+        default="auto",
+        help="engine used by the approximation (default: auto — a cost-based dispatcher "
+        "picks between the Tarskian evaluator and the relational algebra per query; "
+        "answers are identical under every engine)",
     )
     parser.add_argument(
         "--virtual-ne",
@@ -228,6 +246,8 @@ def _command_query(arguments: argparse.Namespace) -> int:
         # The one-shot process is the unit of configuration here: the env
         # flag also covers the --json path's embedded QueryService.
         os.environ[OPTIMIZER_ENV_FLAG] = "1"
+    if arguments.no_sip:
+        os.environ[SIP_ENV_FLAG] = "1"
     if arguments.json:
         # One-shot service: same evaluation and same serialization as the server.
         name = Path(arguments.database).name or str(arguments.database)
@@ -297,6 +317,8 @@ def _named_databases(specifiers: Sequence[str]) -> dict[str, object]:
 def _command_serve(arguments: argparse.Namespace) -> int:
     if arguments.no_optimizer:
         os.environ[OPTIMIZER_ENV_FLAG] = "1"
+    if arguments.no_sip:
+        os.environ[SIP_ENV_FLAG] = "1"
     if arguments.shards < 1:
         print("error: --shards must be at least 1", file=sys.stderr)
         return 2
@@ -322,7 +344,12 @@ def _command_serve(arguments: argparse.Namespace) -> int:
     if arguments.warm is not None:
         from repro.workloads.traffic import load_traffic_log
 
-        warm_requests = load_traffic_log(arguments.warm)
+        try:
+            warm_requests = load_traffic_log(arguments.warm)
+        except ReproError as error:
+            # A stale or corrupt warm-up log is a degraded boot, not a failed
+            # one: the server starts cold and says why.
+            print(f"warning: skipping warm-up — {error}", file=sys.stderr)
 
     cluster = None
     temporary_store = None
@@ -416,6 +443,16 @@ def _command_cluster(arguments: argparse.Namespace) -> int:
             rows.append([name, record.fingerprint[:12], record.metadata.get("kind", "")])
         print(format_table(["snapshot", "fingerprint", "kind"], rows))
         return 0
+    if arguments.action == "gc":
+        store = SnapshotStore(arguments.store)
+        deleted = store.gc()
+        if not deleted:
+            print("nothing to collect: every stored object is referenced")
+            return 0
+        for fingerprint in deleted:
+            print(f"deleted unreferenced object {fingerprint[:12]}...")
+        print(f"collected {len(deleted)} object(s)")
+        return 0
     raise ReproError(f"unknown cluster action {arguments.action!r}")  # pragma: no cover - argparse guards
 
 
@@ -441,6 +478,8 @@ def _command_client(arguments: argparse.Namespace) -> int:
         for label, counters in (("answer cache", stats.answer_cache), ("parse cache", stats.parse_cache)):
             print(f"{label}: " + ", ".join(f"{key}={value}" for key, value in sorted(counters.items())))
         print("batch: " + ", ".join(f"{key}={value}" for key, value in sorted(stats.batch.items())))
+        if stats.feedback:
+            print("feedback: " + ", ".join(f"{key}={value}" for key, value in sorted(stats.feedback.items())))
         return 0
     if arguments.action == "info":
         info = client.info(arguments.name)

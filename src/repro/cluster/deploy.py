@@ -94,7 +94,7 @@ class Cluster:
         """Hard-kill one worker process (failover drills; replicas take over)."""
         if not 0 <= index < len(self.workers):
             raise ClusterError(f"no worker {index} (cluster has {len(self.workers)})")
-        self.workers[index].stop()
+        self.workers[index].kill()
 
     def close(self) -> None:
         """Stop the router's pools and terminate every worker (idempotent)."""

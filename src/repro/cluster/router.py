@@ -320,6 +320,7 @@ class ClusterRouter:
                 "databases": list(remote.databases),
                 "answer_cache": dict(remote.answer_cache),
                 "plan_cache": dict(remote.plan_cache),
+                "feedback": dict(remote.feedback),
             }
 
         if len(self._workers) > 1 and not self._lifecycle.closed:
@@ -327,6 +328,14 @@ class ClusterRouter:
         else:
             summaries = [probe(state) for state in self._workers]
         workers = {str(state.index): summary for state, summary in zip(self._workers, summaries)}
+        # Aggregate the adaptive-execution counters across live workers so an
+        # operator sees cluster-wide feedback activity without per-shard math;
+        # the per-worker breakdown stays available under "workers".
+        feedback_total: dict[str, int] = {}
+        for summary in summaries:
+            for counter, value in summary.get("feedback", {}).items():
+                if isinstance(value, int):
+                    feedback_total[counter] = feedback_total.get(counter, 0) + value
         with self._lock:
             routed = dict(self._routed)
             batch = {"executed": self._batch_executed, "deduplicated": self._batch_deduplicated}
@@ -338,6 +347,7 @@ class ClusterRouter:
             batch=batch,
             uptime_seconds=time.monotonic() - self._started,
             plan_cache=self._plans.stats().as_dict(),
+            feedback=feedback_total,
             cluster={
                 "workers": workers,
                 "routing": routed,

@@ -36,6 +36,7 @@ __all__ = [
     "WorkerSpec",
     "WorkerHandle",
     "worker_main",
+    "persist_feedback",
 ]
 
 START_METHOD_ENV = "REPRO_CLUSTER_START_METHOD"
@@ -77,13 +78,46 @@ class WorkerSpec:
         return kwargs
 
 
+def persist_feedback(service, store) -> int:
+    """Merge a service's observed cardinalities into the snapshot store.
+
+    Returns how many snapshots were updated.  Best-effort by design: a store
+    directory that vanished (the deployer's temporary-store cleanup) must
+    not turn a clean worker shutdown into a crash.
+    """
+    from repro.errors import ReproError
+
+    updated = 0
+    try:
+        learned = service.export_feedback()
+    except (ReproError, OSError):
+        return updated
+    for fingerprint, observed in learned.items():
+        # Per-snapshot best effort: one gc'ed object or failed disk write
+        # must not drop the feedback of the remaining healthy snapshots.
+        try:
+            store.merge_observed(fingerprint, observed)
+        except (ReproError, OSError):
+            continue
+        updated += 1
+    return updated
+
+
 def worker_main(spec: WorkerSpec, channel) -> None:
     """Child-process entry point: load snapshots, bind, report, serve forever.
 
     Imports happen here rather than at module top level so a ``spawn``-ed
     child (which re-imports this module) pays them once, and so the parent's
     import of :mod:`repro.cluster` stays light.
+
+    SIGTERM (the deployer's ``stop()``) triggers a graceful exit so the
+    worker can persist what its feedback loop learned: observed subplan
+    cardinalities go back into the store, and the next worker to boot from
+    those snapshots plans with them from its very first query.
     """
+    import signal
+    import threading
+
     from repro.cluster.store import SnapshotStore
     from repro.service.engine import QueryService
     from repro.service.server import make_server
@@ -100,6 +134,13 @@ def worker_main(spec: WorkerSpec, channel) -> None:
         channel.send(("error", f"{type(error).__name__}: {error}"))
         channel.close()
         return
+
+    def _graceful_stop(signum, frame) -> None:
+        # shutdown() must not run on the thread inside serve_forever (it
+        # would wait on itself); hand it to a helper thread and return.
+        threading.Thread(target=server.shutdown, name="repro-worker-stop", daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _graceful_stop)
     channel.send(("ready", server.server_address[1]))
     channel.close()
     try:
@@ -107,6 +148,7 @@ def worker_main(spec: WorkerSpec, channel) -> None:
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown only
         pass
     finally:
+        persist_feedback(service, store)
         server.server_close()
 
 
@@ -174,7 +216,10 @@ class WorkerHandle:
         return self.process is not None and self.process.is_alive()
 
     def stop(self, timeout: float = 5.0) -> None:
-        """Terminate the process (idempotent; escalates to kill)."""
+        """Terminate gracefully (SIGTERM: drain, persist feedback; idempotent).
+
+        Escalates to SIGKILL if the graceful path wedges.
+        """
         process = self.process
         if process is None:
             return
@@ -185,3 +230,17 @@ class WorkerHandle:
             if process.is_alive():  # pragma: no cover - stuck process safety net
                 process.kill()
                 process.join(timeout=timeout)
+
+    def kill(self, timeout: float = 5.0) -> None:
+        """Hard-kill (SIGKILL): simulates a crash — nothing persists, by design.
+
+        Failover drills use this; a graceful SIGTERM would persist feedback
+        and drain connections, which is precisely what a crash never does.
+        """
+        process = self.process
+        if process is None:
+            return
+        self.alive = False
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=timeout)

@@ -31,6 +31,7 @@ from repro.physical.database import PhysicalDatabase
 from repro.physical.indexes import indexes_for
 from repro.physical.plan import (
     ActiveDomain,
+    AntiJoin,
     CrossProduct,
     Difference,
     EquiJoin,
@@ -42,6 +43,7 @@ from repro.physical.plan import (
     RenameColumns,
     ScanRelation,
     Selection,
+    SemiJoin,
     Table,
     UnionAll,
 )
@@ -49,9 +51,24 @@ from repro.physical.plan import (
 __all__ = ["execute", "output_columns", "plan_size", "plan_to_text"]
 
 
-def execute(plan: PlanNode, database: PhysicalDatabase, *, use_indexes: bool = True) -> Table:
-    """Execute *plan* against *database* and return the result table."""
-    context = _ExecutionContext(database, use_indexes)
+def execute(
+    plan: PlanNode,
+    database: PhysicalDatabase,
+    *,
+    use_indexes: bool = True,
+    recorder=None,
+) -> Table:
+    """Execute *plan* against *database* and return the result table.
+
+    *recorder* (any object with ``record(node, rows)``, e.g. a
+    :class:`~repro.physical.statistics.CardinalityRecorder`) receives the
+    actual row counts of every materialization point — the root, memoized
+    shared subplans, join build sides and difference/anti-join filters — the
+    raw material of feedback-driven re-optimization.  Recording costs one
+    call per *materialized* intermediate, so the streaming hot path is
+    untouched.
+    """
+    context = _ExecutionContext(database, use_indexes, recorder)
     context.mark_shared_subplans(plan)
     return context.table(plan)
 
@@ -64,9 +81,10 @@ def output_columns(plan: PlanNode, database: PhysicalDatabase) -> tuple[str, ...
 class _ExecutionContext:
     """Per-execution state: column resolution, shared-subplan memo, indexes."""
 
-    def __init__(self, database: PhysicalDatabase, use_indexes: bool) -> None:
+    def __init__(self, database: PhysicalDatabase, use_indexes: bool, recorder=None) -> None:
         self.database = database
         self.use_indexes = use_indexes
+        self.recorder = recorder
         self._columns: dict[PlanNode, tuple[str, ...]] = {}
         self._memo: dict[PlanNode, Table] = {}
         self._shared: frozenset[PlanNode] = frozenset()
@@ -157,6 +175,16 @@ class _ExecutionContext:
                     f"set operation operands have different columns: {right} vs {left}"
                 )
             return left
+        if isinstance(plan, (SemiJoin, AntiJoin)):
+            source = self.columns(plan.source)
+            filter_columns = self.columns(plan.filter)
+            kind = "semi-join" if isinstance(plan, SemiJoin) else "anti-join"
+            for source_column, filter_column in plan.pairs:
+                if source_column not in source:
+                    raise EvaluationError(f"{kind} pairs unknown source column {source_column!r}")
+                if filter_column not in filter_columns:
+                    raise EvaluationError(f"{kind} pairs unknown filter column {filter_column!r}")
+            return source
         raise EvaluationError(f"unknown plan node: {plan!r}")
 
     # Materialization ----------------------------------------------------------
@@ -168,6 +196,8 @@ class _ExecutionContext:
             cached = Table(self.columns(plan), frozenset(self._iterate(plan)))
             if plan in self._shared:
                 self._memo[plan] = cached
+            if self.recorder is not None:
+                self.recorder.record(plan, len(cached.rows))
         return cached
 
     def rows(self, plan: PlanNode) -> Iterator[tuple]:
@@ -231,9 +261,17 @@ class _ExecutionContext:
         if isinstance(plan, Difference):
             columns = self.columns(plan)
             excluded = set(self._aligned_rows(plan.right, columns))
+            if self.recorder is not None:
+                self.recorder.record(plan.right, len(excluded))
             for row in self.rows(plan.left):
                 if row not in excluded:
                     yield row
+            return
+        if isinstance(plan, SemiJoin):
+            yield from self._iterate_semi_join(plan)
+            return
+        if isinstance(plan, AntiJoin):
+            yield from self._iterate_anti_join(plan)
             return
         raise EvaluationError(f"unknown plan node: {plan!r}")
 
@@ -296,9 +334,52 @@ class _ExecutionContext:
             if index is not None:
                 return index
         buckets: dict[tuple, list[tuple]] = {}
+        total = 0
         for row in self.rows(build):
             buckets.setdefault(tuple(row[i] for i in key_positions), []).append(row)
+            total += 1
+        if self.recorder is not None:
+            self.recorder.record(build, total)
         return buckets
+
+    def _filter_keys(self, plan: SemiJoin | AntiJoin) -> set[tuple]:
+        """The distinct key tuples of a semi/anti-join's filter side."""
+        filter_columns = self.columns(plan.filter)
+        positions = [filter_columns.index(column) for __, column in plan.pairs]
+        keys = {tuple(row[i] for i in positions) for row in self.rows(plan.filter)}
+        if self.recorder is not None and {column for __, column in plan.pairs} == set(filter_columns):
+            # Only when the pairs cover every filter column is the distinct
+            # key count the node's true cardinality; a partial key (pairs
+            # split across join sides) would record a misleading undercount.
+            self.recorder.record(plan.filter, len(keys))
+        return keys
+
+    def _iterate_semi_join(self, plan: SemiJoin) -> Iterator[tuple]:
+        source_columns = self.columns(plan.source)
+        positions = tuple(source_columns.index(column) for column, __ in plan.pairs)
+        keys = self._filter_keys(plan)
+        if not keys:
+            return
+        if self.use_indexes and plan.pairs and isinstance(plan.source, ScanRelation):
+            # The sideways payoff: probe the stored prefix index once per key
+            # instead of scanning the whole relation.  Buckets are disjoint
+            # per key, so no row is produced twice.
+            index = indexes_for(self.database).prefix(plan.source.relation, positions)
+            if index is not None:
+                for key in keys:
+                    yield from index.get(key, _NO_ROWS)
+                return
+        for row in self.rows(plan.source):
+            if tuple(row[i] for i in positions) in keys:
+                yield row
+
+    def _iterate_anti_join(self, plan: AntiJoin) -> Iterator[tuple]:
+        source_columns = self.columns(plan.source)
+        positions = tuple(source_columns.index(column) for column, __ in plan.pairs)
+        keys = self._filter_keys(plan)
+        for row in self.rows(plan.source):
+            if tuple(row[i] for i in positions) not in keys:
+                yield row
 
     def _iterate_equi_join(self, plan: EquiJoin) -> Iterator[tuple]:
         left_columns = self.columns(plan.left)
@@ -360,6 +441,9 @@ def plan_to_text(plan: PlanNode, indent: int = 0) -> str:
     elif isinstance(plan, EquiJoin):
         pairs = ", ".join(f"{left}={right}" for left, right in plan.pairs)
         header = f"{pad}EquiJoin({pairs})"
+    elif isinstance(plan, (SemiJoin, AntiJoin)):
+        pairs = ", ".join(f"{source}={filtered}" for source, filtered in plan.pairs)
+        header = f"{pad}{type(plan).__name__}({pairs})"
     else:
         header = f"{pad}{type(plan).__name__}"
     parts = [header]

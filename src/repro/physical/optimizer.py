@@ -24,22 +24,38 @@ This module rewrites a compiled plan into an equivalent cheaper one:
   before joins, shrinking intermediate widths and row counts;
 * **common-subplan deduplication** — structurally equal subtrees are
   interned to a single object; the executor's memo table then computes each
-  one once per execution.
+  one once per execution;
+* **sideways information passing (semi-join reduction)** — when one join
+  input is estimated far smaller than another, the large input is reduced by
+  a :class:`~repro.physical.plan.SemiJoin` against the small input's key set
+  *before* the join, pushed down to the underlying scans (where the stored
+  hash indexes turn a full pass into per-key probes); differences whose
+  right side is expensive get the symmetric
+  :class:`~repro.physical.plan.AntiJoin` treatment.
+
+The estimator also consults **observed cardinalities**: actual subplan row
+counts recorded by previous executions (:class:`~repro.physical.statistics.CardinalityRecorder`,
+folded in through :func:`apply_feedback`).  When an observation contradicts
+the model badly enough the serving layer re-optimizes the query — the
+feedback loop that turns the plan-once compiler into an adaptive runtime.
 
 Every rewrite preserves the result *exactly* — same columns in the same
 order, same row set — so the optimizer can be toggled freely: set the
 ``REPRO_NO_OPTIMIZER`` environment variable (or pass ``--no-optimizer`` to
-the CLI) to fall back to naive plans when debugging.
+the CLI) to fall back to naive plans when debugging, or ``REPRO_NO_SIP`` /
+``--no-sip`` to keep everything but the semi-join reducer.
 """
 
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 
 from repro.physical.algebra import _ExecutionContext
 from repro.physical.database import PhysicalDatabase
 from repro.physical.plan import (
     ActiveDomain,
+    AntiJoin,
     CrossProduct,
     Difference,
     EquiJoin,
@@ -51,23 +67,56 @@ from repro.physical.plan import (
     RenameColumns,
     ScanRelation,
     Selection,
+    SemiJoin,
     UnionAll,
+    plan_fingerprint,
 )
-from repro.physical.statistics import Statistics, statistics_for
+from repro.physical.statistics import CardinalityRecorder, Statistics, statistics_for
 
-__all__ = ["OPTIMIZER_ENV_FLAG", "optimizer_enabled", "optimize", "maybe_optimize"]
+__all__ = [
+    "OPTIMIZER_ENV_FLAG",
+    "SIP_ENV_FLAG",
+    "DEFAULT_FEEDBACK_THRESHOLD",
+    "FeedbackOutcome",
+    "optimizer_enabled",
+    "sip_enabled",
+    "optimize",
+    "maybe_optimize",
+    "apply_feedback",
+    "plan_cost",
+]
 
 #: Setting this environment variable to anything but ``0``/``false``/``no``
 #: disables plan optimization everywhere (the CLI's ``--no-optimizer`` flag
 #: and the benchmarks' naive configuration use explicit arguments instead).
 OPTIMIZER_ENV_FLAG = "REPRO_NO_OPTIMIZER"
 
+#: Same convention for the sideways-information-passing pass alone: set to
+#: disable semi-join reduction while keeping the rest of the optimizer.
+SIP_ENV_FLAG = "REPRO_NO_SIP"
+
 _SELECTIVITY_OPAQUE = 1.0 / 3.0
+
+#: Sideways information passing only fires when the reduced side is at least
+#: this many times the filter side's estimate...
+_SIP_RATIO = 4.0
+#: ...and estimated at least this many rows (tiny inputs are never worth it).
+_SIP_MIN_ROWS = 64.0
+
+#: An observation must contradict the model by at least this factor (either
+#: direction) before it is recorded and the cached plan declared stale.
+DEFAULT_FEEDBACK_THRESHOLD = 8.0
 
 
 def optimizer_enabled() -> bool:
     """Whether plans should be optimized by default (honours the env flag)."""
     value = os.environ.get(OPTIMIZER_ENV_FLAG, "").strip().lower()
+    return value in ("", "0", "false", "no")
+
+
+def sip_enabled() -> bool:
+    """Whether the semi-join reducer should run (honours ``REPRO_NO_SIP``)."""
+    value = os.environ.get(SIP_ENV_FLAG, "").strip().lower()
     return value in ("", "0", "false", "no")
 
 
@@ -80,12 +129,20 @@ def maybe_optimize(
     return optimize(plan, database) if enabled else plan
 
 
-def optimize(plan: PlanNode, database: PhysicalDatabase, statistics: Statistics | None = None) -> PlanNode:
+def optimize(
+    plan: PlanNode,
+    database: PhysicalDatabase,
+    statistics: Statistics | None = None,
+    sip: bool | None = None,
+) -> PlanNode:
     """Rewrite *plan* into an equivalent plan that executes faster.
 
     The output has exactly the same columns (names *and* order) and row set
-    as the input on *database* — callers may substitute it blindly.
+    as the input on *database* — callers may substitute it blindly.  *sip*
+    toggles the semi-join reducer (``None`` follows ``REPRO_NO_SIP``).
     """
+    if sip is None:
+        sip = sip_enabled()
     rewriter = _Rewriter(database, statistics or statistics_for(database))
     plan = rewriter.fold(plan)
     plan = rewriter.push_selections(plan)
@@ -93,6 +150,8 @@ def optimize(plan: PlanNode, database: PhysicalDatabase, statistics: Statistics 
     plan = rewriter.reorder_joins(plan)
     plan = rewriter.prune_columns(plan, None)
     plan = rewriter.fold(plan)
+    if sip:
+        plan = rewriter.pass_sideways(plan)
     return rewriter.intern(plan)
 
 
@@ -103,9 +162,15 @@ class _Rewriter:
         self.database = database
         self.statistics = statistics
         self._resolver = _ExecutionContext(database, use_indexes=False)
+        self._fingerprints: dict[PlanNode, str | None] = {}
 
     def cols(self, plan: PlanNode) -> tuple[str, ...]:
         return self._resolver.columns(plan)
+
+    def fingerprint(self, plan: PlanNode) -> str | None:
+        if plan not in self._fingerprints:
+            self._fingerprints[plan] = plan_fingerprint(plan)
+        return self._fingerprints[plan]
 
     # Constant folding ---------------------------------------------------------
 
@@ -381,6 +446,15 @@ class _Rewriter:
     # Cardinality estimation ---------------------------------------------------
 
     def estimate(self, plan: PlanNode) -> "_Estimate":
+        """Estimated output size; actual observed cardinalities trump the model."""
+        estimate = self._model_estimate(plan)
+        if self.statistics.has_observations():
+            observed = self.statistics.observed_rows(self.fingerprint(plan))
+            if observed is not None:
+                estimate = _Estimate(float(observed), dict(estimate.distinct)).clamped()
+        return estimate
+
+    def _model_estimate(self, plan: PlanNode) -> "_Estimate":
         columns = self.cols(plan)
         if isinstance(plan, ScanRelation):
             summary = self.statistics.relation(plan.relation)
@@ -461,6 +535,17 @@ class _Rewriter:
             return _Estimate(left.rows + right.rows, distinct)
         if isinstance(plan, Difference):
             return self.estimate(plan.left)
+        if isinstance(plan, SemiJoin):
+            source = self.estimate(plan.source)
+            filtered = self.estimate(plan.filter)
+            rows = source.rows
+            for source_column, filter_column in plan.pairs:
+                source_d = max(source.distinct.get(source_column, 1.0), 1.0)
+                filter_d = max(filtered.distinct.get(filter_column, 1.0), 1.0)
+                rows *= min(1.0, filter_d / source_d)
+            return _Estimate(rows, dict(source.distinct)).clamped()
+        if isinstance(plan, AntiJoin):
+            return self.estimate(plan.source)
         return _Estimate(1.0, {column: 1.0 for column in columns})
 
     # Projection pushdown ------------------------------------------------------
@@ -552,6 +637,165 @@ class _Rewriter:
                 self._prune(plan.left, None),
                 self._prune(plan.right, None),
             )
+        return plan
+
+    # Sideways information passing (semi-join reduction) ------------------------
+
+    def pass_sideways(self, plan: PlanNode) -> PlanNode:
+        """Reduce expensive join/difference inputs by their siblings' key sets.
+
+        For every two-input operator whose one side is estimated much smaller
+        than the other, the large side is rewritten to a superset-free
+        reduction: a :class:`SemiJoin` against the small side's key
+        projection, pushed down to the underlying scans.  The filter subplan
+        is (a projection of) the sibling itself, so after interning the
+        executor's memo computes it exactly once per execution.  Every
+        insertion preserves the final answer bit-for-bit: a semi-join only
+        removes rows the enclosing operator would have dropped anyway.
+        """
+        children = _named_children(plan)
+        if children:
+            plan = _rebuild(
+                plan, type(plan), **{name: self.pass_sideways(child) for name, child in children}
+            )
+        if isinstance(plan, NaturalJoin):
+            shared = tuple(
+                column for column in self.cols(plan.left) if column in self.cols(plan.right)
+            )
+            if shared:
+                pairs = tuple((column, column) for column in shared)
+                return self._reduce_sides(plan, pairs, pairs)
+            return plan
+        if isinstance(plan, EquiJoin) and plan.pairs:
+            left_pairs = plan.pairs  # (left column, right column): reduce the left
+            right_pairs = tuple((right, left) for left, right in plan.pairs)
+            return self._reduce_sides(plan, left_pairs, right_pairs)
+        if isinstance(plan, Difference):
+            return self._reduce_difference(plan)
+        return plan
+
+    def _reduce_sides(
+        self,
+        join: NaturalJoin | EquiJoin,
+        left_pairs: tuple[tuple[str, str], ...],
+        right_pairs: tuple[tuple[str, str], ...],
+    ) -> PlanNode:
+        """Semi-join-reduce whichever join input dwarfs its sibling."""
+        left_rows = self.estimate(join.left).rows
+        right_rows = self.estimate(join.right).rows
+        if right_rows >= _SIP_MIN_ROWS and right_rows >= _SIP_RATIO * max(left_rows, 1.0):
+            reduced = self._reduce(join.right, join.left, right_pairs)
+            return _rebuild(join, type(join), right=reduced)
+        if left_rows >= _SIP_MIN_ROWS and left_rows >= _SIP_RATIO * max(right_rows, 1.0):
+            reduced = self._reduce(join.left, join.right, left_pairs)
+            return _rebuild(join, type(join), left=reduced)
+        return join
+
+    def _reduce_difference(self, difference: Difference) -> PlanNode:
+        """``L - R == AntiJoin(L, R ⋉ L)``: only filter rows keyed like ``L`` matter.
+
+        Worth it when the right side is expensive and the left is small (the
+        usual shape once selections are pushed: a selective left minus a
+        negated-subquery right).  A left that is the compiler's
+        active-domain universe is skipped — its key set covers everything,
+        so the reduction could not drop a single row.
+        """
+        left_rows = self.estimate(difference.left).rows
+        right_rows = self.estimate(difference.right).rows
+        if right_rows < _SIP_MIN_ROWS or right_rows < _SIP_RATIO * max(left_rows, 1.0):
+            return difference
+        if _is_universe(difference.left):
+            return difference
+        columns = self.cols(difference.left)
+        pairs = tuple((column, column) for column in columns)
+        reduced = self._reduce(difference.right, difference.left, pairs)
+        if reduced == difference.right:
+            # Structural equality, not identity: _push_semi rebuilds wrapper
+            # nodes even when no SemiJoin landed anywhere beneath them.
+            return difference
+        return AntiJoin(difference.left, reduced, pairs)
+
+    def _reduce(
+        self,
+        source: PlanNode,
+        sibling: PlanNode,
+        pairs: tuple[tuple[str, str], ...],
+    ) -> PlanNode:
+        """Reduce *source* by *sibling*'s keys; returns *source* when not worth it.
+
+        ``pairs`` is ``(source column, sibling column)``.  The filter becomes
+        a projection of the sibling onto its key columns, so the sibling
+        subplan is shared with its original occurrence through the memo.
+        """
+        if not pairs:
+            return source
+        key_columns = tuple(dict.fromkeys(column for __, column in pairs))
+        sibling_columns = self.cols(sibling)
+        filter_plan = sibling if sibling_columns == key_columns else Projection(sibling, key_columns)
+        return self._push_semi(source, filter_plan, pairs)
+
+    def _push_semi(
+        self,
+        plan: PlanNode,
+        filter_plan: PlanNode,
+        pairs: tuple[tuple[str, str], ...],
+    ) -> PlanNode:
+        """Push a semi-join filter down *plan*; returns *plan* where pointless.
+
+        Invariant: the result agrees with *plan* exactly on rows whose pair
+        key occurs in the filter; rows it adds or drops all have keys outside
+        the filter, and every caller sits under an operator that discards
+        those rows anyway (the sibling join input, or the anti/semi-join key
+        intersection).  That is what makes partial pushes — splitting pairs
+        across join sides, leaving un-pushable branches untouched — sound.
+        """
+        if not pairs:
+            return plan
+        if isinstance(plan, Selection):
+            return _rebuild(plan, Selection, source=self._push_semi(plan.source, filter_plan, pairs))
+        if isinstance(plan, Projection):
+            return Projection(self._push_semi(plan.source, filter_plan, pairs), plan.columns)
+        if isinstance(plan, RenameColumns):
+            inverse = {new: old for old, new in plan.renaming}
+            mapped = tuple((inverse.get(column, column), key) for column, key in pairs)
+            return RenameColumns(self._push_semi(plan.source, filter_plan, mapped), plan.renaming)
+        if isinstance(plan, (NaturalJoin, EquiJoin, CrossProduct)):
+            left_columns = set(self.cols(plan.left))
+            right_columns = set(self.cols(plan.right))
+            left_pairs = tuple(pair for pair in pairs if pair[0] in left_columns)
+            right_pairs = tuple(
+                pair for pair in pairs if pair[0] not in left_columns and pair[0] in right_columns
+            )
+            replacements = {}
+            if left_pairs:
+                replacements["left"] = self._push_semi(plan.left, filter_plan, left_pairs)
+            if right_pairs:
+                replacements["right"] = self._push_semi(plan.right, filter_plan, right_pairs)
+            return _rebuild(plan, type(plan), **replacements) if replacements else plan
+        if isinstance(plan, UnionAll):
+            return UnionAll(
+                self._push_semi(plan.left, filter_plan, pairs),
+                self._push_semi(plan.right, filter_plan, pairs),
+            )
+        if isinstance(plan, Difference):
+            # Both sides: rows of either side outside the filter's keys can
+            # only affect result rows that are themselves outside those keys.
+            return Difference(
+                self._push_semi(plan.left, filter_plan, pairs),
+                self._push_semi(plan.right, filter_plan, pairs),
+            )
+        if isinstance(plan, (SemiJoin, AntiJoin)):
+            source = self._push_semi(plan.source, filter_plan, pairs)
+            own = dict(plan.pairs)
+            translated = tuple((own[column], key) for column, key in pairs if column in own)
+            filtered = plan.filter
+            if translated:
+                filtered = self._push_semi(plan.filter, filter_plan, translated)
+            return type(plan)(source, filtered, plan.pairs)
+        if isinstance(plan, ScanRelation):
+            return SemiJoin(plan, filter_plan, pairs)
+        # IndexScan (already selective), literals, active domains: the filter
+        # would cost more than the rows it could remove.
         return plan
 
     # Common-subplan interning -------------------------------------------------
@@ -652,7 +896,18 @@ def _named_children(plan: PlanNode) -> list[tuple[str, PlanNode]]:
         return [("source", plan.source)]
     if isinstance(plan, (NaturalJoin, EquiJoin, CrossProduct, UnionAll, Difference)):
         return [("left", plan.left), ("right", plan.right)]
+    if isinstance(plan, (SemiJoin, AntiJoin)):
+        return [("source", plan.source), ("filter", plan.filter)]
     return []
+
+
+def _is_universe(plan: PlanNode) -> bool:
+    """Whether *plan* is the compiler's active-domain universe (or a product of them)."""
+    if isinstance(plan, ActiveDomain):
+        return True
+    if isinstance(plan, CrossProduct):
+        return _is_universe(plan.left) and _is_universe(plan.right)
+    return False
 
 
 def _rebuild(plan: PlanNode, node_type, **replacements) -> PlanNode:
@@ -662,3 +917,81 @@ def _rebuild(plan: PlanNode, node_type, **replacements) -> PlanNode:
         return plan
     fields.update(replacements)
     return node_type(**fields)
+
+
+# Runtime cardinality feedback --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FeedbackOutcome:
+    """What one execution's observations did to the database's statistics."""
+
+    #: observations newly recorded into the statistics (fingerprintable nodes
+    #: whose actual cardinality contradicted the model beyond the threshold).
+    recorded: int
+    #: observations examined (fingerprintable materialization points).
+    examined: int
+
+    @property
+    def diverged(self) -> bool:
+        """Whether the plan that produced these observations is now stale."""
+        return self.recorded > 0
+
+
+def apply_feedback(
+    database: PhysicalDatabase,
+    recorder: CardinalityRecorder,
+    threshold: float = DEFAULT_FEEDBACK_THRESHOLD,
+    statistics: Statistics | None = None,
+) -> FeedbackOutcome:
+    """Fold one execution's actual cardinalities into *database*'s statistics.
+
+    Every materialization point the executor recorded is compared against the
+    model's estimate; an actual that is off by at least *threshold* (in
+    either direction) is stored under the subplan's content fingerprint, so
+    the next optimization of any plan containing that subtree estimates it
+    correctly.  Already-recorded fingerprints are refreshed silently and
+    never re-reported — re-optimizing on every execution would thrash, and
+    skipping known observations makes the feedback loop converge (each
+    re-optimization can only add new fingerprints).
+    """
+    statistics = statistics or statistics_for(database)
+    rewriter = _Rewriter(database, statistics)
+    recorded = examined = 0
+    for node, actual in recorder.observations.items():
+        fingerprint = rewriter.fingerprint(node)
+        if fingerprint is None:
+            continue
+        examined += 1
+        if statistics.observed_rows(fingerprint) is not None:
+            statistics.record_observed(fingerprint, actual)
+            continue
+        estimated = rewriter._model_estimate(node).rows
+        larger = max(float(actual), estimated, 1.0)
+        smaller = max(min(float(actual), estimated), 1.0)
+        if larger / smaller >= threshold:
+            statistics.record_observed(fingerprint, actual)
+            recorded += 1
+    return FeedbackOutcome(recorded=recorded, examined=examined)
+
+
+def plan_cost(plan: PlanNode, database: PhysicalDatabase, statistics: Statistics | None = None) -> float:
+    """A scalar cost for *plan*: total estimated rows flowing through it.
+
+    Each distinct subtree is charged once (the executor's memo computes
+    shared subplans once), with a small per-node constant so empty plans are
+    not free.  Used by the engine dispatcher to weigh the algebra route
+    against Tarskian enumeration — relative magnitude is all that matters.
+    """
+    rewriter = _Rewriter(database, statistics or statistics_for(database))
+    seen: set[int] = set()
+    total = 0.0
+    pending = [plan]
+    while pending:
+        node = pending.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        total += 1.0 + rewriter.estimate(node).rows
+        pending.extend(node.children())
+    return total

@@ -14,6 +14,7 @@ rows with named columns — when executed.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
@@ -31,9 +32,12 @@ __all__ = [
     "RenameColumns",
     "NaturalJoin",
     "EquiJoin",
+    "SemiJoin",
+    "AntiJoin",
     "CrossProduct",
     "UnionAll",
     "Difference",
+    "plan_fingerprint",
 ]
 
 
@@ -224,6 +228,47 @@ class EquiJoin(PlanNode):
 
 
 @dataclass(frozen=True)
+class SemiJoin(PlanNode):
+    """Keep the source rows whose key appears in the filter's key projection.
+
+    ``pairs`` holds ``(source_column, filter_column)`` equalities; the output
+    has exactly the source's columns.  The optimizer's sideways-information-
+    passing pass inserts these to pre-filter a large join input with the key
+    set of a selective sibling — the filter subplan is typically structurally
+    equal to that sibling, so the executor's memo computes it once.  When the
+    source is a bare relation scan the executor probes the stored hash index
+    per key instead of scanning, turning a full-relation pass into a handful
+    of lookups.
+    """
+
+    source: PlanNode
+    filter: PlanNode
+    pairs: tuple[tuple[str, str], ...]
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.source, self.filter)
+
+
+@dataclass(frozen=True)
+class AntiJoin(PlanNode):
+    """Keep the source rows whose key does *not* appear in the filter.
+
+    The complement of :class:`SemiJoin`; with every source column paired it
+    is exactly a :class:`Difference` whose right side may have its columns in
+    a different order.  The optimizer produces it when semi-join-reducing the
+    right side of a set difference (only filter rows whose key occurs on the
+    left can ever exclude anything).
+    """
+
+    source: PlanNode
+    filter: PlanNode
+    pairs: tuple[tuple[str, str], ...]
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.source, self.filter)
+
+
+@dataclass(frozen=True)
 class CrossProduct(PlanNode):
     """Cartesian product; the operand column sets must be disjoint."""
 
@@ -254,3 +299,63 @@ class Difference(PlanNode):
 
     def children(self) -> tuple[PlanNode, ...]:
         return (self.left, self.right)
+
+
+def plan_fingerprint(plan: PlanNode) -> str | None:
+    """A stable content key for a plan subtree, or ``None`` if it has none.
+
+    Two structurally equal plans — in any process, at any time — get the same
+    fingerprint, which is what lets observed cardinalities recorded by one
+    execution (:mod:`repro.physical.statistics`) be found again by a later
+    re-optimization, and survive a JSON round trip through the snapshot
+    store.  Plans containing an opaque ``Selection.condition`` callable are
+    unfingerprintable (``None``): a function cannot be keyed by content.
+    """
+    parts: list[str] = []
+    if not _fingerprint_parts(plan, parts):
+        return None
+    return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
+
+
+def _fingerprint_parts(plan: PlanNode, parts: list[str]) -> bool:
+    if isinstance(plan, ScanRelation):
+        parts.append(f"Scan:{plan.relation}:{','.join(plan.columns)}")
+        return True
+    if isinstance(plan, IndexScan):
+        probe = ";".join(f"{column}={value!r}" for column, value in plan.bindings)
+        parts.append(f"IndexScan:{plan.relation}:{','.join(plan.columns)}:{probe}")
+        return True
+    if isinstance(plan, ActiveDomain):
+        parts.append(f"ActiveDomain:{plan.column}")
+        return True
+    if isinstance(plan, LiteralTable):
+        rows = ";".join(repr(row) for row in sorted(plan.rows, key=repr))
+        parts.append(f"Literal:{','.join(plan.columns)}:{rows}")
+        return True
+    if isinstance(plan, Selection):
+        if plan.condition is not None:
+            return False
+        bindings = ";".join(f"{column}={value!r}" for column, value in plan.bindings)
+        equalities = ";".join(",".join(group) for group in plan.equalities)
+        parts.append(f"Select:{bindings}:{equalities}")
+        return _fingerprint_parts(plan.source, parts)
+    if isinstance(plan, Projection):
+        parts.append(f"Project:{','.join(plan.columns)}")
+        return _fingerprint_parts(plan.source, parts)
+    if isinstance(plan, RenameColumns):
+        renames = ";".join(f"{old}>{new}" for old, new in plan.renaming)
+        parts.append(f"Rename:{renames}")
+        return _fingerprint_parts(plan.source, parts)
+    if isinstance(plan, (EquiJoin, SemiJoin, AntiJoin)):
+        pairs = ";".join(f"{left}={right}" for left, right in plan.pairs)
+        parts.append(f"{type(plan).__name__}:{pairs}")
+    elif isinstance(plan, (NaturalJoin, CrossProduct, UnionAll, Difference)):
+        parts.append(type(plan).__name__)
+    else:
+        return False
+    parts.append("(")
+    for child in plan.children():
+        if not _fingerprint_parts(child, parts):
+            return False
+    parts.append(")")
+    return True

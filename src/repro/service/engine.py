@@ -20,7 +20,15 @@ clients:
   per ``(snapshot fingerprint, query_text, engine, NE encoding)``, so a warm
   server answering an uncached request (e.g. after answer-cache eviction, or
   with response caching disabled) still skips parse-rewrite-compile-optimize
-  and goes straight to plan execution.
+  and goes straight to plan execution;
+* **adaptive re-optimization** — every plan execution records actual subplan
+  cardinalities (:class:`~repro.physical.statistics.CardinalityRecorder`);
+  observations that contradict the optimizer's model beyond a threshold are
+  folded into the snapshot's statistics and the stale plan-cache entry is
+  dropped, so the query is re-optimized — with the corrected cardinalities,
+  and a possibly different engine under ``"auto"`` — on its next arrival.
+  The loop converges: only *new* divergent observations invalidate, and each
+  re-optimization can only add observations.
 
 The service is deliberately transport-agnostic: :mod:`repro.service.server`
 exposes it over HTTP and :mod:`repro.service.batch` fans request lists out
@@ -44,6 +52,13 @@ from repro.logical.exact import CertainAnswerEvaluator
 from repro.logical.mappings import DEFAULT_MAX_MAPPINGS
 from repro.logical.ph import ph2
 from repro.physical.database import PhysicalDatabase
+from repro.physical.optimizer import DEFAULT_FEEDBACK_THRESHOLD, apply_feedback
+from repro.physical.statistics import (
+    CardinalityRecorder,
+    bounded_insert,
+    preload_statistics,
+    statistics_for,
+)
 from repro.service.cache import LRUCache
 from repro.service.lifecycle import ExecutorLifecycle
 from repro.service.protocol import (
@@ -62,6 +77,11 @@ __all__ = ["RegisteredDatabase", "QueryService", "WarmupReport", "replay_warmup"
 DEFAULT_ANSWER_CACHE_CAPACITY = 4096
 DEFAULT_PARSE_CACHE_CAPACITY = 512
 DEFAULT_PLAN_CACHE_CAPACITY = 1024
+
+#: Plan-cache value meaning "the auto dispatcher chose Tarskian enumeration".
+#: Caching the *decision* (not just the absent plan) lets warm requests skip
+#: the compile + optimize + cost-model work the dispatcher needed to decide.
+_TARSKI_ROUTE = "tarski-route"
 
 
 @dataclass(frozen=True)
@@ -88,6 +108,18 @@ class RegisteredDatabase:
             # Benign race: concurrent first requests may both derive it; the
             # results are equal immutable objects and last-writer-wins.
             cached = ph2(self.database, virtual_ne=virtual_ne)
+            payload = self.__dict__.get("_statistics_payload")
+            if payload is not None and virtual_ne:
+                # The persisted relation statistics describe the materialized
+                # storage (different NE encoding); observed cardinalities are
+                # safe to share — a fingerprint either names an NE-touching
+                # subplan (exists in exactly one variant, inert in the other)
+                # or a subplan over relations both variants store identically
+                # (same actual cardinality either way).  Seed just those, so
+                # feedback learned on virtual-NE traffic survives a reboot.
+                preload_statistics(cached, {"observed": payload.get("observed", {})})
+            elif payload is not None:
+                preload_statistics(cached, payload)
             object.__setattr__(self, attribute, cached)
         return cached
 
@@ -120,10 +152,16 @@ def replay_warmup(execute, requests) -> WarmupReport:
 
     Shared by :meth:`QueryService.warm` and the cluster router's warm-up so
     the semantics (best-effort, errors counted not raised) cannot drift.
+    Malformed entries — anything that is not a :class:`QueryRequest`, e.g. a
+    hand-edited log line that parsed as a different message — count as
+    failures instead of aborting the whole replay.
     """
     total = warmed = already = failed = 0
     for request in requests:
         total += 1
+        if not isinstance(request, QueryRequest):
+            failed += 1
+            continue
         try:
             response = execute(request)
         except ReproError:
@@ -151,6 +189,11 @@ class QueryService:
         caching (every uncached request recompiles).
     max_mappings:
         Safety cap forwarded to exact certain-answer evaluation.
+    feedback_threshold:
+        How far (as a factor, either direction) an observed subplan
+        cardinality must diverge from the optimizer's estimate before the
+        statistics learn it and the cached plan is re-optimized.  ``None``
+        or ``0`` disables the adaptive feedback loop entirely.
     """
 
     def __init__(
@@ -159,6 +202,7 @@ class QueryService:
         parse_cache_capacity: int = DEFAULT_PARSE_CACHE_CAPACITY,
         plan_cache_capacity: int = DEFAULT_PLAN_CACHE_CAPACITY,
         max_mappings: int = DEFAULT_MAX_MAPPINGS,
+        feedback_threshold: float | None = DEFAULT_FEEDBACK_THRESHOLD,
     ) -> None:
         self._registry: dict[str, RegisteredDatabase] = {}
         self._registry_lock = threading.Lock()
@@ -169,6 +213,20 @@ class QueryService:
         self._started = time.monotonic()
         self._batch_executed = 0
         self._batch_deduplicated = 0
+        self._feedback_threshold = feedback_threshold or None
+        self._feedback = {"observations": 0, "invalidations": 0, "reoptimizations": 0}
+        #: plan keys dropped by feedback, awaiting re-optimization — mapped to
+        #: the statistics generation a replacement plan must have seen.
+        self._replanned: dict[tuple, int] = {}
+        #: plan keys whose observations all matched the model — mapped to the
+        #: statistics generation that was current then, so convergence expires
+        #: (and observation resumes) whenever the statistics drift; until
+        #: then their executions skip the recorder entirely.
+        self._converged: dict[tuple, int] = {}
+        #: both marker maps are bounded (a high-diversity query stream must
+        #: not grow them forever); overflowing drops the oldest entries, whose
+        #: only cost is one extra observation or invalidation round.
+        self._marker_capacity = max(plan_cache_capacity, DEFAULT_PLAN_CACHE_CAPACITY)
         self._lifecycle = ExecutorLifecycle(
             "QueryService", "create a new service instead of reusing it"
         )
@@ -226,12 +284,11 @@ class QueryService:
         """Register a snapshot loaded from a :class:`~repro.cluster.store.SnapshotStore`.
 
         This is the warm-boot path of cluster workers: the snapshot's
-        persisted optimizer statistics are seeded onto the precomputed
-        ``Ph2`` storage, so the very first plans run with real cardinalities
-        instead of triggering cold rescans.
+        persisted optimizer statistics — including observed cardinalities
+        learned by other workers' feedback loops — are seeded onto the
+        precomputed ``Ph2`` storage, so the very first plans run with real
+        cardinalities instead of triggering cold rescans.
         """
-        from repro.physical.statistics import preload_statistics
-
         snapshot = store.load(snapshot_name)
         entry = self.register(
             as_name or snapshot_name,
@@ -240,8 +297,65 @@ class QueryService:
             precompute=True,
         )
         if snapshot.statistics is not None:
-            preload_statistics(entry.storage(False), snapshot.statistics)
+            self.preload_statistics(entry.name, snapshot.statistics)
+            # Stash the payload for the lazily derived virtual-NE variant:
+            # its observed cardinalities are seeded when (if) it is built.
+            object.__setattr__(entry, "_statistics_payload", snapshot.statistics)
         return entry
+
+    def preload_statistics(self, name: str, payload: Mapping[str, object], virtual_ne: bool = False) -> int:
+        """Seed a snapshot's optimizer statistics from a persisted payload.
+
+        Plans cached for that snapshot (same fingerprint *and* ``NE``
+        encoding — statistics live per storage variant) were optimized
+        without the new information, so exactly those entries are dropped;
+        the next arrival of each query re-optimizes against the updated
+        statistics.  Returns the number of invalidated plan-cache entries.
+        """
+        entry = self.entry(name)
+        preload_statistics(entry.storage(virtual_ne), payload)
+
+        def affected(key: tuple) -> bool:
+            return key[0] == entry.fingerprint and key[3] == virtual_ne
+
+        dropped = self._plans.invalidate(affected)
+        with self._registry_lock:
+            if dropped:
+                self._feedback["invalidations"] += dropped
+            # New statistics make re-observation worthwhile again, and any
+            # pending feedback marker refers to plans that no longer exist.
+            self._converged = {
+                key: generation for key, generation in self._converged.items() if not affected(key)
+            }
+            for key in [key for key in self._replanned if affected(key)]:
+                del self._replanned[key]
+        return dropped
+
+    def export_feedback(self) -> dict[str, dict[str, int]]:
+        """Observed cardinalities per snapshot fingerprint (for persistence).
+
+        Only storage variants that were actually built and observed something
+        appear.  The cluster worker merges this into the snapshot store on
+        shutdown, which is how feedback learned under live traffic reaches
+        the next boot — and, via the store, every other worker.
+        """
+        learned: dict[str, dict[str, int]] = {}
+        with self._registry_lock:
+            entries = list(self._registry.values())
+        for entry in entries:
+            for attribute in ("_storage_materialized", "_storage_virtual"):
+                storage = entry.__dict__.get(attribute)
+                if storage is None:
+                    continue
+                statistics = storage.__dict__.get("_statistics")
+                if statistics is None or not statistics.has_observations():
+                    continue
+                # One flat map per snapshot holds both variants safely: a
+                # fingerprint shared by both names a subplan over relations
+                # the variants store identically (same cardinality), and an
+                # NE-touching fingerprint exists in only one of them.
+                learned.setdefault(entry.fingerprint, {}).update(statistics.observed)
+        return learned
 
     def unregister(self, name: str) -> None:
         """Drop a snapshot and every cached response computed from it."""
@@ -251,6 +365,14 @@ class QueryService:
             raise UnknownDatabaseError(f"unknown database {name!r}")
         self._answers.invalidate(lambda key: key[0] == entry.fingerprint)
         self._plans.invalidate(lambda key: key[0] == entry.fingerprint)
+        with self._registry_lock:
+            self._converged = {
+                key: generation
+                for key, generation in self._converged.items()
+                if key[0] != entry.fingerprint
+            }
+            for key in [key for key in self._replanned if key[0] == entry.fingerprint]:
+                del self._replanned[key]
 
     def database_names(self) -> tuple[str, ...]:
         with self._registry_lock:
@@ -327,6 +449,8 @@ class QueryService:
         return replay_warmup(self.execute, requests)
 
     def stats(self) -> StatsResponse:
+        with self._registry_lock:
+            feedback = dict(self._feedback)
         return StatsResponse(
             databases=self.database_names(),
             answer_cache=self._answers.stats().as_dict(),
@@ -334,6 +458,7 @@ class QueryService:
             batch=dict(self._batch_counters()),
             uptime_seconds=time.monotonic() - self._started,
             plan_cache=self._plans.stats().as_dict(),
+            feedback=feedback,
         )
 
     # Internals -----------------------------------------------------------------
@@ -374,6 +499,37 @@ class QueryService:
         query, __ = self._parses.get_or_compute(query_text, lambda: parse_query(query_text))
         return query
 
+    def _absorb_feedback(self, storage: PhysicalDatabase, recorder: CardinalityRecorder, plan_key: tuple) -> None:
+        """Fold one execution's observations in; drop the plan if now stale.
+
+        The *answer* that execution produced stays valid (every plan is
+        exact), so the response cache is untouched — only the plan entry is
+        invalidated so the next uncached arrival re-optimizes with the
+        corrected statistics.  An execution that teaches nothing new marks
+        the key *converged*: later executions skip the recorder entirely, so
+        the steady-state hot path pays no feedback bookkeeping.
+        """
+        statistics = statistics_for(storage)
+        outcome = apply_feedback(storage, recorder, self._feedback_threshold, statistics)
+        if outcome.diverged:
+            dropped = self._plans.invalidate(lambda key: key == plan_key)
+            with self._registry_lock:
+                self._feedback["observations"] += outcome.recorded
+                self._converged.pop(plan_key, None)
+                if dropped:
+                    self._feedback["invalidations"] += dropped
+                    bounded_insert(self._replanned, plan_key, statistics.generation, self._marker_capacity)
+            return
+        # Nothing fingerprintable, or every observation matches what the
+        # statistics already know — either way there is nothing left to learn
+        # from re-observing this exact plan.  A key with a pending
+        # re-optimization is left alone: this execution ran the doomed plan
+        # (a concurrent observer got there first), and the *replacement*
+        # still deserves observation.
+        with self._registry_lock:
+            if plan_key not in self._replanned:
+                bounded_insert(self._converged, plan_key, statistics.generation, self._marker_capacity)
+
     def _evaluate(self, entry: RegisteredDatabase, request: QueryRequest) -> QueryResponse:
         started = time.perf_counter()
         query = self._parse(request.query)
@@ -387,10 +543,60 @@ class QueryService:
             # (ph2 derivation is deterministic in both), never on the method,
             # so content-identical snapshots share plans across aliases.
             plan_key = (entry.fingerprint, request.query, request.engine, request.virtual_ne)
-            plan, __ = self._plans.get_or_compute(
-                plan_key, lambda: evaluator.plan_on_storage(storage, query)
-            )
-            approx = evaluator.answers_on_storage(storage, query, plan=plan)
+
+            def compute_plan():
+                # The generation is captured *before* optimizing, so a plan
+                # tagged >= N provably saw every observation up to N.
+                generation = statistics_for(storage).generation
+                plan = evaluator.plan_on_storage(storage, query)
+                if plan is None and request.engine == "auto":
+                    plan = _TARSKI_ROUTE
+                return (plan, generation)
+
+            plan, generation = self._plans.get_or_compute(plan_key, compute_plan)[0]
+            with self._registry_lock:
+                required = self._replanned.get(plan_key)
+                converged_at = self._converged.get(plan_key)
+            if required is not None:
+                if generation < required:
+                    # The cached plan predates the feedback that doomed it (a
+                    # compute racing the invalidation can re-cache the stale
+                    # plan): drop it and recompile with the learned statistics.
+                    self._plans.invalidate(lambda key: key == plan_key)
+                    plan, generation = self._plans.get_or_compute(plan_key, compute_plan)[0]
+                if generation >= required:
+                    with self._registry_lock:
+                        if self._replanned.pop(plan_key, None) is not None:
+                            self._feedback["reoptimizations"] += 1
+            elif converged_at is not None and generation < converged_at:
+                # A stalled pre-feedback compute can publish its stale plan
+                # *after* the replacement already converged (marker long
+                # consumed); the generation tag exposes the resurrection.
+                # The convergence verdict belonged to the replaced plan, so
+                # it goes too — the recompiled plan must be observed afresh.
+                self._plans.invalidate(lambda key: key == plan_key)
+                with self._registry_lock:
+                    self._converged.pop(plan_key, None)
+                plan, generation = self._plans.get_or_compute(plan_key, compute_plan)[0]
+            if plan is _TARSKI_ROUTE and generation < statistics_for(storage).generation:
+                # The enumeration-vs-algebra decision was costed under older
+                # statistics; corrections learned since (possibly from other
+                # queries sharing subplans) may flip it — re-decide.
+                self._plans.invalidate(lambda key: key == plan_key)
+                plan, generation = self._plans.get_or_compute(plan_key, compute_plan)[0]
+            if plan is _TARSKI_ROUTE:
+                evaluator = ApproximateEvaluator(engine="tarski", virtual_ne=request.virtual_ne)
+                plan = None
+            if self._feedback_threshold and plan is not None:
+                current_generation = statistics_for(storage).generation
+                with self._registry_lock:
+                    observe = self._converged.get(plan_key) != current_generation
+            else:
+                observe = False
+            recorder = CardinalityRecorder() if observe else None
+            approx = evaluator.answers_on_storage(storage, query, plan=plan, recorder=recorder)
+            if recorder is not None:
+                self._absorb_feedback(storage, recorder, plan_key)
             answers["approximate"] = tuple(tuple(row) for row in answers_to_wire(approx))
         if request.method in ("exact", "both"):
             exact = self._exact.certain_answers(entry.database, query)

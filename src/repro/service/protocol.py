@@ -47,7 +47,7 @@ __all__ = [
 PROTOCOL_VERSION = 1
 
 METHODS = ("approx", "exact", "both")
-ENGINES = ("tarski", "algebra")
+ENGINES = ("tarski", "algebra", "auto")
 
 
 def answers_to_wire(answers: Iterable[Sequence[str]]) -> list[list[str]]:
@@ -175,10 +175,13 @@ class StatsResponse:
     """Service-level counters: registered snapshots and cache behaviour.
 
     ``plan_cache`` reports the compiled-plan LRU (hits mean a query skipped
-    parse-rewrite-compile-optimize).  ``cluster`` is filled by the sharded
-    router front-end (:mod:`repro.cluster.router`): per-plan-kind routing
-    counters, failovers, and one stats summary per worker.  Both default to
-    empty mappings so messages from servers predating them still parse.
+    parse-rewrite-compile-optimize).  ``feedback`` reports the adaptive
+    execution loop: cardinality observations recorded, plan-cache entries
+    invalidated by divergent observations, and queries re-optimized on their
+    next arrival.  ``cluster`` is filled by the sharded router front-end
+    (:mod:`repro.cluster.router`): per-plan-kind routing counters, failovers,
+    and one stats summary per worker.  All three default to empty mappings so
+    messages from servers predating them still parse.
     """
 
     databases: tuple[str, ...]
@@ -188,6 +191,7 @@ class StatsResponse:
     uptime_seconds: float
     plan_cache: Mapping[str, object] = field(default_factory=dict)
     cluster: Mapping[str, object] = field(default_factory=dict)
+    feedback: Mapping[str, int] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)

@@ -44,6 +44,9 @@ __all__ = [
     "join_heavy_workload",
     "employee_database",
     "EMPLOYEE_PREDICATES",
+    "skewed_star_database",
+    "skewed_adaptive_workload",
+    "SKEWED_PREDICATES",
 ]
 
 
@@ -326,6 +329,147 @@ def join_heavy_workload(
             Query((x, y), And((Exists((z,), Atom(first, (x, z))), Equals(x, y)))),
         )
     )
+    return workload
+
+
+#: Schema of the skewed star workload: two fact relations linked through a
+#: shared key, plus an event log carrying a rare selective tag.
+SKEWED_PREDICATES: dict[str, int] = {"FACT_A": 2, "FACT_B": 2, "EVENT": 2}
+
+
+def skewed_star_database(
+    n_entities: int = 260,
+    n_links: int = 80,
+    n_hubs: int = 6,
+    n_targets: int = 15,
+    facts_per_entity: int = 8,
+    n_tags: int = 8,
+    n_hot: int = 4,
+    hub_fraction: float = 0.3,
+    seed: int | None = None,
+) -> CWDatabase:
+    """A skewed join-heavy instance where uniformity assumptions mislead.
+
+    ``FACT_A(x, z)`` links entities to link values, of which the first
+    *n_hubs* are **hubs** carrying ``hub_fraction`` of all links;
+    ``FACT_B(z, y)`` fans every hub out to *every* target but gives tail
+    links a single target each.  ``EVENT(x, tag)`` is an event log: every
+    entity carries every one of the ``n_tags - 1`` dense tags, and only
+    *n_hot* entities additionally carry ``'hot'`` — so the uniform
+    per-column model estimates a ``tag='hot'`` selection at roughly
+    ``n_entities * (n_tags - 1) / n_tags`` rows (~*n_entities*, badly wrong)
+    and, as long as ``FACT_B`` stays smaller than that, a static cost-based
+    optimizer misorders queries anchored on the hot tag: it joins the fact
+    relations first and streams a hub-blown intermediate.  Hot entities link
+    only to tail values, keeping the true answers small.  This is the
+    workload shape adaptive execution (feedback-driven re-optimization +
+    semi-join reduction) is designed to repair.
+
+    The database is fully specified (every pair of constants distinct), so
+    the Section 5 approximation is exact on it and every engine must agree.
+    """
+    rng = random.Random(seed)
+    entities = [f"x{i}" for i in range(n_entities)]
+    links = [f"z{i}" for i in range(n_links)]
+    hubs = links[:n_hubs]
+    tails = links[n_hubs:]
+    targets = [f"y{i}" for i in range(n_targets)]
+    tags = ["hot"] + [f"tag{i}" for i in range(max(n_tags - 1, 1))]
+    hot = entities[:n_hot]
+
+    facts: dict[str, set[tuple[str, ...]]] = {"FACT_A": set(), "FACT_B": set(), "EVENT": set()}
+    for entity in entities:
+        is_hot = entity in hot
+        for __ in range(facts_per_entity):
+            if not is_hot and rng.random() < hub_fraction:
+                facts["FACT_A"].add((entity, rng.choice(hubs)))
+            else:
+                facts["FACT_A"].add((entity, rng.choice(tails)))
+        if is_hot:
+            facts["EVENT"].add((entity, "hot"))
+        for tag in tags[1:]:
+            facts["EVENT"].add((entity, tag))
+    for hub in hubs:
+        for target in targets:
+            facts["FACT_B"].add((hub, target))
+    for index, tail in enumerate(tails):
+        facts["FACT_B"].add((tail, targets[index % n_targets]))
+
+    constants = tuple(entities + links + targets + tags)
+    return CWDatabase(constants, dict(SKEWED_PREDICATES), facts, ()).fully_specified()
+
+
+def skewed_adaptive_workload() -> list[tuple[str, Query]]:
+    """Queries over :func:`skewed_star_database` that reward adaptivity.
+
+    Every query anchors on the rare ``'hot'`` tag whose selectivity the
+    uniform model overestimates ~100-fold, so the static optimizer either
+    misorders the joins (the chains) or skips semi-join reduction it should
+    have applied (the self-joins).  All queries are positive, hence complete
+    for the approximation (Theorem 13), and small-answered, so correctness
+    checks against ground truth stay cheap.
+    """
+    x, w, y, z, z2 = V("x"), V("w"), V("y"), V("z"), V("z2")
+    hot = Constant("hot")
+    workload: list[tuple[str, Query]] = [
+        (
+            "hot_chain",
+            Query(
+                (x, y),
+                Exists(
+                    (z,),
+                    And((Atom("FACT_A", (x, z)), Atom("FACT_B", (z, y)), Atom("EVENT", (x, hot)))),
+                ),
+            ),
+        ),
+        (
+            "hot_chain_shuffled",
+            Query(
+                (y,),
+                Exists(
+                    (x, z),
+                    And((Atom("FACT_B", (z, y)), Atom("EVENT", (x, hot)), Atom("FACT_A", (x, z)))),
+                ),
+            ),
+        ),
+        (
+            "hot_co_links",
+            Query(
+                (x, w),
+                Exists(
+                    (z,),
+                    And((Atom("FACT_A", (x, z)), Atom("FACT_A", (w, z)), Atom("EVENT", (x, hot)))),
+                ),
+            ),
+        ),
+        (
+            "hot_targets_shared",
+            Query(
+                (x, y),
+                Exists(
+                    (z, z2),
+                    And(
+                        (
+                            Atom("EVENT", (x, hot)),
+                            Atom("FACT_A", (x, z)),
+                            Atom("FACT_B", (z, y)),
+                            Atom("FACT_B", (z2, y)),
+                        )
+                    ),
+                ),
+            ),
+        ),
+        (
+            "hot_link_targets",
+            Query(
+                (z, y),
+                Exists(
+                    (x,),
+                    And((Atom("EVENT", (x, hot)), Atom("FACT_A", (x, z)), Atom("FACT_B", (z, y)))),
+                ),
+            ),
+        ),
+    ]
     return workload
 
 

@@ -184,3 +184,162 @@ class TestStatisticsPersistence:
         store.put("alias", employee)
         assert store.load("alias").statistics == statistics_payload(ph2(employee, virtual_ne=False))
         assert store.load("emp").statistics is not None  # shared object
+
+
+class TestGarbageCollection:
+    def test_gc_deletes_only_unreferenced_objects(self, store, employee, ripper_cw):
+        store.put("emp", employee)
+        store.put("ripper", ripper_cw)
+        store.delete("ripper")
+        deleted = store.gc()
+        assert deleted == (ripper_cw.fingerprint(),)
+        assert not (store.root / "objects" / ripper_cw.fingerprint()).exists()
+        # The referenced object survives and still loads.
+        assert store.load("emp").database.fingerprint() == employee.fingerprint()
+
+    def test_gc_on_a_fully_referenced_store_is_a_no_op(self, store, employee):
+        store.put("emp", employee)
+        store.put("alias", employee)
+        assert store.gc() == ()
+        assert store.load("emp").database.fingerprint() == employee.fingerprint()
+
+    def test_gc_collects_objects_orphaned_by_repointing(self, store, employee):
+        other = employee_database(12, seed=9)
+        store.put("emp", employee)
+        store.put("emp", other)  # re-point: the old object is now unreferenced
+        assert store.gc() == (employee.fingerprint(),)
+        assert store.load("emp").database.fingerprint() == other.fingerprint()
+
+    def test_gc_sweeps_crashed_scratch_leftovers(self, store, employee):
+        store.put("emp", employee)
+        leftover = store.root / "scratch" / "deadbeef.123.abc"
+        leftover.mkdir(parents=True)
+        (leftover / "junk.csv").write_text("x")
+        store.gc()
+        assert not leftover.exists()
+
+    def test_gc_on_an_empty_store(self, store):
+        assert store.gc() == ()
+
+
+class TestObservedMerge:
+    def test_merge_observed_round_trips_through_load(self, store, employee):
+        record = store.put("emp", employee)
+        assert store.merge_observed(record.fingerprint, {"abc": 7}) == 1
+        snapshot = store.load("emp")
+        assert snapshot.statistics["observed"] == {"abc": 7}
+        # Preloading seeds the observation onto a fresh storage instance.
+        storage = ph2(snapshot.database)
+        statistics = preload_statistics(storage, snapshot.statistics)
+        assert statistics.observed_rows("abc") == 7
+
+    def test_merge_observed_accumulates_and_overwrites(self, store, employee):
+        record = store.put("emp", employee)
+        store.merge_observed(record.fingerprint, {"a": 1, "b": 2})
+        assert store.merge_observed(record.fingerprint, {"b": 5, "c": 3}) == 3
+        assert store.load("emp").statistics["observed"] == {"a": 1, "b": 5, "c": 3}
+
+    def test_merge_observed_keeps_relation_statistics(self, store, employee):
+        record = store.put("emp", employee)
+        before = store.load("emp").statistics["relations"]
+        store.merge_observed(record.fingerprint, {"x": 1})
+        assert store.load("emp").statistics["relations"] == before
+
+    def test_merge_observed_ignores_malformed_entries(self, store, employee):
+        record = store.put("emp", employee)
+        count = store.merge_observed(record.fingerprint, {"ok": 1, 2: 3, "bad": "x", "neg": -1})
+        assert count == 1
+        assert store.load("emp").statistics["observed"] == {"ok": 1}
+
+    def test_merge_observed_on_a_missing_object_is_an_error(self, store):
+        with pytest.raises(SnapshotStoreError, match="no stored object"):
+            store.merge_observed("0" * 64, {"a": 1})
+
+    def test_merge_observed_works_without_prior_statistics(self, store, employee):
+        record = store.put("emp", employee, with_statistics=False)
+        store.merge_observed(record.fingerprint, {"a": 1})
+        assert store.load("emp").statistics["observed"] == {"a": 1}
+
+
+class TestWorkerFeedbackPersistence:
+    def test_persist_feedback_writes_observations_back_to_the_store(self, store, employee):
+        from repro.cluster.worker import persist_feedback
+
+        record = store.put("emp", employee)
+        service = QueryService()
+        entry = service.register_from_store(store, "emp")
+        statistics = statistics_for(entry.storage(False))
+        statistics.record_observed("learned", 42)
+        assert persist_feedback(service, store) == 1
+        assert store.load("emp").statistics["observed"]["learned"] == 42
+        # A second worker booting from the store plans with the observation.
+        warm = QueryService()
+        warm_entry = warm.register_from_store(store, "emp", as_name="emp2")
+        assert statistics_for(warm_entry.storage(False)).observed_rows("learned") == 42
+
+    def test_persist_feedback_with_nothing_learned_is_a_no_op(self, store, employee):
+        from repro.cluster.worker import persist_feedback
+
+        store.put("emp", employee)
+        service = QueryService()
+        service.register_from_store(store, "emp")
+        assert persist_feedback(service, store) == 0
+
+    def test_gc_sweeps_stranded_statistics_staging_files(self, store, employee):
+        record = store.put("emp", employee)
+        object_dir = store.root / "objects" / record.fingerprint
+        stranded = object_dir / "statistics.json.999.deadbeef.tmp"
+        stranded.write_text("{}")
+        assert store.gc() == ()  # the object itself is referenced and kept
+        assert not stranded.exists()
+        assert store.load("emp").statistics is not None
+
+    def test_persist_feedback_survives_one_bad_snapshot(self, store, employee):
+        import shutil as _shutil
+
+        from repro.cluster.worker import persist_feedback
+
+        other = employee_database(10, seed=8)
+        store.put("emp", employee)
+        record = store.put("other", other)
+        service = QueryService()
+        first = service.register_from_store(store, "emp")
+        second = service.register_from_store(store, "other")
+        statistics_for(first.storage(False)).record_observed("a", 1)
+        statistics_for(second.storage(False)).record_observed("b", 2)
+        # Murder one object behind the store's back (a concurrent gc).
+        _shutil.rmtree(store.root / "objects" / first.fingerprint)
+        assert persist_feedback(service, store) == 1
+        assert store.load("other").statistics["observed"]["b"] == 2
+
+    def test_virtual_variant_feedback_survives_a_reboot(self, store, employee):
+        from repro.cluster.worker import persist_feedback
+
+        store.put("emp", employee)
+        service = QueryService()
+        entry = service.register_from_store(store, "emp")
+        statistics_for(entry.storage(True)).record_observed("virtual-plan", 11)
+        assert persist_feedback(service, store) == 1
+        warm = QueryService()
+        warm_entry = warm.register_from_store(store, "emp", as_name="emp2")
+        # The virtual variant is derived lazily; its first build must seed
+        # the persisted observations.
+        assert statistics_for(warm_entry.storage(True)).observed_rows("virtual-plan") == 11
+
+    def test_concurrent_merges_lose_nothing(self, store, employee):
+        import threading
+
+        record = store.put("emp", employee)
+        barrier = threading.Barrier(4)
+
+        def merge(index: int) -> None:
+            barrier.wait()
+            store.merge_observed(record.fingerprint, {f"fp{index}": index})
+
+        threads = [threading.Thread(target=merge, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        observed = store.load("emp").statistics["observed"]
+        assert observed == {"fp0": 0, "fp1": 1, "fp2": 2, "fp3": 3}

@@ -1,0 +1,167 @@
+"""Tests for runtime cardinality feedback: recorder, divergence, persistence."""
+
+import json
+
+from repro.approx.rewrite import rewrite_query
+from repro.logical.ph import ph2
+from repro.physical.algebra import execute
+from repro.physical.compiler import compile_query
+from repro.physical.optimizer import apply_feedback, optimize
+from repro.physical.plan import IndexScan, plan_fingerprint
+from repro.physical.statistics import (
+    CardinalityRecorder,
+    Statistics,
+    preload_statistics,
+    statistics_payload,
+)
+from repro.workloads.generators import skewed_adaptive_workload, skewed_star_database
+
+
+def _storage():
+    return ph2(
+        skewed_star_database(
+            n_entities=90, n_links=30, n_hubs=3, n_targets=15, facts_per_entity=6, n_hot=3, seed=5
+        )
+    )
+
+
+def _chain_plan(storage, statistics):
+    __, query = skewed_adaptive_workload()[0]  # hot_chain: the misestimated shape
+    return compile_query(rewrite_query(query, "direct"), storage), rewrite_query(query, "direct")
+
+
+class TestRecorder:
+    def test_records_materialization_points(self):
+        storage = _storage()
+        statistics = Statistics(storage)
+        plan, __ = _chain_plan(storage, statistics)
+        optimized = optimize(plan, storage, statistics=statistics, sip=False)
+        recorder = CardinalityRecorder()
+        execute(optimized, storage, recorder=recorder)
+        assert recorder.observations, "execution recorded nothing"
+        assert all(rows >= 0 for rows in recorder.observations.values())
+
+    def test_larger_observation_wins(self):
+        recorder = CardinalityRecorder()
+        node = object()
+        recorder.record(node, 5)
+        recorder.record(node, 3)
+        recorder.record(node, 9)
+        assert recorder.observations[node] == 9
+
+
+class TestApplyFeedback:
+    def test_divergent_observation_is_recorded(self):
+        storage = _storage()
+        statistics = Statistics(storage)
+        plan, __ = _chain_plan(storage, statistics)
+        optimized = optimize(plan, storage, statistics=statistics, sip=False)
+        recorder = CardinalityRecorder()
+        execute(optimized, storage, recorder=recorder)
+        outcome = apply_feedback(storage, recorder, statistics=statistics)
+        # The hot-tag index scan is ~45x off the uniform estimate.
+        assert outcome.recorded > 0
+        assert outcome.diverged
+        assert statistics.has_observations()
+
+    def test_known_observations_do_not_rediverge(self):
+        """The loop converges: a second identical execution reports nothing new."""
+        storage = _storage()
+        statistics = Statistics(storage)
+        plan, __ = _chain_plan(storage, statistics)
+        optimized = optimize(plan, storage, statistics=statistics, sip=False)
+        recorder = CardinalityRecorder()
+        execute(optimized, storage, recorder=recorder)
+        assert apply_feedback(storage, recorder, statistics=statistics).diverged
+        again = CardinalityRecorder()
+        execute(optimized, storage, recorder=again)
+        assert not apply_feedback(storage, again, statistics=statistics).diverged
+
+    def test_accurate_estimates_record_nothing(self):
+        storage = _storage()
+        statistics = Statistics(storage)
+        recorder = CardinalityRecorder()
+        # A bare scan's actual row count equals the statistics exactly.
+        from repro.physical.plan import ScanRelation
+
+        scan = ScanRelation("FACT_A", ("x", "z"))
+        execute(scan, storage, recorder=recorder)
+        recorder.record(scan, len(execute(scan, storage).rows))
+        outcome = apply_feedback(storage, recorder, statistics=statistics)
+        assert outcome.recorded == 0
+
+    def test_reoptimization_uses_observed_cardinalities(self):
+        """After feedback the greedy order starts from the truly-selective leaf."""
+        storage = _storage()
+        statistics = Statistics(storage)
+        plan, __ = _chain_plan(storage, statistics)
+        before = optimize(plan, storage, statistics=statistics, sip=False)
+        recorder = CardinalityRecorder()
+        naive_answers = execute(before, storage, recorder=recorder).rows
+        apply_feedback(storage, recorder, statistics=statistics)
+        after = optimize(plan, storage, statistics=statistics, sip=False)
+        assert after != before, "observed cardinalities did not change the plan"
+        assert execute(after, storage).rows == naive_answers
+
+    def test_opaque_nodes_are_skipped(self):
+        storage = _storage()
+        statistics = Statistics(storage)
+        from repro.physical.plan import ScanRelation, Selection
+
+        opaque = Selection(ScanRelation("FACT_A", ("x", "z")), condition=lambda row: True)
+        recorder = CardinalityRecorder()
+        recorder.record(opaque, 1)
+        outcome = apply_feedback(storage, recorder, statistics=statistics)
+        assert outcome.examined == 0 and outcome.recorded == 0
+
+
+class TestPersistence:
+    def test_observed_cardinalities_round_trip_through_json(self):
+        storage = _storage()
+        statistics = Statistics(storage)
+        scan = IndexScan("EVENT", ("x", "tag"), (("tag", "hot"),))
+        key = plan_fingerprint(scan)
+        statistics.record_observed(key, 3)
+        object.__setattr__(storage, "_statistics", statistics)
+        payload = json.loads(json.dumps(statistics_payload(storage)))
+
+        fresh_storage = _storage()
+        fresh = preload_statistics(fresh_storage, payload)
+        assert fresh.observed_rows(key) == 3
+        # The estimator on the fresh instance now sees the real cardinality.
+        from repro.physical.optimizer import _Rewriter
+
+        estimate = _Rewriter(fresh_storage, fresh).estimate(scan)
+        assert estimate.rows == 3.0
+
+    def test_preload_never_overwrites_local_observations(self):
+        storage = _storage()
+        statistics = Statistics(storage)
+        object.__setattr__(storage, "_statistics", statistics)
+        statistics.record_observed("abc", 7)
+        preload_statistics(storage, {"observed": {"abc": 99, "new": 5}})
+        assert statistics.observed_rows("abc") == 7
+        assert statistics.observed_rows("new") == 5
+
+    def test_malformed_observed_entries_are_ignored(self):
+        storage = _storage()
+        statistics = preload_statistics(
+            storage, {"observed": {"ok": 2, "bad": "x", 3: 4, "neg": -1}}
+        )
+        assert statistics.observed_rows("ok") == 2
+        assert statistics.observed_rows("bad") is None
+        assert statistics.observed_rows("neg") is None
+
+
+class TestObservationBounds:
+    def test_observed_map_is_bounded(self):
+        from repro.physical.statistics import MAX_OBSERVATIONS
+
+        storage = _storage()
+        statistics = Statistics(storage)
+        for index in range(MAX_OBSERVATIONS + 10):
+            statistics.record_observed(f"fp{index}", index)
+        assert len(statistics.observed) == MAX_OBSERVATIONS
+        # Oldest entries were evicted; the newest survive.
+        assert statistics.observed_rows("fp0") is None
+        assert statistics.observed_rows(f"fp{MAX_OBSERVATIONS + 9}") == MAX_OBSERVATIONS + 9

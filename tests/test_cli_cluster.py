@@ -161,3 +161,64 @@ class TestServeClusterFlags:
         assert code == 2
         assert "cluster mode" in capsys.readouterr().err
         assert not (tmp_path / "s").exists()
+
+
+class TestWarmResilience:
+    def test_missing_warm_log_warns_and_serves_cold(self, stored_employee, monkeypatch, capsys):
+        served = {}
+
+        def fake_serve(service, host, port):
+            served["names"] = service.database_names()
+
+        monkeypatch.setattr("repro.cli.serve_forever", fake_serve)
+        code = main(["serve", str(stored_employee), "--warm", "/nonexistent/traffic.jsonl", "--port", "0"])
+        assert code == 0
+        assert served["names"] == ("employees",)
+        assert "warning: skipping warm-up" in capsys.readouterr().err
+
+    def test_corrupt_warm_log_warns_and_serves_cold(
+        self, stored_employee, tmp_path, monkeypatch, capsys
+    ):
+        served = {}
+
+        def fake_serve(service, host, port):
+            served["names"] = service.database_names()
+
+        monkeypatch.setattr("repro.cli.serve_forever", fake_serve)
+        log = tmp_path / "traffic.jsonl"
+        log.write_text('{"this is": "not a protocol message"}\n')
+        code = main(["serve", str(stored_employee), "--warm", str(log), "--port", "0"])
+        assert code == 0
+        assert served["names"] == ("employees",)
+        assert "warning: skipping warm-up" in capsys.readouterr().err
+
+
+class TestClusterGc:
+    def test_gc_deletes_unreferenced_objects(self, stored_employee, tmp_path, capsys, employee):
+        store_dir = tmp_path / "store"
+        # Threshold 0 splits every relation, so each shard is distinct content
+        # and deleting a shard name really orphans its object.
+        main(
+            [
+                "cluster", "partition", str(stored_employee),
+                "--store", str(store_dir),
+                "--shards", "2",
+                "--replication-threshold", "0",
+            ]
+        )
+        store = SnapshotStore(store_dir)
+        store.delete("employees::shard0")
+        orphan = store.record("employees::shard1")  # keep: still referenced
+        capsys.readouterr()
+        assert main(["cluster", "gc", "--store", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "collected 1 object(s)" in out
+        assert store.load("employees::shard1").fingerprint == orphan.fingerprint
+        assert store.load("employees::full").database.fingerprint() == employee.fingerprint()
+
+    def test_gc_with_nothing_to_collect_says_so(self, stored_employee, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        main(["cluster", "partition", str(stored_employee), "--store", str(store_dir), "--shards", "2"])
+        capsys.readouterr()
+        assert main(["cluster", "gc", "--store", str(store_dir)]) == 0
+        assert "nothing to collect" in capsys.readouterr().out

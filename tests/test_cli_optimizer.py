@@ -52,3 +52,44 @@ class TestNoOptimizerFlag:
 
         arguments = build_parser().parse_args(["serve", "somedir", "--no-optimizer"])
         assert arguments.no_optimizer
+
+
+class TestNoSipFlag:
+    def test_answers_identical_with_and_without_sip(self, stored_database, capsys, monkeypatch):
+        from repro.physical.optimizer import SIP_ENV_FLAG
+
+        monkeypatch.setenv(SIP_ENV_FLAG, "0")
+        assert main(["query", str(stored_database), "(x) . LONDONER(x)"]) == 0
+        with_sip = capsys.readouterr().out
+        assert main(["query", str(stored_database), "(x) . LONDONER(x)", "--no-sip"]) == 0
+        without_sip = capsys.readouterr().out
+        assert with_sip == without_sip
+
+    def test_flag_disables_sip_for_the_process(self, stored_database, capsys, monkeypatch):
+        from repro.physical.optimizer import SIP_ENV_FLAG, sip_enabled
+
+        monkeypatch.setenv(SIP_ENV_FLAG, "0")
+        assert sip_enabled()
+        assert main(["query", str(stored_database), "(x) . LONDONER(x)", "--no-sip"]) == 0
+        assert not sip_enabled()
+
+    def test_serve_parser_accepts_the_flag(self):
+        from repro.cli import build_parser
+
+        arguments = build_parser().parse_args(["serve", "somedir", "--no-sip"])
+        assert arguments.no_sip
+
+
+class TestEngineChoices:
+    def test_auto_is_the_default_engine(self):
+        from repro.cli import build_parser
+
+        arguments = build_parser().parse_args(["query", "somedir", "(x) . P(x)"])
+        assert arguments.engine == "auto"
+
+    def test_auto_engine_answers_match_the_explicit_engines(self, stored_database, capsys):
+        outputs = {}
+        for engine in ("auto", "tarski", "algebra"):
+            assert main(["query", str(stored_database), "(x) . LONDONER(x)", "--engine", engine]) == 0
+            outputs[engine] = capsys.readouterr().out
+        assert outputs["auto"] == outputs["tarski"] == outputs["algebra"]

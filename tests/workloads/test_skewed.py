@@ -1,0 +1,63 @@
+"""Tests for the skewed star workload behind the adaptive-execution benchmark."""
+
+from repro.logic.analysis import is_first_order
+from repro.workloads.generators import (
+    SKEWED_PREDICATES,
+    skewed_adaptive_workload,
+    skewed_star_database,
+)
+
+
+class TestSkewedStarDatabase:
+    def test_deterministic_for_a_seed(self):
+        first = skewed_star_database(n_entities=30, n_links=10, n_hubs=2, n_targets=5, seed=3)
+        second = skewed_star_database(n_entities=30, n_links=10, n_hubs=2, n_targets=5, seed=3)
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_fully_specified(self):
+        database = skewed_star_database(n_entities=20, n_links=8, n_hubs=2, n_targets=4, seed=1)
+        assert database.is_fully_specified
+
+    def test_hot_tag_is_rare_but_estimated_dense(self):
+        database = skewed_star_database(
+            n_entities=40, n_links=12, n_hubs=2, n_targets=6, n_hot=3, n_tags=8, seed=1
+        )
+        events = database.facts_for("EVENT")
+        hot_rows = {row for row in events if row[1] == "hot"}
+        assert len(hot_rows) == 3
+        # The uniformity assumption would estimate rows/n_tags ≈ n_entities:
+        # the skew the adaptive engine is meant to catch.
+        assert len(events) / 8 > 10 * len(hot_rows)
+
+    def test_hubs_reach_every_target(self):
+        database = skewed_star_database(
+            n_entities=30, n_links=10, n_hubs=2, n_targets=5, seed=2
+        )
+        fact_b = database.facts_for("FACT_B")
+        for hub in ("z0", "z1"):
+            assert len({row for row in fact_b if row[0] == hub}) == 5
+
+    def test_hot_entities_avoid_hubs(self):
+        database = skewed_star_database(
+            n_entities=30, n_links=10, n_hubs=2, n_targets=5, n_hot=2, seed=2
+        )
+        hubs = {"z0", "z1"}
+        for row in database.facts_for("FACT_A"):
+            if row[0] in ("x0", "x1"):
+                assert row[1] not in hubs
+
+
+class TestSkewedWorkload:
+    def test_queries_are_first_order_and_named(self):
+        workload = skewed_adaptive_workload()
+        assert len(workload) >= 5
+        names = [name for name, __ in workload]
+        assert len(set(names)) == len(names)
+        for __, query in workload:
+            assert is_first_order(query.formula)
+
+    def test_queries_only_use_the_schema(self):
+        from repro.logic.analysis import predicates_in
+
+        for __, query in skewed_adaptive_workload():
+            assert set(predicates_in(query.formula)) <= set(SKEWED_PREDICATES)

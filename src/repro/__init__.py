@@ -42,14 +42,17 @@ from repro.logic import (
     Eq,
     Formula,
     Neq,
+    Parameter,
     Pred,
     Query,
     V,
     Variable,
     Vocabulary,
+    bind_query,
     boolean_query,
     parse_formula,
     parse_query,
+    query_parameters,
     to_text,
 )
 from repro.logical import (
@@ -64,6 +67,8 @@ from repro.physical import PhysicalDatabase, Relation, evaluate_query, satisfies
 from repro.cluster import ClusterRouter, SnapshotStore, start_cluster
 from repro.service import (
     BatchEvaluator,
+    PreparedHandle,
+    PreparedStatement,
     QueryRequest,
     QueryResponse,
     QueryService,
@@ -80,6 +85,9 @@ __all__ = [
     # logic
     "Variable",
     "Constant",
+    "Parameter",
+    "bind_query",
+    "query_parameters",
     "Atom",
     "Formula",
     "Query",
@@ -120,6 +128,8 @@ __all__ = [
     "BatchEvaluator",
     "evaluate_batch",
     "ServiceClient",
+    "PreparedHandle",
+    "PreparedStatement",
     "running_server",
     # cluster
     "ClusterRouter",

@@ -27,6 +27,7 @@ from repro.errors import UnsupportedFormulaError
 from repro.logic.analysis import is_first_order
 from repro.logic.formulas import Formula
 from repro.logic.queries import Query, TRUE_ANSWER, boolean_query
+from repro.logic.template import check_bound
 from repro.logical.database import CWDatabase
 from repro.logical.ph import ph2
 from repro.physical.algebra import execute
@@ -148,6 +149,7 @@ class ApproximateEvaluator:
         """
         if plan is not None:
             return execute(plan, storage, recorder=recorder).rows
+        check_bound(query)
         rewritten = self.rewrite(query)
         if is_first_order(rewritten.formula):
             if self.engine == "tarski":

@@ -24,6 +24,7 @@ Examples::
     python -m repro.cli info db_dir/
     python -m repro.cli query db_dir/ "(x) . ~MURDERER(x)"
     python -m repro.cli query db_dir/ "(x) . P(x)" --method exact --json
+    python -m repro.cli query db_dir/ "(x) . R($k, x)" --param k=alice
     python -m repro.cli classify "(x) . exists y. R(x, y) & ~P(y)"
     python -m repro.cli serve db_dir/ --port 8080
     python -m repro.cli serve db_dir/ --shards 4 --replicas 2 --store store/ --warm traffic.jsonl
@@ -31,6 +32,9 @@ Examples::
     python -m repro.cli cluster snapshots --store store/
     python -m repro.cli cluster gc --store store/
     python -m repro.cli client http://127.0.0.1:8080 query db_dir "(x) . P(x)"
+    python -m repro.cli client http://127.0.0.1:8080 prepared db_dir "(x) . R($k, x)" \\
+        --bind k=alice --bind k=bob
+    python -m repro.cli client http://127.0.0.1:8080 prepared db_dir "(x, y) . R(x, y)" --stream
 """
 
 from __future__ import annotations
@@ -195,6 +199,49 @@ def build_parser() -> argparse.ArgumentParser:
     _add_query_options(c_query)
     c_query.add_argument("--json", action="store_true", help="print a protocol QueryResponse instead of text")
 
+    c_prepared = actions.add_parser(
+        "prepared",
+        help="prepare a query template remotely, then execute it under one or many bindings",
+    )
+    c_prepared.add_argument("name", help="registered database name")
+    c_prepared.add_argument("template", help="query template, e.g. \"(x) . R($k, x)\"")
+    c_prepared.add_argument(
+        "--bind",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE[,NAME=VALUE...]",
+        help="one parameter binding per flag (repeat for a sweep); commas separate "
+        "the parameters of one binding, so values must not contain commas here",
+    )
+    c_prepared.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream the (single) binding's answer rows through a server cursor "
+        "instead of one JSON body",
+    )
+    c_prepared.add_argument(
+        "--page-size",
+        type=int,
+        default=None,
+        help="rows per streamed page (with --stream; default: the protocol default)",
+    )
+    c_prepared.add_argument(
+        "--method", choices=("approx", "exact", "both"), default="approx",
+        help="evaluation route (default approx)",
+    )
+    c_prepared.add_argument(
+        "--engine", choices=("auto", "tarski", "algebra"), default="algebra",
+        help="approximation engine (default algebra)",
+    )
+    c_prepared.add_argument(
+        "--virtual-ne", action="store_true",
+        help="store the inequality relation virtually (U/NE' encoding)",
+    )
+    c_prepared.add_argument(
+        "--json", action="store_true",
+        help="print the raw protocol responses instead of text",
+    )
+
     c_classify = actions.add_parser("classify", help="classify a query remotely")
     c_classify.add_argument("query", help="query text")
     c_classify.add_argument("--json", action="store_true", help="print a protocol ClassifyResponse instead of text")
@@ -222,6 +269,39 @@ def _add_query_options(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="store the inequality relation virtually (U/NE' encoding)",
     )
+    parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="bind a $NAME query parameter to a constant (repeatable); the query "
+        "may then be a template like \"(x) . R($k, x)\"",
+    )
+
+
+def _parse_params(pairs: Sequence[str]) -> dict[str, str]:
+    """``--param k=v`` pairs → a binding mapping (repeats keep the last value)."""
+    params: dict[str, str] = {}
+    for pair in pairs:
+        name, separator, value = pair.partition("=")
+        if not separator or not name:
+            raise ReproError(f"--param needs NAME=VALUE, got {pair!r}")
+        params[name] = value
+    return params
+
+
+def _parse_bindings(specifications: Sequence[str]) -> list[dict[str, str]]:
+    """``--bind k=v,k2=v2`` specifications → one binding mapping each."""
+    bindings = []
+    for specification in specifications:
+        binding: dict[str, str] = {}
+        for pair in specification.split(","):
+            name, separator, value = pair.partition("=")
+            if not separator or not name:
+                raise ReproError(f"--bind needs NAME=VALUE[,NAME=VALUE...], got {specification!r}")
+            binding[name.strip()] = value
+        bindings.append(binding)
+    return bindings
 
 
 def _command_info(arguments: argparse.Namespace) -> int:
@@ -248,19 +328,34 @@ def _command_query(arguments: argparse.Namespace) -> int:
         os.environ[OPTIMIZER_ENV_FLAG] = "1"
     if arguments.no_sip:
         os.environ[SIP_ENV_FLAG] = "1"
+    params = _parse_params(arguments.param)
     if arguments.json:
         # One-shot service: same evaluation and same serialization as the server.
         name = Path(arguments.database).name or str(arguments.database)
         service = QueryService()
         service.register(name, load_cw_database(arguments.database), precompute=False)
-        response = service.execute(
-            QueryRequest(name, arguments.query, arguments.method, arguments.engine, arguments.virtual_ne)
-        )
+        # A substring check ("$" in text) would misfire on quoted constants
+        # containing a dollar sign; the parsed query knows for sure.
+        if params or parse_query(arguments.query).is_template:
+            # The prepared path: the CLI exercises exactly the session API
+            # a server would, so the printed response is byte-compatible.
+            statement = service.prepare(
+                name, arguments.query, arguments.method, arguments.engine, arguments.virtual_ne
+            )
+            response = service.execute_prepared(statement.statement_id, params)
+        else:
+            response = service.execute(
+                QueryRequest(name, arguments.query, arguments.method, arguments.engine, arguments.virtual_ne)
+            )
         print(dump_wire(response, indent=2))
         return 0
 
     database = load_cw_database(arguments.database)
     query = parse_query(arguments.query)
+    if params or query.is_template:
+        from repro.logic.template import bind_query
+
+        query = bind_query(query, params)
 
     results: dict[str, frozenset[tuple[str, ...]]] = {}
     if arguments.method in ("approx", "both"):
@@ -480,6 +575,8 @@ def _command_client(arguments: argparse.Namespace) -> int:
         print("batch: " + ", ".join(f"{key}={value}" for key, value in sorted(stats.batch.items())))
         if stats.feedback:
             print("feedback: " + ", ".join(f"{key}={value}" for key, value in sorted(stats.feedback.items())))
+        if stats.prepared:
+            print("prepared: " + ", ".join(f"{key}={value}" for key, value in sorted(stats.prepared.items())))
         return 0
     if arguments.action == "info":
         info = client.info(arguments.name)
@@ -494,19 +591,86 @@ def _command_client(arguments: argparse.Namespace) -> int:
         print(format_table(["predicate", "arity", "facts"], rows))
         return 0
     if arguments.action == "query":
-        response = client.query(
-            arguments.name, arguments.query, arguments.method, arguments.engine, arguments.virtual_ne
-        )
+        params = _parse_params(arguments.param)
+        try:
+            # Parse locally (same library as the server) to decide the route;
+            # a substring "$" check would misroute queries whose quoted
+            # constants contain a dollar sign onto the session API.
+            is_template = parse_query(arguments.query).is_template
+        except ReproError:
+            # Unparseable here: take the classic route so the *server's*
+            # diagnosis surfaces (it may also be newer than this client).
+            is_template = False
+        if params or is_template:
+            # Templates go through the session API so the server binds them;
+            # an unparameterized query stays on the classic route.
+            handle = client.prepare(
+                arguments.name, arguments.query, arguments.method, arguments.engine, arguments.virtual_ne
+            )
+            response = handle.execute(params)
+        else:
+            response = client.query(
+                arguments.name, arguments.query, arguments.method, arguments.engine, arguments.virtual_ne
+            )
         if arguments.json:
             print(dump_wire(response, indent=2))
             return 0
         _print_query_response(response)
         return 0
+    if arguments.action == "prepared":
+        return _command_client_prepared(client, arguments)
     if arguments.action == "classify":
         classification = client.classify(arguments.query)
         print(dump_wire(classification, indent=2) if arguments.json else classification.summary)
         return 0
     raise ReproError(f"unknown client action {arguments.action!r}")  # pragma: no cover - argparse guards
+
+
+def _command_client_prepared(client: ServiceClient, arguments: argparse.Namespace) -> int:
+    """The ``repro client URL prepared`` mode: prepare once, execute bindings."""
+    handle = client.prepare(
+        arguments.name,
+        arguments.template,
+        arguments.method,
+        arguments.engine,
+        arguments.virtual_ne,
+    )
+    bindings = _parse_bindings(arguments.bind)
+    if not arguments.json:
+        needed = ", ".join(f"${name}" for name in handle.parameters) or "none"
+        print(f"prepared {handle.statement_id}: {handle.template} (parameters: {needed})")
+    if arguments.stream:
+        if len(bindings) > 1:
+            raise ReproError("--stream streams one binding; pass at most one --bind")
+        params = bindings[0] if bindings else {}
+        kwargs = {"page_size": arguments.page_size} if arguments.page_size else {}
+        count = 0
+        for row in handle.stream(params, **kwargs):
+            print(", ".join(row) if row else "<true>")
+            count += 1
+        if not arguments.json:
+            print(f"({count} row(s) streamed)")
+        return 0
+    if len(bindings) <= 1:
+        response = handle.execute(bindings[0] if bindings else {})
+        if arguments.json:
+            print(dump_wire(response, indent=2))
+            return 0
+        _print_query_response(response)
+        return 0
+    batch = handle.execute_many(bindings)
+    if arguments.json:
+        print(dump_wire(batch, indent=2))
+        return 0
+    for binding, response in zip(bindings, batch.responses):
+        label = ", ".join(f"${name}={value}" for name, value in sorted(binding.items()))
+        if isinstance(response, QueryResponse):
+            rows = response.answers.get("exact", response.answers.get("approximate", ()))
+            print(f"[{label}] {len(rows)} answer(s): " + ("; ".join(", ".join(r) for r in rows) or "<empty>"))
+        else:
+            print(f"[{label}] error ({response.code}): {response.error}")
+    print(f"executed {batch.total} binding(s), {batch.unique} unique, {batch.deduplicated} deduplicated")
+    return 0
 
 
 def _print_answer_sets(results: dict[str, frozenset[tuple[str, ...]]], arity: int) -> None:

@@ -263,6 +263,17 @@ def decompose_query(layout: PartitionLayout, query: Query) -> RoutePlan:
     single-process evaluation byte for byte, for the exact route and the
     approximation alike.  Everything unproven falls back — correct first,
     scalable where we can show it.
+
+    **Parameter stability.**  Every rule inspects only the query's *shape*
+    — the predicates it mentions, whether it is a bare atom or a Boolean
+    conjunction — never the identity of its constants, and ``$name``
+    parameters type as constants.  A template's plan is therefore valid for
+    *every* binding, which is what lets the router
+    (:meth:`~repro.cluster.router.ClusterRouter.prepare`) decompose once per
+    template and merely substitute constants per execution.  (The
+    ``SingleShard`` pick below hashes the query text, but any shard is
+    correct for an all-replicated query — the hash is load balancing, not
+    correctness.)
     """
     if layout.n_shards == 1:
         return SingleShard(0)

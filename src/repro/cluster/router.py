@@ -32,8 +32,18 @@ failover can never change an answer — only availability.
 The router deliberately presents the same surface as a
 :class:`~repro.service.engine.QueryService` (``execute``, ``query``,
 ``batch``, ``classify``, ``info``, ``stats``, ``database_names``,
-``close``), so the existing HTTP front-end and batch evaluator serve a
-cluster unchanged.
+``close``, and the session API ``prepare`` / ``execute_prepared`` /
+``execute_prepared_many``), so the existing HTTP front-end and batch
+evaluator serve a cluster unchanged.
+
+**Prepared statements.**  The proof-carrying decomposition depends only on
+a query's shape (parameters type as constants), so the router decomposes a
+template **once** at prepare time and, per execution, merely substitutes
+the binding into the per-shard request texts — the expensive expression-side
+work is amortized across the whole parameter sweep.  Workers advertise
+their protocol versions in health checks, and the router aggregates the
+session counters (templates, executions, generic/custom plan choices)
+cluster-wide in ``stats().prepared``.
 """
 
 from __future__ import annotations
@@ -63,12 +73,16 @@ from repro.errors import (
     UnknownDatabaseError,
 )
 from repro.logic.parser import parse_query
+from repro.logic.printer import query_to_text
 from repro.logic.queries import Query
+from repro.logic.template import bind_query, query_parameters
 from repro.service.cache import LRUCache
 from repro.service.lifecycle import ExecutorLifecycle
 from repro.service.client import ServiceClient
 from repro.service.engine import RegisteredDatabase
+from repro.service.prepared import PreparedStatement, StatementRegistry
 from repro.service.protocol import (
+    SUPPORTED_PROTOCOL_VERSIONS,
     ClassifyResponse,
     InfoResponse,
     QueryRequest,
@@ -125,6 +139,10 @@ class LocalBackend:
     def ping(self) -> bool:
         return True
 
+    def protocol_versions(self) -> tuple[int, ...]:
+        """In-process backends always speak everything this library speaks."""
+        return SUPPORTED_PROTOCOL_VERSIONS
+
 
 class RemoteBackend:
     """A backend speaking the JSON protocol to one worker process."""
@@ -133,6 +151,7 @@ class RemoteBackend:
         self.client = ServiceClient(base_url, **({"timeout": timeout} if timeout else {}))
         self.handle = handle
         self.description = base_url
+        self._protocol_versions: tuple[int, ...] = ()
 
     def execute(self, request: QueryRequest) -> QueryResponse:
         return self.client.execute(request)
@@ -145,12 +164,19 @@ class RemoteBackend:
 
     def ping(self) -> bool:
         try:
-            self.client.health()
+            health = self.client.health()
         except ServiceError:
             # Unreachable, or reachable but not answering the protocol (a
             # reused port, a wedged worker): either way, not healthy.
             return False
+        # Workers advertise their protocol versions on every health check,
+        # so a mixed-version cluster is visible in the router's stats.
+        self._protocol_versions = health.protocol_versions
         return True
+
+    def protocol_versions(self) -> tuple[int, ...]:
+        """What the worker advertised on its last successful health check."""
+        return self._protocol_versions
 
 
 class _WorkerState:
@@ -205,6 +231,8 @@ class ClusterRouter:
         self._plans = LRUCache(plan_cache_capacity)
         self._lock = threading.Lock()
         self._routed: dict[str, int] = {"single_shard": 0, "scatter": 0, "conjunction": 0, "full_copy": 0}
+        self._statements = StatementRegistry()
+        self._prepared = {"templates": 0, "executions": 0}
         self._failovers = 0
         self._batch_executed = 0
         self._batch_deduplicated = 0
@@ -284,6 +312,88 @@ class ClusterRouter:
         self._check_open()
         return BatchEvaluator(self, max_workers=max_workers).run(requests)
 
+    # Prepared statements --------------------------------------------------------
+
+    def prepare(
+        self,
+        database: str,
+        template: str,
+        method: str = "approx",
+        engine: str = "algebra",
+        virtual_ne: bool = False,
+    ) -> PreparedStatement:
+        """Register a template cluster-side; decomposition happens **once**.
+
+        The proof-carrying route plan (:func:`~repro.cluster.partition.decompose_query`)
+        depends only on the query's *shape* — which predicates it mentions,
+        whether it is a bare atom or a Boolean conjunction — and parameters
+        type as constants, so the template's decomposition is valid for every
+        binding.  It is computed here and cached under the template text;
+        executions only substitute constants into the per-shard requests.
+        """
+        layout = self.layout(database)
+        query = self._parse(template)
+        statement, created = self._statements.intern(database, query, method, engine, virtual_ne)
+        if created:
+            with self._lock:
+                self._prepared["templates"] += 1
+        # Pay the decomposition now, not on the first execution.
+        self._route_plan(layout, statement.template, statement.query)
+        return statement
+
+    def statement(self, statement_id: str) -> PreparedStatement:
+        return self._statements.get(statement_id)
+
+    def deallocate(self, statement_id: str) -> None:
+        self._statements.deallocate(statement_id)
+
+    def execute_prepared(self, statement_id: str, params=None) -> QueryResponse:
+        """Execute a prepared statement: bind per shard, route on the cached plan."""
+        statement = self._statements.get(statement_id)
+        values = dict(params or {})
+        bound, rendered = statement.bind(values)
+        layout = self.layout(statement.database)
+        with self._lock:
+            self._prepared["executions"] += 1
+        started = time.perf_counter()
+        plan = self._route_plan(layout, statement.template, statement.query)
+        if isinstance(plan, BooleanConjunction) and values:
+            # Conjunct sub-queries carry the template's parameters; bind each
+            # part with exactly the parameters it mentions.  The *shape* of
+            # the plan (which conjunct routes where) is binding-independent.
+            bound_parts = []
+            for sub_text, sub_plan in plan.parts:
+                sub_query = self._parse(sub_text)
+                sub_values = {name: values[name] for name in query_parameters(sub_query)}
+                bound_parts.append((query_to_text(bind_query(sub_query, sub_values)), sub_plan))
+            plan = BooleanConjunction(tuple(bound_parts))
+        with self._lock:
+            self._routed[_plan_counter(plan)] += 1
+        request = QueryRequest(
+            statement.database, rendered, statement.method, statement.engine, statement.virtual_ne
+        )
+        response = self._run_plan(layout, plan, request, bound)
+        if response.database != request.database or response.fingerprint != layout.fingerprint:
+            response = replace(
+                response,
+                database=request.database,
+                fingerprint=layout.fingerprint,
+                query=rendered,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+        return response
+
+    def execute_prepared_many(self, statement_id: str, bindings, max_workers: int | None = None):
+        """One statement, many bindings: deduplicated, fanned out, positional."""
+        from repro.service.batch import PreparedBatchEvaluator
+
+        if max_workers is None:
+            evaluator = PreparedBatchEvaluator(self, executor=self._shared_batch_executor())
+        else:
+            self._check_open()
+            evaluator = PreparedBatchEvaluator(self, max_workers=max_workers)
+        return evaluator.run(statement_id, bindings)
+
     def warm(self, requests):
         """Replay recorded traffic through the cluster (``serve --warm``).
 
@@ -321,6 +431,11 @@ class ClusterRouter:
                 "answer_cache": dict(remote.answer_cache),
                 "plan_cache": dict(remote.plan_cache),
                 "feedback": dict(remote.feedback),
+                "prepared": dict(remote.prepared),
+                # getattr: backends are duck-typed; one without version
+                # advertisement (a wrapper, an old deployment) reads as
+                # unknown rather than breaking monitoring.
+                "protocol_versions": list(getattr(state.backend, "protocol_versions", tuple)()),
             }
 
         if len(self._workers) > 1 and not self._lifecycle.closed:
@@ -328,18 +443,29 @@ class ClusterRouter:
         else:
             summaries = [probe(state) for state in self._workers]
         workers = {str(state.index): summary for state, summary in zip(self._workers, summaries)}
-        # Aggregate the adaptive-execution counters across live workers so an
-        # operator sees cluster-wide feedback activity without per-shard math;
-        # the per-worker breakdown stays available under "workers".
+        # Aggregate the adaptive-execution and prepared-statement counters
+        # across live workers so an operator sees cluster-wide activity
+        # without per-shard math; the per-worker breakdown stays available
+        # under "workers".
         feedback_total: dict[str, int] = {}
+        prepared_total: dict[str, int] = {}
         for summary in summaries:
             for counter, value in summary.get("feedback", {}).items():
                 if isinstance(value, int):
                     feedback_total[counter] = feedback_total.get(counter, 0) + value
+            for counter, value in summary.get("prepared", {}).items():
+                if isinstance(value, int):
+                    prepared_total[counter] = prepared_total.get(counter, 0) + value
         with self._lock:
             routed = dict(self._routed)
             batch = {"executed": self._batch_executed, "deduplicated": self._batch_deduplicated}
             failovers = self._failovers
+            # The router's own session counters fold into the cluster-wide
+            # totals: templates are prepared *here* (workers see only bound
+            # ad-hoc requests), worker counters cover direct worker clients.
+            for counter, value in self._prepared.items():
+                prepared_total[counter] = prepared_total.get(counter, 0) + value
+        prepared_total["statements"] = prepared_total.get("statements", 0) + len(self._statements)
         return StatsResponse(
             databases=self.database_names(),
             answer_cache={},
@@ -348,6 +474,7 @@ class ClusterRouter:
             uptime_seconds=time.monotonic() - self._started,
             plan_cache=self._plans.stats().as_dict(),
             feedback=feedback_total,
+            prepared=prepared_total,
             cluster={
                 "workers": workers,
                 "routing": routed,

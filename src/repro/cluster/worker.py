@@ -13,7 +13,12 @@ routing or merging.  A worker cannot tell a shard snapshot from a full copy;
 it just serves named immutable snapshots.  All cluster semantics live in
 :mod:`repro.cluster.partition` (what is sound) and
 :mod:`repro.cluster.router` (who is asked), which keeps the soundness
-argument in one reviewable place.
+argument in one reviewable place.  The same holds for the protocol v2
+session API: templates are prepared and decomposed *at the router*, workers
+only ever see bound ad-hoc requests — but each worker's full server stack
+(``/prepare``, ``/execute``, ``/fetch``) is live for clients that talk to a
+worker directly, and every worker advertises its supported protocol
+versions in the ``/health`` responses the router's health checks read.
 
 The default start method prefers ``fork`` (fast, keeps test suites quick)
 and falls back to ``spawn`` where fork is unavailable; override with the

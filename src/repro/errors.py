@@ -64,6 +64,15 @@ class CapacityError(EvaluationError):
     """
 
 
+class UnboundParameterError(EvaluationError):
+    """A query template reached evaluation with unbound ``$name`` parameters.
+
+    Parameters type as constants for every *syntactic* purpose, but they
+    denote no value until a prepared-query binding substitutes one; an
+    engine asked to evaluate an unbound template refuses rather than guess.
+    """
+
+
 class ReductionError(ReproError):
     """A complexity reduction received an input outside its expected shape."""
 
@@ -109,5 +118,77 @@ class ClusterError(ServiceError):
     """The cluster layer cannot satisfy a request (no live replica, bad layout...)."""
 
 
+class UnknownStatementError(ServiceError):
+    """A request named a prepared-statement id the service does not hold.
+
+    Statements live in server memory: a restarted server (or a failover to
+    a different router) forgets them, and clients are expected to re-prepare
+    on receiving this error.
+    """
+
+
+class UnknownCursorError(ServiceError):
+    """A fetch named a streaming cursor that does not exist (or was evicted).
+
+    Cursors are bounded server-side state; an evicted or unknown cursor
+    means the client must re-execute the statement to stream again.
+    """
+
+
 class SnapshotStoreError(ReproError):
     """The persistent snapshot store is malformed or an operation on it failed."""
+
+
+# Wire error codes --------------------------------------------------------------
+
+#: Stable code → exception class, the contract between ``ErrorResponse.code``
+#: and the typed exception a client raises.  Codes are part of the wire
+#: protocol: never change an existing code, only add new ones.  Order is by
+#: specificity — :func:`wire_code` walks an exception's MRO, so a subclass
+#: maps to its own code and unknown subclasses fall back to their parent's.
+WIRE_ERROR_CODES: dict[str, type] = {
+    "formula": FormulaError,
+    "parse": ParseError,
+    "vocabulary": VocabularyError,
+    "database": DatabaseError,
+    "evaluation": EvaluationError,
+    "unsupported_formula": UnsupportedFormulaError,
+    "capacity": CapacityError,
+    "unbound_parameter": UnboundParameterError,
+    "reduction": ReductionError,
+    "service": ServiceError,
+    "unknown_database": UnknownDatabaseError,
+    "service_closed": ServiceClosedError,
+    "unavailable": ServiceUnavailableError,
+    "protocol": ProtocolError,
+    "cluster": ClusterError,
+    "unknown_statement": UnknownStatementError,
+    "unknown_cursor": UnknownCursorError,
+    "snapshot_store": SnapshotStoreError,
+    "error": ReproError,
+}
+
+_CLASS_TO_CODE = {cls: code for code, cls in WIRE_ERROR_CODES.items()}
+
+
+def wire_code(error: BaseException) -> str:
+    """The stable wire code for *error* (nearest registered ancestor class)."""
+    for cls in type(error).__mro__:
+        code = _CLASS_TO_CODE.get(cls)
+        if code is not None:
+            return code
+    return "error"
+
+
+def error_for_code(code: str, message: str) -> ReproError:
+    """Rebuild the typed exception a wire error code denotes.
+
+    Unknown codes (a newer server) degrade to plain :class:`ServiceError`
+    rather than failing: the message still carries the server's diagnosis.
+    """
+    cls = WIRE_ERROR_CODES.get(code, ServiceError)
+    if cls is ParseError:
+        # ParseError's constructor takes (message, position); the position
+        # is already baked into the formatted message on the wire.
+        return ParseError(message)
+    return cls(message)

@@ -48,7 +48,8 @@ from repro.logic.formulas import (
 from repro.logic.parser import parse_formula, parse_query, parse_term
 from repro.logic.printer import query_to_text, term_to_text, to_text
 from repro.logic.queries import FALSE_ANSWER, Query, TRUE_ANSWER, boolean_query
-from repro.logic.terms import Constant, Term, Variable, fresh_variable
+from repro.logic.template import bind_formula, bind_query, has_parameters, query_parameters
+from repro.logic.terms import Constant, Parameter, Term, Variable, fresh_variable
 from repro.logic.transform import (
     eliminate_implications,
     prenex_normal_form,
@@ -61,6 +62,11 @@ from repro.logic.transform import (
 from repro.logic.vocabulary import EQUALITY, NE_PREDICATE, Vocabulary
 
 __all__ = [
+    "Parameter",
+    "bind_formula",
+    "bind_query",
+    "has_parameters",
+    "query_parameters",
     # terms
     "Variable",
     "Constant",

@@ -17,12 +17,15 @@ Grammar (loosest binding first)::
     atom      := 'true' | 'false' | '(' formula ')'
                | pred '(' [term {',' term}] ')'
                | term ('=' | '!=') term
-    term      := var | constant
+    term      := var | constant | param
     var       := IDENT                                   (unquoted identifier)
     constant  := "'" chars "'" | INTEGER
+    param     := '$' IDENT
 
 Unquoted identifiers in term position are variables; quoted strings and bare
-integers are constants.  ``!=`` abbreviates a negated equality.
+integers are constants.  ``$name`` is a query *parameter* — a placeholder
+that types as a constant and is substituted by a prepared-query binding
+(:mod:`repro.logic.template`).  ``!=`` abbreviates a negated equality.
 """
 
 from __future__ import annotations
@@ -48,7 +51,7 @@ from repro.logic.formulas import (
     TOP,
 )
 from repro.logic.queries import Query
-from repro.logic.terms import Constant, Term, Variable
+from repro.logic.terms import Constant, Parameter, Term, Variable
 
 __all__ = ["parse_formula", "parse_query", "parse_term"]
 
@@ -57,6 +60,7 @@ _TOKEN_RE = re.compile(
     (?P<ws>\s+)
   | (?P<constant>'(?:[^'\\]|\\.)*')
   | (?P<integer>\d+)
+  | (?P<param>\$[A-Za-z_][A-Za-z0-9_]*)
   | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
   | (?P<op><->|->|!=|[()&|~=.,/])
     """,
@@ -312,6 +316,8 @@ class _Parser:
             return Constant(raw.replace("\\'", "'"))
         if token.kind == "integer":
             return Constant(token.text)
+        if token.kind == "param":
+            return Parameter(token.text[1:])
         if token.kind == "ident" and token.text not in _KEYWORDS:
             return Variable(token.text)
         raise ParseError(f"expected a term, found {token.text!r}", token.position)

@@ -32,7 +32,7 @@ from repro.logic.formulas import (
     Top,
 )
 from repro.logic.queries import Query
-from repro.logic.terms import Constant, Term, Variable
+from repro.logic.terms import Constant, Parameter, Term, Variable
 
 __all__ = ["to_text", "query_to_text", "term_to_text"]
 
@@ -48,9 +48,11 @@ _PRECEDENCE = {
 
 
 def term_to_text(term: Term) -> str:
-    """Render a term: variables bare, constants single-quoted."""
+    """Render a term: variables bare, constants single-quoted, parameters ``$name``."""
     if isinstance(term, Variable):
         return term.name
+    if isinstance(term, Parameter):
+        return f"${term.name}"
     if isinstance(term, Constant):
         escaped = term.name.replace("'", "\\'")
         return f"'{escaped}'"

@@ -77,6 +77,24 @@ class Query:
         return not self.head
 
     @property
+    def is_template(self) -> bool:
+        """True when the condition mentions ``$name`` parameters.
+
+        Templates classify and plan like constant queries (parameters type
+        as constants) but refuse evaluation until bound — see
+        :mod:`repro.logic.template`.
+        """
+        from repro.logic.template import has_parameters
+
+        return has_parameters(self)
+
+    def parameters(self) -> tuple[str, ...]:
+        """The ``$`` parameter names a binding must supply (sorted)."""
+        from repro.logic.template import query_parameters
+
+        return query_parameters(self)
+
+    @property
     def is_first_order(self) -> bool:
         return is_first_order(self.formula)
 

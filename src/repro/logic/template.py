@@ -1,0 +1,168 @@
+"""Parameterized query templates and their binding.
+
+A *template* is an ordinary :class:`~repro.logic.queries.Query` whose
+formula mentions :class:`~repro.logic.terms.Parameter` terms (``$name`` in
+the textual syntax).  Parameters type as constants, so a template can be
+parsed, classified, decomposed and compiled exactly once; binding then
+substitutes real :class:`~repro.logic.terms.Constant` symbols for the
+placeholders **without re-parsing** — the expression-side work (Vardi's
+expression complexity) is paid per template, the data-side work per binding.
+
+Two binding levels exist:
+
+* :func:`bind_query` — AST-level substitution, used by every evaluation
+  route (it produces a parameter-free query any engine can run);
+* :func:`repro.physical.plan.substitute_plan_parameters` — plan-level
+  substitution, the prepared fast path that also skips compile + optimize.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.errors import FormulaError, UnboundParameterError
+from repro.logic.formulas import (
+    And,
+    Atom,
+    Bottom,
+    Equals,
+    Exists,
+    ExtensionAtom,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    SecondOrderExists,
+    SecondOrderForall,
+    Top,
+)
+from repro.logic.queries import Query
+from repro.logic.terms import Constant, Parameter, Term
+
+__all__ = [
+    "formula_parameters",
+    "query_parameters",
+    "has_parameters",
+    "bind_formula",
+    "bind_query",
+    "check_bound",
+]
+
+
+def _terms_in(formula: Formula) -> Iterator[Term]:
+    if isinstance(formula, (Atom, ExtensionAtom)):
+        yield from formula.args
+    elif isinstance(formula, Equals):
+        yield formula.left
+        yield formula.right
+    for child in formula.children():
+        yield from _terms_in(child)
+
+
+def formula_parameters(formula: Formula) -> tuple[str, ...]:
+    """The parameter names mentioned by *formula*, sorted and deduplicated."""
+    return tuple(sorted({term.name for term in _terms_in(formula) if isinstance(term, Parameter)}))
+
+
+def query_parameters(query: Query) -> tuple[str, ...]:
+    """The parameter names a binding for *query* must supply."""
+    return formula_parameters(query.formula)
+
+
+def has_parameters(query: Query) -> bool:
+    """Whether *query* is a template (mentions at least one parameter)."""
+    return any(isinstance(term, Parameter) for term in _terms_in(query.formula))
+
+
+def _check_binding(parameters: tuple[str, ...], values: Mapping[str, str]) -> dict[str, str]:
+    missing = [name for name in parameters if name not in values]
+    if missing:
+        raise UnboundParameterError(
+            "missing value(s) for parameter(s): " + ", ".join(f"${name}" for name in missing)
+        )
+    extra = sorted(set(values) - set(parameters))
+    if extra:
+        raise UnboundParameterError(
+            "binding names parameter(s) the template does not mention: "
+            + ", ".join(f"${name}" for name in extra)
+        )
+    for name, value in values.items():
+        if not isinstance(value, str) or not value:
+            raise FormulaError(
+                f"parameter ${name} must be bound to a non-empty constant name, got {value!r}"
+            )
+    return dict(values)
+
+
+def _bind_term(term: Term, values: Mapping[str, str]) -> Term:
+    if isinstance(term, Parameter):
+        return Constant(values[term.name])
+    return term
+
+
+def bind_formula(formula: Formula, values: Mapping[str, str]) -> Formula:
+    """Substitute constants for every parameter of *formula*.
+
+    *values* must bind exactly the parameters the formula mentions (no
+    missing, no extra names) — a silent partial binding would surface later
+    as a confusing evaluation error far from its cause.
+    """
+    _check_binding(formula_parameters(formula), values)
+    return _bind(formula, values)
+
+
+def _bind(formula: Formula, values: Mapping[str, str]) -> Formula:
+    if isinstance(formula, ExtensionAtom):
+        return formula.with_args(tuple(_bind_term(t, values) for t in formula.args))
+    if isinstance(formula, Atom):
+        return Atom(formula.predicate, tuple(_bind_term(t, values) for t in formula.args))
+    if isinstance(formula, Equals):
+        return Equals(_bind_term(formula.left, values), _bind_term(formula.right, values))
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(_bind(formula.operand, values))
+    if isinstance(formula, And):
+        return And(tuple(_bind(op, values) for op in formula.operands))
+    if isinstance(formula, Or):
+        return Or(tuple(_bind(op, values) for op in formula.operands))
+    if isinstance(formula, Implies):
+        return Implies(_bind(formula.antecedent, values), _bind(formula.consequent, values))
+    if isinstance(formula, Iff):
+        return Iff(_bind(formula.left, values), _bind(formula.right, values))
+    if isinstance(formula, (Exists, Forall)):
+        # Parameters are constants, never bound variables: no capture risk.
+        return type(formula)(formula.variables, _bind(formula.body, values))
+    if isinstance(formula, (SecondOrderExists, SecondOrderForall)):
+        return type(formula)(formula.predicate, formula.arity, _bind(formula.body, values))
+    raise FormulaError(f"cannot bind parameters in formula node {type(formula).__name__}")
+
+
+def bind_query(query: Query, values: Mapping[str, str]) -> Query:
+    """Bind a template to concrete constants; the inverse check of `prepare`.
+
+    Returns a parameter-free query with the same head.  The binding must be
+    exact (see :func:`bind_formula`); binding a parameter-free query with an
+    empty mapping is the identity.
+    """
+    if not has_parameters(query):
+        _check_binding((), values)
+        return query
+    return query.with_formula(bind_formula(query.formula, values))
+
+
+def check_bound(query: Query) -> None:
+    """Raise :class:`UnboundParameterError` if *query* still has parameters.
+
+    Evaluation engines call this before running: a parameter has no value,
+    so evaluating around one could only produce silently wrong answers.
+    """
+    names = query_parameters(query)
+    if names:
+        raise UnboundParameterError(
+            "query mentions unbound parameter(s) "
+            + ", ".join(f"${name}" for name in names)
+            + " — bind them (prepared execute, --param) before evaluation"
+        )

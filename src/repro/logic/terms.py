@@ -17,6 +17,7 @@ from repro.errors import FormulaError
 __all__ = [
     "Variable",
     "Constant",
+    "Parameter",
     "Term",
     "is_term",
     "term_name",
@@ -62,6 +63,33 @@ class Constant:
 
     def __str__(self) -> str:
         return f"'{self.name}'"
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class Parameter(Constant):
+    """A named query parameter: ``$name`` in the textual syntax.
+
+    A parameter is a *placeholder constant*: everywhere the library reasons
+    about syntax — free variables, prefix classes, positivity, query heads —
+    it behaves exactly like a constant symbol (the paper's expression
+    complexity does not depend on which constant is written), which is what
+    lets a prepared template be classified, decomposed and planned once.
+    Evaluation, by contrast, refuses unbound parameters: a parameter only
+    denotes a value after :func:`repro.logic.template.bind_query` substitutes
+    a real :class:`Constant` for it (or, on the prepared fast path, after
+    :func:`repro.physical.plan.substitute_plan_parameters` rebinds a
+    compiled template plan).
+
+    ``name`` is the bare parameter name, without the ``$`` sigil.  Being a
+    distinct type (not a specially-named constant) means a parameter can
+    never collide with a stored constant that happens to contain ``$``.
+    """
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name!r})"
+
+    def __str__(self) -> str:
+        return f"${self.name}"
 
 
 Term = Union[Variable, Constant]

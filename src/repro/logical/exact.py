@@ -64,6 +64,9 @@ class CertainAnswerEvaluator:
 
     def certain_answers(self, database: CWDatabase, query: Query) -> frozenset[tuple[str, ...]]:
         """Return ``Q(LB)``: the tuples of constants finitely implied to satisfy ``Q``."""
+        from repro.logic.template import check_bound
+
+        check_bound(query)
         constants = database.constants
         arity = query.arity
         candidate_count = len(constants) ** arity

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from itertools import product
 
-from repro.errors import UnsupportedFormulaError
+from repro.errors import UnboundParameterError, UnsupportedFormulaError
 from repro.logic.analysis import free_variables, is_first_order
 from repro.logic.formulas import (
     And,
@@ -45,7 +45,7 @@ from repro.logic.formulas import (
     Top,
 )
 from repro.logic.queries import Query
-from repro.logic.terms import Constant, Variable
+from repro.logic.terms import Constant, Parameter, Variable
 from repro.logic.transform import eliminate_implications, standardize_apart
 from repro.physical.algebra import execute
 from repro.physical.database import PhysicalDatabase
@@ -168,7 +168,12 @@ def _compile_atom(atom: Atom, database: PhysicalDatabase) -> tuple[PlanNode, tup
     conditions: list[tuple[str, object]] = []
     variable_columns: dict[str, list[str]] = {}
     for column, term in zip(raw_columns, atom.args):
-        if isinstance(term, Constant):
+        if isinstance(term, Parameter):
+            # The parameter itself is the binding value: a placeholder that
+            # substitute_plan_parameters swaps for the bound constant's value.
+            # It can never accidentally match stored data (distinct type).
+            conditions.append((column, term))
+        elif isinstance(term, Constant):
             conditions.append((column, database.constant_value(term.name)))
         else:
             variable_columns.setdefault(term.name, []).append(column)
@@ -200,6 +205,16 @@ def _compile_atom(atom: Atom, database: PhysicalDatabase) -> tuple[PlanNode, tup
 
 def _compile_extension_atom(atom: ExtensionAtom, database: PhysicalDatabase) -> tuple[PlanNode, tuple[str, ...]]:
     """Materialize an extension atom over the active domain into a literal table."""
+    parameters = sorted(term.name for term in atom.args if isinstance(term, Parameter))
+    if parameters:
+        # Materialization evaluates holds() per tuple *now*; a placeholder
+        # has no value to evaluate with, and the result could not be fixed
+        # up by substitution later.  Prepared queries catch this and fall
+        # back to binding at the AST level before compiling.
+        raise UnboundParameterError(
+            "cannot compile an extension atom with unbound parameter(s) "
+            + ", ".join(f"${name}" for name in parameters)
+        )
     adom = sorted(database.active_domain(), key=repr)
     variables: list[str] = []
     for term in atom.args:
@@ -219,16 +234,42 @@ def _compile_extension_atom(atom: ExtensionAtom, database: PhysicalDatabase) -> 
     return LiteralTable(tuple(variables), frozenset(rows)), tuple(variables)
 
 
+def _constant_plan_value(term: Constant, database: PhysicalDatabase) -> object:
+    """The plan-level value of a constant term: parameters stay placeholders."""
+    if isinstance(term, Parameter):
+        return term
+    return database.constant_value(term.name)
+
+
 def _compile_equality(formula: Equals, database: PhysicalDatabase) -> tuple[PlanNode, tuple[str, ...]]:
     left, right = formula.left, formula.right
     if isinstance(left, Constant) and isinstance(right, Constant):
-        equal = database.constant_value(left.name) == database.constant_value(right.name)
-        return (_TRUE_TABLE if equal else _FALSE_TABLE), ()
+        left_value = _constant_plan_value(left, database)
+        right_value = _constant_plan_value(right, database)
+        if isinstance(left_value, Parameter) or isinstance(right_value, Parameter):
+            if left_value == right_value:
+                # The same parameter on both sides is equal under any binding.
+                return _TRUE_TABLE, ()
+            # The outcome depends on the binding: compile a 0-column plan
+            # whose selection is decided after parameter substitution.  The
+            # optimizer's folding passes deliberately refuse to pre-evaluate
+            # comparisons that involve a Parameter value.
+            plan = Projection(
+                Selection(
+                    LiteralTable(("__peq",), frozenset({(left_value,)})),
+                    None,
+                    description=f"{left} = {right}",
+                    bindings=(("__peq", right_value),),
+                ),
+                (),
+            )
+            return plan, ()
+        return (_TRUE_TABLE if left_value == right_value else _FALSE_TABLE), ()
     if isinstance(left, Constant) or isinstance(right, Constant):
         constant = left if isinstance(left, Constant) else right
         variable = right if isinstance(left, Constant) else left
         assert isinstance(variable, Variable)
-        value = database.constant_value(constant.name)
+        value = _constant_plan_value(constant, database)
         return LiteralTable((variable.name,), frozenset({(value,)})), (variable.name,)
     assert isinstance(left, Variable) and isinstance(right, Variable)
     if left.name == right.name:

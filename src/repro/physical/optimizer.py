@@ -71,6 +71,7 @@ from repro.physical.plan import (
     UnionAll,
     plan_fingerprint,
 )
+from repro.logic.terms import Parameter
 from repro.physical.statistics import CardinalityRecorder, Statistics, statistics_for
 
 __all__ = [
@@ -181,7 +182,9 @@ class _Rewriter:
                 if not plan.bindings and not plan.equalities:
                     return source
                 if isinstance(source, LiteralTable):
-                    return _filter_literal(source, plan.bindings, plan.equalities)
+                    filtered = _filter_literal(source, plan.bindings, plan.equalities)
+                    if filtered is not None:
+                        return filtered
             if isinstance(source, LiteralTable) and not source.rows:
                 return source
             return _rebuild(plan, Selection, source=source)
@@ -310,6 +313,8 @@ class _Rewriter:
 
         if isinstance(source, ScanRelation) and bindings:
             deduped = _dedupe_bindings(bindings)
+            if deduped is _UNDECIDED:
+                return selection
             if deduped is None:
                 return LiteralTable(source.columns, frozenset())
             scan = IndexScan(source.relation, source.columns, deduped)
@@ -319,6 +324,8 @@ class _Rewriter:
 
         if isinstance(source, IndexScan) and bindings:
             deduped = _dedupe_bindings(source.bindings + bindings)
+            if deduped is _UNDECIDED:
+                return selection
             if deduped is None:
                 return LiteralTable(source.columns, frozenset())
             scan = IndexScan(source.relation, source.columns, deduped)
@@ -328,12 +335,19 @@ class _Rewriter:
 
         if isinstance(source, ActiveDomain) and bindings:
             deduped = _dedupe_bindings(bindings)
+            if deduped is _UNDECIDED or (
+                deduped is not None and isinstance(deduped[0][1], Parameter)
+            ):
+                # Whether the bound value lies in the active domain is only
+                # knowable after substitution: keep the runtime filter.
+                return selection
             if deduped is None or deduped[0][1] not in self.database.active_domain():
                 return LiteralTable((source.column,), frozenset())
             return LiteralTable((source.column,), frozenset({(deduped[0][1],)}))
 
         if isinstance(source, LiteralTable):
-            return _filter_literal(source, bindings, equalities)
+            filtered = _filter_literal(source, bindings, equalities)
+            return selection if filtered is None else filtered
 
         return Selection(source, None, selection.description, bindings, equalities)
 
@@ -860,8 +874,34 @@ def _is_true_literal(plan: PlanNode) -> bool:
     return isinstance(plan, LiteralTable) and plan.columns == () and plan.rows == frozenset({()})
 
 
-def _filter_literal(literal: LiteralTable, bindings, equalities) -> LiteralTable:
+def _values_comparable(left: object, right: object) -> bool:
+    """Whether ``left == right`` can be decided before parameter binding.
+
+    Equal values (including the *same* parameter twice) compare equal under
+    any binding; two non-parameters compare however they compare.  One
+    parameter against anything else is undecidable until substitution.
+    """
+    if left == right:
+        return True
+    return not isinstance(left, Parameter) and not isinstance(right, Parameter)
+
+
+def _filter_literal(literal: LiteralTable, bindings, equalities) -> LiteralTable | None:
+    """Pre-apply a structured selection to a literal; ``None`` when undecidable.
+
+    A comparison involving an unbound :class:`Parameter` placeholder has no
+    truth value yet — folding it would bake one binding's outcome into every
+    binding's plan — so the caller keeps the selection for execution time.
+    """
     index = {column: i for i, column in enumerate(literal.columns)}
+    for row in literal.rows:
+        for column, value in bindings:
+            if not _values_comparable(row[index[column]], value):
+                return None
+        for group in equalities:
+            cells = [row[index[column]] for column in group]
+            if any(not _values_comparable(cells[0], cell) for cell in cells[1:]):
+                return None
     kept = frozenset(
         row
         for row in literal.rows
@@ -871,13 +911,25 @@ def _filter_literal(literal: LiteralTable, bindings, equalities) -> LiteralTable
     return LiteralTable(literal.columns, kept)
 
 
-def _dedupe_bindings(bindings) -> tuple[tuple[str, object], ...] | None:
-    """Merge duplicate column bindings; ``None`` signals a contradiction."""
+#: Sentinel: duplicate bindings whose agreement depends on a parameter value.
+_UNDECIDED = object()
+
+
+def _dedupe_bindings(bindings):
+    """Merge duplicate column bindings.
+
+    Returns the merged tuple, ``None`` for a provable contradiction (two
+    different constants on one column), or :data:`_UNDECIDED` when the
+    verdict depends on an unbound parameter — the caller then leaves the
+    selection in place for execution after substitution.
+    """
     merged: dict[str, object] = {}
     order: list[str] = []
     for column, value in bindings:
         if column in merged:
             if merged[column] != value:
+                if not _values_comparable(merged[column], value):
+                    return _UNDECIDED
                 return None
         else:
             merged[column] = value

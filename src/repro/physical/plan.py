@@ -16,9 +16,10 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Mapping
 
-from repro.errors import EvaluationError
+from repro.errors import EvaluationError, UnboundParameterError
+from repro.logic.terms import Parameter
 
 __all__ = [
     "Table",
@@ -38,6 +39,8 @@ __all__ = [
     "UnionAll",
     "Difference",
     "plan_fingerprint",
+    "plan_parameters",
+    "substitute_plan_parameters",
 ]
 
 
@@ -359,3 +362,86 @@ def _fingerprint_parts(plan: PlanNode, parts: list[str]) -> bool:
             return False
     parts.append(")")
     return True
+
+
+# Parameterized template plans --------------------------------------------------
+
+
+def plan_parameters(plan: PlanNode) -> tuple[str, ...]:
+    """Parameter names a plan still carries as placeholder values (sorted).
+
+    A compiled template plan holds :class:`~repro.logic.terms.Parameter`
+    objects wherever the bound constant's value will eventually sit:
+    selection and index-scan bindings, and literal-table rows.
+    """
+    names: set[str] = set()
+    pending = [plan]
+    while pending:
+        node = pending.pop()
+        if isinstance(node, (Selection, IndexScan)):
+            names.update(value.name for __, value in node.bindings if isinstance(value, Parameter))
+        if isinstance(node, LiteralTable):
+            names.update(
+                value.name for row in node.rows for value in row if isinstance(value, Parameter)
+            )
+        pending.extend(node.children())
+    return tuple(sorted(names))
+
+
+def substitute_plan_parameters(plan: PlanNode, values: Mapping[str, object]) -> PlanNode:
+    """Rebind a compiled template plan to concrete values — the prepared fast path.
+
+    Structurally identical to re-compiling the bound query, but a pure tree
+    rebuild: no parse, no rewrite, no optimization.  *values* maps parameter
+    names to the already-resolved domain values (callers resolve through
+    :meth:`~repro.physical.database.PhysicalDatabase.constant_value` so a
+    binding to an unknown constant fails exactly like the ad-hoc path).
+    Raises :class:`UnboundParameterError` when the plan mentions a parameter
+    *values* does not cover; extra names are ignored (a template's plan may
+    not mention every template parameter after optimization).
+    """
+
+    def value_of(value: object) -> object:
+        if isinstance(value, Parameter):
+            try:
+                return values[value.name]
+            except KeyError:
+                raise UnboundParameterError(
+                    f"plan mentions unbound parameter ${value.name}"
+                ) from None
+        return value
+
+    def rebuild(node: PlanNode) -> PlanNode:
+        if isinstance(node, Selection):
+            return Selection(
+                rebuild(node.source),
+                node.condition,
+                node.description,
+                tuple((column, value_of(value)) for column, value in node.bindings),
+                node.equalities,
+            )
+        if isinstance(node, IndexScan):
+            return IndexScan(
+                node.relation,
+                node.columns,
+                tuple((column, value_of(value)) for column, value in node.bindings),
+            )
+        if isinstance(node, LiteralTable):
+            return LiteralTable(
+                node.columns,
+                frozenset(tuple(value_of(value) for value in row) for row in node.rows),
+            )
+        if isinstance(node, Projection):
+            return Projection(rebuild(node.source), node.columns)
+        if isinstance(node, RenameColumns):
+            return RenameColumns(rebuild(node.source), node.renaming)
+        if isinstance(node, (NaturalJoin, CrossProduct, UnionAll, Difference)):
+            return type(node)(rebuild(node.left), rebuild(node.right))
+        if isinstance(node, EquiJoin):
+            return EquiJoin(rebuild(node.left), rebuild(node.right), node.pairs)
+        if isinstance(node, (SemiJoin, AntiJoin)):
+            return type(node)(rebuild(node.source), rebuild(node.filter), node.pairs)
+        # Leaves without values (ScanRelation, ActiveDomain) pass through.
+        return node
+
+    return rebuild(plan)

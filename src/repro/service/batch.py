@@ -21,7 +21,7 @@ from typing import Sequence
 from repro.errors import ReproError
 from repro.service.protocol import BatchResponse, ErrorResponse, QueryRequest, QueryResponse
 
-__all__ = ["BatchEvaluator", "evaluate_batch", "DEFAULT_MAX_WORKERS"]
+__all__ = ["BatchEvaluator", "PreparedBatchEvaluator", "evaluate_batch", "DEFAULT_MAX_WORKERS"]
 
 DEFAULT_MAX_WORKERS = 8
 
@@ -78,9 +78,65 @@ class BatchEvaluator:
         try:
             return self.service.execute(request)
         except ReproError as error:
-            return ErrorResponse(error=str(error), kind=type(error).__name__)
+            return ErrorResponse.from_exception(error)
 
 
 def evaluate_batch(service, requests: Sequence[QueryRequest], max_workers: int | None = None) -> BatchResponse:
     """Module-level convenience wrapper around :class:`BatchEvaluator`."""
     return BatchEvaluator(service, max_workers=max_workers).run(requests)
+
+
+class PreparedBatchEvaluator:
+    """The prepared counterpart of :class:`BatchEvaluator`: one statement, many bindings.
+
+    A parameter sweep is the canonical prepared workload (same template,
+    thousands of bindings); like ad-hoc batches it is deduplicated first —
+    bindings compare equal by content — and fanned out concurrently, with
+    per-binding failures isolated to their slot.
+    """
+
+    def __init__(self, service, max_workers: int | None = None, executor: ThreadPoolExecutor | None = None) -> None:
+        self.service = service
+        self.max_workers = max_workers or DEFAULT_MAX_WORKERS
+        self.executor = executor
+
+    def run(self, statement_id: str, bindings) -> BatchResponse:
+        bindings = [dict(binding or {}) for binding in bindings]
+        if not bindings:
+            return BatchResponse(responses=(), total=0, unique=0, deduplicated=0)
+
+        def freeze(binding: dict) -> tuple:
+            return tuple(sorted(binding.items()))
+
+        unique: list[dict] = []
+        seen: dict[tuple, int] = {}
+        for binding in bindings:
+            key = freeze(binding)
+            if key not in seen:
+                seen[key] = len(unique)
+                unique.append(binding)
+
+        def evaluate(binding: dict) -> QueryResponse | ErrorResponse:
+            try:
+                return self.service.execute_prepared(statement_id, binding)
+            except ReproError as error:
+                return ErrorResponse.from_exception(error)
+
+        if self.executor is not None:
+            unique_responses = list(self.executor.map(evaluate, unique))
+        else:
+            workers = min(self.max_workers, len(unique))
+            if workers <= 1:
+                unique_responses = [evaluate(binding) for binding in unique]
+            else:
+                with ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro-prepared") as pool:
+                    unique_responses = list(pool.map(evaluate, unique))
+
+        deduplicated = len(bindings) - len(unique)
+        self.service.record_batch(executed=len(unique), deduplicated=deduplicated)
+        return BatchResponse(
+            responses=tuple(unique_responses[seen[freeze(binding)]] for binding in bindings),
+            total=len(bindings),
+            unique=len(unique),
+            deduplicated=deduplicated,
+        )

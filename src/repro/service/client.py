@@ -1,14 +1,27 @@
-"""A thin stdlib client for the JSON HTTP front-end.
+"""A thin stdlib client for the JSON HTTP front-end (protocol v1 + v2).
 
 The client speaks exactly the protocol of :mod:`repro.service.protocol`:
 requests are protocol dataclasses serialized with
 :func:`~repro.service.protocol.to_wire`, responses are deserialized with
 :func:`~repro.service.protocol.parse_wire`.  Server-side errors (an
 :class:`~repro.service.protocol.ErrorResponse` body with a 4xx status) are
-re-raised locally as :class:`~repro.errors.ServiceError`, so remote and
-in-process usage fail the same way; transport-level failures (connection
-refused, timeout) raise :class:`~repro.errors.ServiceUnavailableError` so
-the cluster router can tell "worker down" from "worker said no".
+re-raised locally as the **typed** exception their stable ``code`` names
+(:func:`repro.errors.error_for_code`), so remote and in-process usage fail
+the same way; transport-level failures (connection refused, timeout) raise
+:class:`~repro.errors.ServiceUnavailableError` so the cluster router can
+tell "worker down" from "worker said no".
+
+**Version negotiation.**  The first message that needs an envelope asks
+``/health`` which protocol versions the server speaks and caches the
+highest common one; requests are then serialized at that version.  Against
+a v1-only server everything except the session API keeps working;
+:meth:`ServiceClient.prepare` raises a clear error instead.
+
+**Sessions.**  :meth:`ServiceClient.prepare` registers a query template and
+returns a :class:`PreparedHandle`: ``execute`` / ``execute_many`` bind
+parameters server-side, and ``stream`` returns an iterator that pulls the
+answer set page by page through a server cursor — a large answer never
+travels as one giant JSON body.
 
 Connections are **persistent**: each thread keeps one keep-alive
 ``http.client.HTTPConnection`` per client, because the cluster router pushes
@@ -18,8 +31,10 @@ keep-alive connection (the server closed it between requests) is detected by
 its signature errors and retried once on a fresh connection.  Some of those
 signatures (a reset while waiting for the response) can also arrive after
 the server started working, so a retried request may execute twice — safe
-here because every protocol endpoint is a pure read; a future *mutating*
-endpoint must tighten the retry set first.
+here because every protocol endpoint is a pure read or an idempotent
+registration: ``prepare`` deduplicates server-side, ``execute`` reads,
+``fetch`` names an explicit page index.  A future non-idempotent endpoint
+must tighten the retry set first.
 """
 
 from __future__ import annotations
@@ -28,19 +43,34 @@ import http.client
 import json
 import socket
 import threading
-from typing import Sequence
+from typing import Iterator, Mapping, Sequence
 from urllib.parse import quote, urlparse
 
-from repro.errors import ProtocolError, ServiceError, ServiceUnavailableError
+from repro.errors import (
+    ProtocolError,
+    ServiceError,
+    ServiceUnavailableError,
+    error_for_code,
+)
 from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    SUPPORTED_PROTOCOL_VERSIONS,
     BatchRequest,
     BatchResponse,
     ClassifyRequest,
     ClassifyResponse,
+    CursorResponse,
     DatabasesResponse,
+    DEFAULT_PAGE_SIZE,
     ErrorResponse,
+    ExecuteManyRequest,
+    ExecuteRequest,
+    FetchRequest,
     HealthResponse,
     InfoResponse,
+    PageResponse,
+    PrepareRequest,
+    PrepareResponse,
     QueryRequest,
     QueryResponse,
     StatsResponse,
@@ -48,7 +78,7 @@ from repro.service.protocol import (
     to_wire,
 )
 
-__all__ = ["ServiceClient"]
+__all__ = ["ServiceClient", "PreparedHandle"]
 
 DEFAULT_TIMEOUT_SECONDS = 60.0
 
@@ -78,6 +108,8 @@ class ServiceClient:
         self._port = parsed.port or (443 if self._tls else 80)
         self._prefix = parsed.path.rstrip("/")
         self._local = threading.local()
+        self._version_lock = threading.Lock()
+        self._negotiated: int | None = None
 
     # Endpoints -----------------------------------------------------------------
 
@@ -114,6 +146,73 @@ class ServiceClient:
     def batch(self, requests: Sequence[QueryRequest]) -> BatchResponse:
         return self._expect(self._post("/batch", BatchRequest(tuple(requests))), BatchResponse)
 
+    # The session API (protocol v2) ---------------------------------------------
+
+    def protocol_version(self) -> int:
+        """The negotiated wire version (health-probed once, then cached)."""
+        with self._version_lock:
+            if self._negotiated is not None:
+                return self._negotiated
+        # Probe outside the lock (the health round trip may be slow); a
+        # racing second probe computes the same answer.
+        try:
+            advertised = self.health().protocol_versions
+        except ProtocolError:
+            # Something answered /health but not with our message — assume
+            # the oldest protocol rather than refusing to talk at all.
+            advertised = (1,)
+        common = set(advertised) & set(SUPPORTED_PROTOCOL_VERSIONS)
+        version = max(common) if common else min(SUPPORTED_PROTOCOL_VERSIONS)
+        with self._version_lock:
+            self._negotiated = version
+        return version
+
+    def prepare(
+        self,
+        database: str,
+        template: str,
+        method: str = "approx",
+        engine: str = "algebra",
+        virtual_ne: bool = False,
+    ) -> "PreparedHandle":
+        """Register a query template server-side; returns the execution handle.
+
+        Raises :class:`ServiceError` against a v1-only server — the session
+        API is a protocol v2 feature.
+        """
+        if self.protocol_version() < 2:
+            raise ServiceError(
+                f"the server at {self.base_url} only speaks protocol v1; "
+                "prepared queries need protocol v2"
+            )
+        request = PrepareRequest(database, template, method, engine, virtual_ne)
+        response = self._expect(self._post("/prepare", request), PrepareResponse)
+        return PreparedHandle(self, response)
+
+    def execute_prepared(
+        self,
+        statement_id: str,
+        params: Mapping[str, str] | None = None,
+    ) -> QueryResponse:
+        request = ExecuteRequest(statement_id, dict(params or {}))
+        return self._expect(self._post("/execute", request), QueryResponse)
+
+    def execute_prepared_many(self, statement_id: str, bindings) -> BatchResponse:
+        request = ExecuteManyRequest(statement_id, tuple(dict(b) for b in bindings))
+        return self._expect(self._post("/execute", request), BatchResponse)
+
+    def open_cursor(
+        self,
+        statement_id: str,
+        params: Mapping[str, str] | None = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ) -> CursorResponse:
+        request = ExecuteRequest(statement_id, dict(params or {}), stream=True, page_size=page_size)
+        return self._expect(self._post("/execute", request), CursorResponse)
+
+    def fetch_page(self, cursor_id: str, page: int) -> PageResponse:
+        return self._expect(self._post("/fetch", FetchRequest(cursor_id, page)), PageResponse)
+
     def get_raw(self, path: str) -> dict:
         """GET a route and return the undecoded JSON payload (envelope included)."""
         payload = self._round_trip("GET", path)
@@ -137,7 +236,8 @@ class ServiceClient:
         return self._parse(self._round_trip("GET", path))
 
     def _post(self, path: str, message: object) -> object:
-        return self._parse(self._round_trip("POST", path, json.dumps(to_wire(message)).encode()))
+        body = json.dumps(to_wire(message, self.protocol_version())).encode()
+        return self._parse(self._round_trip("POST", path, body))
 
     def _connection(self) -> http.client.HTTPConnection:
         connection = getattr(self._local, "connection", None)
@@ -201,7 +301,7 @@ class ServiceClient:
     def _parse(self, payload: object) -> object:
         message = parse_wire(payload)  # type: ignore[arg-type]
         if isinstance(message, ErrorResponse):
-            raise ServiceError(f"{message.kind}: {message.error}")
+            raise _remote_error(message)
         return message
 
     def _raise_remote_error(self, payload: object, status: int) -> None:
@@ -210,9 +310,76 @@ class ServiceClient:
         except ProtocolError:
             raise ServiceError(f"HTTP {status}: unrecognized error body") from None
         if isinstance(message, ErrorResponse):
-            raise ServiceError(f"{message.kind}: {message.error}")
+            raise _remote_error(message)
 
     def _expect(self, message: object, expected: type):
         if not isinstance(message, expected):
             raise ProtocolError(f"expected a {expected.__name__}, got {type(message).__name__}")
         return message
+
+
+def _remote_error(message: ErrorResponse) -> ServiceError:
+    """The typed local exception for a wire error.
+
+    The stable ``code`` picks the class; the ``kind`` prefix is only kept
+    when it adds information (the code resolved to a different class, e.g.
+    an unregistered subclass or a message from a pre-v2 server).
+    """
+    error = error_for_code(message.code, message.error)
+    if type(error).__name__ == message.kind:
+        return error
+    return error_for_code(message.code, f"{message.kind}: {message.error}")
+
+
+class PreparedHandle:
+    """Client-side face of one prepared statement.
+
+    Thin and immutable: all state (the statement, its plan, its counters)
+    lives server-side; the handle just remembers the id and what must be
+    bound.  Iterate large answers with :meth:`stream` — pages are fetched
+    lazily, so row ``n`` of a million-row answer does not wait for row
+    999999 to be serialized.
+    """
+
+    def __init__(self, client: ServiceClient, response: PrepareResponse) -> None:
+        self.client = client
+        self.statement_id = response.statement_id
+        self.database = response.database
+        self.fingerprint = response.fingerprint
+        self.template = response.template
+        self.parameters = response.parameters
+        self.arity = response.arity
+        self.method = response.method
+        self.engine = response.engine
+        self.virtual_ne = response.virtual_ne
+
+    def execute(self, params: Mapping[str, str] | None = None) -> QueryResponse:
+        """One bound execution, answered as a single body."""
+        return self.client.execute_prepared(self.statement_id, params)
+
+    def execute_many(self, bindings) -> BatchResponse:
+        """A parameter sweep: deduplicated server-side, positional answers."""
+        return self.client.execute_prepared_many(self.statement_id, bindings)
+
+    def stream(
+        self,
+        params: Mapping[str, str] | None = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ) -> Iterator[tuple[str, ...]]:
+        """Iterate the answer rows, fetching one page at a time.
+
+        Rows arrive in the canonical (sorted) wire order, so collecting the
+        iterator reproduces the single-body answer exactly.
+        """
+        cursor = self.client.open_cursor(self.statement_id, params, page_size=page_size)
+        for page in range(cursor.pages):
+            response = self.client.fetch_page(cursor.cursor_id, page)
+            yield from response.rows
+            if response.last:
+                break
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"PreparedHandle({self.statement_id!r}, database={self.database!r}, "
+            f"template={self.template!r}, parameters={self.parameters!r})"
+        )

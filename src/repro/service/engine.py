@@ -44,7 +44,7 @@ from typing import Mapping
 
 from repro.approx.evaluator import ApproximateEvaluator
 from repro.complexity.classes import classify_query
-from repro.errors import ReproError, ServiceError, UnknownDatabaseError
+from repro.errors import ReproError, ServiceError, UnboundParameterError, UnknownDatabaseError
 from repro.logic.parser import parse_query
 from repro.logic.queries import Query
 from repro.logical.database import CWDatabase
@@ -52,7 +52,8 @@ from repro.logical.exact import CertainAnswerEvaluator
 from repro.logical.mappings import DEFAULT_MAX_MAPPINGS
 from repro.logical.ph import ph2
 from repro.physical.database import PhysicalDatabase
-from repro.physical.optimizer import DEFAULT_FEEDBACK_THRESHOLD, apply_feedback
+from repro.physical.optimizer import DEFAULT_FEEDBACK_THRESHOLD, apply_feedback, plan_cost
+from repro.physical.plan import substitute_plan_parameters
 from repro.physical.statistics import (
     CardinalityRecorder,
     bounded_insert,
@@ -61,6 +62,7 @@ from repro.physical.statistics import (
 )
 from repro.service.cache import LRUCache
 from repro.service.lifecycle import ExecutorLifecycle
+from repro.service.prepared import PreparedStatement, StatementRegistry
 from repro.service.protocol import (
     ClassifyResponse,
     InfoResponse,
@@ -82,6 +84,11 @@ DEFAULT_PLAN_CACHE_CAPACITY = 1024
 #: Caching the *decision* (not just the absent plan) lets warm requests skip
 #: the compile + optimize + cost-model work the dispatcher needed to decide.
 _TARSKI_ROUTE = "tarski-route"
+
+#: Plan-cache value meaning "this template has no generic plan" (parameterized
+#: extension atoms, second order, an explicitly Tarskian statement): prepared
+#: executions bind at the AST level and take the ad-hoc per-binding plan path.
+_AST_ROUTE = "ast-route"
 
 
 @dataclass(frozen=True)
@@ -215,6 +222,11 @@ class QueryService:
         self._batch_deduplicated = 0
         self._feedback_threshold = feedback_threshold or None
         self._feedback = {"observations": 0, "invalidations": 0, "reoptimizations": 0}
+        self._statements = StatementRegistry()
+        self._prepared = {"templates": 0, "executions": 0, "generic_plans": 0, "custom_plans": 0}
+        #: (template plan key, statistics generation) → cached generic cost;
+        #: bounded like the feedback marker maps.
+        self._generic_costs: dict[tuple, float] = {}
         #: plan keys dropped by feedback, awaiting re-optimization — mapped to
         #: the statistics generation a replacement plan must have seen.
         self._replanned: dict[tuple, int] = {}
@@ -365,6 +377,7 @@ class QueryService:
             raise UnknownDatabaseError(f"unknown database {name!r}")
         self._answers.invalidate(lambda key: key[0] == entry.fingerprint)
         self._plans.invalidate(lambda key: key[0] == entry.fingerprint)
+        self._statements.drop_database(name)
         with self._registry_lock:
             self._converged = {
                 key: generation
@@ -439,6 +452,81 @@ class QueryService:
         self._check_open()
         return BatchEvaluator(self, max_workers=max_workers).run(requests)
 
+    # Prepared statements --------------------------------------------------------
+
+    def prepare(
+        self,
+        database: str,
+        template: str,
+        method: str = "approx",
+        engine: str = "algebra",
+        virtual_ne: bool = False,
+    ) -> PreparedStatement:
+        """Parse and register a query template; plan work happens per template.
+
+        The template may mention ``$name`` parameters (it need not: preparing
+        a parameter-free query simply pins its parse).  Preparing the same
+        template twice returns the same statement.  The returned statement's
+        id drives :meth:`execute_prepared` / :meth:`execute_prepared_many`.
+        """
+        entry = self.entry(database)
+        query = self._parse(template)
+        statement, created = self._statements.intern(entry.name, query, method, engine, virtual_ne)
+        if created:
+            with self._registry_lock:
+                self._prepared["templates"] += 1
+        return statement
+
+    def statement(self, statement_id: str) -> PreparedStatement:
+        """Look up a prepared statement (:class:`UnknownStatementError` if absent)."""
+        return self._statements.get(statement_id)
+
+    def deallocate(self, statement_id: str) -> None:
+        """Forget one prepared statement."""
+        self._statements.deallocate(statement_id)
+
+    def execute_prepared(self, statement_id: str, params: Mapping[str, str] | None = None) -> QueryResponse:
+        """Execute a prepared statement under one parameter binding.
+
+        Answers are byte-identical to the ad-hoc request whose query text is
+        the bound template — the two share answer-cache entries — but the
+        expression-side work is amortized: the template was parsed once at
+        prepare time, and the compiled + optimized *template plan* is rebound
+        by value substitution instead of recompiled (see
+        :meth:`_approx_prepared` for the generic-vs-custom plan choice).
+        """
+        statement = self._statements.get(statement_id)
+        values = dict(params or {})
+        bound, rendered = statement.bind(values)
+        entry = self.entry(statement.database)
+        with self._registry_lock:
+            self._prepared["executions"] += 1
+        key = (entry.fingerprint, rendered, statement.method, statement.engine, statement.virtual_ne)
+        response, was_cached = self._answers.get_or_compute(
+            key, lambda: self._evaluate_prepared(entry, statement, bound, rendered, values)
+        )
+        if was_cached:
+            response = replace(response, cached=True, database=entry.name)
+        return response
+
+    def execute_prepared_many(self, statement_id, bindings, max_workers: int | None = None):
+        """Execute one statement under many bindings (deduplicated, concurrent).
+
+        The prepared counterpart of :meth:`batch`: equal bindings are
+        evaluated once, the unique ones fan out over the shared thread pool,
+        and ``responses[i]`` always answers ``bindings[i]`` (failed bindings
+        carry an :class:`~repro.service.protocol.ErrorResponse` in their
+        slot).  Returns a :class:`~repro.service.protocol.BatchResponse`.
+        """
+        from repro.service.batch import PreparedBatchEvaluator
+
+        if max_workers is None:
+            evaluator = PreparedBatchEvaluator(self, executor=self._shared_executor())
+        else:
+            self._check_open()
+            evaluator = PreparedBatchEvaluator(self, max_workers=max_workers)
+        return evaluator.run(statement_id, bindings)
+
     def warm(self, requests) -> WarmupReport:
         """Replay recorded traffic through the caches (the ``--warm`` path).
 
@@ -451,6 +539,8 @@ class QueryService:
     def stats(self) -> StatsResponse:
         with self._registry_lock:
             feedback = dict(self._feedback)
+            prepared = dict(self._prepared)
+        prepared["statements"] = len(self._statements)
         return StatsResponse(
             databases=self.database_names(),
             answer_cache=self._answers.stats().as_dict(),
@@ -459,6 +549,7 @@ class QueryService:
             uptime_seconds=time.monotonic() - self._started,
             plan_cache=self._plans.stats().as_dict(),
             feedback=feedback,
+            prepared=prepared,
         )
 
     # Internals -----------------------------------------------------------------
@@ -530,6 +621,233 @@ class QueryService:
             if plan_key not in self._replanned:
                 bounded_insert(self._converged, plan_key, statistics.generation, self._marker_capacity)
 
+    def _plan_with_markers(self, storage: PhysicalDatabase, plan_key: tuple, compute_plan):
+        """Fetch a cached plan, honouring the feedback loop's staleness markers.
+
+        ``compute_plan`` returns ``(plan, statistics generation)``; the
+        generation is captured *before* optimizing, so a plan tagged >= N
+        provably saw every observation up to N.
+        """
+        plan, generation = self._plans.get_or_compute(plan_key, compute_plan)[0]
+        with self._registry_lock:
+            required = self._replanned.get(plan_key)
+            converged_at = self._converged.get(plan_key)
+        if required is not None:
+            if generation < required:
+                # The cached plan predates the feedback that doomed it (a
+                # compute racing the invalidation can re-cache the stale
+                # plan): drop it and recompile with the learned statistics.
+                self._plans.invalidate(lambda key: key == plan_key)
+                plan, generation = self._plans.get_or_compute(plan_key, compute_plan)[0]
+            if generation >= required:
+                with self._registry_lock:
+                    if self._replanned.pop(plan_key, None) is not None:
+                        self._feedback["reoptimizations"] += 1
+        elif converged_at is not None and generation < converged_at:
+            # A stalled pre-feedback compute can publish its stale plan
+            # *after* the replacement already converged (marker long
+            # consumed); the generation tag exposes the resurrection.
+            # The convergence verdict belonged to the replaced plan, so
+            # it goes too — the recompiled plan must be observed afresh.
+            self._plans.invalidate(lambda key: key == plan_key)
+            with self._registry_lock:
+                self._converged.pop(plan_key, None)
+            plan, generation = self._plans.get_or_compute(plan_key, compute_plan)[0]
+        if plan is _TARSKI_ROUTE and generation < statistics_for(storage).generation:
+            # The enumeration-vs-algebra decision was costed under older
+            # statistics; corrections learned since (possibly from other
+            # queries sharing subplans) may flip it — re-decide.
+            self._plans.invalidate(lambda key: key == plan_key)
+            plan, generation = self._plans.get_or_compute(plan_key, compute_plan)[0]
+        return plan, generation
+
+    def _execute_plan(
+        self,
+        storage: PhysicalDatabase,
+        plan_key: tuple,
+        plan,
+        evaluator: ApproximateEvaluator,
+        query: Query,
+    ) -> frozenset[tuple[str, ...]]:
+        """Run one plan (or the Tarskian route), observing per feedback rules."""
+        if self._feedback_threshold and plan is not None:
+            current_generation = statistics_for(storage).generation
+            with self._registry_lock:
+                observe = self._converged.get(plan_key) != current_generation
+        else:
+            observe = False
+        recorder = CardinalityRecorder() if observe else None
+        approx = evaluator.answers_on_storage(storage, query, plan=plan, recorder=recorder)
+        if recorder is not None:
+            self._absorb_feedback(storage, recorder, plan_key)
+        return approx
+
+    def _approx_answers(
+        self,
+        entry: RegisteredDatabase,
+        storage: PhysicalDatabase,
+        query_text: str,
+        query: Query,
+        engine: str,
+        virtual_ne: bool,
+    ) -> frozenset[tuple[str, ...]]:
+        """The approximate route: plan cache, feedback markers, auto dispatch."""
+        evaluator = ApproximateEvaluator(engine=engine, virtual_ne=virtual_ne)
+        # The plan depends on the snapshot content and the NE encoding
+        # (ph2 derivation is deterministic in both), never on the method,
+        # so content-identical snapshots share plans across aliases.
+        plan_key = (entry.fingerprint, query_text, engine, virtual_ne)
+
+        def compute_plan():
+            generation = statistics_for(storage).generation
+            plan = evaluator.plan_on_storage(storage, query)
+            if plan is None and engine == "auto":
+                plan = _TARSKI_ROUTE
+            return (plan, generation)
+
+        plan, __ = self._plan_with_markers(storage, plan_key, compute_plan)
+        if plan is _TARSKI_ROUTE:
+            evaluator = ApproximateEvaluator(engine="tarski", virtual_ne=virtual_ne)
+            plan = None
+        return self._execute_plan(storage, plan_key, plan, evaluator, query)
+
+    @staticmethod
+    def _soundness(approx, exact) -> tuple[bool | None, int | None]:
+        if approx is None or exact is None:
+            return None, None
+        if not approx <= exact:
+            raise ServiceError(
+                "soundness violated: the approximation returned a non-certain answer — please report this as a bug"
+            )
+        return approx == exact, len(exact - approx)
+
+    def _approx_prepared(
+        self,
+        entry: RegisteredDatabase,
+        statement: PreparedStatement,
+        bound_query: Query,
+        rendered: str,
+        values: Mapping[str, str],
+    ) -> frozenset[tuple[str, ...]]:
+        """Approximate route for a prepared execution: rebind the template plan.
+
+        The plan cache holds one *template-keyed* entry per (snapshot,
+        template, engine, NE encoding): the compiled + optimized plan with
+        :class:`~repro.logic.terms.Parameter` placeholders still inside.
+        Each execution substitutes the bound values into that plan — a pure
+        tree rebuild — unless
+
+        * no generic plan exists (parameterized extension atoms, second
+          order, an explicitly Tarskian statement): fall back to the ad-hoc
+          plan path on the bound query (still parse-free);
+        * the ``auto`` dispatcher costed the template onto the Tarskian
+          route: enumerate the bound query directly;
+        * the bound plan's cost under *observed* statistics diverges from
+          the generic estimate by the feedback threshold: this binding's
+          selectivity is provably unlike the template's average, so compile
+          a **custom plan** for it (cached under the bound text, exactly as
+          an ad-hoc request would be).
+
+        Feedback stays template-keyed: divergent observations invalidate the
+        template entry, so the *template* is re-optimized on its next
+        execution.
+        """
+        storage = entry.storage(statement.virtual_ne)
+        evaluator = ApproximateEvaluator(engine=statement.engine, virtual_ne=statement.virtual_ne)
+        template_key = (entry.fingerprint, statement.template, statement.engine, statement.virtual_ne)
+
+        def compute_plan():
+            generation = statistics_for(storage).generation
+            try:
+                plan = evaluator.plan_on_storage(storage, statement.query)
+            except UnboundParameterError:
+                plan = _AST_ROUTE
+            else:
+                if plan is None:
+                    plan = _TARSKI_ROUTE if statement.engine == "auto" else _AST_ROUTE
+            return (plan, generation)
+
+        plan, __ = self._plan_with_markers(storage, template_key, compute_plan)
+        if plan is _AST_ROUTE:
+            return self._approx_answers(
+                entry, storage, rendered, bound_query, statement.engine, statement.virtual_ne
+            )
+        if plan is _TARSKI_ROUTE:
+            tarskian = ApproximateEvaluator(engine="tarski", virtual_ne=statement.virtual_ne)
+            return self._execute_plan(storage, template_key, None, tarskian, bound_query)
+        # Resolving through constant_value makes a binding to an unknown
+        # constant fail exactly like the equivalent ad-hoc request.
+        resolved = {name: storage.constant_value(value) for name, value in values.items()}
+        bound_plan = substitute_plan_parameters(plan, resolved)
+        statistics = statistics_for(storage)
+        if self._feedback_threshold and statistics.has_observations():
+            generic_cost = self._generic_cost(template_key, plan, storage, statistics)
+            bound_cost = plan_cost(bound_plan, storage, statistics)
+            larger = max(generic_cost, bound_cost, 1.0)
+            smaller = max(min(generic_cost, bound_cost), 1.0)
+            if larger / smaller >= self._feedback_threshold:
+                # Observed cardinalities say this binding behaves nothing
+                # like the generic estimate — optimize a plan for *it*.
+                with self._registry_lock:
+                    self._prepared["custom_plans"] += 1
+                return self._approx_answers(
+                    entry, storage, rendered, bound_query, statement.engine, statement.virtual_ne
+                )
+        with self._registry_lock:
+            self._prepared["generic_plans"] += 1
+        return self._execute_plan(storage, template_key, bound_plan, evaluator, bound_query)
+
+    def _generic_cost(self, template_key: tuple, plan, storage: PhysicalDatabase, statistics) -> float:
+        """The template plan's estimated cost, cached per statistics generation.
+
+        Binding-independent by construction (the estimator never looks at
+        binding values), so the hot sweep path pays the plan-tree walk once
+        per (template, statistics state) instead of once per execution; a
+        new observation bumps the generation and naturally invalidates it.
+        """
+        key = (template_key, statistics.generation)
+        with self._registry_lock:
+            cached = self._generic_costs.get(key)
+        if cached is None:
+            cached = plan_cost(plan, storage, statistics)
+            with self._registry_lock:
+                bounded_insert(self._generic_costs, key, cached, self._marker_capacity)
+        return cached
+
+    def _evaluate_prepared(
+        self,
+        entry: RegisteredDatabase,
+        statement: PreparedStatement,
+        bound_query: Query,
+        rendered: str,
+        values: Mapping[str, str],
+    ) -> QueryResponse:
+        started = time.perf_counter()
+        answers: dict[str, tuple[tuple[str, ...], ...]] = {}
+        approx: frozenset[tuple[str, ...]] | None = None
+        exact: frozenset[tuple[str, ...]] | None = None
+        if statement.method in ("approx", "both"):
+            approx = self._approx_prepared(entry, statement, bound_query, rendered, values)
+            answers["approximate"] = tuple(tuple(row) for row in answers_to_wire(approx))
+        if statement.method in ("exact", "both"):
+            exact = self._exact.certain_answers(entry.database, bound_query)
+            answers["exact"] = tuple(tuple(row) for row in answers_to_wire(exact))
+        complete, missed = self._soundness(approx, exact)
+        return QueryResponse(
+            database=entry.name,
+            fingerprint=entry.fingerprint,
+            query=rendered,
+            method=statement.method,
+            engine=statement.engine,
+            virtual_ne=statement.virtual_ne,
+            arity=statement.arity,
+            answers=answers,
+            complete=complete,
+            missed=missed,
+            cached=False,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
     def _evaluate(self, entry: RegisteredDatabase, request: QueryRequest) -> QueryResponse:
         started = time.perf_counter()
         query = self._parse(request.query)
@@ -537,78 +855,15 @@ class QueryService:
         approx: frozenset[tuple[str, ...]] | None = None
         exact: frozenset[tuple[str, ...]] | None = None
         if request.method in ("approx", "both"):
-            evaluator = ApproximateEvaluator(engine=request.engine, virtual_ne=request.virtual_ne)
             storage = entry.storage(request.virtual_ne)
-            # The plan depends on the snapshot content and the NE encoding
-            # (ph2 derivation is deterministic in both), never on the method,
-            # so content-identical snapshots share plans across aliases.
-            plan_key = (entry.fingerprint, request.query, request.engine, request.virtual_ne)
-
-            def compute_plan():
-                # The generation is captured *before* optimizing, so a plan
-                # tagged >= N provably saw every observation up to N.
-                generation = statistics_for(storage).generation
-                plan = evaluator.plan_on_storage(storage, query)
-                if plan is None and request.engine == "auto":
-                    plan = _TARSKI_ROUTE
-                return (plan, generation)
-
-            plan, generation = self._plans.get_or_compute(plan_key, compute_plan)[0]
-            with self._registry_lock:
-                required = self._replanned.get(plan_key)
-                converged_at = self._converged.get(plan_key)
-            if required is not None:
-                if generation < required:
-                    # The cached plan predates the feedback that doomed it (a
-                    # compute racing the invalidation can re-cache the stale
-                    # plan): drop it and recompile with the learned statistics.
-                    self._plans.invalidate(lambda key: key == plan_key)
-                    plan, generation = self._plans.get_or_compute(plan_key, compute_plan)[0]
-                if generation >= required:
-                    with self._registry_lock:
-                        if self._replanned.pop(plan_key, None) is not None:
-                            self._feedback["reoptimizations"] += 1
-            elif converged_at is not None and generation < converged_at:
-                # A stalled pre-feedback compute can publish its stale plan
-                # *after* the replacement already converged (marker long
-                # consumed); the generation tag exposes the resurrection.
-                # The convergence verdict belonged to the replaced plan, so
-                # it goes too — the recompiled plan must be observed afresh.
-                self._plans.invalidate(lambda key: key == plan_key)
-                with self._registry_lock:
-                    self._converged.pop(plan_key, None)
-                plan, generation = self._plans.get_or_compute(plan_key, compute_plan)[0]
-            if plan is _TARSKI_ROUTE and generation < statistics_for(storage).generation:
-                # The enumeration-vs-algebra decision was costed under older
-                # statistics; corrections learned since (possibly from other
-                # queries sharing subplans) may flip it — re-decide.
-                self._plans.invalidate(lambda key: key == plan_key)
-                plan, generation = self._plans.get_or_compute(plan_key, compute_plan)[0]
-            if plan is _TARSKI_ROUTE:
-                evaluator = ApproximateEvaluator(engine="tarski", virtual_ne=request.virtual_ne)
-                plan = None
-            if self._feedback_threshold and plan is not None:
-                current_generation = statistics_for(storage).generation
-                with self._registry_lock:
-                    observe = self._converged.get(plan_key) != current_generation
-            else:
-                observe = False
-            recorder = CardinalityRecorder() if observe else None
-            approx = evaluator.answers_on_storage(storage, query, plan=plan, recorder=recorder)
-            if recorder is not None:
-                self._absorb_feedback(storage, recorder, plan_key)
+            approx = self._approx_answers(
+                entry, storage, request.query, query, request.engine, request.virtual_ne
+            )
             answers["approximate"] = tuple(tuple(row) for row in answers_to_wire(approx))
         if request.method in ("exact", "both"):
             exact = self._exact.certain_answers(entry.database, query)
             answers["exact"] = tuple(tuple(row) for row in answers_to_wire(exact))
-        complete = missed = None
-        if approx is not None and exact is not None:
-            if not approx <= exact:
-                raise ServiceError(
-                    "soundness violated: the approximation returned a non-certain answer — please report this as a bug"
-                )
-            complete = approx == exact
-            missed = len(exact - approx)
+        complete, missed = self._soundness(approx, exact)
         return QueryResponse(
             database=entry.name,
             fingerprint=entry.fingerprint,

@@ -1,7 +1,7 @@
-"""JSON request/response messages of the query service.
+"""JSON request/response messages of the query service (protocol v1 + v2).
 
 One wire format serves three consumers: the HTTP front-end
-(:mod:`repro.service.server`), the urllib client
+(:mod:`repro.service.server`), the keep-alive client
 (:mod:`repro.service.client`) and the ``--json`` mode of the human CLI —
 they all serialize through the dataclasses below, so a response printed by
 ``repro query --json`` is byte-compatible with what the server returns.
@@ -9,22 +9,44 @@ they all serialize through the dataclasses below, so a response printed by
 Every message carries ``"type"`` (its message kind) and ``"v"`` (the
 protocol version).  :func:`parse_wire` is the single entry point for
 deserialization; it validates the version and dispatches on the type tag.
+
+**Versioning.**  Protocol v2 adds the session API — prepared statements
+(:class:`PrepareRequest` / :class:`PrepareResponse` /
+:class:`ExecuteRequest` / :class:`ExecuteManyRequest`) and chunked result
+streaming (:class:`CursorResponse` / :class:`FetchRequest` /
+:class:`PageResponse`) — plus the stable ``code`` field on
+:class:`ErrorResponse` and version advertisement on
+:class:`HealthResponse`.  The compatibility rules, documented in
+``docs/protocol.md``:
+
+* :func:`parse_wire` accepts **both** versions.  v1 messages pass through a
+  deprecation shim (:func:`upconvert_v1`) that fills v2 defaults, so
+  recorded v1 traffic logs and old clients keep working against a v2
+  server.  v2-only message types are rejected when tagged ``v: 1``.
+* A server answers every request **at the request's version** — a v1 client
+  never sees a ``v: 2`` envelope.
+* Clients discover support through :class:`HealthResponse.protocol_versions`
+  and speak the highest version both sides understand.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import asdict, dataclass, field, fields
 from typing import Iterable, Mapping, Sequence
 
 from repro.complexity.classes import QueryClassification
-from repro.errors import ProtocolError, ServiceError
+from repro.errors import ProtocolError, ServiceError, wire_code
 from repro.logical.database import CWDatabase
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "SUPPORTED_PROTOCOL_VERSIONS",
+    "DEFAULT_PAGE_SIZE",
     "METHODS",
     "ENGINES",
+    "normalize_options",
     "QueryRequest",
     "QueryResponse",
     "ClassifyRequest",
@@ -36,18 +58,56 @@ __all__ = [
     "BatchRequest",
     "BatchResponse",
     "ErrorResponse",
+    "PrepareRequest",
+    "PrepareResponse",
+    "ExecuteRequest",
+    "ExecuteManyRequest",
+    "CursorResponse",
+    "FetchRequest",
+    "PageResponse",
     "answers_to_wire",
     "answers_from_wire",
     "build_info_response",
     "build_classify_response",
     "parse_wire",
+    "wire_version",
+    "upconvert_v1",
+    "warn_v1_deprecated",
     "dump_wire",
 ]
 
-PROTOCOL_VERSION = 1
+#: The highest protocol version this library speaks (and its default for
+#: serialization).  ``parse_wire`` still accepts every version in
+#: :data:`SUPPORTED_PROTOCOL_VERSIONS`.
+PROTOCOL_VERSION = 2
+
+SUPPORTED_PROTOCOL_VERSIONS = (1, 2)
+
+#: Default rows-per-page of a streamed (cursor) result.
+DEFAULT_PAGE_SIZE = 1024
 
 METHODS = ("approx", "exact", "both")
 ENGINES = ("tarski", "algebra", "auto")
+
+
+def normalize_options(method: str, engine: str, virtual_ne: bool) -> tuple[str, str, bool]:
+    """Validate evaluation options and normalize the exact route.
+
+    The single source of this rule — :class:`QueryRequest`,
+    :class:`PrepareRequest` and the statement registry all delegate here, so
+    an ad-hoc request and a prepared statement can never normalize
+    differently (they must share answer-cache slots).  The exact route never
+    consults the approximation engine or the ``NE`` encoding, so those
+    fields collapse to canonical values and all equivalent exact requests
+    compare equal (one cache slot, batch dedup hit).
+    """
+    if method not in METHODS:
+        raise ServiceError(f"unknown method {method!r}; expected one of {METHODS}")
+    if engine not in ENGINES:
+        raise ServiceError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if method == "exact":
+        return method, "algebra", False
+    return method, engine, bool(virtual_ne)
 
 
 def answers_to_wire(answers: Iterable[Sequence[str]]) -> list[list[str]]:
@@ -75,16 +135,9 @@ class QueryRequest:
     virtual_ne: bool = False
 
     def __post_init__(self) -> None:
-        if self.method not in METHODS:
-            raise ServiceError(f"unknown method {self.method!r}; expected one of {METHODS}")
-        if self.engine not in ENGINES:
-            raise ServiceError(f"unknown engine {self.engine!r}; expected one of {ENGINES}")
-        if self.method == "exact":
-            # The exact route never consults the approximation engine or the
-            # NE encoding; normalizing them makes all equivalent exact
-            # requests equal, so caching and batch dedup collapse them.
-            object.__setattr__(self, "engine", "algebra")
-            object.__setattr__(self, "virtual_ne", False)
+        __, engine, virtual_ne = normalize_options(self.method, self.engine, self.virtual_ne)
+        object.__setattr__(self, "engine", engine)
+        object.__setattr__(self, "virtual_ne", virtual_ne)
 
 
 @dataclass(frozen=True)
@@ -154,10 +207,20 @@ class InfoResponse:
 
 @dataclass(frozen=True)
 class HealthResponse:
-    """Liveness probe result."""
+    """Liveness probe result, advertising the protocol versions spoken.
+
+    ``protocol_versions`` defaults to ``(1,)`` so health messages from
+    servers predating v2 still parse — and absence of 2 is exactly what a
+    client needs to know to stay on v1.  The cluster router reads the field
+    off worker health checks.
+    """
 
     status: str
     library_version: str
+    protocol_versions: tuple[int, ...] = (1,)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "protocol_versions", tuple(int(v) for v in self.protocol_versions))
 
 
 @dataclass(frozen=True)
@@ -180,8 +243,11 @@ class StatsResponse:
     invalidated by divergent observations, and queries re-optimized on their
     next arrival.  ``cluster`` is filled by the sharded router front-end
     (:mod:`repro.cluster.router`): per-plan-kind routing counters, failovers,
-    and one stats summary per worker.  All three default to empty mappings so
-    messages from servers predating them still parse.
+    and one stats summary per worker.  ``prepared`` reports the session API:
+    templates registered, statements held, executions, and how often an
+    execution ran the generic template plan versus a binding-specific custom
+    plan.  All four default to empty mappings so messages from servers
+    predating them still parse.
     """
 
     databases: tuple[str, ...]
@@ -192,6 +258,7 @@ class StatsResponse:
     plan_cache: Mapping[str, object] = field(default_factory=dict)
     cluster: Mapping[str, object] = field(default_factory=dict)
     feedback: Mapping[str, int] = field(default_factory=dict)
+    prepared: Mapping[str, int] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -220,10 +287,164 @@ class BatchResponse:
 
 @dataclass(frozen=True)
 class ErrorResponse:
-    """A structured error: the exception kind plus its message."""
+    """A structured error: a stable code, the exception kind, the message.
+
+    ``code`` is the wire contract (:data:`repro.errors.WIRE_ERROR_CODES`):
+    clients re-raise the matching typed exception instead of pattern-matching
+    messages.  ``kind`` (the Python class name) stays for humans and logs.
+    """
 
     error: str
     kind: str = "ServiceError"
+    code: str = "service"
+
+    @classmethod
+    def from_exception(cls, error: BaseException) -> "ErrorResponse":
+        return cls(error=str(error), kind=type(error).__name__, code=wire_code(error))
+
+
+# Protocol v2: the session API --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PrepareRequest:
+    """Register a query template (with ``$name`` parameters) for execution.
+
+    Options mean exactly what they mean on :class:`QueryRequest`, with the
+    same exact-route normalization, so a prepared execution is always
+    byte-identical to the equivalent ad-hoc request.
+    """
+
+    database: str
+    template: str
+    method: str = "approx"
+    engine: str = "algebra"
+    virtual_ne: bool = False
+
+    def __post_init__(self) -> None:
+        __, engine, virtual_ne = normalize_options(self.method, self.engine, self.virtual_ne)
+        object.__setattr__(self, "engine", engine)
+        object.__setattr__(self, "virtual_ne", virtual_ne)
+
+
+@dataclass(frozen=True)
+class PrepareResponse:
+    """A registered statement: its server-side id and what it needs bound.
+
+    ``template`` is the canonical rendering of the parsed template (the
+    server's spelling, not the client's); ``parameters`` the sorted ``$``
+    names every execution must bind.
+    """
+
+    statement_id: str
+    database: str
+    fingerprint: str
+    template: str
+    parameters: tuple[str, ...]
+    arity: int
+    method: str
+    engine: str
+    virtual_ne: bool
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parameters", tuple(self.parameters))
+
+
+@dataclass(frozen=True)
+class ExecuteRequest:
+    """Execute a prepared statement under one parameter binding.
+
+    With ``stream=False`` the answer arrives as an ordinary
+    :class:`QueryResponse` body.  With ``stream=True`` the server materializes
+    the answer into a cursor and replies with a :class:`CursorResponse`; the
+    client then pulls :class:`PageResponse` chunks via :class:`FetchRequest`
+    — large answer sets never travel as one giant JSON body.  Streaming
+    requires a single answer route (``method`` ``approx`` or ``exact``).
+    """
+
+    statement_id: str
+    params: Mapping[str, str] = field(default_factory=dict)
+    stream: bool = False
+    page_size: int = DEFAULT_PAGE_SIZE
+
+    def __post_init__(self) -> None:
+        params = dict(self.params)
+        for name, value in params.items():
+            if not isinstance(name, str) or not isinstance(value, str):
+                raise ServiceError(f"parameter bindings must map names to strings, got {name!r}={value!r}")
+        object.__setattr__(self, "params", params)
+        if not isinstance(self.page_size, int) or self.page_size < 1:
+            raise ServiceError(f"page_size must be a positive integer, got {self.page_size!r}")
+
+
+@dataclass(frozen=True)
+class ExecuteManyRequest:
+    """Execute one prepared statement under many bindings (a parameter sweep).
+
+    Answered by a :class:`BatchResponse`: positional, deduplicated, with
+    per-binding failures isolated as :class:`ErrorResponse` slots.
+    """
+
+    statement_id: str
+    bindings: tuple[Mapping[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "bindings", tuple(dict(binding) for binding in self.bindings))
+
+
+@dataclass(frozen=True)
+class CursorResponse:
+    """The header of a streamed answer: cursor id, paging shape, metadata.
+
+    Mirrors every :class:`QueryResponse` field except the answer rows
+    themselves, which arrive chunked through :class:`FetchRequest` /
+    :class:`PageResponse`.  Reassembling all pages in order yields exactly
+    ``answers_to_wire`` of the answer set — byte-identical to the
+    single-body response.  Cursors are bounded server-side state and may be
+    evicted; fetching pages is idempotent until then.
+    """
+
+    cursor_id: str
+    database: str
+    fingerprint: str
+    query: str
+    method: str
+    engine: str
+    virtual_ne: bool
+    arity: int
+    label: str
+    total_rows: int
+    page_size: int
+    pages: int
+    complete: bool | None = None
+    missed: int | None = None
+    cached: bool = False
+    elapsed_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class FetchRequest:
+    """Pull one page of a streamed answer (0-based page index)."""
+
+    cursor_id: str
+    page: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.page, int) or self.page < 0:
+            raise ServiceError(f"page must be a non-negative integer, got {self.page!r}")
+
+
+@dataclass(frozen=True)
+class PageResponse:
+    """One chunk of a streamed answer, in the canonical sorted order."""
+
+    cursor_id: str
+    page: int
+    rows: tuple[tuple[str, ...], ...]
+    last: bool
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rows", tuple(tuple(row) for row in self.rows))
 
 
 _MESSAGE_TYPES: dict[str, type] = {
@@ -238,22 +459,53 @@ _MESSAGE_TYPES: dict[str, type] = {
     "batch_request": BatchRequest,
     "batch_response": BatchResponse,
     "error": ErrorResponse,
+    "prepare_request": PrepareRequest,
+    "prepare_response": PrepareResponse,
+    "execute_request": ExecuteRequest,
+    "execute_many_request": ExecuteManyRequest,
+    "cursor_response": CursorResponse,
+    "fetch_request": FetchRequest,
+    "page_response": PageResponse,
 }
 _TYPE_TAGS = {cls: tag for tag, cls in _MESSAGE_TYPES.items()}
 
+#: Message types introduced by protocol v2 — rejected inside a v1 envelope.
+_V2_ONLY_TAGS = frozenset(
+    {
+        "prepare_request",
+        "prepare_response",
+        "execute_request",
+        "execute_many_request",
+        "cursor_response",
+        "fetch_request",
+        "page_response",
+    }
+)
 
-def to_wire(message: object) -> dict[str, object]:
-    """Serialize a protocol dataclass to a JSON-compatible dict."""
+
+def to_wire(message: object, version: int = PROTOCOL_VERSION) -> dict[str, object]:
+    """Serialize a protocol dataclass to a JSON-compatible dict.
+
+    *version* stamps the envelope; the server echoes each request's version
+    so v1 clients only ever see v1 envelopes.  Serializing a v2-only message
+    at v1 is a programming error and raises.
+    """
     tag = _TYPE_TAGS.get(type(message))
     if tag is None:
         raise ProtocolError(f"not a protocol message: {type(message).__name__}")
+    if version not in SUPPORTED_PROTOCOL_VERSIONS:
+        raise ProtocolError(f"unsupported protocol version {version!r} (this library speaks {SUPPORTED_PROTOCOL_VERSIONS})")
+    if version < 2 and tag in _V2_ONLY_TAGS:
+        raise ProtocolError(f"message type {tag!r} requires protocol v2 (asked to serialize at v{version})")
     if isinstance(message, BatchRequest):
         # Shallow envelope: asdict would deep-convert every nested message
         # only for the list to be rebuilt via to_wire immediately after.
-        payload: dict[str, object] = {"requests": [to_wire(request) for request in message.requests]}
+        payload: dict[str, object] = {
+            "requests": [to_wire(request, version) for request in message.requests]
+        }
     elif isinstance(message, BatchResponse):
         payload = {
-            "responses": [to_wire(response) for response in message.responses],
+            "responses": [to_wire(response, version) for response in message.responses],
             "total": message.total,
             "unique": message.unique,
             "deduplicated": message.deduplicated,
@@ -261,17 +513,75 @@ def to_wire(message: object) -> dict[str, object]:
     else:
         payload = asdict(message)
     payload["type"] = tag
-    payload["v"] = PROTOCOL_VERSION
+    payload["v"] = version
     return payload
 
 
-def dump_wire(message: object, indent: int | None = None) -> str:
+def dump_wire(message: object, indent: int | None = None, version: int = PROTOCOL_VERSION) -> str:
     """JSON text of a protocol message (the CLI's ``--json`` output)."""
-    return json.dumps(to_wire(message), indent=indent, sort_keys=True)
+    return json.dumps(to_wire(message, version), indent=indent, sort_keys=True)
+
+
+def wire_version(payload: Mapping[str, object] | str | bytes) -> int:
+    """The protocol version a raw payload claims (without fully parsing it)."""
+    if isinstance(payload, (str, bytes)):
+        try:
+            payload = json.loads(payload)
+        except json.JSONDecodeError as error:
+            raise ProtocolError(f"payload is not valid JSON: {error}") from None
+    if not isinstance(payload, Mapping) or "v" not in payload:
+        raise ProtocolError("message is missing the protocol version field 'v'")
+    version = payload["v"]
+    if version not in SUPPORTED_PROTOCOL_VERSIONS:
+        raise ProtocolError(
+            f"unsupported protocol version {version!r} (this library speaks {SUPPORTED_PROTOCOL_VERSIONS})"
+        )
+    return int(version)  # type: ignore[arg-type]
+
+
+_V1_DEPRECATION_WARNED = False
+
+
+def warn_v1_deprecated(where: str) -> None:
+    """Emit the v1-deprecation warning, once per process.
+
+    Called by the *server* when a v1 request envelope arrives — not by
+    :func:`parse_wire` itself, which also parses the v1 envelopes this
+    library legitimately emits (GET responses, recorded traffic logs).
+    """
+    global _V1_DEPRECATION_WARNED
+    if not _V1_DEPRECATION_WARNED:
+        _V1_DEPRECATION_WARNED = True
+        warnings.warn(
+            f"received a protocol v1 request ({where}); v1 is supported but deprecated — "
+            "upgrade clients to v2 (see docs/protocol.md)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+
+def upconvert_v1(tag: str, payload: Mapping[str, object]) -> dict:
+    """The v1 → v2 compatibility shim.
+
+    Today's v2 schema is a strict superset of v1 (every new field has a
+    default), so up-conversion is mostly "accept and fill defaults" — but it
+    is a named seam: when a future version renames or reshapes a field, the
+    rewrite lives here, and v1 traffic (recorded logs, old clients) keeps
+    parsing.  It receives the **raw** payload, before unknown fields are
+    filtered against the current schema — a renamed v1-only field must reach
+    the shim, or there would be nothing left to rewrite.
+    """
+    if tag in _V2_ONLY_TAGS:
+        raise ProtocolError(f"message type {tag!r} requires protocol v2 (got a v1 envelope)")
+    return dict(payload)
 
 
 def parse_wire(payload: Mapping[str, object] | str | bytes) -> object:
-    """Deserialize one protocol message, validating version and type tag."""
+    """Deserialize one protocol message, validating version and type tag.
+
+    Accepts every version in :data:`SUPPORTED_PROTOCOL_VERSIONS`; v1
+    messages are up-converted through :func:`upconvert_v1`.
+    """
     if isinstance(payload, (str, bytes)):
         try:
             payload = json.loads(payload)
@@ -279,17 +589,15 @@ def parse_wire(payload: Mapping[str, object] | str | bytes) -> object:
             raise ProtocolError(f"payload is not valid JSON: {error}") from None
     if not isinstance(payload, Mapping):
         raise ProtocolError(f"payload must be a JSON object, got {type(payload).__name__}")
-    if "v" not in payload:
-        raise ProtocolError("message is missing the protocol version field 'v'")
-    version = payload["v"]
-    if version != PROTOCOL_VERSION:
-        raise ProtocolError(f"unsupported protocol version {version!r} (this library speaks {PROTOCOL_VERSION})")
+    version = wire_version(payload)
     tag = payload.get("type")
     if not isinstance(tag, str):
         raise ProtocolError(f"message type must be a string, got {type(tag).__name__}")
     message_type = _MESSAGE_TYPES.get(tag)
     if message_type is None:
         raise ProtocolError(f"unknown message type {tag!r}")
+    if version < 2:
+        payload = upconvert_v1(tag, payload)
     known = {f.name for f in fields(message_type)}
     arguments = {key: value for key, value in payload.items() if key in known}
     try:
@@ -311,6 +619,15 @@ def parse_wire(payload: Mapping[str, object] | str | bytes) -> object:
             arguments["unknown_constants"] = tuple(arguments.get("unknown_constants", ()))
         if message_type in (StatsResponse, DatabasesResponse):
             arguments["databases"] = tuple(arguments.get("databases", ()))
+        if message_type is ExecuteManyRequest:
+            bindings = arguments.get("bindings", ())
+            if not all(isinstance(binding, Mapping) for binding in bindings):
+                raise ProtocolError("execute_many_request bindings must be JSON objects")
+            arguments["bindings"] = tuple(dict(binding) for binding in bindings)
+        if message_type is ExecuteRequest and "params" in arguments:
+            if not isinstance(arguments["params"], Mapping):
+                raise ProtocolError("execute_request params must be a JSON object")
+            arguments["params"] = dict(arguments["params"])
         return message_type(**arguments)
     except ProtocolError:
         raise

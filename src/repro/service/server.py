@@ -1,4 +1,4 @@
-"""A stdlib JSON HTTP front-end for the query service.
+"""A stdlib JSON HTTP front-end for the query service (protocol v1 + v2).
 
 Varda-style loosely coupled components: the engine knows nothing about
 HTTP, and this module knows nothing about query evaluation — it only
@@ -8,17 +8,31 @@ clients exercise the engine's thread safety with zero new dependencies.
 
 Routes
 ------
-===========  ======  ==================================================
-``/health``  GET     liveness + library/protocol versions
-``/databases``  GET  registered snapshot names
-``/info``    GET     ``?db=<name>`` → :class:`InfoResponse`
-``/stats``   GET     cache and batch counters
-``/query``   POST    :class:`QueryRequest` → :class:`QueryResponse`
-``/classify``  POST  :class:`ClassifyRequest` → :class:`ClassifyResponse`
-``/batch``   POST    :class:`BatchRequest` → :class:`BatchResponse`
-===========  ======  ==================================================
+=============  ======  ==================================================
+``/health``    GET     liveness + library version + protocol versions
+``/databases`` GET     registered snapshot names
+``/info``      GET     ``?db=<name>`` → :class:`InfoResponse`
+``/stats``     GET     cache/batch/prepared counters
+``/query``     POST    :class:`QueryRequest` → :class:`QueryResponse`
+``/classify``  POST    :class:`ClassifyRequest` → :class:`ClassifyResponse`
+``/batch``     POST    :class:`BatchRequest` → :class:`BatchResponse`
+``/prepare``   POST    :class:`PrepareRequest` → :class:`PrepareResponse`
+``/execute``   POST    :class:`ExecuteRequest` → :class:`QueryResponse`
+                       (or :class:`CursorResponse` when streaming), and
+                       :class:`ExecuteManyRequest` → :class:`BatchResponse`
+``/fetch``     POST    :class:`FetchRequest` → :class:`PageResponse`
+=============  ======  ==================================================
 
-Errors come back as :class:`ErrorResponse` bodies with a 4xx status.
+Errors come back as :class:`ErrorResponse` bodies (stable ``code`` field)
+with a 4xx status.
+
+**Version negotiation.**  POST responses are serialized at the *request
+envelope's* version, so a v1 client only ever sees v1 envelopes; GET
+responses (which carry no request envelope) are serialized at v1 — the
+lowest common denominator every client parses — and ``/health`` advertises
+the full :data:`~repro.service.protocol.SUPPORTED_PROTOCOL_VERSIONS` so v2
+clients know they may upgrade.  The session routes (``/prepare``,
+``/execute``, ``/fetch``) require v2 envelopes.
 """
 
 from __future__ import annotations
@@ -29,22 +43,44 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
-from repro.errors import CapacityError, ProtocolError, ReproError, ServiceError, UnknownDatabaseError
+from repro.errors import (
+    CapacityError,
+    ProtocolError,
+    ReproError,
+    ServiceError,
+    UnknownCursorError,
+    UnknownDatabaseError,
+    UnknownStatementError,
+)
+from repro.service.cursors import CursorStore
 from repro.service.engine import QueryService
 from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    SUPPORTED_PROTOCOL_VERSIONS,
     BatchRequest,
     ClassifyRequest,
     DatabasesResponse,
     ErrorResponse,
+    ExecuteManyRequest,
+    ExecuteRequest,
+    FetchRequest,
     HealthResponse,
+    PrepareRequest,
+    PrepareResponse,
     QueryRequest,
     parse_wire,
     to_wire,
+    warn_v1_deprecated,
+    wire_version,
 )
 
 __all__ = ["ServiceHTTPServer", "make_server", "running_server", "serve"]
 
 MAX_REQUEST_BYTES = 4 * 1024 * 1024
+
+#: GET responses carry no request envelope to echo, so they are serialized
+#: at the lowest supported version — every client, v1 or v2, parses them.
+_GET_VERSION = min(SUPPORTED_PROTOCOL_VERSIONS)
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -60,6 +96,9 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         super().__init__(address, _Handler)
         self.service = service
         self.quiet = quiet
+        #: Streaming cursors are transport state: they live with the server,
+        #: not the engine, so in-process service use never pays for them.
+        self.cursors = CursorStore()
 
     @property
     def base_url(self) -> str:
@@ -69,7 +108,7 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 
 class _Handler(BaseHTTPRequestHandler):
     server: ServiceHTTPServer
-    server_version = "repro-service/1.0"
+    server_version = "repro-service/2.0"
     protocol_version = "HTTP/1.1"
     # Response headers and body are separate writes; let them leave
     # immediately instead of waiting on the client's delayed ACK.
@@ -83,45 +122,105 @@ class _Handler(BaseHTTPRequestHandler):
             if url.path == "/health":
                 from repro import __version__
 
-                self._send(200, to_wire(HealthResponse(status="ok", library_version=__version__)))
+                self._send_message(
+                    200,
+                    HealthResponse(
+                        status="ok",
+                        library_version=__version__,
+                        protocol_versions=SUPPORTED_PROTOCOL_VERSIONS,
+                    ),
+                    _GET_VERSION,
+                )
             elif url.path == "/databases":
-                self._send(200, to_wire(DatabasesResponse(self.server.service.database_names())))
+                self._send_message(
+                    200, DatabasesResponse(self.server.service.database_names()), _GET_VERSION
+                )
             elif url.path == "/info":
                 names = parse_qs(url.query).get("db", [])
                 if len(names) != 1:
                     raise ServiceError("/info needs exactly one ?db=<name> parameter")
-                self._send(200, to_wire(self.server.service.info(names[0])))
+                self._send_message(200, self.server.service.info(names[0]), _GET_VERSION)
             elif url.path == "/stats":
-                self._send(200, to_wire(self.server.service.stats()))
+                self._send_message(200, self.server.service.stats(), _GET_VERSION)
             else:
-                self._send_error_response(404, ServiceError(f"no such route: GET {url.path}"))
+                self._send_error_response(404, ServiceError(f"no such route: GET {url.path}"), _GET_VERSION)
         except ReproError as error:
-            self._send_error_response(_status_for(error), error)
+            self._send_error_response(_status_for(error), error, _GET_VERSION)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         url = urlparse(self.path)
+        version = PROTOCOL_VERSION
         try:
-            if url.path not in ("/query", "/classify", "/batch"):
+            if url.path not in ("/query", "/classify", "/batch", "/prepare", "/execute", "/fetch"):
                 # Route before reading the body so probes of unknown paths
                 # get a 404, not a complaint about their payload.
                 self._send_error_response(404, ServiceError(f"no such route: POST {url.path}"))
                 return
-            message = self._read_message()
+            body = self._read_body()
+            # The version is pinned *before* the message parse, so even a
+            # malformed v1 request gets its error echoed in a v1 envelope —
+            # a v1 client must never see a v2 envelope, errors included.
+            version = wire_version(body)
+            if version < 2:
+                try:
+                    warn_v1_deprecated(f"POST {self.path}")
+                except DeprecationWarning:
+                    # An operator running -W error must not turn legacy-but-
+                    # supported v1 traffic into dropped connections.
+                    pass
+            message = parse_wire(body)
+            service = self.server.service
             if url.path == "/query":
                 request = _expect_type(message, QueryRequest)
-                self._send(200, to_wire(self.server.service.execute(request)))
+                self._send_message(200, service.execute(request), version)
             elif url.path == "/classify":
                 request = _expect_type(message, ClassifyRequest)
-                self._send(200, to_wire(self.server.service.classify(request.query)))
-            else:
+                self._send_message(200, service.classify(request.query), version)
+            elif url.path == "/batch":
                 request = _expect_type(message, BatchRequest)
-                self._send(200, to_wire(self.server.service.batch(request.requests)))
+                self._send_message(200, service.batch(request.requests), version)
+            elif url.path == "/prepare":
+                request = _expect_type(message, PrepareRequest)
+                statement = service.prepare(
+                    request.database,
+                    request.template,
+                    request.method,
+                    request.engine,
+                    request.virtual_ne,
+                )
+                self._send_message(200, _prepare_response(service, statement), version)
+            elif url.path == "/execute":
+                request = _expect_type(message, (ExecuteRequest, ExecuteManyRequest))
+                if isinstance(request, ExecuteManyRequest):
+                    self._send_message(
+                        200, service.execute_prepared_many(request.statement_id, request.bindings), version
+                    )
+                elif not request.stream:
+                    self._send_message(
+                        200, service.execute_prepared(request.statement_id, request.params), version
+                    )
+                else:
+                    # Refuse the un-streamable shape *before* evaluating: a
+                    # method="both" statement would pay the (exponential)
+                    # exact route only to be rejected afterwards.
+                    if service.statement(request.statement_id).method == "both":
+                        raise ServiceError(
+                            "streaming needs a single answer route: prepare with "
+                            "method 'approx' or 'exact', not 'both'"
+                        )
+                    response = service.execute_prepared(request.statement_id, request.params)
+                    label = "exact" if response.method == "exact" else "approximate"
+                    cursor = self.server.cursors.open(response, label, request.page_size)
+                    self._send_message(200, cursor, version)
+            else:
+                request = _expect_type(message, FetchRequest)
+                self._send_message(200, self.server.cursors.fetch(request.cursor_id, request.page), version)
         except ReproError as error:
-            self._send_error_response(_status_for(error), error)
+            self._send_error_response(_status_for(error), error, version)
 
     # Plumbing -----------------------------------------------------------------
 
-    def _read_message(self) -> object:
+    def _read_body(self) -> bytes:
         try:
             length = int(self.headers.get("Content-Length") or 0)
         except ValueError:
@@ -130,7 +229,7 @@ class _Handler(BaseHTTPRequestHandler):
             raise ProtocolError("POST body is empty; send a JSON protocol message")
         if length > MAX_REQUEST_BYTES:
             raise ProtocolError(f"request body of {length} bytes exceeds the {MAX_REQUEST_BYTES} byte limit")
-        return parse_wire(self.rfile.read(length))
+        return self.rfile.read(length)
 
     def _send(self, status: int, payload: dict) -> None:
         body = json.dumps(payload, sort_keys=True).encode()
@@ -140,28 +239,45 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_response(self, status: int, error: ReproError) -> None:
+    def _send_message(self, status: int, message: object, version: int) -> None:
+        self._send(status, to_wire(message, version))
+
+    def _send_error_response(self, status: int, error: ReproError, version: int = PROTOCOL_VERSION) -> None:
         # The request body may not have been drained (bad Content-Length,
         # oversized payload), which would desync a keep-alive connection —
         # close it rather than let the leftover bytes parse as a request.
         self.close_connection = True
-        self._send(status, to_wire(ErrorResponse(error=str(error), kind=type(error).__name__)))
+        self._send(status, to_wire(ErrorResponse.from_exception(error), version))
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002 - http.server API
         if not self.server.quiet:
             super().log_message(format, *args)
 
 
-def _expect_type(message: object, expected: type):
+def _prepare_response(service, statement) -> PrepareResponse:
+    """Wire form of a registered statement (shared by service and cluster)."""
+    return PrepareResponse(
+        statement_id=statement.statement_id,
+        database=statement.database,
+        fingerprint=service.entry(statement.database).fingerprint,
+        template=statement.template,
+        parameters=statement.parameters,
+        arity=statement.arity,
+        method=statement.method,
+        engine=statement.engine,
+        virtual_ne=statement.virtual_ne,
+    )
+
+
+def _expect_type(message: object, expected):
     if not isinstance(message, expected):
-        raise ProtocolError(
-            f"this route expects a {expected.__name__} message, got {type(message).__name__}"
-        )
+        name = expected.__name__ if isinstance(expected, type) else " or ".join(t.__name__ for t in expected)
+        raise ProtocolError(f"this route expects a {name} message, got {type(message).__name__}")
     return message
 
 
 def _status_for(error: ReproError) -> int:
-    if isinstance(error, UnknownDatabaseError):
+    if isinstance(error, (UnknownDatabaseError, UnknownStatementError, UnknownCursorError)):
         return 404
     if isinstance(error, CapacityError):
         return 413

@@ -55,6 +55,8 @@ __all__ = [
     "scenario_pool",
     "traffic_stream",
     "cluster_traffic_stream",
+    "parameter_sweep_workload",
+    "SWEEP_TEMPLATE",
     "batch_bursts",
     "register_scenarios",
     "save_traffic_log",
@@ -287,6 +289,47 @@ def cluster_traffic_stream(
                 text = f"(x, y) . exists z. {relation}(x, z) & {relation}(y, z)"
         stream.append(QueryRequest(database_name, text, "approx", engine, False))
     return stream
+
+
+#: The E17 parameter-sweep template: a join-heavy query over the employee
+#: schema whose only varying part is the anchor employee ``$e`` — exactly the
+#: hot-traffic shape the prepared-statement API amortizes (plan once per
+#: template, bind per request).
+SWEEP_TEMPLATE = (
+    "(m, s) . exists d y. EMP_DEPT($e, d) & EMP_DEPT(y, d) & EMP_SAL(y, s) & DEPT_MGR(d, m)"
+)
+
+
+def parameter_sweep_workload(
+    database: CWDatabase,
+    n_bindings: int,
+    seed: int | None = None,
+    hot_fraction: float = 0.0,
+    hot_keys: int = 4,
+) -> tuple[str, list[dict[str, str]]]:
+    """One join-heavy template plus *n_bindings* parameter bindings.
+
+    The bindings draw employees from the database's ``EMP_DEPT`` relation —
+    mostly distinct (the sweep shape that defeats per-text answer and plan
+    caches on the ad-hoc path), optionally with a skewed hot head
+    (``hot_fraction`` of requests reuse one of ``hot_keys`` employees).
+    Returns ``(template text, bindings)`` for
+    :meth:`~repro.service.engine.QueryService.prepare` /
+    ``execute_many``.
+    """
+    employees = sorted({row[0] for row in database.facts_for("EMP_DEPT")})
+    if not employees:
+        raise ValueError("parameter_sweep_workload needs a populated EMP_DEPT relation")
+    rng = random.Random(seed)
+    hot = employees[: max(1, min(hot_keys, len(employees)))]
+    bindings = []
+    for __ in range(n_bindings):
+        if rng.random() < hot_fraction:
+            employee = hot[rng.randrange(len(hot))]
+        else:
+            employee = employees[rng.randrange(len(employees))]
+        bindings.append({"e": employee})
+    return SWEEP_TEMPLATE, bindings
 
 
 def register_scenarios(service, scenarios: Iterable[Scenario] | None = None) -> tuple[str, ...]:

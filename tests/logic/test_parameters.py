@@ -1,0 +1,123 @@
+"""Parameters (``$name``): parsing, printing, typing-as-constants, binding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FormulaError, ParseError, UnboundParameterError
+from repro.logic.analysis import free_variables
+from repro.logic.parser import parse_query
+from repro.logic.printer import query_to_text, term_to_text
+from repro.logic.template import (
+    bind_formula,
+    bind_query,
+    check_bound,
+    formula_parameters,
+    has_parameters,
+    query_parameters,
+)
+from repro.logic.terms import Constant, Parameter, Variable
+
+
+class TestParsing:
+    def test_dollar_names_parse_as_parameters(self):
+        query = parse_query("(x) . R($k, x)")
+        atom = query.formula
+        assert atom.args[0] == Parameter("k")
+        assert atom.args[1] == Variable("x")
+
+    def test_parameters_round_trip_through_the_printer(self):
+        text = "(x) . exists y. R($k, y) & S(y, x) & ~x = $other"
+        query = parse_query(text)
+        assert parse_query(query_to_text(query)) == query
+        assert "$k" in query_to_text(query)
+
+    def test_bare_dollar_is_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("(x) . R($, x)")
+
+    def test_parameter_term_rendering(self):
+        assert term_to_text(Parameter("k")) == "$k"
+
+
+class TestTypingAsConstants:
+    def test_parameters_are_not_free_variables(self):
+        query = parse_query("(x) . R($k, x)")
+        assert free_variables(query.formula) == {Variable("x")}
+
+    def test_parameter_never_equals_a_like_named_constant(self):
+        assert Parameter("k") != Constant("k")
+        assert Constant("k") != Parameter("k")
+
+    def test_head_does_not_need_parameters(self):
+        # A template's parameters are constants, so the head stays the
+        # bound variables only — "(x) . R($k, x)" is a valid unary query.
+        query = parse_query("(x) . R($k, x)")
+        assert query.arity == 1
+
+
+class TestDiscovery:
+    def test_parameters_sorted_and_deduplicated(self):
+        query = parse_query("() . R($b, $a) & S($a, $b) & T($a, $a)")
+        assert query_parameters(query) == ("a", "b")
+        assert formula_parameters(query.formula) == ("a", "b")
+
+    def test_has_parameters(self):
+        assert has_parameters(parse_query("(x) . R($k, x)"))
+        assert not has_parameters(parse_query("(x) . R('k', x)"))
+
+
+class TestBinding:
+    def test_bind_substitutes_constants_without_reparsing(self):
+        query = parse_query("(x) . exists y. R($k, y) & S(y, x)")
+        bound = bind_query(query, {"k": "alice"})
+        assert bound == parse_query("(x) . exists y. R('alice', y) & S(y, x)")
+        assert not has_parameters(bound)
+
+    def test_binding_is_exact_missing_raises(self):
+        query = parse_query("() . R($a, $b)")
+        with pytest.raises(UnboundParameterError, match=r"\$b"):
+            bind_query(query, {"a": "x"})
+
+    def test_binding_is_exact_extra_raises(self):
+        query = parse_query("() . R($a, 'c')")
+        with pytest.raises(UnboundParameterError, match=r"\$zzz"):
+            bind_query(query, {"a": "x", "zzz": "y"})
+
+    def test_non_string_values_rejected(self):
+        query = parse_query("() . R($a, 'c')")
+        with pytest.raises(FormulaError):
+            bind_query(query, {"a": 7})
+
+    def test_empty_binding_on_plain_query_is_identity(self):
+        query = parse_query("(x) . R('a', x)")
+        assert bind_query(query, {}) is query
+
+    def test_bind_formula_under_quantifiers_and_negation(self):
+        query = parse_query("() . forall x. ~R($k, x) | x = $k")
+        bound = bind_query(query, {"k": "v"})
+        assert bound == parse_query("() . forall x. ~R('v', x) | x = 'v'")
+        assert bind_formula(query.formula, {"k": "v"}) == bound.formula
+
+
+class TestCheckBound:
+    def test_templates_refuse_evaluation(self):
+        with pytest.raises(UnboundParameterError, match=r"\$k"):
+            check_bound(parse_query("(x) . R($k, x)"))
+
+    def test_bound_queries_pass(self):
+        check_bound(parse_query("(x) . R('k', x)"))
+
+    def test_evaluators_refuse_unbound_templates(self):
+        from repro.approx.evaluator import ApproximateEvaluator
+        from repro.logical.exact import certain_answers
+        from repro.workloads.scenarios import jack_the_ripper_database
+
+        database = jack_the_ripper_database()
+        template = parse_query("(x) . MURDERER($who)")
+        with pytest.raises(UnboundParameterError):
+            ApproximateEvaluator(engine="tarski").answers(database, template)
+        with pytest.raises(UnboundParameterError):
+            ApproximateEvaluator(engine="algebra").answers(database, template)
+        with pytest.raises(UnboundParameterError):
+            certain_answers(database, template)

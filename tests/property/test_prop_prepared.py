@@ -1,0 +1,132 @@
+"""Property tests: prepared execution is indistinguishable from ad-hoc.
+
+Over random small databases and random queries, turning every constant of
+the query into a ``$`` parameter and executing the resulting template
+through the prepared fast path (template plan + value substitution) must
+produce **byte-identical** wire answers to the ad-hoc request for the bound
+query — and, on the exact route, agree with Tarskian certain-answer ground
+truth.  This is the protocol-level analogue of the optimizer-equivalence
+properties: the session API may never change an answer.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.logic.formulas import (
+    And,
+    Atom,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+)
+from repro.logic.printer import query_to_text
+from repro.logic.queries import Query
+from repro.logic.template import query_parameters
+from repro.logic.terms import Constant, Parameter
+from repro.logical.exact import certain_answers
+from repro.service.engine import QueryService
+from repro.service.protocol import QueryRequest, answers_to_wire
+from tests.property.strategies import cw_databases, queries
+
+MAX_EXAMPLES = 30
+
+
+def _parameterize_term(term):
+    if isinstance(term, Parameter):
+        return term
+    if isinstance(term, Constant):
+        return Parameter(f"p_{term.name}")
+    return term
+
+
+def _parameterize(formula: Formula) -> Formula:
+    """Replace every constant with a like-named parameter."""
+    if isinstance(formula, Atom):
+        return Atom(formula.predicate, tuple(_parameterize_term(t) for t in formula.args))
+    if isinstance(formula, Equals):
+        return Equals(_parameterize_term(formula.left), _parameterize_term(formula.right))
+    if isinstance(formula, Not):
+        return Not(_parameterize(formula.operand))
+    if isinstance(formula, And):
+        return And(tuple(_parameterize(op) for op in formula.operands))
+    if isinstance(formula, Or):
+        return Or(tuple(_parameterize(op) for op in formula.operands))
+    if isinstance(formula, Implies):
+        return Implies(_parameterize(formula.antecedent), _parameterize(formula.consequent))
+    if isinstance(formula, Iff):
+        return Iff(_parameterize(formula.left), _parameterize(formula.right))
+    if isinstance(formula, (Exists, Forall)):
+        return type(formula)(formula.variables, _parameterize(formula.body))
+    return formula
+
+
+def _template_of(query: Query) -> tuple[Query, dict[str, str]]:
+    template = query.with_formula(_parameterize(query.formula))
+    binding = {name: name[2:] for name in query_parameters(template)}  # p_a -> a
+    return template, binding
+
+
+class TestPreparedEqualsAdhoc:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(database=cw_databases(), query=queries())
+    def test_approx_route_byte_identical(self, database, query):
+        template, binding = _template_of(query)
+        service = QueryService(answer_cache_capacity=0)
+        service.register("db", database)
+        try:
+            statement = service.prepare("db", query_to_text(template))
+            prepared = service.execute_prepared(statement.statement_id, binding)
+            adhoc = service.execute(QueryRequest("db", prepared.query))
+            assert prepared.answers == adhoc.answers
+            assert prepared.query == query_to_text(query)
+        finally:
+            service.close()
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(database=cw_databases(max_constants=3), query=queries())
+    def test_auto_engine_byte_identical(self, database, query):
+        template, binding = _template_of(query)
+        service = QueryService(answer_cache_capacity=0)
+        service.register("db", database)
+        try:
+            statement = service.prepare("db", query_to_text(template), engine="auto")
+            prepared = service.execute_prepared(statement.statement_id, binding)
+            adhoc = service.execute(QueryRequest("db", prepared.query, engine="auto"))
+            assert prepared.answers == adhoc.answers
+        finally:
+            service.close()
+
+    @settings(max_examples=20, deadline=None)
+    @given(database=cw_databases(max_constants=3, max_facts=4), query=queries())
+    def test_exact_route_matches_tarskian_ground_truth(self, database, query):
+        template, binding = _template_of(query)
+        service = QueryService(answer_cache_capacity=0)
+        service.register("db", database)
+        try:
+            statement = service.prepare("db", query_to_text(template), method="exact")
+            prepared = service.execute_prepared(statement.statement_id, binding)
+            truth = certain_answers(database, query)
+            assert [list(row) for row in prepared.answers["exact"]] == answers_to_wire(truth)
+        finally:
+            service.close()
+
+    @settings(max_examples=20, deadline=None)
+    @given(database=cw_databases(max_constants=3), query=queries())
+    def test_virtual_ne_variant_agrees(self, database, query):
+        template, binding = _template_of(query)
+        service = QueryService(answer_cache_capacity=0)
+        service.register("db", database)
+        try:
+            materialized = service.prepare("db", query_to_text(template))
+            virtual = service.prepare("db", query_to_text(template), virtual_ne=True)
+            first = service.execute_prepared(materialized.statement_id, binding)
+            second = service.execute_prepared(virtual.statement_id, binding)
+            assert first.answers == second.answers
+        finally:
+            service.close()

@@ -1,0 +1,256 @@
+"""Protocol v2: round-trip identity, version negotiation, the v1 shim."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ProtocolError
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    SUPPORTED_PROTOCOL_VERSIONS,
+    BatchRequest,
+    BatchResponse,
+    ClassifyRequest,
+    ClassifyResponse,
+    CursorResponse,
+    DatabasesResponse,
+    ErrorResponse,
+    ExecuteManyRequest,
+    ExecuteRequest,
+    FetchRequest,
+    HealthResponse,
+    InfoResponse,
+    PageResponse,
+    PrepareRequest,
+    PrepareResponse,
+    QueryRequest,
+    QueryResponse,
+    StatsResponse,
+    dump_wire,
+    parse_wire,
+    to_wire,
+    wire_version,
+)
+
+QUERY_RESPONSE = QueryResponse(
+    database="db",
+    fingerprint="f" * 64,
+    query="(x) . P($k, x)",
+    method="approx",
+    engine="algebra",
+    virtual_ne=False,
+    arity=1,
+    answers={"approximate": (("a",), ("b",))},
+)
+
+#: One representative instance per message type, v1 and v2 alike.
+V1_MESSAGES = [
+    QueryRequest("db", "(x) . P(x)", "both", "tarski", True),
+    QUERY_RESPONSE,
+    ClassifyRequest("(x) . P(x)"),
+    ClassifyResponse("(x) . P(x)", True, "Sigma_1", True, "PTIME", "PSPACE", "summary"),
+    InfoResponse("db", "f" * 64, 3, {"P": {"arity": 1, "facts": 2}}, 1, ("u",), False, "desc"),
+    HealthResponse("ok", "1.2.3", (1, 2)),
+    DatabasesResponse(("a", "b")),
+    StatsResponse(
+        databases=("a",),
+        answer_cache={"hits": 1},
+        parse_cache={"misses": 2},
+        batch={"executed": 3},
+        uptime_seconds=1.5,
+        plan_cache={"hits": 4},
+        cluster={"shards": 2},
+        feedback={"observations": 1},
+        prepared={"templates": 1, "executions": 9},
+    ),
+    BatchRequest((QueryRequest("db", "(x) . P(x)"),)),
+    BatchResponse((QUERY_RESPONSE, ErrorResponse("boom", "ParseError", "parse")), 2, 2, 0),
+    ErrorResponse("boom", "CapacityError", "capacity"),
+]
+
+V2_ONLY_MESSAGES = [
+    PrepareRequest("db", "(x) . P($k, x)", "approx", "auto", True),
+    PrepareResponse("stmt-1", "db", "f" * 64, "(x) . P($k, x)", ("k",), 1, "approx", "auto", True),
+    ExecuteRequest("stmt-1", {"k": "v"}, stream=True, page_size=16),
+    ExecuteManyRequest("stmt-1", ({"k": "a"}, {"k": "b"})),
+    CursorResponse(
+        cursor_id="c1",
+        database="db",
+        fingerprint="f" * 64,
+        query="(x) . P('a', x)",
+        method="approx",
+        engine="algebra",
+        virtual_ne=False,
+        arity=1,
+        label="approximate",
+        total_rows=3,
+        page_size=2,
+        pages=2,
+    ),
+    FetchRequest("c1", 1),
+    PageResponse("c1", 1, (("a",),), True),
+]
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("message", V1_MESSAGES, ids=lambda m: type(m).__name__)
+    @pytest.mark.parametrize("version", SUPPORTED_PROTOCOL_VERSIONS)
+    def test_v1_era_messages_round_trip_in_both_versions(self, message, version):
+        text = dump_wire(message, version=version)
+        payload = json.loads(text)
+        assert payload["v"] == version
+        assert parse_wire(payload) == message
+        assert parse_wire(text) == message  # str entry point too
+
+    @pytest.mark.parametrize("message", V2_ONLY_MESSAGES, ids=lambda m: type(m).__name__)
+    def test_v2_messages_round_trip_at_v2(self, message):
+        text = dump_wire(message, version=2)
+        assert parse_wire(text) == message
+
+    @pytest.mark.parametrize("message", V2_ONLY_MESSAGES, ids=lambda m: type(m).__name__)
+    def test_v2_messages_refuse_a_v1_envelope(self, message):
+        with pytest.raises(ProtocolError, match="requires protocol v2"):
+            dump_wire(message, version=1)
+        payload = to_wire(message, version=2)
+        payload["v"] = 1
+        with pytest.raises(ProtocolError, match="requires protocol v2"):
+            parse_wire(payload)
+
+    def test_default_serialization_version_is_two(self):
+        assert PROTOCOL_VERSION == 2
+        assert json.loads(dump_wire(QUERY_RESPONSE))["v"] == 2
+
+
+class TestVersioning:
+    def test_wire_version_reads_the_envelope(self):
+        assert wire_version(dump_wire(QUERY_RESPONSE, version=1)) == 1
+        assert wire_version(dump_wire(QUERY_RESPONSE, version=2)) == 2
+
+    def test_unknown_versions_rejected(self):
+        payload = to_wire(QUERY_RESPONSE)
+        payload["v"] = 3
+        with pytest.raises(ProtocolError, match="unsupported protocol version"):
+            parse_wire(payload)
+        with pytest.raises(ProtocolError, match="unsupported protocol version"):
+            to_wire(QUERY_RESPONSE, version=3)
+
+    def test_missing_version_rejected(self):
+        payload = to_wire(QUERY_RESPONSE)
+        del payload["v"]
+        with pytest.raises(ProtocolError, match="missing the protocol version"):
+            parse_wire(payload)
+
+    def test_v1_message_without_v2_fields_parses_with_defaults(self):
+        # Exactly what a recorded v1 log line or an old client sends.
+        payload = {
+            "type": "health",
+            "v": 1,
+            "status": "ok",
+            "library_version": "0.9",
+        }
+        message = parse_wire(payload)
+        assert message == HealthResponse("ok", "0.9", (1,))
+        error = parse_wire({"type": "error", "v": 1, "error": "x", "kind": "ServiceError"})
+        assert error.code == "service"
+
+
+class TestValidation:
+    def test_execute_request_rejects_non_string_bindings(self):
+        with pytest.raises(ProtocolError, match="malformed"):
+            parse_wire({"type": "execute_request", "v": 2, "statement_id": "s", "params": {"k": 7}})
+
+    def test_execute_request_rejects_bad_page_size(self):
+        with pytest.raises(ProtocolError, match="malformed"):
+            parse_wire(
+                {"type": "execute_request", "v": 2, "statement_id": "s", "params": {}, "page_size": 0}
+            )
+
+    def test_fetch_request_rejects_negative_pages(self):
+        with pytest.raises(ProtocolError, match="malformed"):
+            parse_wire({"type": "fetch_request", "v": 2, "cursor_id": "c", "page": -1})
+
+    def test_execute_many_rejects_non_object_bindings(self):
+        with pytest.raises(ProtocolError):
+            parse_wire(
+                {"type": "execute_many_request", "v": 2, "statement_id": "s", "bindings": ["nope"]}
+            )
+
+
+@st.composite
+def query_requests(draw):
+    name = st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), min_codepoint=48, max_codepoint=122),
+        min_size=1,
+        max_size=12,
+    )
+    return QueryRequest(
+        database=draw(name),
+        query=draw(name),
+        method=draw(st.sampled_from(("approx", "both"))),
+        engine=draw(st.sampled_from(("tarski", "algebra", "auto"))),
+        virtual_ne=draw(st.booleans()),
+    )
+
+
+class TestFuzzedRoundTrips:
+    """Property/fuzz round-trips: ``parse_wire ∘ dump_wire`` is the identity."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(request=query_requests(), version=st.sampled_from(SUPPORTED_PROTOCOL_VERSIONS))
+    def test_query_requests(self, request, version):
+        assert parse_wire(dump_wire(request, version=version)) == request
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        statement_id=st.text(min_size=1, max_size=16),
+        params=st.dictionaries(
+            st.text(min_size=1, max_size=8), st.text(min_size=1, max_size=8), max_size=4
+        ),
+        stream=st.booleans(),
+        page_size=st.integers(min_value=1, max_value=1 << 16),
+    )
+    def test_execute_requests(self, statement_id, params, stream, page_size):
+        request = ExecuteRequest(statement_id, params, stream, page_size)
+        assert parse_wire(dump_wire(request, version=2)) == request
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rows=st.lists(
+            st.lists(st.text(max_size=6), min_size=1, max_size=3).map(tuple), max_size=8
+        ).map(tuple),
+        page=st.integers(min_value=0, max_value=1000),
+        last=st.booleans(),
+    )
+    def test_page_responses(self, rows, page, last):
+        # Pad rows to a rectangle? Not required: pages carry arbitrary row
+        # tuples; the protocol only promises tuple-of-tuples fidelity.
+        response = PageResponse("cursor", page, rows, last)
+        assert parse_wire(dump_wire(response, version=2)) == response
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        answers=st.dictionaries(
+            st.sampled_from(("approximate", "exact")),
+            st.lists(st.lists(st.text(max_size=5), min_size=1, max_size=2).map(tuple), max_size=6).map(
+                lambda rows: tuple(sorted(rows))
+            ),
+            min_size=1,
+            max_size=2,
+        ),
+        version=st.sampled_from(SUPPORTED_PROTOCOL_VERSIONS),
+    )
+    def test_query_responses(self, answers, version):
+        response = QueryResponse(
+            database="db",
+            fingerprint="f" * 64,
+            query="(x) . P(x)",
+            method="both",
+            engine="algebra",
+            virtual_ne=False,
+            arity=1,
+            answers=answers,
+        )
+        assert parse_wire(dump_wire(response, version=version)) == response

@@ -8,7 +8,7 @@ import urllib.request
 
 import pytest
 
-from repro.errors import ServiceError
+from repro.errors import ParseError, ServiceError
 from repro.service.client import ServiceClient
 from repro.service.engine import QueryService
 from repro.service.protocol import QueryRequest
@@ -92,8 +92,10 @@ class TestErrors:
             client.query("atlantis", "(x) . P(x)")
 
     def test_parse_error_surfaces_remotely(self, served):
+        # The wire error's stable code re-raises the *typed* exception
+        # locally, so remote parse failures look exactly like local ones.
         __, __, client = served
-        with pytest.raises(ServiceError, match="ParseError"):
+        with pytest.raises(ParseError, match="expected"):
             client.query("jack-the-ripper", "( broken")
 
     def test_unknown_route_is_404(self, served):

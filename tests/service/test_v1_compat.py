@@ -1,0 +1,158 @@
+"""Regression: protocol v1 traffic keeps working against a v2 server.
+
+The shape of the test mirrors an operator's reality: a traffic log recorded
+by a pre-v2 deployment (every line a ``v: 1`` envelope), replayed against
+an upgraded server — through the warm-up path and over live HTTP with a
+strict v1 client that rejects any non-v1 envelope.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.service import QueryService, running_server
+from repro.service.protocol import QueryRequest, parse_wire
+from repro.workloads.scenarios import employee_intro_scenario
+from repro.workloads.traffic import load_traffic_log
+
+V1_REQUESTS = [
+    QueryRequest("emp", "(x) . EMP_DEPT(x, 'eng')"),
+    QueryRequest("emp", "(x) . EMP_DEPT('ada', x)", "both", "tarski", False),
+    QueryRequest("emp", "() . exists x. EMP_SAL(x, 'high')", "exact"),
+]
+
+
+def _write_v1_log(path):
+    """A traffic log exactly as a v1 deployment recorded it."""
+    lines = []
+    for request in V1_REQUESTS:
+        payload = {
+            "type": "query_request",
+            "v": 1,
+            "database": request.database,
+            "query": request.query,
+            "method": request.method,
+            "engine": request.engine,
+            "virtual_ne": request.virtual_ne,
+        }
+        lines.append(json.dumps(payload, sort_keys=True))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+@pytest.fixture()
+def service():
+    service = QueryService()
+    service.register("emp", employee_intro_scenario().database)
+    yield service
+    service.close()
+
+
+class TestRecordedLogs:
+    def test_v1_log_lines_parse_and_upconvert(self, tmp_path):
+        log = _write_v1_log(tmp_path / "traffic.jsonl")
+        requests = load_traffic_log(log)
+        assert requests == V1_REQUESTS
+
+    def test_v1_log_replays_through_warmup(self, service, tmp_path):
+        log = _write_v1_log(tmp_path / "traffic.jsonl")
+        report = service.warm(load_traffic_log(log))
+        assert report.failed == 0
+        assert report.warmed == len(V1_REQUESTS)
+        # The warmed entries serve subsequent identical traffic from cache.
+        response = service.execute(V1_REQUESTS[0])
+        assert response.cached
+
+
+class _StrictV1Client:
+    """What a pre-v2 client does: v1 envelopes out, v1 envelopes required back."""
+
+    def __init__(self, base_url: str) -> None:
+        self.base_url = base_url
+
+    def query(self, request: QueryRequest) -> dict:
+        payload = {
+            "type": "query_request",
+            "v": 1,
+            "database": request.database,
+            "query": request.query,
+            "method": request.method,
+            "engine": request.engine,
+            "virtual_ne": request.virtual_ne,
+        }
+        http_request = urllib.request.Request(
+            self.base_url + "/query",
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(http_request) as response:
+            body = json.loads(response.read())
+        assert body["v"] == 1, f"v1 client got a v{body['v']} envelope"
+        return body
+
+    def get(self, path: str) -> dict:
+        with urllib.request.urlopen(self.base_url + path) as response:
+            body = json.loads(response.read())
+        assert body["v"] == 1, f"v1 client got a v{body['v']} envelope on {path}"
+        return body
+
+
+class TestLiveV1Clients:
+    def test_v1_client_round_trips_against_v2_server(self, service):
+        with running_server(service) as server:
+            client = _StrictV1Client(server.base_url)
+            for request in V1_REQUESTS:
+                body = client.query(request)
+                assert body["type"] == "query_response"
+                # The body is also a parseable v1 message on our side, and
+                # matches in-process evaluation of the same request.
+                message = parse_wire(body)
+                assert message.answers == service.execute(request).answers
+
+    def test_v1_client_reads_every_get_route(self, service):
+        with running_server(service) as server:
+            client = _StrictV1Client(server.base_url)
+            assert client.get("/health")["status"] == "ok"
+            assert client.get("/databases")["databases"] == ["emp"]
+            assert client.get("/stats")["type"] == "stats_response"
+            assert client.get("/info?db=emp")["name"] == "emp"
+
+    def test_v1_client_gets_v1_error_envelopes(self, service):
+        with running_server(service) as server:
+            client = _StrictV1Client(server.base_url)
+            payload = {"type": "query_request", "v": 1, "database": "nope", "query": "(x) . P(x)"}
+            http_request = urllib.request.Request(
+                server.base_url + "/query",
+                data=json.dumps(payload).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(http_request)
+            body = json.loads(excinfo.value.read())
+            assert body["v"] == 1
+            assert body["type"] == "error"
+            assert body["code"] == "unknown_database"
+
+    def test_malformed_v1_message_still_gets_a_v1_error_envelope(self, service):
+        # The request's version must be pinned *before* message parsing, so
+        # even a v1 request that fails parse_wire (here: missing the
+        # required 'query' field) is answered in a v1 envelope.
+        with running_server(service) as server:
+            payload = {"type": "query_request", "v": 1, "database": "emp"}
+            http_request = urllib.request.Request(
+                server.base_url + "/query",
+                data=json.dumps(payload).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(http_request)
+            body = json.loads(excinfo.value.read())
+            assert body["v"] == 1
+            assert body["type"] == "error"
+            assert body["code"] == "protocol"

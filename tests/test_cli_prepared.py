@@ -1,0 +1,113 @@
+"""CLI surface of the session API: ``--param`` and the ``prepared`` mode."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.physical.csvio import save_cw_database
+from repro.service.engine import QueryService
+from repro.service.protocol import QueryResponse, parse_wire
+from repro.service.server import running_server
+
+
+@pytest.fixture
+def stored_database(ripper_cw, tmp_path):
+    directory = tmp_path / "ripper"
+    save_cw_database(ripper_cw, directory)
+    return directory
+
+
+@pytest.fixture
+def live_server(ripper_cw):
+    service = QueryService()
+    service.register("ripper", ripper_cw)
+    with running_server(service) as server:
+        yield server
+    service.close()
+
+
+class TestLocalParams:
+    def test_query_with_param_binds_the_template(self, stored_database, capsys):
+        code = main(["query", str(stored_database), "(x) . LONDONER($who) & LONDONER(x)", "--param", "who=jack"])
+        assert code == 0
+        assert "approximate answers (3)" in capsys.readouterr().out
+
+    def test_query_json_goes_through_the_prepared_path(self, stored_database, capsys):
+        code = main(["query", str(stored_database), "() . MURDERER($who)", "--param", "who=jack", "--json"])
+        assert code == 0
+        message = parse_wire(capsys.readouterr().out)
+        assert isinstance(message, QueryResponse)
+        assert message.query == "() . MURDERER('jack')"
+
+    def test_missing_param_is_a_clean_error(self, stored_database, capsys):
+        assert main(["query", str(stored_database), "() . MURDERER($who)"]) == 2
+        assert "missing value(s) for parameter(s): $who" in capsys.readouterr().err
+
+    def test_malformed_param_flag(self, stored_database, capsys):
+        assert main(["query", str(stored_database), "() . MURDERER($who)", "--param", "who"]) == 2
+        assert "NAME=VALUE" in capsys.readouterr().err
+
+
+class TestClientPrepared:
+    def test_client_query_with_param(self, live_server, capsys):
+        code = main(
+            ["client", live_server.base_url, "query", "ripper", "(x) . LONDONER(x) & MURDERER($m)",
+             "--param", "m=jack"]
+        )
+        assert code == 0
+        assert "approximate answers" in capsys.readouterr().out
+
+    def test_prepared_sweep(self, live_server, capsys):
+        code = main(
+            ["client", live_server.base_url, "prepared", "ripper", "() . LONDONER($who)",
+             "--bind", "who=jack", "--bind", "who=dickens", "--bind", "who=jack"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "prepared stmt-" in out
+        assert "executed 3 binding(s), 2 unique, 1 deduplicated" in out
+
+    def test_prepared_single_binding(self, live_server, capsys):
+        code = main(
+            ["client", live_server.base_url, "prepared", "ripper", "(x) . LONDONER(x)"]
+        )
+        assert code == 0
+        assert "approximate answers (3)" in capsys.readouterr().out
+
+    def test_prepared_stream(self, live_server, capsys):
+        code = main(
+            ["client", live_server.base_url, "prepared", "ripper", "(x) . LONDONER(x)",
+             "--stream", "--page-size", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 row(s) streamed" in out
+        assert "jack" in out
+
+    def test_prepared_stream_rejects_multiple_bindings(self, live_server, capsys):
+        code = main(
+            ["client", live_server.base_url, "prepared", "ripper", "() . LONDONER($w)",
+             "--stream", "--bind", "w=jack", "--bind", "w=dickens"]
+        )
+        assert code == 2
+        assert "at most one" in capsys.readouterr().err
+
+    def test_prepared_json_batch(self, live_server, capsys):
+        code = main(
+            ["client", live_server.base_url, "prepared", "ripper", "() . LONDONER($who)",
+             "--bind", "who=jack", "--bind", "who=dickens", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["type"] == "batch_response"
+        assert payload["total"] == 2
+
+    def test_stats_show_prepared_counters(self, live_server, capsys):
+        main(["client", live_server.base_url, "prepared", "ripper", "() . LONDONER($who)",
+              "--bind", "who=jack"])
+        capsys.readouterr()
+        assert main(["client", live_server.base_url, "stats"]) == 0
+        assert "prepared:" in capsys.readouterr().out

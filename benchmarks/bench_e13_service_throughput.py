@@ -16,10 +16,12 @@ experiment measures what the :mod:`repro.service` subsystem buys:
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.approx.evaluator import ApproximateEvaluator
-from repro.harness.experiments import measure_throughput
+from repro.harness.experiments import measure_latencies, measure_throughput
 from repro.logic.parser import parse_query
 from repro.logical.exact import certain_answers
 from repro.service.engine import QueryService
@@ -34,9 +36,17 @@ from repro.workloads.traffic import (
 
 QUERY_TEXT = "(x1, x2) . exists y. EMP_DEPT(x1, y) & DEPT_MGR(y, x2)"
 
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "").strip() not in ("", "0")
+
 WARM_OPERATIONS = 300
 COLD_OPERATIONS = 10
 REQUIRED_SPEEDUP = 10.0
+
+
+def _report(bench_reports):
+    return bench_reports(
+        "E13", "service throughput: warm cache vs cold one-shot path", mode="quick" if QUICK else "full"
+    )
 
 
 def _cold_one_shot(database, query_text: str):
@@ -46,7 +56,7 @@ def _cold_one_shot(database, query_text: str):
 
 
 @pytest.mark.experiment("E13")
-def test_warm_cache_beats_cold_path_by_10x(benchmark, experiment_log):
+def test_warm_cache_beats_cold_path_by_10x(benchmark, experiment_log, bench_reports):
     scenario = employee_intro_scenario()
     service = QueryService()
     service.register("employee-intro", scenario.database)
@@ -74,10 +84,15 @@ def test_warm_cache_beats_cold_path_by_10x(benchmark, experiment_log):
             "hit_rate": service.stats().answer_cache["hit_rate"],
         })
     )
+    report = _report(bench_reports)
+    report.metric("warm_vs_cold_speedup", speedup, unit="x", required=REQUIRED_SPEEDUP)
+    report.metric("warm_qps", warm.per_second, unit="qps")
+    report.metric("cold_qps", cold.per_second, unit="qps")
+    report.latency("warm_execute", measure_latencies(lambda: service.execute(request), WARM_OPERATIONS))
 
 
 @pytest.mark.experiment("E13")
-def test_skewed_traffic_mostly_hits_the_cache(experiment_log):
+def test_skewed_traffic_mostly_hits_the_cache(experiment_log, bench_reports):
     service = QueryService()
     register_scenarios(service)
     profile = TrafficProfile(hot_keys=2, hot_fraction=0.8, exact_fraction=0.05)
@@ -98,6 +113,7 @@ def test_skewed_traffic_mostly_hits_the_cache(experiment_log):
             "cache_size": stats.answer_cache["size"],
         })
     )
+    _report(bench_reports).metric("skewed_hit_rate", hit_rate, unit="fraction", required=0.5)
 
 
 @pytest.mark.experiment("E13")

@@ -52,6 +52,15 @@ REQUIRED_MEDIAN_SPEEDUP = 1.0 if QUICK else 5.0
 
 CLOSING_CONSTANTS = ("dept0", "dept1", "high", "mid")
 
+#: Telemetry disabled (no active trace, no profiler) must cost <= 5% median.
+TELEMETRY_OVERHEAD_LIMIT = 1.05
+
+
+def _report(bench_reports):
+    return bench_reports(
+        "E14", "plan optimizer vs naive algebra engine", mode="quick" if QUICK else "full"
+    )
+
 
 def _storage():
     return ph2(employee_database(N_EMPLOYEES, seed=11))
@@ -68,7 +77,7 @@ def _workload():
 
 
 @pytest.mark.experiment("E14")
-def test_optimizer_beats_naive_engine_on_join_heavy_workload(benchmark, experiment_log):
+def test_optimizer_beats_naive_engine_on_join_heavy_workload(benchmark, experiment_log, bench_reports):
     storage = _storage()
     rows = []
     speedups = []
@@ -122,11 +131,66 @@ def test_optimizer_beats_naive_engine_on_join_heavy_workload(benchmark, experime
         experiment_log.append(("E14", row))
     experiment_log.append(("E14", {"query": "== median ==", "speedup": round(median_speedup, 2)}))
     print(f"\nBENCH-E14-SUMMARY {json.dumps(summary, sort_keys=True)}")
+    report = _report(bench_reports)
+    report.metric("median_speedup", median_speedup, unit="x", required=REQUIRED_MEDIAN_SPEEDUP)
+    report.metric("min_speedup", min(speedups), unit="x")
+    report.metric("max_speedup", max(speedups), unit="x")
+    report.note(f"{len(rows)} join-heavy queries over a {N_EMPLOYEES}-employee Ph2 instance")
 
     assert median_speedup >= REQUIRED_MEDIAN_SPEEDUP, (
         f"optimized engine is only {median_speedup:.2f}x the naive engine "
         f"(required {REQUIRED_MEDIAN_SPEEDUP}x; per-query: "
         + ", ".join(f"{row['query']}={row['speedup']}" for row in rows)
+        + ")"
+    )
+
+
+@pytest.mark.experiment("E14")
+def test_disabled_telemetry_overhead_stays_under_five_percent(experiment_log, bench_reports):
+    """PR 6's instrumentation must be near-free when nobody asked for it.
+
+    The serving layer now surrounds every execution with a span and passes
+    ``profiler=None`` to the executor.  With no active trace the span is one
+    thread-local read, and the executor's profiler hooks are one ``is None``
+    check per node — so the telemetry-off path must run within
+    ``TELEMETRY_OVERHEAD_LIMIT`` of the bare executor (median over the E14
+    workload, min-of-N per side to strip scheduler noise).
+    """
+    from repro.observability.tracing import span
+
+    storage = _storage()
+    ratios = []
+    for name, query in _workload():
+        rewritten = rewrite_query(query, "direct")
+        plan = optimize(compile_query(rewritten, storage), storage)
+
+        def bare():
+            return execute(plan, storage).rows
+
+        def telemetry_disabled():
+            with span(f"bench {name}"):
+                return execute(plan, storage, profiler=None).rows
+
+        bare_answers, bare_seconds = best_of(bare, REPEATS + 2)
+        telemetry_answers, telemetry_seconds = best_of(telemetry_disabled, REPEATS + 2)
+        assert telemetry_answers == bare_answers
+        ratios.append(telemetry_seconds / bare_seconds if bare_seconds else 1.0)
+
+    overhead = median(ratios)
+    experiment_log.append(
+        ("E14", {"query": "== disabled-telemetry overhead ==", "speedup": round(overhead, 3)})
+    )
+    _report(bench_reports).metric(
+        "telemetry_overhead_ratio",
+        overhead,
+        unit="x",
+        higher_is_better=False,
+        required=TELEMETRY_OVERHEAD_LIMIT,
+    )
+    assert overhead <= TELEMETRY_OVERHEAD_LIMIT, (
+        f"disabled telemetry costs {overhead:.3f}x the bare executor "
+        f"(limit {TELEMETRY_OVERHEAD_LIMIT}x; per-query: "
+        + ", ".join(f"{ratio:.3f}" for ratio in ratios)
         + ")"
     )
 

@@ -56,6 +56,12 @@ GRAPH_EDGES = 700
 GRAPH_ATTRS = 2400
 
 
+def _report(bench_reports):
+    return bench_reports(
+        "E15", "sharded cluster scaling, byte-identity and failover", mode="smoke" if SMOKE else "full"
+    )
+
+
 def _graph_database(seed: int = 5) -> CWDatabase:
     """A graph workload: EDGE is join-heavy and replicated, ATTR is split.
 
@@ -149,7 +155,7 @@ def _measure(router, warm_pool, stream) -> float:
 
 @pytest.mark.experiment("E15")
 @pytest.mark.skipif(SMOKE, reason="smoke mode runs the reduced 2-worker comparison instead")
-def test_read_throughput_scales_to_four_workers(database, single_process, tmp_path, experiment_log):
+def test_read_throughput_scales_to_four_workers(database, single_process, tmp_path, experiment_log, bench_reports):
     pool, stream = _read_mix(database)
     rates = {}
     for shards in (1, WORKERS):
@@ -168,6 +174,10 @@ def test_read_throughput_scales_to_four_workers(database, single_process, tmp_pa
             "worker_cache": WORKER_CACHE,
         })
     )
+    report = _report(bench_reports)
+    report.metric("scaling_speedup", speedup, unit="x", required=REQUIRED_SPEEDUP)
+    report.metric("qps_1_worker", rates[1], unit="qps")
+    report.metric(f"qps_{WORKERS}_workers", rates[WORKERS], unit="qps")
     assert routing["single_shard"] > 0 and routing["scatter"] > 0, "mix must be multi-shard"
     assert speedup >= REQUIRED_SPEEDUP, (
         f"{WORKERS}-worker cluster is only {speedup:.2f}x the 1-worker throughput "
@@ -176,7 +186,7 @@ def test_read_throughput_scales_to_four_workers(database, single_process, tmp_pa
 
 
 @pytest.mark.experiment("E15")
-def test_cluster_is_not_slower_than_single_process(database, tmp_path, experiment_log):
+def test_cluster_is_not_slower_than_single_process(database, tmp_path, experiment_log, bench_reports):
     """The CI smoke invariant: sharding must never cost throughput.
 
     The single process gets the same answer-cache capacity a worker gets —
@@ -201,6 +211,7 @@ def test_cluster_is_not_slower_than_single_process(database, tmp_path, experimen
             "ratio": round(ratio, 2),
         })
     )
+    _report(bench_reports).metric("cluster_vs_single_ratio", ratio, unit="x", required=1.0)
     assert ratio >= 1.0, (
         f"the {WORKERS}-worker cluster path ({cluster_rate:.0f} qps) is slower than "
         f"the single process ({single_rate:.0f} qps)"

@@ -66,8 +66,14 @@ REPEATS = 2 if SMOKE else 3
 REQUIRED_MEDIAN_SPEEDUP = 1.0 if SMOKE else 3.0
 
 
+def _report(bench_reports):
+    return bench_reports(
+        "E16", "adaptive execution vs static optimizer", mode="smoke" if SMOKE else "full"
+    )
+
+
 @pytest.mark.experiment("E16")
-def test_adaptive_execution_beats_static_optimizer(benchmark, experiment_log):
+def test_adaptive_execution_beats_static_optimizer(benchmark, experiment_log, bench_reports):
     database = skewed_star_database(seed=INSTANCE_SEED, **INSTANCE)
     storage = ph2(database)
 
@@ -149,6 +155,12 @@ def test_adaptive_execution_beats_static_optimizer(benchmark, experiment_log):
         experiment_log.append(("E16", row))
     experiment_log.append(("E16", {"query": "== median ==", "speedup": round(median_speedup, 2)}))
     print(f"\nBENCH-E16-SUMMARY {json.dumps(summary, sort_keys=True)}")
+    report = _report(bench_reports)
+    report.metric("median_speedup", median_speedup, unit="x", required=REQUIRED_MEDIAN_SPEEDUP)
+    report.metric("min_speedup", min(speedups), unit="x")
+    report.metric("max_speedup", max(speedups), unit="x")
+    report.metric("feedback_invalidations", feedback.get("invalidations", 0), unit="count", required=1)
+    report.metric("feedback_reoptimizations", feedback.get("reoptimizations", 0), unit="count", required=1)
 
     assert median_speedup >= REQUIRED_MEDIAN_SPEEDUP, (
         f"adaptive execution is only {median_speedup:.2f}x the static optimizer "

@@ -37,7 +37,7 @@ import urllib.request
 
 import pytest
 
-from repro.harness.experiments import median
+from repro.harness.experiments import measure_latencies, median
 from repro.logic.parser import parse_query
 from repro.logic.printer import query_to_text
 from repro.logic.template import bind_query
@@ -64,6 +64,12 @@ def _database():
     return employee_database(N_EMPLOYEES, seed=DATABASE_SEED)
 
 
+def _report(bench_reports):
+    return bench_reports(
+        "E17", "prepared parameterized queries vs ad-hoc path", mode="smoke" if SMOKE else "full"
+    )
+
+
 def _fresh_services(database):
     """One cold ad-hoc service and one cold prepared-side service.
 
@@ -79,7 +85,7 @@ def _fresh_services(database):
 
 
 @pytest.mark.experiment("E17")
-def test_prepared_sweep_beats_adhoc_with_identical_answers(benchmark, experiment_log):
+def test_prepared_sweep_beats_adhoc_with_identical_answers(benchmark, experiment_log, bench_reports):
     database = _database()
     template, __ = parameter_sweep_workload(database, 1, seed=SWEEP_SEED)
     template_query = parse_query(template)
@@ -173,6 +179,15 @@ def test_prepared_sweep_beats_adhoc_with_identical_answers(benchmark, experiment
         experiment_log.append(("E17", row))
     experiment_log.append(("E17", {"trial": "== median ==", "speedup": round(median_speedup, 2)}))
     print(f"\nBENCH-E17-SUMMARY {json.dumps(summary, sort_keys=True)}")
+    report = _report(bench_reports)
+    report.metric("median_speedup", median_speedup, unit="x", required=REQUIRED_MEDIAN_SPEEDUP)
+    report.metric("min_speedup", min(ratios), unit="x")
+    report.metric("max_speedup", max(ratios), unit="x")
+    report.latency(
+        "prepared_execute",
+        measure_latencies(lambda: prepared.execute_prepared(statement.statement_id, bindings[0]), 50),
+    )
+    report.note(f"{N_BINDINGS} bindings x {TRIALS} trials over a {N_EMPLOYEES}-employee instance")
 
     assert median_speedup >= REQUIRED_MEDIAN_SPEEDUP, (
         f"prepared execute_many is only {median_speedup:.2f}x the ad-hoc path "

@@ -29,6 +29,31 @@ def experiment_log():
     return []
 
 
+@pytest.fixture(scope="session")
+def bench_reports():
+    """Get-or-create one :class:`BenchReport` per experiment id.
+
+    Modules call ``bench_reports("E14", "title", mode=...)`` and record
+    metrics/latencies on the returned report; the fixture writes every
+    report as ``BENCH_<NAME>.json`` (under ``$REPRO_BENCH_DIR`` or
+    ``benchmarks/reports``) when the session ends, so one benchmark run
+    refreshes the committed perf-trajectory artifacts in place.
+    """
+    from repro.harness.reporting import BenchReport
+
+    registry: dict[str, BenchReport] = {}
+
+    def get(name: str, title: str, mode: str = "full") -> BenchReport:
+        report = registry.get(name.upper())
+        if report is None:
+            report = registry[name.upper()] = BenchReport(name, title, mode=mode)
+        return report
+
+    yield get
+    for report in registry.values():
+        print(f"bench artifact: {report.write()}")
+
+
 @pytest.fixture(scope="session", autouse=True)
 def _print_experiment_log(request, experiment_log):
     yield

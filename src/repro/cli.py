@@ -23,6 +23,7 @@ Examples::
 
     python -m repro.cli info db_dir/
     python -m repro.cli query db_dir/ "(x) . ~MURDERER(x)"
+    python -m repro.cli query db_dir/ "(x) . P(x)" --analyze
     python -m repro.cli query db_dir/ "(x) . P(x)" --method exact --json
     python -m repro.cli query db_dir/ "(x) . R($k, x)" --param k=alice
     python -m repro.cli classify "(x) . exists y. R(x, y) & ~P(y)"
@@ -35,6 +36,10 @@ Examples::
     python -m repro.cli client http://127.0.0.1:8080 prepared db_dir "(x) . R($k, x)" \\
         --bind k=alice --bind k=bob
     python -m repro.cli client http://127.0.0.1:8080 prepared db_dir "(x, y) . R(x, y)" --stream
+    python -m repro.cli client http://127.0.0.1:8080 explain db_dir "(x) . P(x)"
+    python -m repro.cli client http://127.0.0.1:8080 metrics
+    python -m repro.cli bench-diff old/BENCH_E14.json new/BENCH_E14.json
+    python -m repro.cli bench-validate benchmarks/reports --expect E13 --expect E14
 """
 
 from __future__ import annotations
@@ -51,6 +56,7 @@ from repro.errors import ReproError
 from repro.harness.reporting import format_table
 from repro.logic.parser import parse_query
 from repro.logical.exact import certain_answers
+from repro.observability.explain import PlanProfiler, render_profile
 from repro.physical.csvio import load_cw_database
 from repro.physical.optimizer import OPTIMIZER_ENV_FLAG, SIP_ENV_FLAG
 from repro.service.client import ServiceClient
@@ -83,6 +89,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("database", help="directory written by save_cw_database()")
     query.add_argument("query", help="query text, e.g. \"(x) . ~MURDERER(x)\"")
     _add_query_options(query)
+    query.add_argument(
+        "--analyze",
+        action="store_true",
+        help="EXPLAIN ANALYZE: print the executed operator tree with per-node "
+        "rows, wall time and index/scan/memo access after the answers",
+    )
     query.add_argument("--json", action="store_true", help="print a protocol QueryResponse instead of text")
     query.add_argument(
         "--no-optimizer",
@@ -151,6 +163,31 @@ def build_parser() -> argparse.ArgumentParser:
         "caches before accepting connections",
     )
 
+    bench_diff = commands.add_parser(
+        "bench-diff", help="compare two BENCH_*.json perf-trajectory artifacts and flag regressions"
+    )
+    bench_diff.add_argument("old", help="baseline BENCH_*.json artifact")
+    bench_diff.add_argument("new", help="candidate BENCH_*.json artifact")
+    bench_diff.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="relative movement against a metric's direction of goodness "
+        "before it counts as a regression (default 0.10)",
+    )
+
+    bench_validate = commands.add_parser(
+        "bench-validate", help="schema-check the BENCH_*.json artifacts in a directory (CI gate)"
+    )
+    bench_validate.add_argument("directory", help="directory holding BENCH_*.json artifacts")
+    bench_validate.add_argument(
+        "--expect",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="require BENCH_<NAME>.json to exist (repeatable); missing files fail the check",
+    )
+
     cluster = commands.add_parser("cluster", help="manage the persistent snapshot store")
     cluster_actions = cluster.add_subparsers(dest="action", required=True)
 
@@ -186,7 +223,8 @@ def build_parser() -> argparse.ArgumentParser:
     c_health = actions.add_parser("health", help="liveness probe")
     c_databases = actions.add_parser("databases", help="list registered databases")
     c_stats = actions.add_parser("stats", help="cache/batch counters")
-    for spare in (c_health, c_databases, c_stats):
+    c_metrics = actions.add_parser("metrics", help="telemetry snapshot: counters, gauges, latency percentiles")
+    for spare in (c_health, c_databases, c_stats, c_metrics):
         spare.add_argument("--json", action="store_true", help="print the raw protocol message")
 
     c_info = actions.add_parser("info", help="describe a registered database")
@@ -197,7 +235,22 @@ def build_parser() -> argparse.ArgumentParser:
     c_query.add_argument("name", help="registered database name")
     c_query.add_argument("query", help="query text")
     _add_query_options(c_query)
+    c_query.add_argument(
+        "--analyze",
+        action="store_true",
+        help="EXPLAIN ANALYZE: ask the server to profile the execution and "
+        "print the operator tree after the answers",
+    )
     c_query.add_argument("--json", action="store_true", help="print a protocol QueryResponse instead of text")
+
+    c_explain = actions.add_parser(
+        "explain",
+        help="profile a query remotely (EXPLAIN ANALYZE) and print only the operator tree",
+    )
+    c_explain.add_argument("name", help="registered database name")
+    c_explain.add_argument("query", help="query text")
+    _add_query_options(c_explain)
+    c_explain.add_argument("--json", action="store_true", help="print the raw protocol QueryResponse")
 
     c_prepared = actions.add_parser(
         "prepared",
@@ -336,7 +389,8 @@ def _command_query(arguments: argparse.Namespace) -> int:
         service.register(name, load_cw_database(arguments.database), precompute=False)
         # A substring check ("$" in text) would misfire on quoted constants
         # containing a dollar sign; the parsed query knows for sure.
-        if params or parse_query(arguments.query).is_template:
+        is_template = params or parse_query(arguments.query).is_template
+        if is_template and not arguments.analyze:
             # The prepared path: the CLI exercises exactly the session API
             # a server would, so the printed response is byte-compatible.
             statement = service.prepare(
@@ -344,8 +398,18 @@ def _command_query(arguments: argparse.Namespace) -> int:
             )
             response = service.execute_prepared(statement.statement_id, params)
         else:
+            text = arguments.query
+            if is_template:
+                # The session API shares answer-cache slots with unprofiled
+                # requests and never profiles; bind locally and profile the
+                # bound query as an ad-hoc request instead.
+                from repro.logic.template import bind_query
+
+                text = str(bind_query(parse_query(text), params))
             response = service.execute(
-                QueryRequest(name, arguments.query, arguments.method, arguments.engine, arguments.virtual_ne)
+                QueryRequest(
+                    name, text, arguments.method, arguments.engine, arguments.virtual_ne, arguments.analyze
+                )
             )
         print(dump_wire(response, indent=2))
         return 0
@@ -358,17 +422,29 @@ def _command_query(arguments: argparse.Namespace) -> int:
         query = bind_query(query, params)
 
     results: dict[str, frozenset[tuple[str, ...]]] = {}
+    profiler: PlanProfiler | None = None
     if arguments.method in ("approx", "both"):
         evaluator = ApproximateEvaluator(
             engine=arguments.engine,
             virtual_ne=arguments.virtual_ne,
             optimize=False if arguments.no_optimizer else None,
         )
-        results["approximate"] = evaluator.answers(database, query)
+        if arguments.analyze:
+            profiler = PlanProfiler()
+            results["approximate"] = evaluator.answers_on_storage(
+                evaluator.storage(database), query, profiler=profiler
+            )
+        else:
+            results["approximate"] = evaluator.answers(database, query)
     if arguments.method in ("exact", "both"):
         results["exact"] = certain_answers(database, query)
 
     _print_answer_sets(results, query.arity)
+    if arguments.analyze:
+        from repro.observability.explain import profile_payload
+        from repro.physical.algebra import node_label
+
+        print(render_profile(profile_payload(arguments.method, profiler, node_label)))
 
     if arguments.method == "both":
         approx, exact = results["approximate"], results["exact"]
@@ -502,6 +578,74 @@ def _command_serve(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench_diff(arguments: argparse.Namespace) -> int:
+    from repro.harness.reporting import diff_bench_reports, load_bench_report
+
+    try:
+        old = load_bench_report(arguments.old)
+        new = load_bench_report(arguments.new)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    rows = diff_bench_reports(old, new, tolerance=arguments.tolerance)
+    if not rows:
+        print("no comparable metrics between the two artifacts")
+        return 0
+    table = [
+        [
+            row["metric"],
+            "-" if row.get("old") is None else row["old"],
+            "-" if row.get("new") is None else row["new"],
+            f"{row['ratio']:.3f}" if "ratio" in row else "-",
+            row["status"],
+        ]
+        for row in rows
+    ]
+    print(f"{old['name']} ({old['mode']}) -> {new['name']} ({new['mode']}), tolerance {arguments.tolerance:.0%}")
+    print(format_table(["metric", "old", "new", "ratio", "status"], table))
+    regressions = [row for row in rows if row["status"] == "regression"]
+    if regressions:
+        print(f"{len(regressions)} regression(s) beyond tolerance", file=sys.stderr)
+        return 1
+    print("no regressions beyond tolerance")
+    return 0
+
+
+def _command_bench_validate(arguments: argparse.Namespace) -> int:
+    import glob
+
+    from repro.harness.reporting import load_bench_report
+
+    directory = arguments.directory
+    if not os.path.isdir(directory):
+        print(f"error: {directory!r} is not a directory", file=sys.stderr)
+        return 2
+    failures = 0
+    seen: set[str] = set()
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        try:
+            payload = load_bench_report(path)
+        except ValueError as error:
+            print(f"FAIL {path}: {error}")
+            failures += 1
+            continue
+        seen.add(str(payload["name"]))
+        print(f"ok   {path}: {payload['name']} ({payload['mode']}), "
+              f"{len(payload['metrics'])} metric(s), {len(payload.get('latencies') or {})} latency sample(s)")
+    for expected in arguments.expect:
+        if expected.upper() not in seen:
+            print(f"FAIL missing artifact: BENCH_{expected.upper()}.json")
+            failures += 1
+    if not seen and not failures:
+        print(f"FAIL no BENCH_*.json artifacts in {directory!r}")
+        failures += 1
+    if failures:
+        print(f"{failures} problem(s)", file=sys.stderr)
+        return 1
+    print(f"validated {len(seen)} artifact(s)")
+    return 0
+
+
 def _command_cluster(arguments: argparse.Namespace) -> int:
     from repro.cluster import PartitionScheme, SnapshotStore, partition_database
 
@@ -578,6 +722,13 @@ def _command_client(arguments: argparse.Namespace) -> int:
         if stats.prepared:
             print("prepared: " + ", ".join(f"{key}={value}" for key, value in sorted(stats.prepared.items())))
         return 0
+    if arguments.action == "metrics":
+        metrics = client.metrics()
+        if arguments.json:
+            print(dump_wire(metrics, indent=2))
+            return 0
+        _print_metrics(metrics)
+        return 0
     if arguments.action == "info":
         info = client.info(arguments.name)
         if arguments.json:
@@ -602,6 +753,13 @@ def _command_client(arguments: argparse.Namespace) -> int:
             # diagnosis surfaces (it may also be newer than this client).
             is_template = False
         if params or is_template:
+            if arguments.analyze:
+                # The session API shares answer-cache slots with unprofiled
+                # requests and so never profiles.
+                raise ReproError(
+                    "--analyze does not apply to templates/bindings; "
+                    "bind the parameters into the query text and retry"
+                )
             # Templates go through the session API so the server binds them;
             # an unparameterized query stays on the classic route.
             handle = client.prepare(
@@ -610,12 +768,41 @@ def _command_client(arguments: argparse.Namespace) -> int:
             response = handle.execute(params)
         else:
             response = client.query(
-                arguments.name, arguments.query, arguments.method, arguments.engine, arguments.virtual_ne
+                arguments.name,
+                arguments.query,
+                arguments.method,
+                arguments.engine,
+                arguments.virtual_ne,
+                profile=arguments.analyze,
             )
         if arguments.json:
             print(dump_wire(response, indent=2))
             return 0
         _print_query_response(response)
+        return 0
+    if arguments.action == "explain":
+        params = _parse_params(arguments.param)
+        if params:
+            raise ReproError(
+                "explain does not apply to templates/bindings; "
+                "bind the parameters into the query text and retry"
+            )
+        response = client.query(
+            arguments.name,
+            arguments.query,
+            arguments.method,
+            arguments.engine,
+            arguments.virtual_ne,
+            profile=True,
+        )
+        if arguments.json:
+            print(dump_wire(response, indent=2))
+            return 0
+        rows = response.answers.get("exact", response.answers.get("approximate", ()))
+        print(f"{response.database}: {len(rows)} answer(s), engine {response.engine}")
+        print(render_profile(response.profile))
+        if response.cached:
+            print("(served from cache: the profile is the cached execution's)")
         return 0
     if arguments.action == "prepared":
         return _command_client_prepared(client, arguments)
@@ -690,6 +877,36 @@ def _print_query_response(response: QueryResponse) -> None:
         print(f"approximation was {status} on this instance")
     if response.cached:
         print("(served from cache)")
+    if response.profile is not None:
+        print(render_profile(response.profile))
+
+
+def _print_metrics(metrics) -> None:
+    """Text rendering of a MetricsResponse: counters, gauges, percentiles."""
+    print(f"uptime: {metrics.uptime_seconds:.1f}s")
+    for label, entries in (("counters", metrics.counters), ("gauges", metrics.gauges)):
+        if entries:
+            print(f"{label}:")
+            for name, value in sorted(entries.items()):
+                print(f"  {name} = {value}")
+    if metrics.histograms:
+        rows = []
+        for name, histogram in sorted(metrics.histograms.items()):
+            rows.append(
+                [
+                    name,
+                    histogram.get("count", 0),
+                    _quantile_ms(histogram, "p50"),
+                    _quantile_ms(histogram, "p95"),
+                    _quantile_ms(histogram, "p99"),
+                ]
+            )
+        print(format_table(["latency", "count", "p50_ms", "p95_ms", "p99_ms"], rows))
+
+
+def _quantile_ms(histogram, key: str) -> str:
+    value = histogram.get(key)
+    return f"{value * 1000:.3f}" if isinstance(value, (int, float)) else "-"
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -704,6 +921,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_classify(arguments)
         if arguments.command == "serve":
             return _command_serve(arguments)
+        if arguments.command == "bench-diff":
+            return _command_bench_diff(arguments)
+        if arguments.command == "bench-validate":
+            return _command_bench_validate(arguments)
         if arguments.command == "cluster":
             return _command_cluster(arguments)
         if arguments.command == "client":

@@ -76,6 +76,8 @@ from repro.logic.parser import parse_query
 from repro.logic.printer import query_to_text
 from repro.logic.queries import Query
 from repro.logic.template import bind_query, query_parameters
+from repro.observability import tracing
+from repro.observability.metrics import MetricsRegistry, merge_metric_snapshots
 from repro.service.cache import LRUCache
 from repro.service.lifecycle import ExecutorLifecycle
 from repro.service.client import ServiceClient
@@ -85,6 +87,7 @@ from repro.service.protocol import (
     SUPPORTED_PROTOCOL_VERSIONS,
     ClassifyResponse,
     InfoResponse,
+    MetricsResponse,
     QueryRequest,
     QueryResponse,
     StatsResponse,
@@ -136,6 +139,10 @@ class LocalBackend:
     def stats(self) -> StatsResponse:
         return self.service.stats()
 
+    def metrics(self) -> MetricsResponse:
+        metrics = getattr(self.service, "metrics", None)
+        return metrics() if callable(metrics) else MetricsResponse()
+
     def ping(self) -> bool:
         return True
 
@@ -161,6 +168,9 @@ class RemoteBackend:
 
     def stats(self) -> StatsResponse:
         return self.client.stats()
+
+    def metrics(self) -> MetricsResponse:
+        return self.client.metrics()
 
     def ping(self) -> bool:
         try:
@@ -243,6 +253,9 @@ class ClusterRouter:
         # Fan-out tasks are leaves (one HTTP call each, never re-submitting),
         # so a dedicated pool cannot deadlock against the batch pool.
         self._fanout_workers = fanout_workers or max(8, 2 * n_workers)
+        #: Router-side telemetry (per-route latencies); ``metrics()`` merges
+        #: this with every reachable worker's registry snapshot.
+        self.metrics_registry = MetricsRegistry()
 
     # Public QueryService-shaped surface ----------------------------------------
 
@@ -272,9 +285,11 @@ class ClusterRouter:
         started = time.perf_counter()
         query = self._parse(request.query)
         plan = self._route_plan(layout, request.query, query)
+        counter = _plan_counter(plan)
         with self._lock:
-            self._routed[_plan_counter(plan)] += 1
-        response = self._run_plan(layout, plan, request, query)
+            self._routed[counter] += 1
+        with tracing.span(f"route {counter}", database=request.database):
+            response = self._run_plan(layout, plan, request, query)
         if response.database != request.database or response.fingerprint != layout.fingerprint:
             response = replace(
                 response,
@@ -283,6 +298,7 @@ class ClusterRouter:
                 query=request.query,
                 elapsed_seconds=time.perf_counter() - started,
             )
+        self.metrics_registry.observe(f"route.{counter}", time.perf_counter() - started)
         return response
 
     def query(
@@ -424,19 +440,31 @@ class ClusterRouter:
                 remote = state.backend.stats()
             except (ReproError, OSError):
                 return {"alive": False}
-            return {
+            # Field-by-field and shape-checked: a worker running newer code
+            # may report stats fields this router does not know (ignored by
+            # parse_wire) or reshape ones it does — monitoring must degrade
+            # to "unknown" for those, never take the cluster's stats() down.
+            summary: dict[str, object] = {
                 "alive": state.alive,
                 "transport_errors": state.transport_errors,
-                "databases": list(remote.databases),
-                "answer_cache": dict(remote.answer_cache),
-                "plan_cache": dict(remote.plan_cache),
-                "feedback": dict(remote.feedback),
-                "prepared": dict(remote.prepared),
-                # getattr: backends are duck-typed; one without version
-                # advertisement (a wrapper, an old deployment) reads as
-                # unknown rather than breaking monitoring.
-                "protocol_versions": list(getattr(state.backend, "protocol_versions", tuple)()),
             }
+            databases = getattr(remote, "databases", ())
+            summary["databases"] = (
+                [str(name) for name in databases] if isinstance(databases, (list, tuple)) else []
+            )
+            for section in ("answer_cache", "plan_cache", "feedback", "prepared"):
+                value = getattr(remote, section, None)
+                summary[section] = dict(value) if isinstance(value, Mapping) else {}
+            # getattr: backends are duck-typed; one without version
+            # advertisement (a wrapper, an old deployment) reads as
+            # unknown rather than breaking monitoring.
+            versions = getattr(state.backend, "protocol_versions", tuple)()
+            summary["protocol_versions"] = (
+                [v for v in versions if isinstance(v, int)]
+                if isinstance(versions, (list, tuple))
+                else []
+            )
+            return summary
 
         if len(self._workers) > 1 and not self._lifecycle.closed:
             summaries = list(self._shared_fanout_executor().map(probe, self._workers))
@@ -484,6 +512,44 @@ class ClusterRouter:
             },
         )
 
+    def metrics(self) -> MetricsResponse:
+        """The cluster-wide telemetry view: router + every reachable worker.
+
+        Counters and gauges sum across the fleet; histograms merge their
+        log buckets and the p50/p95/p99 are recomputed from the combined
+        distribution.  Unreachable workers (and backends predating
+        ``/metrics``) are skipped — aggregation is best-effort, like
+        :meth:`stats`.
+        """
+
+        def probe(state: _WorkerState) -> dict | None:
+            metrics = getattr(state.backend, "metrics", None)
+            if not callable(metrics):
+                return None
+            try:
+                remote = metrics()
+            except (ReproError, OSError):
+                return None
+            return {
+                "counters": getattr(remote, "counters", {}),
+                "gauges": getattr(remote, "gauges", {}),
+                "histograms": getattr(remote, "histograms", {}),
+            }
+
+        if len(self._workers) > 1 and not self._lifecycle.closed:
+            snapshots = list(self._shared_fanout_executor().map(probe, self._workers))
+        else:
+            snapshots = [probe(state) for state in self._workers]
+        own = self.metrics_registry.snapshot()
+        merged = merge_metric_snapshots([own] + [snap for snap in snapshots if snap])
+        merged["counters"]["cluster.workers_reporting"] = sum(1 for snap in snapshots if snap)
+        return MetricsResponse(
+            counters=merged["counters"],
+            gauges=merged["gauges"],
+            histograms=merged["histograms"],
+            uptime_seconds=time.monotonic() - self._started,
+        )
+
     def health_check(self) -> Mapping[int, bool]:
         """Probe every worker; refresh liveness beliefs (dead workers can revive)."""
         result = {}
@@ -526,13 +592,22 @@ class ClusterRouter:
     def _scatter(self, layout: PartitionLayout, request: QueryRequest, query: Query) -> QueryResponse:
         """Fan the request out to every shard; union-merge the answer sets."""
         n_workers = len(self._workers)
+        # Thread-locals do not cross the fan-out pool: capture the caller's
+        # trace *and current span* here and re-activate them inside each
+        # shard task, so worker spans stitch under the router's scatter span
+        # in one tree.  With tracing off this is two thread-local reads plus
+        # a no-op context manager.
+        active = tracing.current_trace()
+        parent = tracing.current_span_id()
 
         def on_shard(shard: int) -> QueryResponse:
-            return self._on_workers(
-                shard_hosts(shard, n_workers, self._replicas),
-                replace(request, database=layout.shard_name(shard)),
-                f"shard {shard} of {layout.name!r}",
-            )
+            with tracing.activate(active, parent=parent):
+                with tracing.span(f"scatter shard {shard}"):
+                    return self._on_workers(
+                        shard_hosts(shard, n_workers, self._replicas),
+                        replace(request, database=layout.shard_name(shard)),
+                        f"shard {shard} of {layout.name!r}",
+                    )
 
         executor = self._shared_fanout_executor()
         parts = list(executor.map(on_shard, range(layout.n_shards)))
@@ -573,6 +648,12 @@ class ClusterRouter:
         if "approximate" in merged and "exact" in merged:
             complete = merged["approximate"] == merged["exact"]
             missed = len(merged["exact"] - merged["approximate"])
+        profile = None
+        if request.profile:
+            # Per-node rows/times are only meaningful per shard execution, so
+            # the merged profile keeps each part whole instead of pretending
+            # the shard trees sum into one plan.
+            profile = {"shards": [part.profile for part in parts]}
         return QueryResponse(
             database=request.database,
             fingerprint=layout.fingerprint,
@@ -589,6 +670,7 @@ class ClusterRouter:
             missed=missed,
             cached=all(part.cached for part in parts),
             elapsed_seconds=max((part.elapsed_seconds for part in parts), default=0.0),
+            profile=profile,
         )
 
     # Worker selection -----------------------------------------------------------

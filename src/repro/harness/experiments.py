@@ -23,6 +23,7 @@ __all__ = [
     "Experiment",
     "run_experiment",
     "ThroughputResult",
+    "measure_latencies",
     "measure_throughput",
     "measure_parallel_throughput",
 ]
@@ -85,6 +86,24 @@ def measure_throughput(function: Callable[[], object], operations: int) -> Throu
     for __ in range(operations):
         function()
     return ThroughputResult(operations=operations, elapsed_seconds=time.perf_counter() - start)
+
+
+def measure_latencies(function: Callable[[], object], operations: int) -> list[float]:
+    """Per-operation wall times (seconds) of *operations* sequential calls.
+
+    The raw sample feeds :func:`repro.harness.reporting.latency_summary` /
+    ``BenchReport.latency`` — percentiles need the distribution, which the
+    aggregate-only :func:`measure_throughput` deliberately throws away.
+    """
+    if operations < 1:
+        raise ValueError("need at least one operation")
+    perf_counter = time.perf_counter
+    samples = []
+    for __ in range(operations):
+        start = perf_counter()
+        function()
+        samples.append(perf_counter() - start)
+    return samples
 
 
 def measure_parallel_throughput(

@@ -1,0 +1,32 @@
+"""Stdlib-only telemetry for the serving stack: traces, metrics, profiles.
+
+Three views of a running system, all zero-dependency and all designed to
+cost (almost) nothing when disabled:
+
+* :mod:`repro.observability.tracing` — span-based request tracing.  A trace
+  is started at the edge (client or CLI); its context rides the JSON wire
+  envelope so router→worker scatter/gather hops stitch into one tree.
+* :mod:`repro.observability.metrics` — thread-safe counters, gauges and
+  log-bucketed latency histograms (p50/p95/p99), served at ``GET /metrics``
+  and merged cluster-wide by the router.
+* :mod:`repro.observability.explain` — operator-level EXPLAIN ANALYZE: a
+  profiler the streaming executor threads per-node row counts, wall time,
+  access-path and memo-hit information through, rendered as a text tree.
+
+The serving layers import these modules unconditionally, but every hook is
+behind an ``is it on?`` check (an active thread-local trace, a non-``None``
+profiler), so the instrumented hot paths stay within noise of the
+uninstrumented ones — the e14/e16/e17 speedup requirements still hold.
+"""
+
+from repro.observability.metrics import MetricsRegistry, merge_metric_snapshots
+from repro.observability.tracing import Trace, current_trace, span, trace
+
+__all__ = [
+    "MetricsRegistry",
+    "merge_metric_snapshots",
+    "Trace",
+    "current_trace",
+    "span",
+    "trace",
+]

@@ -48,7 +48,7 @@ from repro.physical.plan import (
     UnionAll,
 )
 
-__all__ = ["execute", "output_columns", "plan_size", "plan_to_text"]
+__all__ = ["execute", "node_label", "output_columns", "plan_size", "plan_to_text"]
 
 
 def execute(
@@ -57,6 +57,7 @@ def execute(
     *,
     use_indexes: bool = True,
     recorder=None,
+    profiler=None,
 ) -> Table:
     """Execute *plan* against *database* and return the result table.
 
@@ -67,9 +68,19 @@ def execute(
     raw material of feedback-driven re-optimization.  Recording costs one
     call per *materialized* intermediate, so the streaming hot path is
     untouched.
+
+    *profiler* (any object with the
+    :class:`~repro.observability.explain.PlanProfiler` hooks: ``set_root``,
+    ``wrap``, ``memo_hit``, ``note_access``) meters every node's row count
+    and wall time for EXPLAIN ANALYZE.  Unlike the recorder it wraps the
+    *streaming* iterators too, so profiled executions pay two clock reads
+    per row — profiling is opt-in per request, and the disabled path costs
+    one ``is None`` check per node.
     """
-    context = _ExecutionContext(database, use_indexes, recorder)
+    context = _ExecutionContext(database, use_indexes, recorder, profiler)
     context.mark_shared_subplans(plan)
+    if profiler is not None:
+        profiler.set_root(plan)
     return context.table(plan)
 
 
@@ -81,10 +92,11 @@ def output_columns(plan: PlanNode, database: PhysicalDatabase) -> tuple[str, ...
 class _ExecutionContext:
     """Per-execution state: column resolution, shared-subplan memo, indexes."""
 
-    def __init__(self, database: PhysicalDatabase, use_indexes: bool, recorder=None) -> None:
+    def __init__(self, database: PhysicalDatabase, use_indexes: bool, recorder=None, profiler=None) -> None:
         self.database = database
         self.use_indexes = use_indexes
         self.recorder = recorder
+        self.profiler = profiler
         self._columns: dict[PlanNode, tuple[str, ...]] = {}
         self._memo: dict[PlanNode, Table] = {}
         self._shared: frozenset[PlanNode] = frozenset()
@@ -193,17 +205,24 @@ class _ExecutionContext:
         """Materialize *plan* (through the memo for shared subplans)."""
         cached = self._memo.get(plan)
         if cached is None:
-            cached = Table(self.columns(plan), frozenset(self._iterate(plan)))
+            iterator = self._iterate(plan)
+            if self.profiler is not None:
+                iterator = self.profiler.wrap(plan, iterator)
+            cached = Table(self.columns(plan), frozenset(iterator))
             if plan in self._shared:
                 self._memo[plan] = cached
             if self.recorder is not None:
                 self.recorder.record(plan, len(cached.rows))
+        elif self.profiler is not None:
+            self.profiler.memo_hit(plan)
         return cached
 
     def rows(self, plan: PlanNode) -> Iterator[tuple]:
         """Stream *plan*'s rows; shared subplans are served from the memo."""
         if plan in self._shared:
             yield from self.table(plan).rows
+        elif self.profiler is not None:
+            yield from self.profiler.wrap(plan, self._iterate(plan))
         else:
             yield from self._iterate(plan)
 
@@ -281,9 +300,13 @@ class _ExecutionContext:
         if self.use_indexes:
             rows = indexes_for(self.database).lookup(plan.relation, positions, key)
             if rows is not None:
+                if self.profiler is not None:
+                    self.profiler.note_access(plan, "index")
                 yield from rows
                 return
         # No index available (lazy relation) or indexing disabled: filter scan.
+        if self.profiler is not None:
+            self.profiler.note_access(plan, "scan")
         for row in self.database.relation(plan.relation):
             row = tuple(row)
             if all(row[position] == value for position, value in zip(positions, key)):
@@ -332,6 +355,8 @@ class _ExecutionContext:
         if self.use_indexes and isinstance(build, ScanRelation):
             index = indexes_for(self.database).prefix(build.relation, key_positions)
             if index is not None:
+                if self.profiler is not None:
+                    self.profiler.note_access(build, "index")
                 return index
         buckets: dict[tuple, list[tuple]] = {}
         total = 0
@@ -366,6 +391,8 @@ class _ExecutionContext:
             # per key, so no row is produced twice.
             index = indexes_for(self.database).prefix(plan.source.relation, positions)
             if index is not None:
+                if self.profiler is not None:
+                    self.profiler.note_access(plan, "index")
                 for key in keys:
                     yield from index.get(key, _NO_ROWS)
                 return
@@ -419,34 +446,36 @@ def plan_size(plan: PlanNode) -> int:
     return 1 + sum(plan_size(child) for child in plan.children())
 
 
+def node_label(plan: PlanNode) -> str:
+    """One-line operator label for a plan node (plan texts, EXPLAIN trees)."""
+    if isinstance(plan, ScanRelation):
+        return f"Scan {plan.relation}({', '.join(plan.columns)})"
+    if isinstance(plan, IndexScan):
+        probe = " & ".join(f"{column}={value!r}" for column, value in plan.bindings)
+        return f"IndexScan {plan.relation}({', '.join(plan.columns)}; {probe})"
+    if isinstance(plan, ActiveDomain):
+        return f"ActiveDomain({plan.column})"
+    if isinstance(plan, LiteralTable):
+        return f"Literal({', '.join(plan.columns)}; {len(plan.rows)} rows)"
+    if isinstance(plan, Selection):
+        return f"Select[{plan.description}]"
+    if isinstance(plan, Projection):
+        return f"Project({', '.join(plan.columns)})"
+    if isinstance(plan, RenameColumns):
+        renames = ", ".join(f"{old}->{new}" for old, new in plan.renaming)
+        return f"Rename({renames})"
+    if isinstance(plan, EquiJoin):
+        pairs = ", ".join(f"{left}={right}" for left, right in plan.pairs)
+        return f"EquiJoin({pairs})"
+    if isinstance(plan, (SemiJoin, AntiJoin)):
+        pairs = ", ".join(f"{source}={filtered}" for source, filtered in plan.pairs)
+        return f"{type(plan).__name__}({pairs})"
+    return type(plan).__name__
+
+
 def plan_to_text(plan: PlanNode, indent: int = 0) -> str:
     """Indented textual rendering of a plan tree (debugging aid)."""
-    pad = "  " * indent
-    if isinstance(plan, ScanRelation):
-        header = f"{pad}Scan {plan.relation}({', '.join(plan.columns)})"
-    elif isinstance(plan, IndexScan):
-        probe = " & ".join(f"{column}={value!r}" for column, value in plan.bindings)
-        header = f"{pad}IndexScan {plan.relation}({', '.join(plan.columns)}; {probe})"
-    elif isinstance(plan, ActiveDomain):
-        header = f"{pad}ActiveDomain({plan.column})"
-    elif isinstance(plan, LiteralTable):
-        header = f"{pad}Literal({', '.join(plan.columns)}; {len(plan.rows)} rows)"
-    elif isinstance(plan, Selection):
-        header = f"{pad}Select[{plan.description}]"
-    elif isinstance(plan, Projection):
-        header = f"{pad}Project({', '.join(plan.columns)})"
-    elif isinstance(plan, RenameColumns):
-        renames = ", ".join(f"{old}->{new}" for old, new in plan.renaming)
-        header = f"{pad}Rename({renames})"
-    elif isinstance(plan, EquiJoin):
-        pairs = ", ".join(f"{left}={right}" for left, right in plan.pairs)
-        header = f"{pad}EquiJoin({pairs})"
-    elif isinstance(plan, (SemiJoin, AntiJoin)):
-        pairs = ", ".join(f"{source}={filtered}" for source, filtered in plan.pairs)
-        header = f"{pad}{type(plan).__name__}({pairs})"
-    else:
-        header = f"{pad}{type(plan).__name__}"
-    parts = [header]
+    parts = ["  " * indent + node_label(plan)]
     for child in plan.children():
         parts.append(plan_to_text(child, indent + 1))
     return "\n".join(parts)

@@ -52,6 +52,7 @@ from repro.errors import (
     ServiceUnavailableError,
     error_for_code,
 )
+from repro.observability.tracing import current_trace, span
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     SUPPORTED_PROTOCOL_VERSIONS,
@@ -68,6 +69,7 @@ from repro.service.protocol import (
     FetchRequest,
     HealthResponse,
     InfoResponse,
+    MetricsResponse,
     PageResponse,
     PrepareRequest,
     PrepareResponse,
@@ -126,6 +128,10 @@ class ServiceClient:
     def stats(self) -> StatsResponse:
         return self._expect(self._get("/stats"), StatsResponse)
 
+    def metrics(self) -> MetricsResponse:
+        """The server's telemetry snapshot (``GET /metrics``)."""
+        return self._expect(self._get("/metrics"), MetricsResponse)
+
     def query(
         self,
         database: str,
@@ -133,8 +139,9 @@ class ServiceClient:
         method: str = "approx",
         engine: str = "algebra",
         virtual_ne: bool = False,
+        profile: bool = False,
     ) -> QueryResponse:
-        request = QueryRequest(database, query, method, engine, virtual_ne)
+        request = QueryRequest(database, query, method, engine, virtual_ne, profile)
         return self._expect(self._post("/query", request), QueryResponse)
 
     def execute(self, request: QueryRequest) -> QueryResponse:
@@ -236,8 +243,20 @@ class ServiceClient:
         return self._parse(self._round_trip("GET", path))
 
     def _post(self, path: str, message: object) -> object:
-        body = json.dumps(to_wire(message, self.protocol_version())).encode()
-        return self._parse(self._round_trip("POST", path, body))
+        wire = to_wire(message, self.protocol_version())
+        active = current_trace()
+        if active is None:
+            return self._parse(self._round_trip("POST", path, json.dumps(wire).encode()))
+        # A trace is active: stamp its context on the request envelope so the
+        # server's spans stitch under ours, and fold the spans it returns
+        # back into the active trace.  The no-trace path above stays as
+        # cheap as before — one thread-local read.
+        with span(f"rpc POST {path}", url=self.base_url):
+            wire["trace"] = active.wire_context()
+            decoded = self._round_trip("POST", path, json.dumps(wire).encode())
+            if isinstance(decoded, dict):
+                active.absorb(decoded.get("trace"))
+            return self._parse(decoded)
 
     def _connection(self) -> http.client.HTTPConnection:
         connection = getattr(self._local, "connection", None)

@@ -51,6 +51,10 @@ from repro.logical.database import CWDatabase
 from repro.logical.exact import CertainAnswerEvaluator
 from repro.logical.mappings import DEFAULT_MAX_MAPPINGS
 from repro.logical.ph import ph2
+from repro.observability.explain import PlanProfiler, profile_payload
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import span
+from repro.physical.algebra import node_label
 from repro.physical.database import PhysicalDatabase
 from repro.physical.optimizer import DEFAULT_FEEDBACK_THRESHOLD, apply_feedback, plan_cost
 from repro.physical.plan import substitute_plan_parameters
@@ -66,6 +70,7 @@ from repro.service.prepared import PreparedStatement, StatementRegistry
 from repro.service.protocol import (
     ClassifyResponse,
     InfoResponse,
+    MetricsResponse,
     QueryRequest,
     QueryResponse,
     StatsResponse,
@@ -239,6 +244,9 @@ class QueryService:
         #: not grow them forever); overflowing drops the oldest entries, whose
         #: only cost is one extra observation or invalidation round.
         self._marker_capacity = max(plan_cache_capacity, DEFAULT_PLAN_CACHE_CAPACITY)
+        #: Request telemetry (counters + latency histograms), served at
+        #: ``GET /metrics``; recording is a single lock acquire per request.
+        self.metrics_registry = MetricsRegistry()
         self._lifecycle = ExecutorLifecycle(
             "QueryService", "create a new service instead of reusing it"
         )
@@ -409,12 +417,26 @@ class QueryService:
         engines and ``NE`` encodings never share an entry.
         """
         entry = self.entry(request.database)
-        key = (entry.fingerprint, request.query, request.method, request.engine, request.virtual_ne)
+        # ``profile`` joins the key (a profiled response carries an extra
+        # payload); profile-less ad-hoc and prepared requests keep sharing
+        # slots because both spell the flag the same way (False).
+        key = (
+            entry.fingerprint,
+            request.query,
+            request.method,
+            request.engine,
+            request.virtual_ne,
+            request.profile,
+        )
         response, was_cached = self._answers.get_or_compute(key, lambda: self._evaluate(entry, request))
         if was_cached:
             # Entries are shared between content-identical snapshots, so the
             # stored name may be another alias — relabel for this request.
             response = replace(response, cached=True, database=entry.name)
+            self.metrics_registry.increment("query.cache_hits")
+        else:
+            self.metrics_registry.observe(f"query.{request.engine}", response.elapsed_seconds)
+        self.metrics_registry.increment("query.requests")
         return response
 
     def query(
@@ -501,12 +523,19 @@ class QueryService:
         entry = self.entry(statement.database)
         with self._registry_lock:
             self._prepared["executions"] += 1
-        key = (entry.fingerprint, rendered, statement.method, statement.engine, statement.virtual_ne)
+        # The trailing False mirrors QueryRequest.profile's default, keeping
+        # the key shape identical to execute() so prepared executions share
+        # answer-cache slots with the equivalent (unprofiled) ad-hoc request.
+        key = (entry.fingerprint, rendered, statement.method, statement.engine, statement.virtual_ne, False)
         response, was_cached = self._answers.get_or_compute(
             key, lambda: self._evaluate_prepared(entry, statement, bound, rendered, values)
         )
         if was_cached:
             response = replace(response, cached=True, database=entry.name)
+            self.metrics_registry.increment("execute.cache_hits")
+        else:
+            self.metrics_registry.observe(f"template.{statement_id}", response.elapsed_seconds)
+        self.metrics_registry.increment("execute.requests")
         return response
 
     def execute_prepared_many(self, statement_id, bindings, max_workers: int | None = None):
@@ -550,6 +579,36 @@ class QueryService:
             plan_cache=self._plans.stats().as_dict(),
             feedback=feedback,
             prepared=prepared,
+        )
+
+    def metrics(self) -> MetricsResponse:
+        """A telemetry snapshot for ``GET /metrics``.
+
+        Request latencies live in the registry; cache occupancy/hit counts
+        are read fresh from the caches at snapshot time, so they are true
+        totals (summable across a cluster) rather than sampled deltas.
+        """
+        snapshot = self.metrics_registry.snapshot()
+        counters = dict(snapshot["counters"])
+        gauges = dict(snapshot["gauges"])
+        for prefix, cache in (
+            ("answer_cache", self._answers),
+            ("parse_cache", self._parses),
+            ("plan_cache", self._plans),
+        ):
+            stats = cache.stats().as_dict()
+            for field_name in ("hits", "misses", "evictions"):
+                value = stats.get(field_name)
+                if isinstance(value, int):
+                    counters[f"{prefix}.{field_name}"] = value
+            size = stats.get("size")
+            if isinstance(size, int):
+                gauges[f"{prefix}.size"] = float(size)
+        return MetricsResponse(
+            counters=counters,
+            gauges=gauges,
+            histograms=snapshot["histograms"],
+            uptime_seconds=snapshot["uptime_seconds"],
         )
 
     # Internals -----------------------------------------------------------------
@@ -668,6 +727,7 @@ class QueryService:
         plan,
         evaluator: ApproximateEvaluator,
         query: Query,
+        profiler: PlanProfiler | None = None,
     ) -> frozenset[tuple[str, ...]]:
         """Run one plan (or the Tarskian route), observing per feedback rules."""
         if self._feedback_threshold and plan is not None:
@@ -677,7 +737,9 @@ class QueryService:
         else:
             observe = False
         recorder = CardinalityRecorder() if observe else None
-        approx = evaluator.answers_on_storage(storage, query, plan=plan, recorder=recorder)
+        approx = evaluator.answers_on_storage(
+            storage, query, plan=plan, recorder=recorder, profiler=profiler
+        )
         if recorder is not None:
             self._absorb_feedback(storage, recorder, plan_key)
         return approx
@@ -690,6 +752,7 @@ class QueryService:
         query: Query,
         engine: str,
         virtual_ne: bool,
+        profiler: PlanProfiler | None = None,
     ) -> frozenset[tuple[str, ...]]:
         """The approximate route: plan cache, feedback markers, auto dispatch."""
         evaluator = ApproximateEvaluator(engine=engine, virtual_ne=virtual_ne)
@@ -709,7 +772,7 @@ class QueryService:
         if plan is _TARSKI_ROUTE:
             evaluator = ApproximateEvaluator(engine="tarski", virtual_ne=virtual_ne)
             plan = None
-        return self._execute_plan(storage, plan_key, plan, evaluator, query)
+        return self._execute_plan(storage, plan_key, plan, evaluator, query, profiler)
 
     @staticmethod
     def _soundness(approx, exact) -> tuple[bool | None, int | None]:
@@ -854,14 +917,17 @@ class QueryService:
         answers: dict[str, tuple[tuple[str, ...], ...]] = {}
         approx: frozenset[tuple[str, ...]] | None = None
         exact: frozenset[tuple[str, ...]] | None = None
+        profiler = PlanProfiler() if request.profile else None
         if request.method in ("approx", "both"):
             storage = entry.storage(request.virtual_ne)
-            approx = self._approx_answers(
-                entry, storage, request.query, query, request.engine, request.virtual_ne
-            )
+            with span("evaluate approx", engine=request.engine):
+                approx = self._approx_answers(
+                    entry, storage, request.query, query, request.engine, request.virtual_ne, profiler
+                )
             answers["approximate"] = tuple(tuple(row) for row in answers_to_wire(approx))
         if request.method in ("exact", "both"):
-            exact = self._exact.certain_answers(entry.database, query)
+            with span("evaluate exact"):
+                exact = self._exact.certain_answers(entry.database, query)
             answers["exact"] = tuple(tuple(row) for row in answers_to_wire(exact))
         complete, missed = self._soundness(approx, exact)
         return QueryResponse(
@@ -877,4 +943,5 @@ class QueryService:
             missed=missed,
             cached=False,
             elapsed_seconds=time.perf_counter() - started,
+            profile=profile_payload(request.method, profiler, node_label) if request.profile else None,
         )

@@ -32,6 +32,7 @@ streaming (:class:`CursorResponse` / :class:`FetchRequest` /
 from __future__ import annotations
 
 import json
+import threading
 import warnings
 from dataclasses import asdict, dataclass, field, fields
 from typing import Iterable, Mapping, Sequence
@@ -55,6 +56,7 @@ __all__ = [
     "HealthResponse",
     "DatabasesResponse",
     "StatsResponse",
+    "MetricsResponse",
     "BatchRequest",
     "BatchResponse",
     "ErrorResponse",
@@ -72,6 +74,7 @@ __all__ = [
     "parse_wire",
     "wire_version",
     "upconvert_v1",
+    "DeprecationGate",
     "warn_v1_deprecated",
     "dump_wire",
 ]
@@ -126,6 +129,9 @@ class QueryRequest:
 
     Instances double as cache/deduplication keys: two requests are equal
     exactly when they would produce the same answer on the same snapshot.
+    ``profile=True`` asks for an EXPLAIN ANALYZE payload alongside the
+    answers; it joins the cache key so a profiled request never collides
+    with a profile-less cached response (and vice versa).
     """
 
     database: str
@@ -133,11 +139,13 @@ class QueryRequest:
     method: str = "approx"
     engine: str = "algebra"
     virtual_ne: bool = False
+    profile: bool = False
 
     def __post_init__(self) -> None:
         __, engine, virtual_ne = normalize_options(self.method, self.engine, self.virtual_ne)
         object.__setattr__(self, "engine", engine)
         object.__setattr__(self, "virtual_ne", virtual_ne)
+        object.__setattr__(self, "profile", bool(self.profile))
 
 
 @dataclass(frozen=True)
@@ -147,6 +155,10 @@ class QueryResponse:
     ``answers`` maps a route label (``"approximate"`` and/or ``"exact"``) to
     the wire form of its answer set.  ``complete`` is only meaningful for
     ``method="both"``: whether the approximation matched the exact answers.
+    ``profile`` carries the EXPLAIN ANALYZE payload (operator tree with
+    rows / wall time / access path / memo hits) when the request asked for
+    one; it lives inside the cached response, so repeated cached profiled
+    executions return byte-identical profiles.
     """
 
     database: str
@@ -161,6 +173,7 @@ class QueryResponse:
     missed: int | None = None
     cached: bool = False
     elapsed_seconds: float = 0.0
+    profile: Mapping[str, object] | None = None
 
     def answer_set(self, label: str) -> frozenset[tuple[str, ...]]:
         """The answer set for *label* as the library's frozenset-of-tuples."""
@@ -259,6 +272,24 @@ class StatsResponse:
     cluster: Mapping[str, object] = field(default_factory=dict)
     feedback: Mapping[str, int] = field(default_factory=dict)
     prepared: Mapping[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class MetricsResponse:
+    """A telemetry snapshot: counters, gauges, latency histograms.
+
+    Served at ``GET /metrics``.  ``histograms`` maps a metric name (e.g.
+    ``"query.algebra"``) to its log-bucketed distribution with precomputed
+    ``p50``/``p95``/``p99`` upper bounds in seconds (see
+    :mod:`repro.observability.metrics`).  The cluster router answers with
+    the merged view across its own registry and every reachable worker;
+    quantiles are recomputed from the merged buckets, never summed.
+    """
+
+    counters: Mapping[str, int] = field(default_factory=dict)
+    gauges: Mapping[str, float] = field(default_factory=dict)
+    histograms: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
+    uptime_seconds: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -456,6 +487,7 @@ _MESSAGE_TYPES: dict[str, type] = {
     "health": HealthResponse,
     "databases": DatabasesResponse,
     "stats_response": StatsResponse,
+    "metrics_response": MetricsResponse,
     "batch_request": BatchRequest,
     "batch_response": BatchResponse,
     "error": ErrorResponse,
@@ -539,7 +571,34 @@ def wire_version(payload: Mapping[str, object] | str | bytes) -> int:
     return int(version)  # type: ignore[arg-type]
 
 
-_V1_DEPRECATION_WARNED = False
+class DeprecationGate:
+    """Once-per-owner latch for the v1-deprecation warning.
+
+    Each :class:`~repro.service.server.ServiceHTTPServer` owns one, so the
+    warning fires once per *server instance* rather than once per process —
+    a long-lived process that restarts its server (tests, embedding hosts)
+    warns again for the new instance instead of staying silent forever.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._warned = False
+
+    def warn(self, where: str) -> None:
+        """Emit the v1-deprecation warning if this gate has not yet fired."""
+        with self._lock:
+            if self._warned:
+                return
+            self._warned = True
+        warnings.warn(
+            f"received a protocol v1 request ({where}); v1 is supported but deprecated — "
+            "upgrade clients to v2 (see docs/protocol.md)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+
+_PROCESS_DEPRECATION_GATE = DeprecationGate()
 
 
 def warn_v1_deprecated(where: str) -> None:
@@ -548,16 +607,10 @@ def warn_v1_deprecated(where: str) -> None:
     Called by the *server* when a v1 request envelope arrives — not by
     :func:`parse_wire` itself, which also parses the v1 envelopes this
     library legitimately emits (GET responses, recorded traffic logs).
+    Servers should prefer their own :class:`DeprecationGate`; this module
+    gate remains for embedders without a server instance.
     """
-    global _V1_DEPRECATION_WARNED
-    if not _V1_DEPRECATION_WARNED:
-        _V1_DEPRECATION_WARNED = True
-        warnings.warn(
-            f"received a protocol v1 request ({where}); v1 is supported but deprecated — "
-            "upgrade clients to v2 (see docs/protocol.md)",
-            DeprecationWarning,
-            stacklevel=3,
-        )
+    _PROCESS_DEPRECATION_GATE.warn(where)
 
 
 def upconvert_v1(tag: str, payload: Mapping[str, object]) -> dict:

@@ -13,6 +13,7 @@ Routes
 ``/databases`` GET     registered snapshot names
 ``/info``      GET     ``?db=<name>`` → :class:`InfoResponse`
 ``/stats``     GET     cache/batch/prepared counters
+``/metrics``   GET     telemetry snapshot: counters + p50/p95/p99 histograms
 ``/query``     POST    :class:`QueryRequest` → :class:`QueryResponse`
 ``/classify``  POST    :class:`ClassifyRequest` → :class:`ClassifyResponse`
 ``/batch``     POST    :class:`BatchRequest` → :class:`BatchResponse`
@@ -33,6 +34,12 @@ lowest common denominator every client parses — and ``/health`` advertises
 the full :data:`~repro.service.protocol.SUPPORTED_PROTOCOL_VERSIONS` so v2
 clients know they may upgrade.  The session routes (``/prepare``,
 ``/execute``, ``/fetch``) require v2 envelopes.
+
+**Tracing.**  A POST request envelope may carry a ``trace`` context
+(``{"id": ..., "span": ...}``, see :mod:`repro.observability.tracing`); the
+server then records its handling under that trace and returns the collected
+spans in a ``trace`` field on the response envelope, which the client folds
+back into the caller's span tree.  Requests without the field pay nothing.
 """
 
 from __future__ import annotations
@@ -52,6 +59,7 @@ from repro.errors import (
     UnknownDatabaseError,
     UnknownStatementError,
 )
+from repro.observability import tracing
 from repro.service.cursors import CursorStore
 from repro.service.engine import QueryService
 from repro.service.protocol import (
@@ -60,17 +68,18 @@ from repro.service.protocol import (
     BatchRequest,
     ClassifyRequest,
     DatabasesResponse,
+    DeprecationGate,
     ErrorResponse,
     ExecuteManyRequest,
     ExecuteRequest,
     FetchRequest,
     HealthResponse,
+    MetricsResponse,
     PrepareRequest,
     PrepareResponse,
     QueryRequest,
     parse_wire,
     to_wire,
-    warn_v1_deprecated,
     wire_version,
 )
 
@@ -99,6 +108,9 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         #: Streaming cursors are transport state: they live with the server,
         #: not the engine, so in-process service use never pays for them.
         self.cursors = CursorStore()
+        #: The v1-deprecation warning fires once per server instance, not
+        #: once per process — restarting the server re-arms it.
+        self.v1_deprecation = DeprecationGate()
 
     @property
     def base_url(self) -> str:
@@ -142,6 +154,11 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_message(200, self.server.service.info(names[0]), _GET_VERSION)
             elif url.path == "/stats":
                 self._send_message(200, self.server.service.stats(), _GET_VERSION)
+            elif url.path == "/metrics":
+                metrics = getattr(self.server.service, "metrics", None)
+                self._send_message(
+                    200, metrics() if callable(metrics) else MetricsResponse(), _GET_VERSION
+                )
             else:
                 self._send_error_response(404, ServiceError(f"no such route: GET {url.path}"), _GET_VERSION)
         except ReproError as error:
@@ -157,29 +174,51 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_error_response(404, ServiceError(f"no such route: POST {url.path}"))
                 return
             body = self._read_body()
+            try:
+                payload = json.loads(body)
+            except json.JSONDecodeError as error:
+                raise ProtocolError(f"payload is not valid JSON: {error}") from None
             # The version is pinned *before* the message parse, so even a
             # malformed v1 request gets its error echoed in a v1 envelope —
             # a v1 client must never see a v2 envelope, errors included.
-            version = wire_version(body)
+            version = wire_version(payload)
             if version < 2:
                 try:
-                    warn_v1_deprecated(f"POST {self.path}")
+                    self.server.v1_deprecation.warn(f"POST {self.path}")
                 except DeprecationWarning:
                     # An operator running -W error must not turn legacy-but-
                     # supported v1 traffic into dropped connections.
                     pass
-            message = parse_wire(body)
-            service = self.server.service
-            if url.path == "/query":
+            trace_ctx = tracing.adopt(payload.get("trace")) if isinstance(payload, dict) else None
+            message = parse_wire(payload)
+            with tracing.activate(trace_ctx):
+                with tracing.span(f"POST {url.path}"):
+                    response = self._dispatch_post(url.path, message)
+            wire = to_wire(response, version)
+            if trace_ctx is not None:
+                # Embedded after the root span closed, so the caller's tree
+                # includes this hop's full server-side duration.
+                wire["trace"] = trace_ctx.to_wire()
+            self._send(200, wire)
+        except ReproError as error:
+            self._send_error_response(_status_for(error), error, version)
+
+    def _dispatch_post(self, path: str, message: object):
+        """Route one parsed POST message to the engine; returns the response."""
+        service = self.server.service
+        registry = getattr(service, "metrics_registry", None)
+        timer = registry.time(f"http.{path}") if registry is not None else contextlib.nullcontext()
+        with timer:
+            if path == "/query":
                 request = _expect_type(message, QueryRequest)
-                self._send_message(200, service.execute(request), version)
-            elif url.path == "/classify":
+                return service.execute(request)
+            if path == "/classify":
                 request = _expect_type(message, ClassifyRequest)
-                self._send_message(200, service.classify(request.query), version)
-            elif url.path == "/batch":
+                return service.classify(request.query)
+            if path == "/batch":
                 request = _expect_type(message, BatchRequest)
-                self._send_message(200, service.batch(request.requests), version)
-            elif url.path == "/prepare":
+                return service.batch(request.requests)
+            if path == "/prepare":
                 request = _expect_type(message, PrepareRequest)
                 statement = service.prepare(
                     request.database,
@@ -188,35 +227,26 @@ class _Handler(BaseHTTPRequestHandler):
                     request.engine,
                     request.virtual_ne,
                 )
-                self._send_message(200, _prepare_response(service, statement), version)
-            elif url.path == "/execute":
+                return _prepare_response(service, statement)
+            if path == "/execute":
                 request = _expect_type(message, (ExecuteRequest, ExecuteManyRequest))
                 if isinstance(request, ExecuteManyRequest):
-                    self._send_message(
-                        200, service.execute_prepared_many(request.statement_id, request.bindings), version
+                    return service.execute_prepared_many(request.statement_id, request.bindings)
+                if not request.stream:
+                    return service.execute_prepared(request.statement_id, request.params)
+                # Refuse the un-streamable shape *before* evaluating: a
+                # method="both" statement would pay the (exponential)
+                # exact route only to be rejected afterwards.
+                if service.statement(request.statement_id).method == "both":
+                    raise ServiceError(
+                        "streaming needs a single answer route: prepare with "
+                        "method 'approx' or 'exact', not 'both'"
                     )
-                elif not request.stream:
-                    self._send_message(
-                        200, service.execute_prepared(request.statement_id, request.params), version
-                    )
-                else:
-                    # Refuse the un-streamable shape *before* evaluating: a
-                    # method="both" statement would pay the (exponential)
-                    # exact route only to be rejected afterwards.
-                    if service.statement(request.statement_id).method == "both":
-                        raise ServiceError(
-                            "streaming needs a single answer route: prepare with "
-                            "method 'approx' or 'exact', not 'both'"
-                        )
-                    response = service.execute_prepared(request.statement_id, request.params)
-                    label = "exact" if response.method == "exact" else "approximate"
-                    cursor = self.server.cursors.open(response, label, request.page_size)
-                    self._send_message(200, cursor, version)
-            else:
-                request = _expect_type(message, FetchRequest)
-                self._send_message(200, self.server.cursors.fetch(request.cursor_id, request.page), version)
-        except ReproError as error:
-            self._send_error_response(_status_for(error), error, version)
+                response = service.execute_prepared(request.statement_id, request.params)
+                label = "exact" if response.method == "exact" else "approximate"
+                return self.server.cursors.open(response, label, request.page_size)
+            request = _expect_type(message, FetchRequest)
+            return self.server.cursors.fetch(request.cursor_id, request.page)
 
     # Plumbing -----------------------------------------------------------------
 

@@ -1,0 +1,144 @@
+"""Tests for the perf-trajectory artifacts: BenchReport, validation, diffing."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.harness.reporting import (
+    BENCH_SCHEMA,
+    BenchReport,
+    diff_bench_reports,
+    latency_summary,
+    load_bench_report,
+    validate_bench_payload,
+)
+
+
+def _report(**metrics) -> BenchReport:
+    report = BenchReport("E99", "synthetic benchmark", mode="quick")
+    for name, (value, higher) in metrics.items():
+        report.metric(name, value, unit="x", higher_is_better=higher)
+    return report
+
+
+class TestBenchReport:
+    def test_payload_shape_and_validation(self):
+        report = _report(speedup=(2.5, True))
+        report.latency("execute", [0.001, 0.002, 0.003])
+        report.note("synthetic")
+        payload = report.payload()
+        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["name"] == "E99"
+        assert payload["mode"] == "quick"
+        assert payload["metrics"]["speedup"]["value"] == 2.5
+        assert payload["latencies"]["execute"]["count"] == 3
+        assert payload["notes"] == ["synthetic"]
+        assert "python" in payload["environment"]
+        assert validate_bench_payload(payload) == []
+
+    def test_name_is_uppercased_and_validated(self):
+        assert BenchReport("e13", "t").name == "E13"
+        with pytest.raises(ValueError):
+            BenchReport("../evil", "t")
+        with pytest.raises(ValueError):
+            BenchReport("", "t")
+
+    def test_write_respects_env_override_and_round_trips(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path / "out"))
+        report = _report(speedup=(1.5, True))
+        path = report.write()
+        assert path == os.path.join(str(tmp_path / "out"), "BENCH_E99.json")
+        loaded = load_bench_report(path)
+        assert loaded["metrics"]["speedup"]["value"] == 1.5
+
+    def test_explicit_directory_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path / "ignored"))
+        path = _report(speedup=(1.0, True)).write(str(tmp_path / "explicit"))
+        assert os.path.dirname(path) == str(tmp_path / "explicit")
+
+
+class TestValidation:
+    def test_rejects_non_objects_and_wrong_schema(self):
+        assert validate_bench_payload([]) == ["artifact body must be a JSON object"]
+        problems = validate_bench_payload({"schema": "other/v0"})
+        assert any("schema must be" in problem for problem in problems)
+
+    def test_flags_missing_and_mistyped_fields(self):
+        payload = _report(speedup=(2.0, True)).payload()
+        payload["metrics"]["speedup"]["value"] = "fast"
+        payload["latencies"] = {"execute": {"count": 1}}
+        del payload["environment"]["python"]
+        problems = validate_bench_payload(payload)
+        assert any("numeric 'value'" in problem for problem in problems)
+        assert any("'p50'" in problem for problem in problems)
+        assert any("missing 'python'" in problem for problem in problems)
+
+    def test_empty_artifacts_are_invalid(self):
+        payload = BenchReport("E99", "t").payload()
+        assert any("no metrics and no latencies" in problem for problem in validate_bench_payload(payload))
+
+    def test_load_raises_on_malformed_files(self, tmp_path):
+        missing = tmp_path / "BENCH_NOPE.json"
+        with pytest.raises(ValueError, match="cannot read"):
+            load_bench_report(str(missing))
+        bad = tmp_path / "BENCH_BAD.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValueError, match="cannot read"):
+            load_bench_report(str(bad))
+        invalid = tmp_path / "BENCH_INVALID.json"
+        invalid.write_text(json.dumps({"schema": BENCH_SCHEMA}), encoding="utf-8")
+        with pytest.raises(ValueError, match="invalid bench report"):
+            load_bench_report(str(invalid))
+
+
+class TestDiff:
+    def test_flags_regressions_by_direction(self):
+        old = _report(speedup=(10.0, True), overhead=(1.0, False)).payload()
+        new = _report(speedup=(8.0, True), overhead=(1.2, False)).payload()
+        rows = {row["metric"]: row for row in diff_bench_reports(old, new, tolerance=0.10)}
+        assert rows["speedup"]["status"] == "regression"  # dropped 20% on higher-is-better
+        assert rows["overhead"]["status"] == "regression"  # rose 20% on lower-is-better
+        ok = {row["metric"]: row for row in diff_bench_reports(old, new, tolerance=0.25)}
+        assert ok["speedup"]["status"] == "ok"
+        assert ok["overhead"]["status"] == "ok"
+
+    def test_improvements_and_small_moves_are_ok(self):
+        old = _report(speedup=(10.0, True)).payload()
+        new = _report(speedup=(10.5, True)).payload()
+        (row,) = diff_bench_reports(old, new)
+        assert row["status"] == "ok"
+        assert row["ratio"] == pytest.approx(1.05)
+
+    def test_added_and_removed_metrics_are_reported(self):
+        old = _report(gone=(1.0, True)).payload()
+        new = _report(fresh=(2.0, True)).payload()
+        rows = {row["metric"]: row for row in diff_bench_reports(old, new)}
+        assert rows["gone"]["status"] == "removed" and rows["gone"]["new"] is None
+        assert rows["fresh"]["status"] == "added" and rows["fresh"]["old"] is None
+
+    def test_latency_percentiles_compare_lower_is_better(self):
+        old = _report(anchor=(1.0, True))
+        old.latency("execute", [0.001] * 10)
+        new = _report(anchor=(1.0, True))
+        new.latency("execute", [0.002] * 10)
+        rows = {row["metric"]: row for row in diff_bench_reports(old.payload(), new.payload())}
+        assert rows["execute.p50"]["status"] == "regression"
+        assert rows["execute.p99"]["status"] == "regression"
+
+
+class TestLatencySummary:
+    def test_summary_fields(self):
+        summary = latency_summary([0.003, 0.001, 0.002])
+        assert summary["count"] == 3
+        assert summary["min"] == 0.001
+        assert summary["max"] == 0.003
+        assert summary["p50"] == 0.002
+        assert summary["p50"] <= summary["p95"] <= summary["p99"] <= summary["max"]
+
+    def test_empty_sample(self):
+        summary = latency_summary([])
+        assert summary["count"] == 0
+        assert summary["p99"] == 0.0

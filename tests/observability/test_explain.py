@@ -1,0 +1,99 @@
+"""Unit tests for EXPLAIN ANALYZE: the plan profiler and its rendering."""
+
+from __future__ import annotations
+
+from repro.approx.evaluator import ApproximateEvaluator
+from repro.logic.parser import parse_query
+from repro.observability.explain import PlanProfiler, profile_payload, render_profile
+from repro.physical.algebra import node_label
+
+
+def _profiled_tree(database, text: str):
+    evaluator = ApproximateEvaluator(engine="algebra")
+    profiler = PlanProfiler()
+    answers = evaluator.answers_on_storage(evaluator.storage(database), parse_query(text), profiler=profiler)
+    return answers, profiler
+
+
+class TestPlanProfiler:
+    def test_join_query_produces_a_metered_operator_tree(self, teaches_cw):
+        answers, profiler = _profiled_tree(
+            teaches_cw, "(x) . exists y. TEACHES(x, y) & PHILOSOPHER(y)"
+        )
+        assert answers == frozenset({("socrates",), ("plato",)})
+        tree = profiler.tree(node_label)
+        assert tree is not None
+        assert tree["operator"].startswith("Project")
+        assert tree["rows"] == 2
+        assert tree["time_us"] >= 0
+
+        def flatten(node):
+            yield node
+            for child in node["children"]:
+                yield from flatten(child)
+
+        labels = [node["operator"] for node in flatten(tree)]
+        assert any("NaturalJoin" in label for label in labels)
+        assert any(label.startswith("Scan TEACHES") for label in labels)
+        # Row counts are real: the TEACHES scan produced its two facts.
+        scan = next(node for node in flatten(tree) if node["operator"].startswith("Scan TEACHES"))
+        assert scan["rows"] in (2, None)  # None when an index path pruned the iteration
+
+    def test_tarski_route_has_no_tree(self, teaches_cw):
+        evaluator = ApproximateEvaluator(engine="tarski")
+        profiler = PlanProfiler()
+        evaluator.answers_on_storage(
+            evaluator.storage(teaches_cw), parse_query("(x) . PHILOSOPHER(x)"), profiler=profiler
+        )
+        assert profiler.tree(node_label) is None
+
+    def test_empty_profiler_tree_is_none(self):
+        assert PlanProfiler().tree(node_label) is None
+
+
+class TestProfilePayload:
+    def test_algebra_payload_carries_the_tree(self, teaches_cw):
+        __, profiler = _profiled_tree(teaches_cw, "(x) . PHILOSOPHER(x)")
+        payload = profile_payload("approx", profiler, node_label)
+        assert payload["engine"] == "algebra"
+        assert payload["operators"]["rows"] == 3
+
+    def test_exact_and_tarski_payloads_are_notes(self):
+        exact = profile_payload("exact", None, node_label)
+        assert exact["engine"] == "exact"
+        assert "note" in exact
+        tarski = profile_payload("approx", PlanProfiler(), node_label)
+        assert tarski["engine"] == "tarski"
+        assert "note" in tarski
+
+
+class TestRenderProfile:
+    def test_operator_table_has_rows_time_and_cache_columns(self, teaches_cw):
+        __, profiler = _profiled_tree(
+            teaches_cw, "(x) . exists y. TEACHES(x, y) & PHILOSOPHER(y)"
+        )
+        rendered = render_profile(profile_payload("approx", profiler, node_label))
+        assert "engine: algebra" in rendered
+        for column in ("operator", "rows", "time_ms", "cache"):
+            assert column in rendered
+        assert "NaturalJoin" in rendered
+
+    def test_notes_render_as_plain_lines(self):
+        rendered = render_profile({"engine": "tarski", "note": "no tree here"})
+        assert rendered == "engine: tarski\nno tree here"
+
+    def test_missing_profile_renders_a_placeholder(self):
+        assert render_profile(None) == "(no profile recorded)"
+        assert render_profile("junk") == "(no profile recorded)"
+
+    def test_scatter_profiles_render_each_shard_part(self):
+        payload = {
+            "shards": [
+                {"engine": "tarski", "note": "shard a"},
+                {"engine": "tarski", "note": "shard b"},
+            ]
+        }
+        rendered = render_profile(payload)
+        assert "-- shard part 0 --" in rendered
+        assert "-- shard part 1 --" in rendered
+        assert "shard a" in rendered and "shard b" in rendered

@@ -1,0 +1,103 @@
+"""Unit tests for the metrics registry and cluster snapshot merging."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.observability.metrics import (
+    MetricsRegistry,
+    merge_metric_snapshots,
+    percentiles_from_buckets,
+)
+
+
+class TestRegistry:
+    def test_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.increment("requests")
+        registry.increment("requests", 4)
+        registry.set_gauge("cache.size", 17)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"requests": 5}
+        assert snapshot["gauges"] == {"cache.size": 17.0}
+        assert snapshot["uptime_seconds"] >= 0.0
+
+    def test_histogram_quantiles_are_ordered(self):
+        registry = MetricsRegistry()
+        for microseconds in (10, 20, 50, 100, 5000, 20000):
+            registry.observe("latency", microseconds / 1_000_000)
+        histogram = registry.snapshot()["histograms"]["latency"]
+        assert histogram["count"] == 6
+        assert histogram["min_seconds"] <= histogram["max_seconds"]
+        assert 0.0 < histogram["p50"] <= histogram["p95"] <= histogram["p99"]
+        # Log-bucket estimates are upper bounds of the true values.
+        assert histogram["p99"] >= 0.02
+
+    def test_time_context_manager_observes(self):
+        registry = MetricsRegistry()
+        with registry.time("block"):
+            pass
+        histogram = registry.snapshot()["histograms"]["block"]
+        assert histogram["count"] == 1
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        registry = MetricsRegistry()
+
+        def hammer():
+            for __ in range(500):
+                registry.increment("hits")
+                registry.observe("lat", 0.0001)
+
+        threads = [threading.Thread(target=hammer) for __ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["hits"] == 2000
+        assert snapshot["histograms"]["lat"]["count"] == 2000
+
+    def test_empty_percentiles(self):
+        assert percentiles_from_buckets({}, 0) == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
+class TestMerging:
+    def _snapshot(self, n: int) -> dict:
+        registry = MetricsRegistry()
+        registry.increment("requests", n)
+        registry.set_gauge("size", n)
+        for __ in range(n):
+            registry.observe("latency", 0.001)
+        return registry.snapshot()
+
+    def test_counters_and_gauges_sum_and_histograms_recompute(self):
+        merged = merge_metric_snapshots([self._snapshot(2), self._snapshot(3)])
+        assert merged["counters"] == {"requests": 5}
+        assert merged["gauges"] == {"size": 5.0}
+        histogram = merged["histograms"]["latency"]
+        assert histogram["count"] == 5
+        # Quantiles are recomputed from the merged buckets, not summed.
+        assert histogram["p50"] == self._snapshot(1)["histograms"]["latency"]["p50"]
+
+    def test_unknown_and_malformed_sections_are_ignored(self):
+        """A newer worker's unrecognized telemetry never breaks aggregation."""
+        weird = {
+            "counters": {"requests": 1, "future_float_counter": 1.5, "future_str": "nope"},
+            "gauges": {"size": "big"},
+            "histograms": {
+                "latency": {"count": "many", "buckets": {"0": 1}},
+                "future_shape": "not a mapping",
+                "negative": {"count": -3, "buckets": {}},
+            },
+            "some_future_section": {"ignored": True},
+        }
+        merged = merge_metric_snapshots([self._snapshot(2), weird, None, "junk"])
+        assert merged["counters"]["requests"] == 3
+        assert "future_float_counter" not in merged["counters"]
+        assert merged["gauges"] == {"size": 2.0}
+        # The malformed count contributes nothing; the good snapshot survives.
+        assert merged["histograms"]["latency"]["count"] == 2
+        assert "future_shape" not in merged["histograms"]
+
+    def test_merging_nothing_yields_empty_sections(self):
+        assert merge_metric_snapshots([]) == {"counters": {}, "gauges": {}, "histograms": {}}

@@ -1,0 +1,137 @@
+"""Service-layer observability: profiles, /metrics, HTTP tracing, v1 warning."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+import warnings
+
+import pytest
+
+from repro.observability import tracing
+from repro.service import QueryService, running_server
+from repro.service.client import ServiceClient
+from repro.service.protocol import QueryRequest, dump_wire
+from repro.workloads.scenarios import employee_intro_scenario
+
+QUERY = "(x) . EMP_DEPT(x, 'eng')"
+
+
+@pytest.fixture()
+def service():
+    service = QueryService()
+    service.register("emp", employee_intro_scenario().database)
+    yield service
+    service.close()
+
+
+class TestProfilePayloads:
+    def test_profile_is_opt_in(self, service):
+        response = service.execute(QueryRequest("emp", QUERY))
+        assert response.profile is None
+
+    def test_algebra_profile_carries_an_operator_tree(self, service):
+        response = service.execute(QueryRequest("emp", QUERY, profile=True))
+        assert response.profile["engine"] == "algebra"
+        root = response.profile["operators"]
+        assert set(root) >= {"operator", "rows", "time_us", "children"}
+        assert root["rows"] == len(response.answers["approximate"])
+
+    def test_exact_profile_is_a_note(self, service):
+        response = service.execute(QueryRequest("emp", QUERY, method="exact", profile=True))
+        assert response.profile["engine"] == "exact"
+        assert "note" in response.profile
+
+    def test_profiled_and_unprofiled_requests_use_distinct_cache_slots(self, service):
+        plain = service.execute(QueryRequest("emp", QUERY))
+        profiled = service.execute(QueryRequest("emp", QUERY, profile=True))
+        assert not profiled.cached  # the plain response must not satisfy it
+        assert profiled.answers == plain.answers
+
+    def test_profile_output_is_byte_stable_across_cached_executions(self, service):
+        """Satellite: repeated profile=true requests serve identical bytes."""
+        request = QueryRequest("emp", QUERY, profile=True)
+        with running_server(service) as server:
+            client = ServiceClient(server.base_url)
+            first = client.query("emp", QUERY, profile=True)
+            second = client.query("emp", QUERY, profile=True)
+            third = client.query("emp", QUERY, profile=True)
+        assert second.cached and third.cached
+        assert dump_wire(second) == dump_wire(third)
+        # The cached profile is the first execution's, measurements included.
+        assert second.profile == first.profile
+        assert service.execute(request).profile == first.profile
+
+
+class TestMetricsEndpoint:
+    def test_metrics_snapshot_over_http(self, service):
+        with running_server(service) as server:
+            client = ServiceClient(server.base_url)
+            client.query("emp", QUERY)
+            client.query("emp", QUERY)
+            metrics = client.metrics()
+        assert metrics.counters["query.requests"] == 2
+        assert metrics.counters["query.cache_hits"] == 1
+        assert metrics.uptime_seconds >= 0.0
+        for name in ("query.algebra", "http./query"):
+            histogram = metrics.histograms[name]
+            assert histogram["count"] >= 1
+            assert 0.0 <= histogram["p50"] <= histogram["p95"] <= histogram["p99"]
+
+    def test_metrics_route_serves_v1_envelopes_to_get_clients(self, service):
+        with running_server(service) as server:
+            with urllib.request.urlopen(server.base_url + "/metrics") as response:
+                body = json.loads(response.read())
+        assert body["type"] == "metrics_response"
+        assert body["v"] == 1
+
+
+class TestHttpTracing:
+    def test_client_folds_server_spans_into_the_active_trace(self, service):
+        with running_server(service) as server:
+            client = ServiceClient(server.base_url)
+            with tracing.trace("edge request") as active:
+                client.query("emp", QUERY)
+        names = {span.name for span in active.spans}
+        assert "POST /query" in names
+        # Every span — local and server-side — carries the edge trace id.
+        assert {span.trace_id for span in active.spans} == {active.trace_id}
+        server_span = next(span for span in active.spans if span.name == "POST /query")
+        assert server_span.parent_id is not None
+        assert server_span.duration > 0.0
+
+    def test_untraced_requests_carry_no_trace_field(self, service):
+        with running_server(service) as server:
+            payload = {"type": "query_request", "v": 2, "database": "emp", "query": QUERY}
+            http_request = urllib.request.Request(
+                server.base_url + "/query",
+                data=json.dumps(payload).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with urllib.request.urlopen(http_request) as response:
+                body = json.loads(response.read())
+        assert "trace" not in body
+
+
+class TestV1DeprecationWarning:
+    def _v1_query(self, base_url: str) -> None:
+        payload = {"type": "query_request", "v": 1, "database": "emp", "query": QUERY}
+        http_request = urllib.request.Request(
+            base_url + "/query",
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        urllib.request.urlopen(http_request).read()
+
+    def test_warning_fires_once_per_server_instance(self, service):
+        """Satellite: the v1 warning resets per server, not once per process."""
+        for __ in range(2):  # a fresh server warns again on its first v1 hit
+            with running_server(service) as server:
+                with pytest.warns(DeprecationWarning, match="protocol v1"):
+                    self._v1_query(server.base_url)
+                with warnings.catch_warnings(record=True) as caught:
+                    warnings.simplefilter("always")
+                    self._v1_query(server.base_url)
+                assert caught == []

@@ -40,6 +40,9 @@ Examples::
     python -m repro.cli client http://127.0.0.1:8080 metrics
     python -m repro.cli bench-diff old/BENCH_E14.json new/BENCH_E14.json
     python -m repro.cli bench-validate benchmarks/reports --expect E13 --expect E14
+    python -m repro.cli chaos plan --faults "seed=7 refuse=0.1 garble@25" --draws 50
+    python -m repro.cli chaos run http://127.0.0.1:8080 db_dir "(x) . P(x)" \\
+        --faults "seed=7 drop=0.05 delay=0.1" --requests 50 --deadline-ms 2000
 """
 
 from __future__ import annotations
@@ -161,6 +164,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="replay a recorded traffic log (JSONL of query_request messages) through the "
         "caches before accepting connections",
+    )
+    serve.add_argument(
+        "--degraded",
+        choices=("stale_cache",),
+        default=None,
+        help="cluster mode: when every replica of a shard is down, serve previously-answered "
+        "requests from the router's stale cache, flagged degraded=true (default: fail loudly)",
     )
 
     bench_diff = commands.add_parser(
@@ -298,6 +308,43 @@ def build_parser() -> argparse.ArgumentParser:
     c_classify = actions.add_parser("classify", help="classify a query remotely")
     c_classify.add_argument("query", help="query text")
     c_classify.add_argument("--json", action="store_true", help="print a protocol ClassifyResponse instead of text")
+
+    chaos = commands.add_parser(
+        "chaos", help="deterministic fault-injection drills (preview a schedule, or hammer a service)"
+    )
+    chaos_actions = chaos.add_subparsers(dest="action", required=True)
+
+    ch_plan = chaos_actions.add_parser(
+        "plan", help="print the exact fault schedule a spec produces (no service needed)"
+    )
+    ch_plan.add_argument(
+        "--faults",
+        required=True,
+        metavar="SPEC",
+        help='fault spec, e.g. "seed=7 refuse=0.05 delay=0.1 refuse@100-200 garble@250 limit=500"',
+    )
+    ch_plan.add_argument(
+        "--draws", type=int, default=100, help="how many operations to preview (default 100)"
+    )
+
+    ch_run = chaos_actions.add_parser(
+        "run", help="send one query many times under injected transport faults and check answer agreement"
+    )
+    ch_run.add_argument("url", help="service base URL, e.g. http://127.0.0.1:8080")
+    ch_run.add_argument("database", help="registered database name")
+    ch_run.add_argument("query", help="query text")
+    ch_run.add_argument(
+        "--faults", required=True, metavar="SPEC", help="fault spec (see `repro chaos plan`)"
+    )
+    ch_run.add_argument(
+        "--requests", type=int, default=100, help="how many requests to send (default 100)"
+    )
+    ch_run.add_argument(
+        "--deadline-ms",
+        type=int,
+        default=None,
+        help="propagate a per-request deadline budget (milliseconds)",
+    )
 
     return parser
 
@@ -493,6 +540,9 @@ def _command_serve(arguments: argparse.Namespace) -> int:
     if arguments.shards < 1:
         print("error: --shards must be at least 1", file=sys.stderr)
         return 2
+    if arguments.shards == 1 and arguments.degraded is not None:
+        print("error: --degraded only applies to cluster mode — add --shards N (N > 1)", file=sys.stderr)
+        return 2
     if arguments.shards == 1 and (arguments.store is not None or arguments.replicas != 1):
         # Silently ignoring these would let a user believe snapshots were
         # persisted (or replicated) when nothing of the sort happened.
@@ -539,6 +589,7 @@ def _command_serve(arguments: argparse.Namespace) -> int:
                 shards=arguments.shards,
                 replicas=arguments.replicas,
                 answer_cache_capacity=arguments.cache_capacity,
+                degraded=arguments.degraded,
             )
             service = cluster.router
             print(
@@ -881,6 +932,78 @@ def _print_query_response(response: QueryResponse) -> None:
         print(render_profile(response.profile))
 
 
+def _command_chaos(arguments: argparse.Namespace) -> int:
+    """Fault-injection drills: preview a deterministic schedule, or run one.
+
+    ``chaos run`` is the operational sibling of the chaos property tests:
+    it sends the same query repeatedly through a fault-injecting client and
+    verifies the resilience invariant — every answer that does come back is
+    identical; faults may cost availability, never correctness.
+    """
+    import contextlib
+
+    from repro.errors import (
+        DeadlineExceededError,
+        OverloadedError,
+        ProtocolError,
+        ServiceUnavailableError,
+    )
+    from repro.resilience import FaultPlan, deadline_scope
+
+    plan = FaultPlan.from_spec(arguments.faults)
+    if arguments.action == "plan":
+        print(f"plan: {plan.describe()}")
+        scheduled = plan.preview(arguments.draws)
+        if not scheduled:
+            print(f"no faults in the first {arguments.draws} operations")
+            return 0
+        print(format_table(["operation", "fault"], [[index, kind] for index, kind in scheduled]))
+        return 0
+
+    tallies = {"ok": 0, "degraded": 0, "unavailable": 0, "protocol": 0, "deadline": 0, "overloaded": 0}
+    distinct_answers: set = set()
+    with contextlib.closing(ServiceClient(arguments.url, fault_plan=plan)) as client:
+        for _ in range(arguments.requests):
+            scope = (
+                deadline_scope(arguments.deadline_ms)
+                if arguments.deadline_ms is not None
+                else contextlib.nullcontext()
+            )
+            try:
+                with scope:
+                    response = client.query(arguments.database, arguments.query)
+            except DeadlineExceededError:
+                tallies["deadline"] += 1
+            except OverloadedError:
+                tallies["overloaded"] += 1
+            except ServiceUnavailableError:
+                tallies["unavailable"] += 1
+            except ProtocolError:
+                tallies["protocol"] += 1
+            else:
+                tallies["ok"] += 1
+                if response.degraded:
+                    tallies["degraded"] += 1
+                distinct_answers.add(
+                    tuple(
+                        (label, tuple(sorted(map(tuple, rows))))
+                        for label, rows in sorted(response.answers.items())
+                    )
+                )
+    print(f"requests: {arguments.requests}")
+    for outcome, count in tallies.items():
+        if count:
+            print(f"  {outcome}: {count}")
+    injected = plan.injected()
+    print("injected: " + (" ".join(f"{kind}={count}" for kind, count in sorted(injected.items())) or "none"))
+    if len(distinct_answers) > 1:
+        print(f"FAIL: {len(distinct_answers)} distinct answer sets across successful requests")
+        return 1
+    if tallies["ok"]:
+        print("all successful answers identical")
+    return 0
+
+
 def _print_metrics(metrics) -> None:
     """Text rendering of a MetricsResponse: counters, gauges, percentiles."""
     print(f"uptime: {metrics.uptime_seconds:.1f}s")
@@ -929,6 +1052,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_cluster(arguments)
         if arguments.command == "client":
             return _command_client(arguments)
+        if arguments.command == "chaos":
+            return _command_chaos(arguments)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -56,6 +56,10 @@ class ClusterConfig:
     dead — worker would stall requests for the client's 60-second default
     before failover kicks in.  Raise it for workloads with legitimately
     slow queries (the exponential exact route on large instances).
+
+    ``degraded`` selects the router's degraded-mode policy (currently only
+    ``"stale_cache"``: answer from the router's last-known-good cache,
+    flagged ``degraded=True``, when a shard has no live replica).
     """
 
     shards: int = 2
@@ -66,6 +70,7 @@ class ClusterConfig:
     plan_cache_capacity: int | None = None
     boot_timeout_seconds: float = 60.0
     worker_timeout_seconds: float = 30.0
+    degraded: str | None = None
 
     def scheme(self) -> PartitionScheme:
         if self.replication_threshold is None:
@@ -167,6 +172,7 @@ def worker_specs(
 def local_router(
     databases: Mapping[str, CWDatabase],
     config: ClusterConfig | None = None,
+    backend_wrapper=None,
     **config_overrides,
 ) -> ClusterRouter:
     """An in-process cluster: same partitioning, routing and merging, no processes.
@@ -176,6 +182,12 @@ def local_router(
     curious readers) can exercise the exact production routing/merging code
     against thousands of random instances without socket or fork overhead —
     and it doubles as a single-process sharding mode.
+
+    ``backend_wrapper``, when given, is called as ``wrapper(backend, index)``
+    on every :class:`LocalBackend` after its snapshots are registered, and
+    the router is built over the returned objects.  Chaos tests wrap each
+    worker in a :class:`~repro.resilience.faults.FaultingBackend` this way
+    to exercise retry/failover against deterministic fault schedules.
     """
     if config is None:
         config = ClusterConfig(**config_overrides)
@@ -209,7 +221,9 @@ def local_router(
         if layout.n_shards > 1:
             for worker in full_copy_hosts(config.shards, config.replicas):
                 backends[worker].service.register(layout.full_name, layout.full)
-    return ClusterRouter(layouts, backends, replicas=config.replicas)
+    if backend_wrapper is not None:
+        backends = [backend_wrapper(backend, index) for index, backend in enumerate(backends)]
+    return ClusterRouter(layouts, backends, replicas=config.replicas, degraded=config.degraded)
 
 
 def start_cluster(
@@ -242,5 +256,5 @@ def start_cluster(
         RemoteBackend(worker.base_url, handle=worker, timeout=config.worker_timeout_seconds)
         for worker in workers
     ]
-    router = ClusterRouter(layouts, backends, replicas=config.replicas)
+    router = ClusterRouter(layouts, backends, replicas=config.replicas, degraded=config.degraded)
     return Cluster(router=router, workers=workers, store=store, layouts=layouts, config=config)

@@ -66,6 +66,8 @@ from repro.cluster.partition import (
 from repro.complexity.classes import classify_query
 from repro.errors import (
     ClusterError,
+    DeadlineExceededError,
+    OverloadedError,
     ProtocolError,
     ReproError,
     ServiceError,
@@ -78,6 +80,9 @@ from repro.logic.queries import Query
 from repro.logic.template import bind_query, query_parameters
 from repro.observability import tracing
 from repro.observability.metrics import MetricsRegistry, merge_metric_snapshots
+from repro.resilience import resilience_disabled
+from repro.resilience import deadlines
+from repro.resilience.retry import BREAKER_STATE_GAUGE, BackoffPolicy, CircuitBreaker
 from repro.service.cache import LRUCache
 from repro.service.lifecycle import ExecutorLifecycle
 from repro.service.client import ServiceClient
@@ -105,6 +110,18 @@ __all__ = [
 ]
 
 DEFAULT_PLAN_CACHE_CAPACITY = 1024
+
+
+class _RoundFailed(Exception):
+    """Internal control flow: one full pass over a replica set failed.
+
+    Carries the pass's last transport error so the retry loop's final
+    ``ClusterError`` can cite it.  Never escapes the router.
+    """
+
+    def __init__(self, last_error: ServiceError | None) -> None:
+        super().__init__(str(last_error) if last_error else "no candidate attempted")
+        self.last_error = last_error
 
 
 def shard_hosts(shard: int, n_workers: int, replicas: int) -> tuple[int, ...]:
@@ -192,11 +209,16 @@ class RemoteBackend:
 class _WorkerState:
     """Router-side view of one backend: liveness belief plus error counters."""
 
-    def __init__(self, index: int, backend) -> None:
+    def __init__(self, index: int, backend, breaker: CircuitBreaker | None = None) -> None:
         self.index = index
         self.backend = backend
         self.alive = True
         self.transport_errors = 0
+        #: Circuit breaker guarding this backend (``None`` with resilience
+        #: off): consecutive transport failures open it, and an open breaker
+        #: is skipped with a fast local check instead of paying a transport
+        #: timeout per request while the worker is down.
+        self.breaker = breaker
 
 
 class ClusterRouter:
@@ -213,6 +235,24 @@ class ClusterRouter:
     replicas:
         Replication factor used at deploy time; determines which workers are
         consulted for each shard and for the full copy.
+    retry_policy:
+        Backoff schedule for re-walking the replica set after a full pass
+        fails on transport errors.  Defaults to a small capped-exponential
+        policy; forced off (single pass, the pre-resilience behavior) by
+        ``REPRO_NO_RESILIENCE=1``.
+    breaker_threshold / breaker_reset_seconds:
+        Per-backend circuit breakers: that many *consecutive* transport
+        failures open a worker's breaker, and an open worker is skipped
+        (fast local check) until the reset interval admits one half-open
+        probe.  ``breaker_threshold=None`` disables breakers.
+    degraded:
+        ``"stale_cache"`` opts into degraded-mode serving: when no live
+        replica can answer (the whole retry schedule failed), a previously
+        served response for the *same request* is returned flagged
+        ``degraded=True`` instead of raising ``ClusterError``.  Snapshots
+        are immutable, so the stale answer is byte-identical to what a live
+        worker would say — the flag is the honest "the cluster, not a
+        worker, answered this" signal.  ``None`` (default) fails loudly.
     """
 
     def __init__(
@@ -222,6 +262,11 @@ class ClusterRouter:
         replicas: int = 1,
         plan_cache_capacity: int = DEFAULT_PLAN_CACHE_CAPACITY,
         fanout_workers: int | None = None,
+        retry_policy: BackoffPolicy | None = None,
+        breaker_threshold: int | None = 5,
+        breaker_reset_seconds: float = 1.0,
+        degraded: str | None = None,
+        stale_cache_capacity: int = 512,
     ) -> None:
         if not layouts:
             raise ClusterError("a cluster router needs at least one partitioned database")
@@ -234,8 +279,29 @@ class ClusterRouter:
                     f"layout {name!r} has {layout.n_shards} shards but the router has "
                     f"{n_workers} workers; the cluster runs one primary shard per worker"
                 )
+        if degraded not in (None, "stale_cache"):
+            raise ClusterError(f"unknown degraded mode {degraded!r}; expected None or 'stale_cache'")
+        # One kill switch restores the pre-resilience router byte-for-byte:
+        # single-pass failover, no breakers, no degraded serving.
+        resilient = not resilience_disabled()
+        self._retry = (retry_policy or BackoffPolicy()) if resilient else None
+        make_breaker = resilient and breaker_threshold is not None
         self._layouts = dict(layouts)
-        self._workers = [_WorkerState(index, backend) for index, backend in enumerate(backends)]
+        self._workers = [
+            _WorkerState(
+                index,
+                backend,
+                CircuitBreaker(
+                    failure_threshold=breaker_threshold,
+                    reset_after_seconds=breaker_reset_seconds,
+                )
+                if make_breaker
+                else None,
+            )
+            for index, backend in enumerate(backends)
+        ]
+        self._degraded_mode = degraded if resilient else None
+        self._stale = LRUCache(stale_cache_capacity) if self._degraded_mode else None
         self._replicas = max(1, replicas)
         self._parses = LRUCache(512)
         self._plans = LRUCache(plan_cache_capacity)
@@ -288,8 +354,24 @@ class ClusterRouter:
         counter = _plan_counter(plan)
         with self._lock:
             self._routed[counter] += 1
-        with tracing.span(f"route {counter}", database=request.database):
-            response = self._run_plan(layout, plan, request, query)
+        try:
+            with tracing.span(f"route {counter}", database=request.database):
+                response = self._run_plan(layout, plan, request, query)
+        except ClusterError:
+            stale = self._stale.get(request) if self._stale is not None else None
+            if stale is None:
+                raise
+            # Degraded-mode serving: no live replica anywhere in the retry
+            # schedule, but this exact request has been answered before.
+            # Snapshots are immutable, so the stale answer is byte-identical
+            # to what a live worker would say; the flag is the honest signal.
+            self.metrics_registry.increment("router.degraded_served")
+            return replace(
+                stale,
+                degraded=True,
+                cached=True,
+                elapsed_seconds=time.perf_counter() - started,
+            )
         if response.database != request.database or response.fingerprint != layout.fingerprint:
             response = replace(
                 response,
@@ -298,6 +380,8 @@ class ClusterRouter:
                 query=request.query,
                 elapsed_seconds=time.perf_counter() - started,
             )
+        if self._stale is not None:
+            self._stale.put(request, response)
         self.metrics_registry.observe(f"route.{counter}", time.perf_counter() - started)
         return response
 
@@ -509,6 +593,12 @@ class ClusterRouter:
                 "failovers": failovers,
                 "replicas": self._replicas,
                 "shards": len(self._workers),
+                "breakers": {
+                    str(state.index): {"state": state.breaker.state, "trips": state.breaker.trips}
+                    for state in self._workers
+                    if state.breaker is not None
+                },
+                "degraded_mode": self._degraded_mode,
             },
         )
 
@@ -540,6 +630,14 @@ class ClusterRouter:
             snapshots = list(self._shared_fanout_executor().map(probe, self._workers))
         else:
             snapshots = [probe(state) for state in self._workers]
+        for state in self._workers:
+            if state.breaker is not None:
+                # Gauge encoding: 0 closed, 0.5 half-open, 1 open — a panel
+                # summing these sees "how many workers are dark" directly.
+                self.metrics_registry.set_gauge(
+                    f"breaker.state.worker{state.index}",
+                    BREAKER_STATE_GAUGE[state.breaker.state],
+                )
         own = self.metrics_registry.snapshot()
         merged = merge_metric_snapshots([own] + [snap for snap in snapshots if snap])
         merged["counters"]["cluster.workers_reporting"] = sum(1 for snap in snapshots if snap)
@@ -555,6 +653,11 @@ class ClusterRouter:
         result = {}
         for state in self._workers:
             state.alive = state.backend.ping()
+            if state.alive and state.breaker is not None:
+                # A successful probe is exactly the evidence a half-open
+                # breaker waits for; close it so traffic returns immediately
+                # instead of after the next in-band probe.
+                state.breaker.record_success()
             result[state.index] = state.alive
         return result
 
@@ -593,21 +696,24 @@ class ClusterRouter:
         """Fan the request out to every shard; union-merge the answer sets."""
         n_workers = len(self._workers)
         # Thread-locals do not cross the fan-out pool: capture the caller's
-        # trace *and current span* here and re-activate them inside each
-        # shard task, so worker spans stitch under the router's scatter span
-        # in one tree.  With tracing off this is two thread-local reads plus
-        # a no-op context manager.
+        # trace *and current span* — and its deadline — here and re-activate
+        # them inside each shard task, so worker spans stitch under the
+        # router's scatter span in one tree and every shard hop inherits the
+        # request's remaining budget.  With both off this is three
+        # thread-local reads plus no-op context managers.
         active = tracing.current_trace()
         parent = tracing.current_span_id()
+        deadline = deadlines.current_deadline()
 
         def on_shard(shard: int) -> QueryResponse:
-            with tracing.activate(active, parent=parent):
-                with tracing.span(f"scatter shard {shard}"):
-                    return self._on_workers(
-                        shard_hosts(shard, n_workers, self._replicas),
-                        replace(request, database=layout.shard_name(shard)),
-                        f"shard {shard} of {layout.name!r}",
-                    )
+            with deadlines.activate(deadline):
+                with tracing.activate(active, parent=parent):
+                    with tracing.span(f"scatter shard {shard}"):
+                        return self._on_workers(
+                            shard_hosts(shard, n_workers, self._replicas),
+                            replace(request, database=layout.shard_name(shard)),
+                            f"shard {shard} of {layout.name!r}",
+                        )
 
         executor = self._shared_fanout_executor()
         parts = list(executor.map(on_shard, range(layout.n_shards)))
@@ -680,26 +786,107 @@ class ClusterRouter:
 
         Both transport failures (worker unreachable) and protocol failures
         (something answered, but not with our protocol — a wedged worker, a
-        reused port) mark the worker dead and move on to a replica.
-        Application errors (parse errors, capacity refusals...) are
-        deterministic — a replica would answer identically — so they
+        reused port, a truncated reply) mark the worker dead and move on to
+        a replica.  Application errors (parse errors, capacity refusals...)
+        are deterministic — a replica would answer identically — so they
         propagate to the caller untouched.
+
+        With resilience on, a full failed pass over the replica set is
+        retried under the backoff policy (bounded by the request's deadline),
+        open circuit breakers are skipped with a local check instead of a
+        transport timeout, and a worker's ``503 overloaded`` answer moves on
+        to the next replica without marking anyone dead.  Every replay is
+        safe: either the failure proves the request never reached a server
+        (``sent_request=False``), or it is one of the idempotent reads this
+        method exclusively carries — workers only ever see ad-hoc ``/query``
+        POSTs (binding happens at the router) and their answer caches make
+        replays answer-identical.  A future non-idempotent worker request
+        must consult :func:`ServiceUnavailableError.sent_request` here
+        before any ambiguous replay.
         """
-        ordered = sorted(candidates, key=lambda index: not self._workers[index].alive)
+        if self._retry is None:
+            return self._attempt_workers(candidates, request, what, (None, None))
+        rng = None  # the jitter stream is only built once a retry happens
+        deadline = deadlines.current_deadline()
         last_error: ServiceError | None = None
+        for retry_round in range(max(1, self._retry.rounds)):
+            if retry_round:
+                rng = rng or self._retry.rng()
+                delay = self._retry.delay_seconds(retry_round, rng)
+                if deadline is not None:
+                    # A dead budget propagates as the typed 504 rather than
+                    # burning the rest of the schedule; a live one caps the
+                    # sleep so the last retry still fits inside it.
+                    deadline.check(f"retry backoff for {what}")
+                    delay = min(delay, max(0.0, deadline.remaining_seconds()))
+                time.sleep(delay)
+                self.metrics_registry.increment("router.retries")
+            try:
+                return self._attempt_workers(candidates, request, what, (retry_round, last_error))
+            except _RoundFailed as failed:
+                last_error = failed.last_error
+        raise ClusterError(
+            f"no live replica for {what} after {self._retry.rounds} rounds: "
+            f"tried workers {sorted(candidates)}"
+            + (f" (last error: {last_error})" if last_error else "")
+        )
+
+    def _attempt_workers(
+        self,
+        candidates: Sequence[int],
+        request: QueryRequest,
+        what: str,
+        round_state: tuple[int | None, ServiceError | None],
+    ) -> QueryResponse:
+        """One pass over the replica set (the pre-resilience failover loop).
+
+        ``round_state`` is ``(None, None)`` on the resilience-off path —
+        exhaustion raises ``ClusterError`` directly, exactly as before PR 7 —
+        and ``(round_index, carried_error)`` under the retry loop, where
+        exhaustion raises the internal :class:`_RoundFailed` instead.
+        """
+        retry_round, carried_error = round_state
+        ordered = sorted(candidates, key=lambda index: not self._workers[index].alive)
+        last_error: ServiceError | None = carried_error
         for index in ordered:
             state = self._workers[index]
+            breaker = state.breaker
+            if breaker is not None and not breaker.allow():
+                # Open breaker: skip without a transport attempt.  The cost
+                # of a down worker drops from one timeout per request to one
+                # local check, until a half-open probe proves it back.
+                self.metrics_registry.increment("router.breaker_skips")
+                continue
             try:
                 response = state.backend.execute(request)
+            except OverloadedError as error:
+                # The worker answered — it is alive, just shedding load.  Not
+                # a transport fault: no death mark, no breaker charge; the
+                # next replica (or round) absorbs the work.
+                if breaker is not None:
+                    breaker.record_success()
+                last_error = error
+                self.metrics_registry.increment("router.worker_sheds")
+                continue
+            except DeadlineExceededError:
+                # The budget died inside the worker; replaying elsewhere
+                # cannot beat the same deadline.  The client owns the budget.
+                raise
             except (ServiceUnavailableError, ProtocolError) as error:
                 state.alive = False
                 state.transport_errors += 1
                 last_error = error
                 with self._lock:
                     self._failovers += 1
+                if breaker is not None and breaker.record_failure():
+                    self.metrics_registry.increment("router.breaker_trips")
                 continue
             state.alive = True
+            if breaker is not None:
+                breaker.record_success()
             return response
+        if retry_round is not None:
+            raise _RoundFailed(last_error)
         raise ClusterError(
             f"no live replica for {what}: tried workers {list(ordered)}"
             + (f" (last error: {last_error})" if last_error else "")

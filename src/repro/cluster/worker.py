@@ -153,6 +153,12 @@ def worker_main(spec: WorkerSpec, channel) -> None:
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown only
         pass
     finally:
+        # serve_forever has stopped accepting, but handler threads may still
+        # be mid-request: drain them (bounded — a request's own deadline
+        # already caps its runtime) before closing the socket, so a rolling
+        # restart under load finishes admitted work instead of surfacing
+        # spurious transport errors to the router.
+        server.drain()
         persist_feedback(service, store)
         server.server_close()
 

@@ -102,12 +102,57 @@ class ServiceClosedError(ServiceError):
 class ServiceUnavailableError(ServiceError):
     """The remote service could not be reached at the transport level.
 
-    Raised by the urllib client for connection refusals, DNS failures and
+    Raised by the HTTP client for connection refusals, DNS failures and
     timeouts — situations where no protocol-level answer exists at all.
     Distinguished from plain :class:`ServiceError` so the cluster router can
     tell "this worker is down, fail over to a replica" apart from "the worker
     answered with an application error".
+
+    Attributes
+    ----------
+    sent_request:
+        Whether the request had been handed to the transport before the
+        failure.  ``False`` means the server provably never saw the request
+        (connect refused, DNS failure, send-side framing error) — always
+        safe to retry anywhere.  ``True`` means the failure is *ambiguous*
+        (reset or timeout while awaiting the response): the server may have
+        executed the request, so a retry policy must only replay requests
+        that are idempotent.
     """
+
+    def __init__(self, message: str, *, sent_request: bool = True) -> None:
+        super().__init__(message)
+        self.sent_request = sent_request
+
+
+class DeadlineExceededError(ServiceError):
+    """A request overran its propagated deadline and was abandoned.
+
+    Raised server-side at engine/executor checkpoints (so a doomed query
+    stops burning CPU) and router-side when the remaining budget cannot
+    cover another attempt.  Mapped to HTTP 504 and wire code
+    ``deadline_exceeded``.  Deliberately *not* retried by the router: the
+    budget is the client's to respend.
+    """
+
+
+class OverloadedError(ServiceError):
+    """The server shed this request at admission rather than queue it.
+
+    Signals transient backpressure, not failure: the request never reached
+    the engine, so it is always safe to retry after a pause.  Mapped to
+    HTTP 503 (with a ``Retry-After`` hint) and wire code ``overloaded``.
+
+    Attributes
+    ----------
+    retry_after_seconds:
+        The server's pacing hint, surfaced as the ``Retry-After`` response
+        header; ``None`` when the server offered none.
+    """
+
+    def __init__(self, message: str, *, retry_after_seconds: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
 
 
 class ProtocolError(ServiceError):
@@ -160,6 +205,8 @@ WIRE_ERROR_CODES: dict[str, type] = {
     "unknown_database": UnknownDatabaseError,
     "service_closed": ServiceClosedError,
     "unavailable": ServiceUnavailableError,
+    "deadline_exceeded": DeadlineExceededError,
+    "overloaded": OverloadedError,
     "protocol": ProtocolError,
     "cluster": ClusterError,
     "unknown_statement": UnknownStatementError,

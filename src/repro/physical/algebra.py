@@ -29,6 +29,7 @@ from typing import Iterator
 from repro.errors import EvaluationError
 from repro.physical.database import PhysicalDatabase
 from repro.physical.indexes import indexes_for
+from repro.resilience.deadlines import current_deadline
 from repro.physical.plan import (
     ActiveDomain,
     AntiJoin,
@@ -100,6 +101,12 @@ class _ExecutionContext:
         self._columns: dict[PlanNode, tuple[str, ...]] = {}
         self._memo: dict[PlanNode, Table] = {}
         self._shared: frozenset[PlanNode] = frozenset()
+        # Captured once per execution (one thread-local read); enforced at
+        # the pipeline-breaker materialization points below, so a query that
+        # overran its propagated budget stops burning CPU between operators
+        # instead of running to completion.  ``None`` (the common case)
+        # costs one ``is None`` check per materialization, like the profiler.
+        self.deadline = current_deadline()
 
     def mark_shared_subplans(self, root: PlanNode) -> None:
         """Record which subplans occur more than once (by structural equality).
@@ -205,6 +212,8 @@ class _ExecutionContext:
         """Materialize *plan* (through the memo for shared subplans)."""
         cached = self._memo.get(plan)
         if cached is None:
+            if self.deadline is not None:
+                self.deadline.check("plan materialization")
             iterator = self._iterate(plan)
             if self.profiler is not None:
                 iterator = self.profiler.wrap(plan, iterator)
@@ -358,6 +367,8 @@ class _ExecutionContext:
                 if self.profiler is not None:
                     self.profiler.note_access(build, "index")
                 return index
+        if self.deadline is not None:
+            self.deadline.check("join build")
         buckets: dict[tuple, list[tuple]] = {}
         total = 0
         for row in self.rows(build):
@@ -369,6 +380,8 @@ class _ExecutionContext:
 
     def _filter_keys(self, plan: SemiJoin | AntiJoin) -> set[tuple]:
         """The distinct key tuples of a semi/anti-join's filter side."""
+        if self.deadline is not None:
+            self.deadline.check("filter build")
         filter_columns = self.columns(plan.filter)
         positions = [filter_columns.index(column) for __, column in plan.pairs]
         keys = {tuple(row[i] for i in positions) for row in self.rows(plan.filter)}

@@ -1,0 +1,71 @@
+"""Resilience primitives for the serving stack (stdlib-only).
+
+The package collects everything the service uses to stay *correct first,
+available second* when parts of it misbehave:
+
+- :mod:`repro.resilience.faults` — deterministic, seeded fault injection
+  that wraps a client transport or a router backend, so tests and
+  benchmarks script outages (refusals, drops, latency, trickle, garbled
+  payloads) without killing processes.
+- :mod:`repro.resilience.deadlines` — per-request deadline propagation
+  through the wire envelope, mirrored on the tracing design: a
+  thread-local active deadline, explicit pool-thread handoff, and zero
+  cost (one thread-local read) when no deadline is set.
+- :mod:`repro.resilience.retry` — capped exponential backoff with
+  deterministic jitter, and per-backend circuit breakers
+  (closed / open / half-open).
+- :mod:`repro.resilience.admission` — a bounded in-flight semaphore with
+  a queue watermark that sheds load as typed ``OverloadedError`` (503 +
+  Retry-After) before server threads exhaust, plus the drain hook worker
+  shutdown uses.
+
+Every feature honors one kill switch: with ``REPRO_NO_RESILIENCE=1`` in
+the environment the serving stack behaves byte-identically to the
+pre-resilience code — no admission control, no deadline stamping or
+enforcement, no retry/breaker logic in the router.  The flag is read at
+construction/dispatch sites (not import time) so tests can flip it per
+process.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESILIENCE_ENV_FLAG = "REPRO_NO_RESILIENCE"
+FAULTS_ENV = "REPRO_FAULTS"
+
+
+def resilience_disabled() -> bool:
+    """True when the ``REPRO_NO_RESILIENCE`` kill switch is set.
+
+    Read per call (not cached at import) so a test or benchmark can flip
+    the environment between phases of one process.
+    """
+    return os.environ.get(RESILIENCE_ENV_FLAG, "") not in ("", "0")
+
+
+from repro.resilience.admission import AdmissionController  # noqa: E402
+from repro.resilience.deadlines import (  # noqa: E402
+    Deadline,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+)
+from repro.resilience.faults import Fault, FaultPlan, FaultingBackend  # noqa: E402
+from repro.resilience.retry import BackoffPolicy, CircuitBreaker  # noqa: E402
+
+__all__ = [
+    "AdmissionController",
+    "BackoffPolicy",
+    "CircuitBreaker",
+    "Deadline",
+    "FAULTS_ENV",
+    "Fault",
+    "FaultPlan",
+    "FaultingBackend",
+    "RESILIENCE_ENV_FLAG",
+    "check_deadline",
+    "current_deadline",
+    "deadline_scope",
+    "resilience_disabled",
+]

@@ -1,0 +1,174 @@
+"""Retry backoff and per-backend circuit breakers for the router.
+
+Two small, independently testable pieces:
+
+- :class:`BackoffPolicy` — capped exponential backoff with deterministic
+  (seeded) jitter.  Pure arithmetic over an injected ``random.Random`` so
+  retry schedules replay exactly in tests.
+- :class:`CircuitBreaker` — the classic closed / open / half-open state
+  machine, one per worker backend.  A run of consecutive transport
+  failures *opens* the breaker: the router stops offering that worker
+  traffic (each skipped offer is a fast local check, not a
+  ``worker_timeout_seconds`` stall).  After a reset interval one
+  *half-open* probe is allowed through; success closes the breaker,
+  failure re-opens it.  The clock is injectable so the state machine is
+  tested without sleeping.
+
+Retry *policy* (what is safe to replay) lives in the router, which knows
+request semantics; this module only supplies mechanism.  The contract the
+router relies on: every replayed request is either provably unsent
+(``sent_request=False``) or an idempotent read — the answer cache and
+explicit cursor page indexes make ``POST /query`` and ``/fetch`` replays
+answer-identical.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from random import Random
+
+__all__ = ["BackoffPolicy", "CircuitBreaker"]
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+#: Gauge encoding of breaker states for ``/metrics`` (sortable by badness).
+BREAKER_STATE_GAUGE = {BREAKER_CLOSED: 0.0, BREAKER_HALF_OPEN: 0.5, BREAKER_OPEN: 1.0}
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Capped exponential backoff: ``min(cap, base * 2**round) * jitter``.
+
+    ``rounds`` is how many passes over the replica set the router makes
+    before giving up (1 = no retry).  Jitter multiplies each delay by a
+    uniform draw from ``[1 - jitter, 1]`` — subtractive, so the cap is a
+    true upper bound on any single sleep.
+    """
+
+    rounds: int = 3
+    base_ms: float = 5.0
+    cap_ms: float = 100.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def rng(self) -> Random:
+        """A fresh deterministic jitter stream (one per request)."""
+        return Random(self.seed)
+
+    def delay_seconds(self, retry_round: int, rng: Random) -> float:
+        """The sleep before retry round *retry_round* (1-based)."""
+        raw = min(self.cap_ms, self.base_ms * (2 ** max(0, retry_round - 1)))
+        scale = 1.0 - self.jitter * rng.random() if self.jitter > 0.0 else 1.0
+        return (raw * scale) / 1000.0
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker guarding one worker backend.
+
+    Thread-safe; all transitions happen under one lock.  ``allow()`` is the
+    router's gate: ``True`` means "you may offer this worker a request".
+    In the half-open state exactly one probe is admitted at a time —
+    concurrent callers are turned away until the probe reports back, so a
+    thundering herd cannot stampede a barely-recovered worker.
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        reset_after_seconds: float = 1.0,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_after_seconds = reset_after_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BREAKER_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        self._trips = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._peek_state()
+
+    @property
+    def trips(self) -> int:
+        """How many times the breaker has opened (closed/half-open → open)."""
+        with self._lock:
+            return self._trips
+
+    def allow(self) -> bool:
+        """May the caller offer the guarded worker a request right now?"""
+        # Lock-free fast path for the steady state.  A stale CLOSED read
+        # racing a concurrent trip admits at most one extra request — the
+        # same exposure as a request already in flight when the breaker
+        # trips — so the router's gate stays cheap on the fault-free path.
+        if self._state == BREAKER_CLOSED:
+            return True
+        with self._lock:
+            state = self._peek_state()
+            if state == BREAKER_CLOSED:
+                return True
+            if state == BREAKER_HALF_OPEN and not self._probing:
+                self._state = BREAKER_HALF_OPEN
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        # Same benign race as allow(): skipping the reset when there is
+        # nothing to reset is equivalent to this success having happened
+        # just before any concurrent failure.
+        if self._state == BREAKER_CLOSED and self._consecutive_failures == 0:
+            return
+        with self._lock:
+            self._state = BREAKER_CLOSED
+            self._consecutive_failures = 0
+            self._probing = False
+
+    def record_failure(self) -> bool:
+        """Count one transport failure; returns ``True`` if this call tripped
+        the breaker open (so the caller can bump a metrics counter)."""
+        with self._lock:
+            state = self._peek_state()
+            if state == BREAKER_OPEN:
+                # Failures reported while already open (e.g. a request that
+                # was in flight when the breaker tripped) don't re-trip.
+                return False
+            if state == BREAKER_HALF_OPEN:
+                self._open()
+                return True
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.failure_threshold:
+                self._open()
+                return True
+            return False
+
+    def _open(self) -> None:
+        self._state = BREAKER_OPEN
+        self._opened_at = self._clock()
+        self._consecutive_failures = 0
+        self._probing = False
+        self._trips += 1
+
+    def _peek_state(self) -> str:
+        """Current state, promoting open → half-open once the reset elapses.
+
+        Caller holds the lock.
+        """
+        if self._state == BREAKER_OPEN and self._clock() - self._opened_at >= self.reset_after_seconds:
+            self._state = BREAKER_HALF_OPEN
+            self._probing = False
+        return self._state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"CircuitBreaker(state={self.state!r}, trips={self.trips})"

@@ -33,16 +33,33 @@ signatures (a reset while waiting for the response) can also arrive after
 the server started working, so a retried request may execute twice — safe
 here because every protocol endpoint is a pure read or an idempotent
 registration: ``prepare`` deduplicates server-side, ``execute`` reads,
-``fetch`` names an explicit page index.  A future non-idempotent endpoint
-must tighten the retry set first.
+``fetch`` names an explicit page index.
+
+**Failure tagging.**  Every transport failure carries
+``sent_request``: ``False`` when the request provably never reached the
+server (connect refused — always safe to retry, even for a future
+non-idempotent endpoint), ``True`` when the failure is ambiguous (the
+request was written; the server may be executing it).  The router's retry
+policy keys off this tag.
+
+**Resilience hooks.**  When the calling thread carries an active
+:mod:`deadline <repro.resilience.deadlines>`, ``_post`` stamps the
+remaining budget as ``deadline_ms`` on the request envelope (a
+pre-resilience server ignores the extra key).  A
+:class:`~repro.resilience.faults.FaultPlan` — passed as ``fault_plan=`` or
+via the ``REPRO_FAULTS`` environment spec — injects deterministic
+transport faults at the round-trip boundary, so chaos tests script
+refusals, drops, latency and garbled replies without a misbehaving server.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import os
 import socket
 import threading
+import time
 from typing import Iterator, Mapping, Sequence
 from urllib.parse import quote, urlparse
 
@@ -53,6 +70,9 @@ from repro.errors import (
     error_for_code,
 )
 from repro.observability.tracing import current_trace, span
+from repro.resilience import FAULTS_ENV, resilience_disabled
+from repro.resilience.deadlines import current_deadline
+from repro.resilience.faults import FaultPlan
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     SUPPORTED_PROTOCOL_VERSIONS,
@@ -99,9 +119,19 @@ _STALE_CONNECTION_ERRORS = (
 class ServiceClient:
     """Talk to a running service at ``base_url`` (e.g. ``http://127.0.0.1:8080``)."""
 
-    def __init__(self, base_url: str, timeout: float = DEFAULT_TIMEOUT_SECONDS) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = DEFAULT_TIMEOUT_SECONDS,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        if fault_plan is None and not resilience_disabled():
+            spec = os.environ.get(FAULTS_ENV, "")
+            if spec:
+                fault_plan = FaultPlan.from_spec(spec)
+        self.fault_plan = fault_plan
         parsed = urlparse(self.base_url)
         if parsed.scheme not in ("http", "https") or not parsed.hostname:
             raise ServiceError(f"service URLs must look like http://host:port, got {base_url!r}")
@@ -244,6 +274,13 @@ class ServiceClient:
 
     def _post(self, path: str, message: object) -> object:
         wire = to_wire(message, self.protocol_version())
+        deadline = current_deadline()
+        if deadline is not None:
+            # Stamp the *remaining* budget: each hop re-anchors it on its own
+            # monotonic clock, so the envelope decrements by exactly the time
+            # already burned — no cross-process clock comparison anywhere.
+            # Raises DeadlineExceededError instead of forwarding a dead request.
+            wire["deadline_ms"] = deadline.wire_budget_ms()
         active = current_trace()
         if active is None:
             return self._parse(self._round_trip("POST", path, json.dumps(wire).encode()))
@@ -272,13 +309,43 @@ class ServiceClient:
         return connection
 
     def _round_trip(self, method: str, path: str, body: bytes | None = None) -> object:
+        fault = self.fault_plan.draw() if self.fault_plan is not None else None
+        if fault is not None and fault.kind == "refuse":
+            raise ServiceUnavailableError(
+                f"injected fault: connection refused for {self.base_url}",
+                sent_request=False,
+            )
+        if fault is not None and fault.timed:
+            # Latency spike / slow-trickle: stall, then proceed normally.
+            time.sleep(fault.stall_ms / 1000.0)
         url = self._prefix + path
         headers = {"Content-Type": "application/json"} if body is not None else {}
         status = payload = None
+        ever_sent = False
         for attempt in (0, 1):
             try:
-                connection = self._connection()
+                try:
+                    connection = self._connection()
+                except OSError as error:
+                    # Establishing the connection failed (refused, DNS, reset
+                    # during connect): the server provably never saw the
+                    # request, so this failure is always safe to retry.
+                    self.close()
+                    raise ServiceUnavailableError(
+                        f"cannot reach service at {self.base_url}: {error}",
+                        sent_request=False,
+                    ) from None
                 connection.request(method, url, body=body, headers=headers)
+                # The body is framed by Content-Length: once request() returns
+                # it is fully written, and every failure from here on is
+                # *ambiguous* — the server may be executing the request.
+                ever_sent = True
+                if fault is not None and fault.kind == "drop":
+                    self.close()
+                    raise ServiceUnavailableError(
+                        f"injected fault: connection dropped mid-request to {self.base_url}",
+                        sent_request=True,
+                    )
                 response = connection.getresponse()
                 status = response.status
                 payload = response.read()
@@ -291,18 +358,28 @@ class ServiceClient:
                 self.close()
                 if attempt:
                     raise ServiceUnavailableError(
-                        f"cannot reach service at {self.base_url}: {error}"
+                        f"cannot reach service at {self.base_url}: {error}",
+                        sent_request=ever_sent,
                     ) from None
             except TimeoutError:
                 self.close()
                 raise ServiceUnavailableError(
-                    f"service at {self.base_url} did not respond within {self.timeout} seconds"
+                    f"service at {self.base_url} did not respond within {self.timeout} seconds",
+                    sent_request=ever_sent,
                 ) from None
             except (http.client.HTTPException, OSError) as error:
                 self.close()
                 raise ServiceUnavailableError(
-                    f"cannot reach service at {self.base_url}: {error}"
+                    f"cannot reach service at {self.base_url}: {error}",
+                    sent_request=ever_sent,
                 ) from None
+        if fault is not None and fault.kind == "garble":
+            # The server did the work; the reply arrives truncated.  Drop the
+            # connection too — a real truncation kills the keep-alive stream.
+            self.close()
+            raise ProtocolError(
+                f"injected fault: truncated response payload from {self.base_url}{url}"
+            )
         text = payload.decode(errors="replace")
         try:
             decoded = json.loads(text)

@@ -55,6 +55,7 @@ from repro.observability.explain import PlanProfiler, profile_payload
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracing import span
 from repro.physical.algebra import node_label
+from repro.resilience.deadlines import check_deadline
 from repro.physical.database import PhysicalDatabase
 from repro.physical.optimizer import DEFAULT_FEEDBACK_THRESHOLD, apply_feedback, plan_cost
 from repro.physical.plan import substitute_plan_parameters
@@ -886,6 +887,7 @@ class QueryService:
         values: Mapping[str, str],
     ) -> QueryResponse:
         started = time.perf_counter()
+        check_deadline("prepared evaluation")
         answers: dict[str, tuple[tuple[str, ...], ...]] = {}
         approx: frozenset[tuple[str, ...]] | None = None
         exact: frozenset[tuple[str, ...]] | None = None
@@ -893,6 +895,7 @@ class QueryService:
             approx = self._approx_prepared(entry, statement, bound_query, rendered, values)
             answers["approximate"] = tuple(tuple(row) for row in answers_to_wire(approx))
         if statement.method in ("exact", "both"):
+            check_deadline("exact evaluation")
             exact = self._exact.certain_answers(entry.database, bound_query)
             answers["exact"] = tuple(tuple(row) for row in answers_to_wire(exact))
         complete, missed = self._soundness(approx, exact)
@@ -913,6 +916,7 @@ class QueryService:
 
     def _evaluate(self, entry: RegisteredDatabase, request: QueryRequest) -> QueryResponse:
         started = time.perf_counter()
+        check_deadline("query evaluation")
         query = self._parse(request.query)
         answers: dict[str, tuple[tuple[str, ...], ...]] = {}
         approx: frozenset[tuple[str, ...]] | None = None
@@ -926,6 +930,9 @@ class QueryService:
                 )
             answers["approximate"] = tuple(tuple(row) for row in answers_to_wire(approx))
         if request.method in ("exact", "both"):
+            # The exact route is exponential by design: refuse to start it
+            # for a request whose budget is already spent.
+            check_deadline("exact evaluation")
             with span("evaluate exact"):
                 exact = self._exact.certain_answers(entry.database, query)
             answers["exact"] = tuple(tuple(row) for row in answers_to_wire(exact))

@@ -159,6 +159,14 @@ class QueryResponse:
     rows / wall time / access path / memo hits) when the request asked for
     one; it lives inside the cached response, so repeated cached profiled
     executions return byte-identical profiles.
+
+    ``degraded`` marks an answer served from a router's stale-response
+    cache because no live replica could be reached (the opt-in
+    ``degraded="stale_cache"`` router mode).  The answer was byte-identical
+    to a fresh one when it was cached — snapshots are immutable — but the
+    flag is the honest signal that the cluster, not a worker, produced it.
+    A pre-resilience peer ignores the field (``parse_wire`` filters unknown
+    keys), so it needs no protocol version bump.
     """
 
     database: str
@@ -174,6 +182,7 @@ class QueryResponse:
     cached: bool = False
     elapsed_seconds: float = 0.0
     profile: Mapping[str, object] | None = None
+    degraded: bool = False
 
     def answer_set(self, label: str) -> frozenset[tuple[str, ...]]:
         """The answer set for *label* as the library's frozenset-of-tuples."""

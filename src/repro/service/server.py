@@ -40,18 +40,34 @@ clients know they may upgrade.  The session routes (``/prepare``,
 server then records its handling under that trace and returns the collected
 spans in a ``trace`` field on the response envelope, which the client folds
 back into the caller's span tree.  Requests without the field pay nothing.
+
+**Resilience.**  A POST envelope may also carry ``deadline_ms`` — the
+caller's remaining budget, re-anchored on this server's monotonic clock and
+enforced down in the engine/executor; overruns answer 504 with the typed
+``deadline_exceeded`` code.  Each server owns an
+:class:`~repro.resilience.admission.AdmissionController`: POSTs beyond the
+in-flight watermark queue briefly (bounded by their own deadline), and past
+the queue watermark they are shed as 503 ``overloaded`` with a
+``Retry-After`` hint — failing a bounded subset fast instead of letting
+every request time out.  GETs bypass admission so monitoring stays usable
+exactly when the server is overloaded.  ``REPRO_NO_RESILIENCE=1`` disables
+both, restoring the pre-resilience behavior byte-for-byte.
 """
 
 from __future__ import annotations
 
 import contextlib
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Mapping
 from urllib.parse import parse_qs, urlparse
 
 from repro.errors import (
     CapacityError,
+    DeadlineExceededError,
+    OverloadedError,
     ProtocolError,
     ReproError,
     ServiceError,
@@ -60,6 +76,9 @@ from repro.errors import (
     UnknownStatementError,
 )
 from repro.observability import tracing
+from repro.resilience import resilience_disabled
+from repro.resilience import deadlines
+from repro.resilience.admission import AdmissionController
 from repro.service.cursors import CursorStore
 from repro.service.engine import QueryService
 from repro.service.protocol import (
@@ -101,7 +120,14 @@ class ServiceHTTPServer(ThreadingHTTPServer):
     # fans dozens of short-lived urllib connections at each worker.
     request_queue_size = 128
 
-    def __init__(self, address: tuple[str, int], service: QueryService, quiet: bool = True) -> None:
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: QueryService,
+        quiet: bool = True,
+        max_in_flight: int | None = None,
+        max_queue_depth: int | None = None,
+    ) -> None:
         super().__init__(address, _Handler)
         self.service = service
         self.quiet = quiet
@@ -111,11 +137,37 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         #: The v1-deprecation warning fires once per server instance, not
         #: once per process — restarting the server re-arms it.
         self.v1_deprecation = DeprecationGate()
+        #: Admission control is transport state too: the in-process service
+        #: has no thread bound to protect.  ``None`` (with the kill switch)
+        #: means every POST dispatches immediately, as before PR 7.
+        if resilience_disabled():
+            self.admission: AdmissionController | None = None
+        else:
+            kwargs = {}
+            if max_in_flight is not None:
+                kwargs["max_in_flight"] = max_in_flight
+            if max_queue_depth is not None:
+                kwargs["max_queue_depth"] = max_queue_depth
+            self.admission = AdmissionController(
+                metrics=getattr(service, "metrics_registry", None), **kwargs
+            )
 
     @property
     def base_url(self) -> str:
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
+
+    def drain(self, timeout_seconds: float = 5.0) -> bool:
+        """Wait for admitted requests to finish; ``False`` on timeout.
+
+        Graceful-shutdown hook: call after ``shutdown()`` (no new requests)
+        and before ``server_close()``, so in-flight work completes instead
+        of surfacing as transport errors to callers.  A no-op ``True`` when
+        admission control is disabled.
+        """
+        if self.admission is None:
+            return True
+        return self.admission.drain(timeout_seconds)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -190,10 +242,24 @@ class _Handler(BaseHTTPRequestHandler):
                     # supported v1 traffic into dropped connections.
                     pass
             trace_ctx = tracing.adopt(payload.get("trace")) if isinstance(payload, dict) else None
+            deadline = None
+            if isinstance(payload, dict) and not resilience_disabled():
+                # Re-anchor the caller's remaining budget on this process's
+                # monotonic clock; absent/malformed means "no deadline" (a v1
+                # envelope never carries one).
+                deadline = deadlines.adopt(payload.get("deadline_ms"))
             message = parse_wire(payload)
-            with tracing.activate(trace_ctx):
-                with tracing.span(f"POST {url.path}"):
-                    response = self._dispatch_post(url.path, message)
+            with deadlines.activate(deadline):
+                if deadline is not None:
+                    deadline.check("request admission")
+                # Admission *inside* the deadline scope: a queued request's
+                # wait is bounded by its own remaining budget.
+                admission = self.server.admission
+                admit = admission.admit() if admission is not None else contextlib.nullcontext()
+                with admit:
+                    with tracing.activate(trace_ctx):
+                        with tracing.span(f"POST {url.path}"):
+                            response = self._dispatch_post(url.path, message)
             wire = to_wire(response, version)
             if trace_ctx is not None:
                 # Embedded after the root span closed, so the caller's tree
@@ -261,11 +327,14 @@ class _Handler(BaseHTTPRequestHandler):
             raise ProtocolError(f"request body of {length} bytes exceeds the {MAX_REQUEST_BYTES} byte limit")
         return self.rfile.read(length)
 
-    def _send(self, status: int, payload: dict) -> None:
+    def _send(self, status: int, payload: dict, headers: Mapping[str, str] | None = None) -> None:
         body = json.dumps(payload, sort_keys=True).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if headers:
+            for name, value in headers.items():
+                self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -277,7 +346,13 @@ class _Handler(BaseHTTPRequestHandler):
         # oversized payload), which would desync a keep-alive connection —
         # close it rather than let the leftover bytes parse as a request.
         self.close_connection = True
-        self._send(status, to_wire(ErrorResponse.from_exception(error), version))
+        headers = None
+        if isinstance(error, OverloadedError) and error.retry_after_seconds is not None:
+            # HTTP wants integral delta-seconds; round up so the header never
+            # invites an earlier retry than the server asked for.  The precise
+            # sub-second hint stays in the JSON error message.
+            headers = {"Retry-After": str(max(1, math.ceil(error.retry_after_seconds)))}
+        self._send(status, to_wire(ErrorResponse.from_exception(error), version), headers)
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002 - http.server API
         if not self.server.quiet:
@@ -311,23 +386,50 @@ def _status_for(error: ReproError) -> int:
         return 404
     if isinstance(error, CapacityError):
         return 413
+    if isinstance(error, OverloadedError):
+        return 503
+    if isinstance(error, DeadlineExceededError):
+        return 504
     return 400
 
 
-def make_server(service: QueryService, host: str = "127.0.0.1", port: int = 0, quiet: bool = True) -> ServiceHTTPServer:
+def make_server(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+    max_in_flight: int | None = None,
+    max_queue_depth: int | None = None,
+) -> ServiceHTTPServer:
     """Bind a server (``port=0`` picks an ephemeral port); does not serve yet."""
-    return ServiceHTTPServer((host, port), service, quiet=quiet)
+    return ServiceHTTPServer(
+        (host, port),
+        service,
+        quiet=quiet,
+        max_in_flight=max_in_flight,
+        max_queue_depth=max_queue_depth,
+    )
 
 
 @contextlib.contextmanager
-def running_server(service: QueryService, host: str = "127.0.0.1", port: int = 0, quiet: bool = True):
+def running_server(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+    max_in_flight: int | None = None,
+    max_queue_depth: int | None = None,
+):
     """Context manager: a server serving on a background thread.
 
     Yields the bound :class:`ServiceHTTPServer`; on exit the server shuts
-    down and the thread joins.  This is how the tests and the benchmark run
-    client↔server round trips on an ephemeral port.
+    down, drains in-flight requests, and the thread joins.  This is how the
+    tests and the benchmark run client↔server round trips on an ephemeral
+    port.
     """
-    server = make_server(service, host, port, quiet=quiet)
+    server = make_server(
+        service, host, port, quiet=quiet, max_in_flight=max_in_flight, max_queue_depth=max_queue_depth
+    )
     thread = threading.Thread(target=server.serve_forever, name="repro-service-http", daemon=True)
     thread.start()
     try:
@@ -335,6 +437,7 @@ def running_server(service: QueryService, host: str = "127.0.0.1", port: int = 0
     finally:
         server.shutdown()
         thread.join(timeout=10)
+        server.drain()
         server.server_close()
 
 

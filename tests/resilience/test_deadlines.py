@@ -1,0 +1,109 @@
+"""Deadline propagation: scopes, thread handoff, wire budgets, adoption."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import DeadlineExceededError
+from repro.resilience import deadlines
+from repro.resilience.deadlines import (
+    Deadline,
+    activate,
+    adopt,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+)
+
+
+class TestDeadline:
+    def test_fresh_budget_is_not_expired(self):
+        deadline = Deadline.after_ms(60_000)
+        assert not deadline.expired()
+        assert 59_000 < deadline.remaining_ms() <= 60_000
+        deadline.check("anything")  # does not raise
+
+    def test_past_deadline_checks_raise_with_overrun(self):
+        deadline = Deadline(time.monotonic() - 0.05)
+        assert deadline.expired()
+        with pytest.raises(DeadlineExceededError, match="join build.*over budget"):
+            deadline.check("join build")
+
+    def test_wire_budget_floors_at_one_ms(self):
+        nearly_spent = Deadline.after_ms(0.2)
+        assert nearly_spent.wire_budget_ms() == 1
+
+    def test_wire_budget_refuses_dead_requests(self):
+        with pytest.raises(DeadlineExceededError):
+            Deadline(time.monotonic() - 1.0).wire_budget_ms()
+
+
+class TestScopes:
+    def test_no_active_deadline_by_default(self):
+        assert current_deadline() is None
+        check_deadline()  # the zero-cost disabled path
+
+    def test_scope_activates_and_restores(self):
+        with deadline_scope(5_000) as active:
+            assert current_deadline() is active
+            check_deadline()
+        assert current_deadline() is None
+
+    def test_none_scope_is_inert(self):
+        with deadline_scope(None) as active:
+            assert active is None
+            assert current_deadline() is None
+
+    def test_expired_scope_raises_at_the_next_check(self):
+        with deadline_scope(1):
+            time.sleep(0.005)
+            with pytest.raises(DeadlineExceededError):
+                check_deadline("query evaluation")
+
+    def test_activate_nests_and_unwinds(self):
+        outer = Deadline.after_ms(10_000)
+        inner = Deadline.after_ms(1_000)
+        with activate(outer):
+            with activate(inner):
+                assert current_deadline() is inner
+            assert current_deadline() is outer
+        assert current_deadline() is None
+
+    def test_activate_none_is_a_passthrough(self):
+        outer = Deadline.after_ms(10_000)
+        with activate(outer):
+            with activate(None):
+                assert current_deadline() is outer
+
+    def test_deadlines_are_thread_local_until_handed_off(self):
+        seen: dict[str, Deadline | None] = {}
+
+        def worker(handoff: Deadline | None, key: str) -> None:
+            seen[key] = current_deadline()
+            with activate(handoff):
+                seen[key + "_activated"] = current_deadline()
+
+        with deadline_scope(5_000) as active:
+            # The router's pool-thread pattern: capture, then re-activate.
+            thread = threading.Thread(target=worker, args=(active, "pool"))
+            thread.start()
+            thread.join()
+        assert seen["pool"] is None  # no implicit inheritance
+        assert seen["pool_activated"] is active
+
+
+class TestAdopt:
+    def test_positive_budgets_anchor_locally(self):
+        deadline = adopt(2_000)
+        assert deadline is not None
+        assert 1_000 < deadline.remaining_ms() <= 2_000
+        assert adopt(1500.5) is not None
+
+    @pytest.mark.parametrize(
+        "value", [None, "2000", True, False, 0, -5, float("nan"), deadlines._MAX_WIRE_BUDGET_MS + 1]
+    )
+    def test_garbage_means_no_deadline(self, value):
+        assert adopt(value) is None

@@ -1,0 +1,160 @@
+"""FaultPlan determinism, spec parsing, and FaultingBackend semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError, ServiceError, ServiceUnavailableError
+from repro.resilience.faults import FAULT_KINDS, Fault, FaultPlan, FaultingBackend
+
+
+class TestFaultPlanDeterminism:
+    def test_same_seed_same_schedule(self):
+        draws = [FaultPlan(seed=11, rates={"refuse": 0.3, "drop": 0.1}).preview(200) for __ in range(2)]
+        assert draws[0] == draws[1]
+
+    def test_preview_matches_live_draws(self):
+        plan = FaultPlan(seed=4, rates={"delay": 0.25}, windows=((10, 15, "refuse"),), schedule={3: "garble"})
+        expected = dict(plan.preview(50))
+        for index in range(50):
+            fault = plan.draw()
+            assert (fault.kind if fault else None) == expected.get(index), index
+
+    def test_schedule_beats_window_beats_rate(self):
+        plan = FaultPlan(
+            seed=0,
+            rates={"delay": 1.0},
+            windows=((0, 10, "drop"),),
+            schedule={5: "garble"},
+        )
+        kinds = dict(plan.preview(12))
+        assert kinds[5] == "garble"  # exact schedule wins inside the window
+        assert kinds[0] == "drop"  # window beats the rate
+        assert kinds[11] == "delay"  # rate fires outside the window
+
+    def test_adding_a_window_never_reshuffles_background_noise(self):
+        base = dict(FaultPlan(seed=9, rates={"refuse": 0.2}).preview(100))
+        windowed = dict(FaultPlan(seed=9, rates={"refuse": 0.2}, windows=((40, 50, "drop"),)).preview(100))
+        for index in set(base) | set(windowed):
+            if not 40 <= index < 50:
+                assert base.get(index) == windowed.get(index), index
+
+    def test_limit_stops_all_injection(self):
+        plan = FaultPlan(seed=1, rates={"refuse": 1.0}, limit=5)
+        assert max(index for index, __ in plan.preview(100)) == 4
+
+    def test_injected_counters_track_live_draws(self):
+        plan = FaultPlan(seed=2, schedule={0: "refuse", 1: "refuse", 2: "delay"})
+        for __ in range(4):
+            plan.draw()
+        assert plan.injected() == {"refuse": 2, "delay": 1}
+        assert plan.operations == 4
+
+    def test_timed_faults_carry_their_stall(self):
+        plan = FaultPlan(schedule={0: "delay", 1: "trickle"}, delay_ms=7.0, trickle_ms=80.0)
+        assert plan.draw() == Fault("delay", 7.0)
+        assert plan.draw() == Fault("trickle", 80.0)
+        assert not Fault("refuse").timed
+
+
+class TestFromSpec:
+    def test_round_trips_through_describe(self):
+        spec = "seed=7 drop=0.02 refuse=0.05 refuse@100-200 garble@250 limit=500"
+        plan = FaultPlan.from_spec(spec)
+        assert plan.seed == 7
+        assert plan.rates == {"refuse": 0.05, "drop": 0.02}
+        assert plan.windows == ((100, 200, "refuse"),)
+        assert plan.schedule == {250: "garble"}
+        assert plan.limit == 500
+        assert FaultPlan.from_spec(plan.describe()).describe() == plan.describe()
+
+    def test_commas_are_whitespace(self):
+        plan = FaultPlan.from_spec("seed=3,delay=0.5,delay_ms=40")
+        assert (plan.seed, plan.rates, plan.delay_ms) == (3, {"delay": 0.5}, 40.0)
+
+    @pytest.mark.parametrize(
+        "spec", ["bogus=0.1", "refuse", "refuse@x", "nothing@3", "seed=abc"]
+    )
+    def test_bad_tokens_raise_typed_errors(self, spec):
+        with pytest.raises(ServiceError, match="bad REPRO_FAULTS token"):
+            FaultPlan.from_spec(spec)
+
+    def test_unknown_kind_rejected_at_construction(self):
+        with pytest.raises(ServiceError, match="unknown fault kind"):
+            FaultPlan(rates={"meteor": 1.0})
+
+
+class _Backend:
+    """A recording stand-in for a router backend."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def execute(self, request):
+        self.calls += 1
+        return ("answer", request)
+
+    def ping(self):
+        return "pong"
+
+    def describe(self):
+        return "stub"
+
+
+class TestFaultingBackend:
+    def test_refuse_never_reaches_the_backend(self):
+        backend = _Backend()
+        faulting = FaultingBackend(backend, FaultPlan(schedule={0: "refuse"}))
+        with pytest.raises(ServiceUnavailableError) as info:
+            faulting.execute("q")
+        assert info.value.sent_request is False
+        assert backend.calls == 0
+
+    def test_drop_executes_then_fails_ambiguously(self):
+        backend = _Backend()
+        faulting = FaultingBackend(backend, FaultPlan(schedule={0: "drop"}))
+        with pytest.raises(ServiceUnavailableError) as info:
+            faulting.execute("q")
+        assert info.value.sent_request is True
+        assert backend.calls == 1
+
+    def test_garble_executes_then_raises_protocol_error(self):
+        backend = _Backend()
+        faulting = FaultingBackend(backend, FaultPlan(schedule={0: "garble"}))
+        with pytest.raises(ProtocolError, match="truncated"):
+            faulting.execute("q")
+        assert backend.calls == 1
+
+    def test_timed_faults_stall_then_answer(self):
+        sleeps: list[float] = []
+        backend = _Backend()
+        faulting = FaultingBackend(
+            backend,
+            FaultPlan(schedule={0: "delay", 1: "trickle"}, delay_ms=30.0, trickle_ms=90.0),
+            sleeper=sleeps.append,
+        )
+        assert faulting.execute("q") == ("answer", "q")
+        assert faulting.execute("q") == ("answer", "q")
+        assert sleeps == [0.03, 0.09]
+
+    def test_clean_operations_pass_through(self):
+        backend = _Backend()
+        faulting = FaultingBackend(backend, FaultPlan())
+        assert faulting.execute("q") == ("answer", "q")
+        assert faulting.ping() == "pong"  # health probes are never faulted
+        assert faulting.describe() == "faulting(stub)"
+
+    def test_every_kind_is_handled(self):
+        """The backend must not silently no-op an unknown (future) kind."""
+        backend = _Backend()
+        for index, kind in enumerate(FAULT_KINDS):
+            plan = FaultPlan(schedule={0: kind}, delay_ms=0.001, trickle_ms=0.001)
+            faulting = FaultingBackend(backend, plan, sleeper=lambda __: None)
+            if kind in ("refuse", "drop"):
+                with pytest.raises(ServiceUnavailableError):
+                    faulting.execute("q")
+            elif kind == "garble":
+                with pytest.raises(ProtocolError):
+                    faulting.execute("q")
+            else:
+                assert faulting.execute("q") == ("answer", "q")

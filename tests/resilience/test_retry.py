@@ -1,0 +1,101 @@
+"""BackoffPolicy determinism and the CircuitBreaker state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.retry import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    BREAKER_STATE_GAUGE,
+    BackoffPolicy,
+    CircuitBreaker,
+)
+
+
+class TestBackoffPolicy:
+    def test_delays_grow_exponentially_up_to_the_cap(self):
+        policy = BackoffPolicy(base_ms=5.0, cap_ms=100.0, jitter=0.0)
+        rng = policy.rng()
+        delays = [policy.delay_seconds(retry_round, rng) for retry_round in (1, 2, 3, 4, 5, 6)]
+        assert delays == [0.005, 0.01, 0.02, 0.04, 0.08, 0.1]
+
+    def test_jitter_is_subtractive_and_deterministic(self):
+        policy = BackoffPolicy(base_ms=40.0, cap_ms=100.0, jitter=0.5, seed=9)
+        first = [policy.delay_seconds(r, policy.rng()) for r in (1, 1, 1)]
+        assert first[0] == first[1] == first[2]  # fresh rng() per request replays
+        assert 0.02 <= first[0] <= 0.04  # within [base*(1-jitter), base]
+
+    def test_round_one_uses_the_base_delay(self):
+        policy = BackoffPolicy(base_ms=12.0, jitter=0.0)
+        assert policy.delay_seconds(1, policy.rng()) == pytest.approx(0.012)
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, clock=_Clock())
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is True  # the tripping call reports it
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_run(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=_Clock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = _Clock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_after_seconds=1.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()  # still open
+        clock.now = 1.0
+        assert breaker.state == BREAKER_HALF_OPEN
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # concurrent callers are turned away
+        breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens(self):
+        clock = _Clock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_after_seconds=1.0, clock=clock)
+        breaker.record_failure()
+        clock.now = 1.0
+        assert breaker.allow()
+        assert breaker.record_failure() is True  # re-trip counts as a trip
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.trips == 2
+        clock.now = 1.5
+        assert not breaker.allow()  # the reset interval restarted
+        clock.now = 2.0
+        assert breaker.allow()
+
+    def test_failures_while_open_do_not_re_trip(self):
+        breaker = CircuitBreaker(failure_threshold=1, clock=_Clock())
+        breaker.record_failure()
+        assert breaker.record_failure() is False  # in-flight stragglers
+        assert breaker.trips == 1
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+    def test_gauge_encoding_covers_every_state(self):
+        assert set(BREAKER_STATE_GAUGE) == {BREAKER_CLOSED, BREAKER_HALF_OPEN, BREAKER_OPEN}
+        assert BREAKER_STATE_GAUGE[BREAKER_CLOSED] < BREAKER_STATE_GAUGE[BREAKER_HALF_OPEN]
+        assert BREAKER_STATE_GAUGE[BREAKER_HALF_OPEN] < BREAKER_STATE_GAUGE[BREAKER_OPEN]

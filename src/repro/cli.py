@@ -38,6 +38,10 @@ Examples::
     python -m repro.cli client http://127.0.0.1:8080 prepared db_dir "(x, y) . R(x, y)" --stream
     python -m repro.cli client http://127.0.0.1:8080 explain db_dir "(x) . P(x)"
     python -m repro.cli client http://127.0.0.1:8080 metrics
+    python -m repro.cli client http://127.0.0.1:8080 query db_dir "(x) . P(x)" --cost
+    python -m repro.cli client http://127.0.0.1:8080 debug --json > recorder.json
+    python -m repro.cli trace export recorder.json -o timeline.json
+    python -m repro.cli top http://127.0.0.1:8080 http://127.0.0.1:8081 --interval 2
     python -m repro.cli bench-diff old/BENCH_E14.json new/BENCH_E14.json
     python -m repro.cli bench-validate benchmarks/reports --expect E13 --expect E14
     python -m repro.cli chaos plan --faults "seed=7 refuse=0.1 garble@25" --draws 50
@@ -198,6 +202,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="require BENCH_<NAME>.json to exist (repeatable); missing files fail the check",
     )
 
+    top = commands.add_parser(
+        "top", help="live dashboard: poll GET /metrics across servers and redraw one table"
+    )
+    top.add_argument("urls", nargs="+", help="service base URLs to poll, e.g. http://127.0.0.1:8080")
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between polls (default 2)"
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="stop after this many refreshes (default: run until interrupted)",
+    )
+    top.add_argument(
+        "--plain",
+        action="store_true",
+        help="append refreshes instead of redrawing the screen (for logs and pipes)",
+    )
+
+    trace = commands.add_parser("trace", help="work with captured traces")
+    trace_actions = trace.add_subparsers(dest="action", required=True)
+    tr_export = trace_actions.add_parser(
+        "export", help="render a captured trace to Chrome trace-event JSON (chrome://tracing, Perfetto)"
+    )
+    tr_export.add_argument(
+        "file",
+        help="JSON file holding traces: a response envelope with a 'trace' field, a "
+        "flight-recorder snapshot (repro client URL debug --json), or a raw trace "
+        "payload; '-' reads stdin",
+    )
+    tr_export.add_argument(
+        "-o", "--output", default=None, metavar="FILE", help="write here instead of stdout"
+    )
+
     cluster = commands.add_parser("cluster", help="manage the persistent snapshot store")
     cluster_actions = cluster.add_subparsers(dest="action", required=True)
 
@@ -234,7 +272,10 @@ def build_parser() -> argparse.ArgumentParser:
     c_databases = actions.add_parser("databases", help="list registered databases")
     c_stats = actions.add_parser("stats", help="cache/batch counters")
     c_metrics = actions.add_parser("metrics", help="telemetry snapshot: counters, gauges, latency percentiles")
-    for spare in (c_health, c_databases, c_stats, c_metrics):
+    c_debug = actions.add_parser(
+        "debug", help="dump the server's flight recorder: captured slow and failed requests"
+    )
+    for spare in (c_health, c_databases, c_stats, c_metrics, c_debug):
         spare.add_argument("--json", action="store_true", help="print the raw protocol message")
 
     c_info = actions.add_parser("info", help="describe a registered database")
@@ -252,6 +293,12 @@ def build_parser() -> argparse.ArgumentParser:
         "print the operator tree after the answers",
     )
     c_query.add_argument("--json", action="store_true", help="print a protocol QueryResponse instead of text")
+    c_query.add_argument(
+        "--cost",
+        action="store_true",
+        help="request the per-query resource bill (rows scanned/emitted, operator time, "
+        "cache hits, queue wait, retries, bytes) and print it after the answers",
+    )
 
     c_explain = actions.add_parser(
         "explain",
@@ -563,14 +610,23 @@ def _command_serve(arguments: argparse.Namespace) -> int:
     databases = _named_databases(arguments.databases)
     warm_requests = None
     if arguments.warm is not None:
-        from repro.workloads.traffic import load_traffic_log
+        from repro.workloads.traffic import load_traffic_log_tolerant
 
         try:
-            warm_requests = load_traffic_log(arguments.warm)
+            warm_requests, skipped = load_traffic_log_tolerant(arguments.warm)
         except ReproError as error:
-            # A stale or corrupt warm-up log is a degraded boot, not a failed
+            # An unreadable warm-up log is a degraded boot, not a failed
             # one: the server starts cold and says why.
             print(f"warning: skipping warm-up — {error}", file=sys.stderr)
+        else:
+            # Malformed entries are skipped one by one (each also emitted
+            # as a warmup.skipped_entry event): one corrupt line must not
+            # cost the whole warm-up.
+            for line_number, reason in skipped:
+                print(
+                    f"warning: skipping warm-up entry {arguments.warm}:{line_number} — {reason}",
+                    file=sys.stderr,
+                )
 
     cluster = None
     temporary_store = None
@@ -697,6 +753,84 @@ def _command_bench_validate(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_top(arguments: argparse.Namespace) -> int:
+    """Poll ``GET /metrics`` across servers and redraw one dashboard table."""
+    import contextlib
+    import time
+
+    from repro.observability.dashboard import render_top
+
+    if arguments.interval <= 0:
+        print("error: --interval must be positive", file=sys.stderr)
+        return 2
+    clients = [ServiceClient(url) for url in arguments.urls]
+    previous: dict[str, object] = {}
+    previous_time: float | None = None
+    refreshed = 0
+    try:
+        while True:
+            servers = []
+            for url, client in zip(arguments.urls, clients):
+                try:
+                    servers.append((url, client.metrics()))
+                except ReproError:
+                    servers.append((url, None))
+            now = time.monotonic()
+            elapsed = now - previous_time if previous_time is not None else None
+            screen = render_top(servers, previous, elapsed)
+            if not arguments.plain:
+                # ANSI clear + home: a full-screen redraw without curses, so
+                # the dashboard works over ssh and inside tmux alike.
+                sys.stdout.write("\x1b[2J\x1b[H")
+            print(screen, flush=True)
+            previous = {url: metrics for url, metrics in servers if metrics is not None}
+            previous_time = now
+            refreshed += 1
+            if arguments.iterations is not None and refreshed >= arguments.iterations:
+                return 0
+            time.sleep(arguments.interval)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        for client in clients:
+            with contextlib.suppress(Exception):
+                client.close()
+
+
+def _command_trace(arguments: argparse.Namespace) -> int:
+    """``repro trace export``: captured traces → Chrome trace-event JSON."""
+    import json
+
+    from repro.observability.export import chrome_trace_events
+
+    if arguments.file == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            text = Path(arguments.file).read_text()
+        except OSError as error:
+            print(f"error: cannot read {arguments.file}: {error}", file=sys.stderr)
+            return 2
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        print(f"error: {arguments.file} is not valid JSON: {error}", file=sys.stderr)
+        return 2
+    try:
+        rendered = chrome_trace_events(document)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    output = json.dumps(rendered, indent=2)
+    if arguments.output is None:
+        print(output)
+        return 0
+    Path(arguments.output).write_text(output + "\n")
+    spans = sum(1 for event in rendered["traceEvents"] if event.get("ph") == "X")
+    print(f"wrote {spans} span event(s) to {arguments.output}")
+    return 0
+
+
 def _command_cluster(arguments: argparse.Namespace) -> int:
     from repro.cluster import PartitionScheme, SnapshotStore, partition_database
 
@@ -747,7 +881,7 @@ def _command_cluster(arguments: argparse.Namespace) -> int:
 
 
 def _command_client(arguments: argparse.Namespace) -> int:
-    client = ServiceClient(arguments.url)
+    client = ServiceClient(arguments.url, account=getattr(arguments, "cost", False))
     if arguments.action == "health":
         health = client.health()
         print(dump_wire(health, indent=2) if arguments.json else f"status: {health.status}")
@@ -779,6 +913,15 @@ def _command_client(arguments: argparse.Namespace) -> int:
             print(dump_wire(metrics, indent=2))
             return 0
         _print_metrics(metrics)
+        return 0
+    if arguments.action == "debug":
+        import json
+
+        snapshot = client.debug()
+        if arguments.json:
+            print(json.dumps(snapshot, indent=2, sort_keys=True))
+            return 0
+        _print_flight_recorder(snapshot)
         return 0
     if arguments.action == "info":
         info = client.info(arguments.name)
@@ -830,6 +973,10 @@ def _command_client(arguments: argparse.Namespace) -> int:
             print(dump_wire(response, indent=2))
             return 0
         _print_query_response(response)
+        if arguments.cost and response.cost is not None:
+            from repro.observability.accounting import cost_summary
+
+            print(f"cost: {cost_summary(response.cost)}")
         return 0
     if arguments.action == "explain":
         params = _parse_params(arguments.param)
@@ -1004,6 +1151,40 @@ def _command_chaos(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _print_flight_recorder(snapshot: dict) -> None:
+    """Text rendering of a ``/debug/flightrecorder`` snapshot."""
+    print(
+        f"flight recorder [{snapshot.get('schema', '?')}]: "
+        f"{snapshot.get('captured', 0)} captured of {snapshot.get('observed', 0)} observed "
+        f"(ring capacity {snapshot.get('capacity', '?')}, "
+        f"slow threshold {snapshot.get('slow_threshold_ms', '?')}ms)"
+    )
+    entries = snapshot.get("entries") or []
+    if not entries:
+        print("(no slow or failed requests captured)")
+        return
+    rows = []
+    for entry in entries:
+        error = entry.get("error")
+        rows.append(
+            [
+                entry.get("path", "?"),
+                entry.get("status", "?"),
+                f"{entry.get('duration_ms', 0.0):.1f}",
+                entry.get("database") or "-",
+                (entry.get("query") or "-")[:40],
+                error.get("kind", "error") if isinstance(error, dict) else (error or "-"),
+                len(entry.get("events") or []),
+            ]
+        )
+    print(format_table(["path", "status", "ms", "database", "query", "error", "events"], rows))
+    slowest = max(entries, key=lambda entry: entry.get("duration_ms", 0.0))
+    print(
+        f"slowest: {slowest.get('path')} {slowest.get('duration_ms', 0.0):.1f}ms — "
+        "export its timeline with `repro trace export` on the --json dump"
+    )
+
+
 def _print_metrics(metrics) -> None:
     """Text rendering of a MetricsResponse: counters, gauges, percentiles."""
     print(f"uptime: {metrics.uptime_seconds:.1f}s")
@@ -1048,6 +1229,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_bench_diff(arguments)
         if arguments.command == "bench-validate":
             return _command_bench_validate(arguments)
+        if arguments.command == "top":
+            return _command_top(arguments)
+        if arguments.command == "trace":
+            return _command_trace(arguments)
         if arguments.command == "cluster":
             return _command_cluster(arguments)
         if arguments.command == "client":

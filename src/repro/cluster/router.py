@@ -78,7 +78,8 @@ from repro.logic.parser import parse_query
 from repro.logic.printer import query_to_text
 from repro.logic.queries import Query
 from repro.logic.template import bind_query, query_parameters
-from repro.observability import tracing
+from repro.observability import events, tracing
+from repro.observability.accounting import activate as activate_account, current_account
 from repro.observability.metrics import MetricsRegistry, merge_metric_snapshots
 from repro.resilience import resilience_disabled
 from repro.resilience import deadlines
@@ -366,6 +367,12 @@ class ClusterRouter:
             # Snapshots are immutable, so the stale answer is byte-identical
             # to what a live worker would say; the flag is the honest signal.
             self.metrics_registry.increment("router.degraded_served")
+            events.emit(
+                "router.degraded_serve",
+                level="warning",
+                database=request.database,
+                query=request.query,
+            )
             return replace(
                 stale,
                 degraded=True,
@@ -657,7 +664,8 @@ class ClusterRouter:
                 # A successful probe is exactly the evidence a half-open
                 # breaker waits for; close it so traffic returns immediately
                 # instead of after the next in-band probe.
-                state.breaker.record_success()
+                if state.breaker.record_success():
+                    events.emit("breaker.healed", worker=state.index, via="health_check")
             result[state.index] = state.alive
         return result
 
@@ -696,17 +704,20 @@ class ClusterRouter:
         """Fan the request out to every shard; union-merge the answer sets."""
         n_workers = len(self._workers)
         # Thread-locals do not cross the fan-out pool: capture the caller's
-        # trace *and current span* — and its deadline — here and re-activate
-        # them inside each shard task, so worker spans stitch under the
-        # router's scatter span in one tree and every shard hop inherits the
-        # request's remaining budget.  With both off this is three
-        # thread-local reads plus no-op context managers.
+        # trace *and current span* — its deadline, and its resource account
+        # — here and re-activate them inside each shard task, so worker
+        # spans stitch under the router's scatter span in one tree, every
+        # shard hop inherits the request's remaining budget, and shard
+        # charges land on the request's bill (int adds under the GIL are
+        # safe across concurrent shard tasks).  With all three off this is
+        # four thread-local reads plus no-op context managers.
         active = tracing.current_trace()
         parent = tracing.current_span_id()
         deadline = deadlines.current_deadline()
+        account = current_account()
 
         def on_shard(shard: int) -> QueryResponse:
-            with deadlines.activate(deadline):
+            with deadlines.activate(deadline), activate_account(account):
                 with tracing.activate(active, parent=parent):
                     with tracing.span(f"scatter shard {shard}"):
                         return self._on_workers(
@@ -821,6 +832,17 @@ class ClusterRouter:
                     delay = min(delay, max(0.0, deadline.remaining_seconds()))
                 time.sleep(delay)
                 self.metrics_registry.increment("router.retries")
+                account = current_account()
+                if account is not None:
+                    account.note_retry()
+                events.emit(
+                    "router.retry",
+                    level="warning",
+                    what=what,
+                    retry_round=retry_round,
+                    delay_ms=delay * 1000.0,
+                    last_error=str(last_error) if last_error else None,
+                )
             try:
                 return self._attempt_workers(candidates, request, what, (retry_round, last_error))
             except _RoundFailed as failed:
@@ -863,8 +885,8 @@ class ClusterRouter:
                 # The worker answered — it is alive, just shedding load.  Not
                 # a transport fault: no death mark, no breaker charge; the
                 # next replica (or round) absorbs the work.
-                if breaker is not None:
-                    breaker.record_success()
+                if breaker is not None and breaker.record_success():
+                    events.emit("breaker.healed", worker=index)
                 last_error = error
                 self.metrics_registry.increment("router.worker_sheds")
                 continue
@@ -878,12 +900,20 @@ class ClusterRouter:
                 last_error = error
                 with self._lock:
                     self._failovers += 1
+                events.emit(
+                    "router.failover",
+                    level="warning",
+                    worker=index,
+                    what=what,
+                    error=str(error),
+                )
                 if breaker is not None and breaker.record_failure():
                     self.metrics_registry.increment("router.breaker_trips")
+                    events.emit("breaker.tripped", level="error", worker=index, what=what)
                 continue
             state.alive = True
-            if breaker is not None:
-                breaker.record_success()
+            if breaker is not None and breaker.record_success():
+                events.emit("breaker.healed", worker=index)
             return response
         if retry_round is not None:
             raise _RoundFailed(last_error)

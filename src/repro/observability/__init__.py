@@ -1,6 +1,6 @@
-"""Stdlib-only telemetry for the serving stack: traces, metrics, profiles.
+"""Stdlib-only telemetry for the serving stack: traces, metrics, forensics.
 
-Three views of a running system, all zero-dependency and all designed to
+Seven views of a running system, all zero-dependency and all designed to
 cost (almost) nothing when disabled:
 
 * :mod:`repro.observability.tracing` — span-based request tracing.  A trace
@@ -12,21 +12,50 @@ cost (almost) nothing when disabled:
 * :mod:`repro.observability.explain` — operator-level EXPLAIN ANALYZE: a
   profiler the streaming executor threads per-node row counts, wall time,
   access-path and memo-hit information through, rendered as a text tree.
+* :mod:`repro.observability.events` — a schema-versioned, rate-limited
+  structured event log: every resilience decision (shed, trip, retry,
+  failover, degraded serve, eviction...) leaves one trace-correlated
+  record, optionally NDJSON-durable via ``REPRO_EVENT_LOG``.
+* :mod:`repro.observability.accounting` — per-query resource accounts
+  (rows scanned/emitted, operator time, cache hits, queue wait, bytes on
+  the wire) returned in the response's ``cost`` field.
+* :mod:`repro.observability.recorder` + :mod:`repro.observability.export`
+  — a bounded flight recorder capturing the full trace+profile+account+
+  event tail of slow or failed requests (``GET /debug/flightrecorder``),
+  exportable to Chrome trace-event JSON (``repro trace export``).
+* :mod:`repro.observability.dashboard` — the pure rendering behind
+  ``repro top``: one fleet-wide table of QPS, latency percentiles,
+  in-flight, shed/degraded rates and breaker states from ``/metrics``
+  snapshots.
 
 The serving layers import these modules unconditionally, but every hook is
 behind an ``is it on?`` check (an active thread-local trace, a non-``None``
-profiler), so the instrumented hot paths stay within noise of the
-uninstrumented ones — the e14/e16/e17 speedup requirements still hold.
+profiler or account, an environment kill switch), so the instrumented hot
+paths stay within noise of the uninstrumented ones — the e14/e16/e17
+speedup requirements still hold.
 """
 
+from repro.observability.accounting import ResourceAccount, current_account
+from repro.observability.dashboard import render_top
+from repro.observability.events import EventLog, emit, validate_event
+from repro.observability.export import chrome_trace_events
 from repro.observability.metrics import MetricsRegistry, merge_metric_snapshots
+from repro.observability.recorder import FlightRecorder
 from repro.observability.tracing import Trace, current_trace, span, trace
 
 __all__ = [
+    "EventLog",
+    "FlightRecorder",
     "MetricsRegistry",
-    "merge_metric_snapshots",
+    "ResourceAccount",
     "Trace",
+    "chrome_trace_events",
+    "current_account",
     "current_trace",
+    "emit",
+    "merge_metric_snapshots",
+    "render_top",
     "span",
     "trace",
+    "validate_event",
 ]

@@ -1,0 +1,153 @@
+"""Rendering for ``repro top`` — a stdlib live view over ``GET /metrics``.
+
+``repro top URL [URL ...]`` polls each server's metrics snapshot on an
+interval and redraws one table: QPS, latency percentiles, in-flight
+requests, shed and degraded-serve rates, and circuit-breaker states.
+This module is the pure half — it turns (current snapshot, previous
+snapshot, elapsed seconds) into the rendered screen, so the tests can
+drive it without a terminal or a server.  The CLI owns the polling loop
+and the ANSI clear-screen redraw.
+
+Rates are **deltas between polls**: the registry exposes monotonically
+increasing counters, so ``(now - before) / elapsed`` is the only honest
+per-second figure; the first refresh (no previous snapshot) shows ``-``.
+Latency percentiles merge the log-bucket histograms of every ``http.*``
+route, the same estimator ``/metrics`` itself uses.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.harness.reporting import format_table
+from repro.observability.metrics import percentiles_from_buckets
+
+__all__ = ["TOP_HEADERS", "render_top", "top_row"]
+
+TOP_HEADERS = (
+    "server",
+    "status",
+    "qps",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "in_flight",
+    "shed/s",
+    "degraded/s",
+    "breakers",
+)
+
+
+def _clean_count(value: object) -> int:
+    return value if isinstance(value, int) and not isinstance(value, bool) else 0
+
+
+def _http_totals(histograms: Mapping[str, Mapping]) -> tuple[int, dict[str, int]]:
+    """Total request count and merged log-buckets across ``http.*`` routes."""
+    count = 0
+    buckets: dict[str, int] = {}
+    for name, histogram in histograms.items():
+        if not name.startswith("http.") or not isinstance(histogram, Mapping):
+            continue
+        count += _clean_count(histogram.get("count"))
+        raw = histogram.get("buckets")
+        if isinstance(raw, Mapping):
+            for index, observations in raw.items():
+                buckets[str(index)] = buckets.get(str(index), 0) + _clean_count(observations)
+    return count, buckets
+
+
+def _counter(metrics, name: str) -> int:
+    return _clean_count(metrics.counters.get(name))
+
+
+def _breaker_summary(gauges: Mapping[str, float]) -> str:
+    """``3 closed, 1 open`` from the ``breaker.state.*`` gauge encoding."""
+    states = {"closed": 0, "half_open": 0, "open": 0}
+    for name, value in gauges.items():
+        if not name.startswith("breaker.state."):
+            continue
+        if value >= 1.0:
+            states["open"] += 1
+        elif value >= 0.5:
+            states["half_open"] += 1
+        else:
+            states["closed"] += 1
+    parts = [f"{count} {state}" for state, count in states.items() if count]
+    return ", ".join(parts) or "-"
+
+
+def _rate(value: float | None) -> str:
+    return "-" if value is None else f"{value:.1f}"
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1000.0:.2f}"
+
+
+def top_row(url: str, metrics, previous=None, elapsed: float | None = None) -> list[str]:
+    """One table row for one server (``metrics is None`` means unreachable)."""
+    if metrics is None:
+        return [url, "DOWN"] + ["-"] * (len(TOP_HEADERS) - 2)
+    count, buckets = _http_totals(metrics.histograms)
+    quantiles = percentiles_from_buckets(buckets, count)
+    qps = sheds_rate = degraded_rate = None
+    if previous is not None and elapsed is not None and elapsed > 0:
+        previous_count, __ = _http_totals(previous.histograms)
+        qps = max(0, count - previous_count) / elapsed
+        sheds_rate = (
+            max(0, _counter(metrics, "admission.sheds") - _counter(previous, "admission.sheds"))
+            / elapsed
+        )
+        degraded_rate = (
+            max(
+                0,
+                _counter(metrics, "router.degraded_served")
+                - _counter(previous, "router.degraded_served"),
+            )
+            / elapsed
+        )
+    in_flight = metrics.gauges.get("admission.in_flight")
+    return [
+        url,
+        "up",
+        _rate(qps),
+        _ms(quantiles["p50"]),
+        _ms(quantiles["p95"]),
+        _ms(quantiles["p99"]),
+        "-" if not isinstance(in_flight, (int, float)) else f"{in_flight:.0f}",
+        _rate(sheds_rate),
+        _rate(degraded_rate),
+        _breaker_summary(metrics.gauges),
+    ]
+
+
+def render_top(
+    servers: Sequence[tuple[str, object]],
+    previous: Mapping[str, object],
+    elapsed: float | None,
+) -> str:
+    """The full screen: a header line plus one table row per server.
+
+    *servers* pairs each URL with its just-polled metrics snapshot (or
+    ``None`` when the poll failed); *previous* maps URLs to the prior
+    snapshot, and *elapsed* is the seconds between the two polls.
+    """
+    rows = [top_row(url, metrics, previous.get(url), elapsed) for url, metrics in servers]
+    up = sum(1 for __, metrics in servers if metrics is not None)
+    header = f"repro top — {up}/{len(servers)} server(s) up"
+    if elapsed is not None:
+        header += f", refreshed every {elapsed:.1f}s"
+    total_qps = 0.0
+    have_rate = False
+    for url, metrics in servers:
+        before = previous.get(url)
+        if metrics is None or before is None or not elapsed:
+            continue
+        count, __ = _http_totals(metrics.histograms)
+        previous_count, __ = _http_totals(before.histograms)
+        total_qps += max(0, count - previous_count) / elapsed
+        have_rate = True
+    if have_rate:
+        header += f" — total {total_qps:.1f} qps"
+    return header + "\n" + format_table(list(TOP_HEADERS), rows)

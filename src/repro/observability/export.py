@@ -1,0 +1,126 @@
+"""Render captured traces to Chrome trace-event JSON.
+
+The tracing module's wire form (``Trace.to_wire()``: ``{"id", "spans"}``
+with spans carrying monotonic ``start`` seconds and ``duration_us``) is
+compact but needs this codebase to read.  The Chrome trace-event format
+(``chrome://tracing``, Perfetto, ``about:tracing``) is the lingua franca
+of timeline viewers, so ``repro trace export`` converts any captured
+trace — a response envelope's ``trace`` field, a flight-recorder
+snapshot, or a raw trace payload — into a JSON document those viewers
+open directly.  A scatter/retry timeline then reads as stacked bars:
+the router's route span on top, shard fan-out spans beneath it, worker
+spans beneath those.
+
+Only complete ("X" phase) events are emitted: every repro span has both
+a start and a duration, so begin/end pairing is unnecessary.  Timestamps
+are normalized so the earliest span in the document starts at zero —
+monotonic clocks from different processes are not comparable, so
+cross-process skew is possible; within one process's spans the relative
+timeline is exact.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+__all__ = ["chrome_trace_events", "trace_payloads_from"]
+
+
+def trace_payloads_from(document: object) -> list[dict]:
+    """Extract raw trace payloads (``{"id", "spans"}``) from *document*.
+
+    Accepts, by shape:
+
+    - a raw trace payload (``Trace.to_wire()``);
+    - any response envelope carrying a ``"trace"`` key (query responses,
+      error envelopes — the server stamps both);
+    - a flight-recorder snapshot (every captured entry's trace);
+    - a single flight-recorder entry;
+    - a list of any of the above.
+    """
+    found: list[dict] = []
+    _collect(document, found)
+    return found
+
+
+def _collect(node: object, found: list[dict]) -> None:
+    if isinstance(node, (list, tuple)):
+        for item in node:
+            _collect(item, found)
+        return
+    if not isinstance(node, Mapping):
+        return
+    if isinstance(node.get("id"), str) and isinstance(node.get("spans"), (list, tuple)):
+        found.append(dict(node))
+        return
+    trace = node.get("trace")
+    if isinstance(trace, Mapping):
+        _collect(trace, found)
+    entries = node.get("entries")
+    if isinstance(entries, (list, tuple)):
+        for entry in entries:
+            _collect(entry, found)
+
+
+def chrome_trace_events(document: object) -> dict:
+    """A Chrome trace-event JSON document for every trace in *document*.
+
+    Each distinct trace becomes one ``pid`` (the viewer groups rows by
+    process), named after the trace id via a process-name metadata
+    event.  Raises ``ValueError`` when the input holds no trace.
+    """
+    traces = trace_payloads_from(document)
+    if not traces:
+        raise ValueError(
+            "no trace found: expected a trace payload, a response with a 'trace' field, "
+            "or a flight-recorder snapshot with captured entries"
+        )
+    events: list[dict] = []
+    for pid, trace in enumerate(traces, start=1):
+        spans = [span for span in trace["spans"] if _usable(span)]
+        if not spans:
+            continue
+        origin = min(span["start"] for span in spans)
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"trace {trace['id']}"},
+            }
+        )
+        for span in spans:
+            args = {
+                "trace_id": span.get("trace_id"),
+                "span_id": span.get("span_id"),
+                "parent_id": span.get("parent_id"),
+            }
+            attributes = span.get("attributes")
+            if isinstance(attributes, Mapping):
+                args.update({str(key): value for key, value in attributes.items()})
+            events.append(
+                {
+                    "name": str(span.get("name", "span")),
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": (span["start"] - origin) * 1e6,
+                    "dur": float(span["duration_us"]),
+                    "pid": pid,
+                    "tid": 1,
+                    "args": args,
+                }
+            )
+    if not any(event.get("ph") == "X" for event in events):
+        raise ValueError("trace found, but it holds no completed spans to export")
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _usable(span: object) -> bool:
+    return (
+        isinstance(span, Mapping)
+        and isinstance(span.get("start"), (int, float))
+        and not isinstance(span.get("start"), bool)
+        and isinstance(span.get("duration_us"), (int, float))
+        and not isinstance(span.get("duration_us"), bool)
+    )

@@ -164,28 +164,47 @@ class _Timer:
         self._registry.observe(self._name, time.perf_counter() - self._start)
 
 
+#: Fields the merge understands natively; everything else passes through.
+_HISTOGRAM_MERGE_FIELDS = ("count", "sum_seconds", "min_seconds", "max_seconds", "buckets")
+_QUANTILE_FIELDS = tuple(name for name, __ in QUANTILES)
+
+
 def _merge_histograms(target: dict, incoming: Mapping[str, object]) -> None:
+    # Buckets merge first and unconditionally: they are the ground truth
+    # the quantiles are recomputed from, and must survive even when a
+    # peer's *other* fields (a reshaped count, say) are unusable.
+    buckets = incoming.get("buckets")
+    merged = target.setdefault("buckets", {})
+    bucket_total = 0
+    if isinstance(buckets, Mapping):
+        for index, observations in buckets.items():
+            if isinstance(observations, int) and not isinstance(observations, bool) and observations >= 0:
+                merged[str(index)] = merged.get(str(index), 0) + observations
+                bucket_total += observations
     count = incoming.get("count")
-    if not isinstance(count, int) or count < 0:
-        return
+    if isinstance(count, bool) or not isinstance(count, int) or count < 0:
+        # A missing or malformed count must not drop the histogram: the
+        # merged buckets carry the same information, so recover it.
+        count = bucket_total
     target["count"] = target.get("count", 0) + count
-    for key in ("sum_seconds",):
-        value = incoming.get(key)
-        if isinstance(value, (int, float)):
-            target[key] = target.get(key, 0.0) + float(value)
+    value = incoming.get("sum_seconds")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        target["sum_seconds"] = target.get("sum_seconds", 0.0) + float(value)
     minimum = incoming.get("min_seconds")
-    if isinstance(minimum, (int, float)) and count:
+    if isinstance(minimum, (int, float)) and not isinstance(minimum, bool) and count:
         current = target.get("min_seconds")
         target["min_seconds"] = float(minimum) if current is None else min(current, float(minimum))
     maximum = incoming.get("max_seconds")
-    if isinstance(maximum, (int, float)):
+    if isinstance(maximum, (int, float)) and not isinstance(maximum, bool):
         target["max_seconds"] = max(target.get("max_seconds", 0.0), float(maximum))
-    buckets = incoming.get("buckets")
-    merged = target.setdefault("buckets", {})
-    if isinstance(buckets, Mapping):
-        for index, observations in buckets.items():
-            if isinstance(observations, int):
-                merged[str(index)] = merged.get(str(index), 0) + observations
+    # Symmetric field tolerance: fields this code does not know — a newer
+    # peer's additions, whichever snapshot carries them — survive the
+    # merge (first value wins) instead of silently vanishing.  Quantiles
+    # are excluded because they are recomputed from the merged buckets.
+    for key, value in incoming.items():
+        if key in _HISTOGRAM_MERGE_FIELDS or key in _QUANTILE_FIELDS:
+            continue
+        target.setdefault(key, value)
 
 
 def merge_metric_snapshots(snapshots: Iterable[Mapping[str, object]]) -> dict:

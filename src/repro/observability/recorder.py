@@ -1,0 +1,134 @@
+"""A bounded in-memory flight recorder for slow and failed requests.
+
+Aggregate telemetry answers "are we slow?"; the flight recorder answers
+"*show me the slowest request* — its trace, its plan profile, its
+resource bill, and the resilience events it triggered".  The server
+observes every completed request and **captures** the interesting ones:
+anything that errored, plus anything over the slow-latency threshold.
+Captured entries go into a fixed-capacity ring (oldest evicted first) so
+the recorder's memory is bounded no matter how bad an incident gets.
+
+The ring is served at ``GET /debug/flightrecorder`` and dumpable via
+``repro client debug``; individual entries' traces feed ``repro trace
+export`` for the Chrome trace-event viewer.
+
+Entries are plain JSON-shaped dicts — one ``append`` under one lock, so
+a reader can never observe a torn record, and concurrent writers
+interleave whole entries only.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Mapping
+
+__all__ = [
+    "FLIGHT_RECORDER_SCHEMA",
+    "DEFAULT_RECORDER_CAPACITY",
+    "DEFAULT_SLOW_THRESHOLD_MS",
+    "FlightRecorder",
+]
+
+FLIGHT_RECORDER_SCHEMA = "repro-flightrecorder/v1"
+
+DEFAULT_RECORDER_CAPACITY = 64
+
+#: Requests at or above this wall time are captured even when they succeed.
+DEFAULT_SLOW_THRESHOLD_MS = 250.0
+
+
+class FlightRecorder:
+    """A thread-safe ring of fully-described slow/failed requests."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_RECORDER_CAPACITY,
+        slow_threshold_ms: float = DEFAULT_SLOW_THRESHOLD_MS,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("a flight recorder needs capacity for at least one entry")
+        self.capacity = capacity
+        self.slow_threshold_ms = slow_threshold_ms
+        self._lock = threading.Lock()
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self._observed = 0
+        self._captured = 0
+
+    # Capture --------------------------------------------------------------------
+
+    def observe(
+        self,
+        *,
+        path: str,
+        duration_ms: float,
+        status: int,
+        database: str | None = None,
+        query: str | None = None,
+        error: Mapping[str, object] | str | None = None,
+        trace: Mapping[str, object] | None = None,
+        profile: Mapping[str, object] | None = None,
+        cost: Mapping[str, object] | None = None,
+        events: list | tuple | None = None,
+    ) -> bool:
+        """Consider one completed request; capture it if it is interesting.
+
+        "Interesting" means: it errored (``error`` set or ``status >=
+        400``), or it met the slow threshold.  Returns whether the entry
+        was captured, so callers can count captures without re-deriving
+        the predicate.
+        """
+        with self._lock:
+            self._observed += 1
+            interesting = (
+                error is not None or status >= 400 or duration_ms >= self.slow_threshold_ms
+            )
+            if not interesting:
+                return False
+            entry: dict = {
+                "ts": time.time(),
+                "path": path,
+                "duration_ms": duration_ms,
+                "status": status,
+                "database": database,
+                "query": query,
+                "error": dict(error) if isinstance(error, Mapping) else error,
+                "trace": dict(trace) if isinstance(trace, Mapping) else None,
+                "profile": dict(profile) if isinstance(profile, Mapping) else None,
+                "cost": dict(cost) if isinstance(cost, Mapping) else None,
+                "events": list(events) if events else [],
+            }
+            self._ring.append(entry)
+            self._captured += 1
+            return True
+
+    # Introspection --------------------------------------------------------------
+
+    def entries(self) -> list[dict]:
+        """Captured entries, oldest first (whole-record copies)."""
+        with self._lock:
+            return [dict(entry) for entry in self._ring]
+
+    def slowest(self) -> dict | None:
+        """The captured entry with the largest wall time, if any."""
+        with self._lock:
+            if not self._ring:
+                return None
+            return dict(max(self._ring, key=lambda entry: entry.get("duration_ms", 0.0)))
+
+    def snapshot(self) -> dict:
+        """The ``GET /debug/flightrecorder`` payload."""
+        with self._lock:
+            return {
+                "schema": FLIGHT_RECORDER_SCHEMA,
+                "capacity": self.capacity,
+                "slow_threshold_ms": self.slow_threshold_ms,
+                "observed": self._observed,
+                "captured": self._captured,
+                "entries": [dict(entry) for entry in self._ring],
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)

@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.errors import EvaluationError
+from repro.observability.accounting import current_account
 from repro.physical.database import PhysicalDatabase
 from repro.physical.indexes import indexes_for
 from repro.resilience.deadlines import current_deadline
@@ -107,6 +108,11 @@ class _ExecutionContext:
         # instead of running to completion.  ``None`` (the common case)
         # costs one ``is None`` check per materialization, like the profiler.
         self.deadline = current_deadline()
+        # Same capture discipline for the resource account: one read here,
+        # then len-based charges at base-relation access points only —
+        # never per row, so an account-free execution costs one ``is
+        # None`` check per scan.
+        self.account = current_account()
 
     def mark_shared_subplans(self, root: PlanNode) -> None:
         """Record which subplans occur more than once (by structural equality).
@@ -240,6 +246,8 @@ class _ExecutionContext:
     def _iterate(self, plan: PlanNode) -> Iterator[tuple]:
         if isinstance(plan, ScanRelation):
             relation = self.database.relation(plan.relation)
+            if self.account is not None:
+                self.account.rows_scanned += len(relation)
             for row in relation:
                 yield tuple(row)
             return
@@ -311,11 +319,15 @@ class _ExecutionContext:
             if rows is not None:
                 if self.profiler is not None:
                     self.profiler.note_access(plan, "index")
+                if self.account is not None:
+                    self.account.rows_scanned += len(rows)
                 yield from rows
                 return
         # No index available (lazy relation) or indexing disabled: filter scan.
         if self.profiler is not None:
             self.profiler.note_access(plan, "scan")
+        if self.account is not None:
+            self.account.rows_scanned += len(self.database.relation(plan.relation))
         for row in self.database.relation(plan.relation):
             row = tuple(row)
             if all(row[position] == value for position, value in zip(positions, key)):

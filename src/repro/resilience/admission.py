@@ -33,6 +33,8 @@ import time
 from typing import Iterator
 
 from repro.errors import OverloadedError
+from repro.observability import events
+from repro.observability.accounting import current_account
 from repro.resilience.deadlines import current_deadline
 
 __all__ = ["AdmissionController", "DEFAULT_MAX_IN_FLIGHT", "DEFAULT_MAX_QUEUE_DEPTH"]
@@ -85,6 +87,8 @@ class AdmissionController:
 
     def acquire(self) -> None:
         deadline = current_deadline()
+        account = current_account()
+        entered = time.monotonic() if account is not None else 0.0
         with self._lock:
             if self._in_flight < self.max_in_flight:
                 self._in_flight += 1
@@ -115,6 +119,8 @@ class AdmissionController:
                 self._queued -= 1
             self._in_flight += 1
             self._note_admitted()
+            if account is not None:
+                account.add_queue_wait(time.monotonic() - entered)
 
     def release(self) -> None:
         with self._lock:
@@ -134,6 +140,13 @@ class AdmissionController:
         self._sheds += 1
         if self.metrics is not None:
             self.metrics.increment("admission.sheds")
+        events.emit(
+            "admission.shed",
+            level="warning",
+            why=why,
+            in_flight=self._in_flight,
+            queued=self._queued,
+        )
         raise OverloadedError(
             f"overloaded: {why} ({self._in_flight} in flight, {self._queued} queued); retry later",
             retry_after_seconds=self.retry_after_seconds,

@@ -84,6 +84,17 @@ class Deadline:
         """Raise :class:`DeadlineExceededError` if the deadline has passed."""
         overrun = time.monotonic() - self.expires_at
         if overrun >= 0.0:
+            # Imported here, not at module top: the expiry path is cold by
+            # definition, and the lazy import keeps this hot-path module
+            # free of any observability dependency.
+            from repro.observability import events
+
+            events.emit(
+                "deadline.expired",
+                level="warning",
+                what=what,
+                overrun_ms=overrun * 1000.0,
+            )
             raise DeadlineExceededError(
                 f"deadline exceeded during {what} (over budget by {overrun * 1000.0:.1f}ms)"
             )

@@ -124,16 +124,20 @@ class CircuitBreaker:
                 return True
             return False
 
-    def record_success(self) -> None:
+    def record_success(self) -> bool:
+        """Reset on success; returns ``True`` if this call *healed* an open
+        or half-open breaker (so the caller can emit the heal event)."""
         # Same benign race as allow(): skipping the reset when there is
         # nothing to reset is equivalent to this success having happened
         # just before any concurrent failure.
         if self._state == BREAKER_CLOSED and self._consecutive_failures == 0:
-            return
+            return False
         with self._lock:
+            healed = self._state != BREAKER_CLOSED
             self._state = BREAKER_CLOSED
             self._consecutive_failures = 0
             self._probing = False
+            return healed
 
     def record_failure(self) -> bool:
         """Count one transport failure; returns ``True`` if this call tripped

@@ -124,9 +124,13 @@ class ServiceClient:
         base_url: str,
         timeout: float = DEFAULT_TIMEOUT_SECONDS,
         fault_plan: FaultPlan | None = None,
+        account: bool = False,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        #: When set, POST envelopes carry ``"account": true`` and a v2
+        #: server answers queries with a ``cost`` resource bill attached.
+        self.account = account
         if fault_plan is None and not resilience_disabled():
             spec = os.environ.get(FAULTS_ENV, "")
             if spec:
@@ -257,6 +261,10 @@ class ServiceClient:
             raise ProtocolError(f"expected a JSON object from {path}, got {type(payload).__name__}")
         return payload
 
+    def debug(self) -> dict:
+        """The server's flight-recorder snapshot (``GET /debug/flightrecorder``)."""
+        return self.get_raw("/debug/flightrecorder")
+
     def close(self) -> None:
         """Drop this thread's persistent connection (harmless if absent)."""
         connection = getattr(self._local, "connection", None)
@@ -274,6 +282,10 @@ class ServiceClient:
 
     def _post(self, path: str, message: object) -> object:
         wire = to_wire(message, self.protocol_version())
+        if self.account:
+            # Ask the server to attach the per-request resource bill; a
+            # pre-accounting server ignores the extra envelope key.
+            wire["account"] = True
         deadline = current_deadline()
         if deadline is not None:
             # Stamp the *remaining* budget: each hop re-anchors it on its own

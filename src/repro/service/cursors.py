@@ -23,6 +23,7 @@ import threading
 from collections import OrderedDict
 
 from repro.errors import ServiceError, UnknownCursorError
+from repro.observability import events
 from repro.service.protocol import CursorResponse, PageResponse, QueryResponse
 
 __all__ = ["CursorStore", "DEFAULT_CURSOR_CAPACITY"]
@@ -60,7 +61,15 @@ class CursorStore:
         with self._lock:
             self._cursors[cursor_id] = (pages, len(rows))
             while len(self._cursors) > self._capacity:
-                self._cursors.popitem(last=False)
+                evicted_id, (evicted_pages, evicted_rows) = self._cursors.popitem(last=False)
+                events.emit(
+                    "cursor.evicted",
+                    level="warning",
+                    cursor_id=evicted_id,
+                    pages=len(evicted_pages),
+                    total_rows=evicted_rows,
+                    capacity=self._capacity,
+                )
         return CursorResponse(
             cursor_id=cursor_id,
             database=response.database,

@@ -51,6 +51,8 @@ from repro.logical.database import CWDatabase
 from repro.logical.exact import CertainAnswerEvaluator
 from repro.logical.mappings import DEFAULT_MAX_MAPPINGS
 from repro.logical.ph import ph2
+from repro.observability import events
+from repro.observability.accounting import current_account
 from repro.observability.explain import PlanProfiler, profile_payload
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracing import span
@@ -350,6 +352,13 @@ class QueryService:
             }
             for key in [key for key in self._replanned if affected(key)]:
                 del self._replanned[key]
+        if dropped:
+            events.emit(
+                "plan.invalidated",
+                database=entry.name,
+                dropped=dropped,
+                reason="statistics_preload",
+            )
         return dropped
 
     def export_feedback(self) -> dict[str, dict[str, int]]:
@@ -430,13 +439,20 @@ class QueryService:
             request.profile,
         )
         response, was_cached = self._answers.get_or_compute(key, lambda: self._evaluate(entry, request))
+        account = current_account()
         if was_cached:
             # Entries are shared between content-identical snapshots, so the
             # stored name may be another alias — relabel for this request.
             response = replace(response, cached=True, database=entry.name)
             self.metrics_registry.increment("query.cache_hits")
+            if account is not None:
+                account.note_cache_hit()
         else:
             self.metrics_registry.observe(f"query.{request.engine}", response.elapsed_seconds)
+            if account is not None:
+                account.add_operator_seconds(response.elapsed_seconds)
+        if account is not None:
+            account.add_emitted(sum(len(rows) for rows in response.answers.values()))
         self.metrics_registry.increment("query.requests")
         return response
 
@@ -531,11 +547,18 @@ class QueryService:
         response, was_cached = self._answers.get_or_compute(
             key, lambda: self._evaluate_prepared(entry, statement, bound, rendered, values)
         )
+        account = current_account()
         if was_cached:
             response = replace(response, cached=True, database=entry.name)
             self.metrics_registry.increment("execute.cache_hits")
+            if account is not None:
+                account.note_cache_hit()
         else:
             self.metrics_registry.observe(f"template.{statement_id}", response.elapsed_seconds)
+            if account is not None:
+                account.add_operator_seconds(response.elapsed_seconds)
+        if account is not None:
+            account.add_emitted(sum(len(rows) for rows in response.answers.values()))
         self.metrics_registry.increment("execute.requests")
         return response
 
@@ -670,6 +693,13 @@ class QueryService:
                 if dropped:
                     self._feedback["invalidations"] += dropped
                     bounded_insert(self._replanned, plan_key, statistics.generation, self._marker_capacity)
+            if dropped:
+                events.emit(
+                    "plan.invalidated",
+                    query=plan_key[1],
+                    dropped=dropped,
+                    reason="feedback_divergence",
+                )
             return
         # Nothing fingerprintable, or every observation matches what the
         # statistics already know — either way there is nothing left to learn
@@ -701,8 +731,15 @@ class QueryService:
                 plan, generation = self._plans.get_or_compute(plan_key, compute_plan)[0]
             if generation >= required:
                 with self._registry_lock:
-                    if self._replanned.pop(plan_key, None) is not None:
+                    reoptimized = self._replanned.pop(plan_key, None) is not None
+                    if reoptimized:
                         self._feedback["reoptimizations"] += 1
+                if reoptimized:
+                    events.emit(
+                        "plan.reoptimized",
+                        query=plan_key[1],
+                        generation=generation,
+                    )
         elif converged_at is not None and generation < converged_at:
             # A stalled pre-feedback compute can publish its stale plan
             # *after* the replacement already converged (marker long

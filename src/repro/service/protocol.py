@@ -167,6 +167,13 @@ class QueryResponse:
     flag is the honest signal that the cluster, not a worker, produced it.
     A pre-resilience peer ignores the field (``parse_wire`` filters unknown
     keys), so it needs no protocol version bump.
+
+    ``cost`` is the per-request resource bill (``repro-cost/v1``: rows
+    scanned/emitted, operator wall time, cache hits, queue wait, retries,
+    bytes on the wire), attached by the serving edge at response time —
+    never stored in the answer cache, so cached responses stay
+    byte-identical across servings.  Like ``degraded``, unknown-key
+    filtering makes it wire-compatible with pre-accounting peers.
     """
 
     database: str
@@ -183,6 +190,7 @@ class QueryResponse:
     elapsed_seconds: float = 0.0
     profile: Mapping[str, object] | None = None
     degraded: bool = False
+    cost: Mapping[str, object] | None = None
 
     def answer_set(self, label: str) -> frozenset[tuple[str, ...]]:
         """The answer set for *label* as the library's frozenset-of-tuples."""

@@ -14,6 +14,7 @@ Routes
 ``/info``      GET     ``?db=<name>`` → :class:`InfoResponse`
 ``/stats``     GET     cache/batch/prepared counters
 ``/metrics``   GET     telemetry snapshot: counters + p50/p95/p99 histograms
+``/debug/flightrecorder``  GET  forensic ring of slow/failed requests
 ``/query``     POST    :class:`QueryRequest` → :class:`QueryResponse`
 ``/classify``  POST    :class:`ClassifyRequest` → :class:`ClassifyResponse`
 ``/batch``     POST    :class:`BatchRequest` → :class:`BatchResponse`
@@ -52,6 +53,18 @@ the queue watermark they are shed as 503 ``overloaded`` with a
 every request time out.  GETs bypass admission so monitoring stays usable
 exactly when the server is overloaded.  ``REPRO_NO_RESILIENCE=1`` disables
 both, restoring the pre-resilience behavior byte-for-byte.
+
+**Accounting and forensics.**  Every POST opens a
+:class:`~repro.observability.accounting.ResourceAccount` and activates it
+on the handling thread, so the executor, engine, admission controller and
+router charge the request's itemized bill without parameter threading.
+An envelope carrying ``"account": true`` (protocol v2) gets the bill back
+as a ``cost`` field on the response; either way the bill is folded into
+the aggregate ``account.*`` counters and handed — together with the
+request's trace, plan profile and event tail — to the server's
+:class:`~repro.observability.recorder.FlightRecorder`, which captures
+slow and failed requests in a bounded ring served at
+``GET /debug/flightrecorder``.
 """
 
 from __future__ import annotations
@@ -60,6 +73,7 @@ import contextlib
 import json
 import math
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Mapping
 from urllib.parse import parse_qs, urlparse
@@ -75,7 +89,9 @@ from repro.errors import (
     UnknownDatabaseError,
     UnknownStatementError,
 )
-from repro.observability import tracing
+from repro.observability import events, tracing
+from repro.observability.accounting import ResourceAccount, activate as activate_account
+from repro.observability.recorder import FlightRecorder
 from repro.resilience import resilience_disabled
 from repro.resilience import deadlines
 from repro.resilience.admission import AdmissionController
@@ -127,10 +143,20 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         quiet: bool = True,
         max_in_flight: int | None = None,
         max_queue_depth: int | None = None,
+        recorder_capacity: int | None = None,
+        slow_threshold_ms: float | None = None,
     ) -> None:
         super().__init__(address, _Handler)
         self.service = service
         self.quiet = quiet
+        #: The forensic ring: every completed POST is observed, slow and
+        #: failed ones are captured with trace + profile + bill + events.
+        recorder_kwargs = {}
+        if recorder_capacity is not None:
+            recorder_kwargs["capacity"] = recorder_capacity
+        if slow_threshold_ms is not None:
+            recorder_kwargs["slow_threshold_ms"] = slow_threshold_ms
+        self.flight_recorder = FlightRecorder(**recorder_kwargs)
         #: Streaming cursors are transport state: they live with the server,
         #: not the engine, so in-process service use never pays for them.
         self.cursors = CursorStore()
@@ -211,6 +237,10 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_message(
                     200, metrics() if callable(metrics) else MetricsResponse(), _GET_VERSION
                 )
+            elif url.path == "/debug/flightrecorder":
+                # Plain JSON rather than a protocol dataclass: an operator
+                # forensic endpoint, versioned by its own ``schema`` field.
+                self._send(200, self.server.flight_recorder.snapshot())
             else:
                 self._send_error_response(404, ServiceError(f"no such route: GET {url.path}"), _GET_VERSION)
         except ReproError as error:
@@ -219,6 +249,13 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         url = urlparse(self.path)
         version = PROTOCOL_VERSION
+        started = time.perf_counter()
+        account = ResourceAccount()
+        trace_ctx = None
+        message = None
+        response = None
+        status = 200
+        failure: ReproError | None = None
         try:
             if url.path not in ("/query", "/classify", "/batch", "/prepare", "/execute", "/fetch"):
                 # Route before reading the body so probes of unknown paths
@@ -226,6 +263,7 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_error_response(404, ServiceError(f"no such route: POST {url.path}"))
                 return
             body = self._read_body()
+            account.add_bytes_in(len(body))
             try:
                 payload = json.loads(body)
             except json.JSONDecodeError as error:
@@ -248,26 +286,76 @@ class _Handler(BaseHTTPRequestHandler):
                 # monotonic clock; absent/malformed means "no deadline" (a v1
                 # envelope never carries one).
                 deadline = deadlines.adopt(payload.get("deadline_ms"))
+            wants_cost = (
+                version >= 2 and isinstance(payload, dict) and payload.get("account") is True
+            )
             message = parse_wire(payload)
             with deadlines.activate(deadline):
                 if deadline is not None:
                     deadline.check("request admission")
                 # Admission *inside* the deadline scope: a queued request's
-                # wait is bounded by its own remaining budget.
-                admission = self.server.admission
-                admit = admission.admit() if admission is not None else contextlib.nullcontext()
-                with admit:
-                    with tracing.activate(trace_ctx):
-                        with tracing.span(f"POST {url.path}"):
-                            response = self._dispatch_post(url.path, message)
+                # wait is bounded by its own remaining budget.  The account
+                # activates around admission too, so queue wait is billed.
+                with activate_account(account):
+                    admission = self.server.admission
+                    admit = admission.admit() if admission is not None else contextlib.nullcontext()
+                    with admit:
+                        with tracing.activate(trace_ctx):
+                            with tracing.span(f"POST {url.path}"):
+                                response = self._dispatch_post(url.path, message)
             wire = to_wire(response, version)
             if trace_ctx is not None:
                 # Embedded after the root span closed, so the caller's tree
                 # includes this hop's full server-side duration.
                 wire["trace"] = trace_ctx.to_wire()
-            self._send(200, wire)
+            if wants_cost:
+                # The bill is rendered before this response is serialized,
+                # so its ``bytes_out`` excludes the response carrying it;
+                # the flight recorder's copy (below) includes it.
+                wire["cost"] = account.to_payload()
+            account.add_bytes_out(self._send(200, wire))
         except ReproError as error:
-            self._send_error_response(_status_for(error), error, version)
+            status = _status_for(error)
+            failure = error
+            self._send_error_response(status, error, version)
+        finally:
+            self._observe_request(url.path, started, status, failure, trace_ctx, account, message, response)
+
+    def _observe_request(
+        self,
+        path: str,
+        started: float,
+        status: int,
+        error: ReproError | None,
+        trace_ctx,
+        account: ResourceAccount,
+        message: object,
+        response: object,
+    ) -> None:
+        """Fold one finished POST into aggregate and forensic telemetry."""
+        registry = getattr(self.server.service, "metrics_registry", None)
+        if registry is not None:
+            account.charge_metrics(registry)
+        recorder = self.server.flight_recorder
+        duration_ms = (time.perf_counter() - started) * 1000.0
+        # Cheap precheck mirroring the recorder's capture predicate: fast
+        # healthy requests are counted without building the forensic extras.
+        if error is None and status < 400 and duration_ms < recorder.slow_threshold_ms:
+            recorder.observe(path=path, duration_ms=duration_ms, status=status)
+            return
+        trace_id = trace_ctx.trace_id if trace_ctx is not None else None
+        recorder.observe(
+            path=path,
+            duration_ms=duration_ms,
+            status=status,
+            database=getattr(message, "database", None),
+            query=getattr(message, "query", None) or getattr(message, "template", None),
+            error={"kind": type(error).__name__, "message": str(error)} if error is not None else None,
+            trace=trace_ctx.to_wire() if trace_ctx is not None else None,
+            profile=getattr(response, "profile", None),
+            cost=account.to_payload(),
+            events=events.default_log().tail(trace_id=trace_id) if trace_id is not None else None,
+        )
 
     def _dispatch_post(self, path: str, message: object):
         """Route one parsed POST message to the engine; returns the response."""
@@ -327,7 +415,8 @@ class _Handler(BaseHTTPRequestHandler):
             raise ProtocolError(f"request body of {length} bytes exceeds the {MAX_REQUEST_BYTES} byte limit")
         return self.rfile.read(length)
 
-    def _send(self, status: int, payload: dict, headers: Mapping[str, str] | None = None) -> None:
+    def _send(self, status: int, payload: dict, headers: Mapping[str, str] | None = None) -> int:
+        """Write one JSON response; returns the body size for the byte bill."""
         body = json.dumps(payload, sort_keys=True).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -337,6 +426,7 @@ class _Handler(BaseHTTPRequestHandler):
                 self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+        return len(body)
 
     def _send_message(self, status: int, message: object, version: int) -> None:
         self._send(status, to_wire(message, version))
@@ -400,6 +490,8 @@ def make_server(
     quiet: bool = True,
     max_in_flight: int | None = None,
     max_queue_depth: int | None = None,
+    recorder_capacity: int | None = None,
+    slow_threshold_ms: float | None = None,
 ) -> ServiceHTTPServer:
     """Bind a server (``port=0`` picks an ephemeral port); does not serve yet."""
     return ServiceHTTPServer(
@@ -408,6 +500,8 @@ def make_server(
         quiet=quiet,
         max_in_flight=max_in_flight,
         max_queue_depth=max_queue_depth,
+        recorder_capacity=recorder_capacity,
+        slow_threshold_ms=slow_threshold_ms,
     )
 
 
@@ -419,6 +513,8 @@ def running_server(
     quiet: bool = True,
     max_in_flight: int | None = None,
     max_queue_depth: int | None = None,
+    recorder_capacity: int | None = None,
+    slow_threshold_ms: float | None = None,
 ):
     """Context manager: a server serving on a background thread.
 
@@ -428,7 +524,14 @@ def running_server(
     port.
     """
     server = make_server(
-        service, host, port, quiet=quiet, max_in_flight=max_in_flight, max_queue_depth=max_queue_depth
+        service,
+        host,
+        port,
+        quiet=quiet,
+        max_in_flight=max_in_flight,
+        max_queue_depth=max_queue_depth,
+        recorder_capacity=recorder_capacity,
+        slow_threshold_ms=slow_threshold_ms,
     )
     thread = threading.Thread(target=server.serve_forever, name="repro-service-http", daemon=True)
     thread.start()

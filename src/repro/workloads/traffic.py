@@ -39,6 +39,7 @@ from typing import Iterable, Sequence
 
 from repro.errors import ProtocolError
 from repro.logical.database import CWDatabase
+from repro.observability import events
 from repro.service.protocol import QueryRequest, parse_wire, to_wire
 from repro.workloads.scenarios import (
     Scenario,
@@ -61,6 +62,7 @@ __all__ = [
     "register_scenarios",
     "save_traffic_log",
     "load_traffic_log",
+    "load_traffic_log_tolerant",
 ]
 
 
@@ -182,6 +184,47 @@ def load_traffic_log(path: str | Path) -> list[QueryRequest]:
             )
         requests.append(message)
     return requests
+
+
+def load_traffic_log_tolerant(
+    path: str | Path,
+) -> tuple[list[QueryRequest], list[tuple[int, str]]]:
+    """Read a traffic log, skipping malformed lines instead of failing.
+
+    The forgiving sibling of :func:`load_traffic_log` for ``serve --warm``:
+    one corrupt line must not cost the whole warm-up.  Every skipped line
+    comes back as ``(line_number, reason)`` *and* is emitted as a
+    structured ``warmup.skipped_entry`` event, so the skip is forensically
+    visible instead of silently shrinking the replay.  A missing or
+    unreadable file still raises — there is nothing to degrade to.
+    """
+    try:
+        text = Path(path).read_text()
+    except OSError as error:
+        raise ProtocolError(f"cannot read traffic log {path}: {error}") from None
+    requests: list[QueryRequest] = []
+    skipped: list[tuple[int, str]] = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            message = parse_wire(line)
+        except ProtocolError as error:
+            reason = str(error)
+        else:
+            if isinstance(message, QueryRequest):
+                requests.append(message)
+                continue
+            reason = f"expected a query_request, got {type(message).__name__}"
+        skipped.append((line_number, reason))
+        events.emit(
+            "warmup.skipped_entry",
+            level="warning",
+            path=str(path),
+            line=line_number,
+            reason=reason,
+        )
+    return requests, skipped
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,85 @@
+"""Rendering for ``repro top``: pure-function tests, no terminal needed."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from repro.observability.dashboard import TOP_HEADERS, render_top, top_row
+
+
+def _metrics(http_count=0, bucket="4", counters=None, gauges=None):
+    histograms = {}
+    if http_count:
+        histograms["http./query"] = {"count": http_count, "buckets": {bucket: http_count}}
+    return SimpleNamespace(
+        counters=dict(counters or {}), gauges=dict(gauges or {}), histograms=histograms
+    )
+
+
+class TestTopRow:
+    def test_down_server(self):
+        row = top_row("http://a", None)
+        assert row[0] == "http://a"
+        assert row[1] == "DOWN"
+        assert len(row) == len(TOP_HEADERS)
+
+    def test_first_poll_has_no_rates(self):
+        row = top_row("http://a", _metrics(http_count=10))
+        assert row[1] == "up"
+        assert row[2] == "-"  # no previous snapshot, no honest qps
+
+    def test_rates_come_from_counter_deltas(self):
+        before = _metrics(http_count=100, counters={"admission.sheds": 2})
+        after = _metrics(http_count=160, counters={"admission.sheds": 8})
+        row = top_row("http://a", after, before, elapsed=2.0)
+        assert row[2] == "30.0"  # (160-100)/2 qps
+        assert row[7] == "3.0"  # (8-2)/2 sheds per second
+
+    def test_latency_percentiles_from_merged_buckets(self):
+        metrics = _metrics(http_count=100, bucket="10")  # 2^10 us = ~1.02ms
+        row = top_row("http://a", metrics)
+        assert row[3] == row[4] == row[5] == "1.02"
+
+    def test_in_flight_gauge_and_breakers(self):
+        metrics = _metrics(
+            http_count=1,
+            gauges={
+                "admission.in_flight": 7.0,
+                "breaker.state.worker0": 0.0,
+                "breaker.state.worker1": 1.0,
+                "breaker.state.worker2": 0.5,
+            },
+        )
+        row = top_row("http://a", metrics)
+        assert row[6] == "7"
+        assert row[9] == "1 closed, 1 half_open, 1 open"
+
+    def test_counter_reset_never_shows_negative_rates(self):
+        before = _metrics(http_count=500)
+        after = _metrics(http_count=10)  # server restarted between polls
+        row = top_row("http://a", after, before, elapsed=1.0)
+        assert row[2] == "0.0"
+
+
+class TestRenderTop:
+    def test_screen_has_header_and_all_servers(self):
+        screen = render_top(
+            [("http://a", _metrics(http_count=5)), ("http://b", None)],
+            previous={},
+            elapsed=None,
+        )
+        assert "repro top" in screen
+        assert "1/2 server(s) up" in screen
+        assert "http://a" in screen and "http://b" in screen
+        assert "DOWN" in screen
+        for header in TOP_HEADERS:
+            assert header in screen
+
+    def test_total_qps_sums_across_servers(self):
+        previous = {"http://a": _metrics(http_count=10), "http://b": _metrics(http_count=20)}
+        screen = render_top(
+            [("http://a", _metrics(http_count=30)), ("http://b", _metrics(http_count=60))],
+            previous=previous,
+            elapsed=2.0,
+        )
+        assert "total 30.0 qps" in screen  # (20 + 40) / 2

@@ -1,0 +1,90 @@
+"""Chrome trace-event export: shape detection and document structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability import tracing
+from repro.observability.export import chrome_trace_events, trace_payloads_from
+
+
+def _real_trace_payload() -> dict:
+    with tracing.trace("request") as trace:
+        with tracing.span("outer"):
+            with tracing.span("inner", detail="x"):
+                pass
+    return trace.to_wire()
+
+
+class TestShapeDetection:
+    def test_raw_trace_payload(self):
+        payload = _real_trace_payload()
+        assert trace_payloads_from(payload) == [payload]
+
+    def test_response_envelope(self):
+        payload = _real_trace_payload()
+        envelope = {"type": "query_response", "trace": payload, "answers": {}}
+        assert trace_payloads_from(envelope) == [payload]
+
+    def test_flight_recorder_snapshot(self):
+        payload = _real_trace_payload()
+        snapshot = {
+            "schema": "repro-flightrecorder/v1",
+            "entries": [
+                {"path": "/query", "trace": payload},
+                {"path": "/query", "trace": None},
+            ],
+        }
+        assert trace_payloads_from(snapshot) == [payload]
+
+    def test_list_of_documents(self):
+        one, two = _real_trace_payload(), _real_trace_payload()
+        assert trace_payloads_from([one, {"trace": two}]) == [one, two]
+
+    def test_non_trace_input_finds_nothing(self):
+        assert trace_payloads_from({"answers": {}}) == []
+        assert trace_payloads_from(42) == []
+
+
+class TestChromeDocument:
+    def test_document_shape(self):
+        document = chrome_trace_events(_real_trace_payload())
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        metadata = [event for event in events if event["ph"] == "M"]
+        spans = [event for event in events if event["ph"] == "X"]
+        assert len(metadata) == 1
+        assert metadata[0]["name"] == "process_name"
+        assert len(spans) == 3  # the root span plus outer plus inner
+        for span in spans:
+            assert span["pid"] == 1
+            assert span["tid"] == 1
+            assert span["ts"] >= 0.0
+            assert span["dur"] >= 0.0
+        assert min(span["ts"] for span in spans) == 0.0  # normalized origin
+
+    def test_span_attributes_land_in_args(self):
+        document = chrome_trace_events(_real_trace_payload())
+        inner = next(e for e in document["traceEvents"] if e.get("name") == "inner")
+        assert inner["args"]["detail"] == "x"
+        assert inner["args"]["parent_id"] is not None
+
+    def test_multiple_traces_get_distinct_pids(self):
+        document = chrome_trace_events([_real_trace_payload(), _real_trace_payload()])
+        pids = {event["pid"] for event in document["traceEvents"] if event["ph"] == "X"}
+        assert pids == {1, 2}
+
+    def test_no_trace_raises(self):
+        with pytest.raises(ValueError, match="no trace found"):
+            chrome_trace_events({"answers": {}})
+
+    def test_trace_without_completed_spans_raises(self):
+        with pytest.raises(ValueError, match="no completed spans"):
+            chrome_trace_events({"id": "t1", "spans": [{"name": "open", "start": None}]})
+
+    def test_malformed_spans_are_skipped_not_fatal(self):
+        payload = _real_trace_payload()
+        payload["spans"].append({"name": "bad", "start": True, "duration_us": "soon"})
+        document = chrome_trace_events(payload)
+        names = [event["name"] for event in document["traceEvents"] if event["ph"] == "X"]
+        assert "bad" not in names

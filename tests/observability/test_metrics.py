@@ -95,9 +95,46 @@ class TestMerging:
         assert merged["counters"]["requests"] == 3
         assert "future_float_counter" not in merged["counters"]
         assert merged["gauges"] == {"size": 2.0}
-        # The malformed count contributes nothing; the good snapshot survives.
-        assert merged["histograms"]["latency"]["count"] == 2
+        # The malformed count no longer drops the histogram: its one valid
+        # bucket observation is kept, recovering the count from the buckets.
+        assert merged["histograms"]["latency"]["count"] == 3
+        assert merged["histograms"]["latency"]["buckets"]["0"] >= 1
         assert "future_shape" not in merged["histograms"]
+
+    def test_malformed_count_recovers_from_buckets(self):
+        """Regression: a bad ``count`` used to drop the whole histogram.
+
+        The early return threw away perfectly valid bucket observations —
+        a single worker answering with a corrupt count silently shrank the
+        cluster-wide percentiles.  Buckets now merge first, and the count
+        falls back to the bucket total.
+        """
+        good = self._snapshot(4)
+        corrupt = self._snapshot(2)
+        corrupt["histograms"]["latency"]["count"] = "four-ish"
+        merged = merge_metric_snapshots([good, corrupt])
+        histogram = merged["histograms"]["latency"]
+        assert histogram["count"] == 6
+        assert sum(histogram["buckets"].values()) == 6
+        # Quantiles recomputed over ALL six observations, not four.
+        assert histogram["p50"] == good["histograms"]["latency"]["p50"]
+
+    def test_unknown_histogram_fields_survive_merging_symmetrically(self):
+        """Regression: the hardcoded field set dropped newer fields.
+
+        A worker one release ahead may annotate histograms with fields
+        this merger does not know; they must pass through (first value
+        wins) regardless of which side of the merge they arrive on.
+        """
+        first = self._snapshot(2)
+        second = self._snapshot(3)
+        first["histograms"]["latency"]["future_annotation"] = "keep-me"
+        merged = merge_metric_snapshots([first, second])
+        assert merged["histograms"]["latency"]["future_annotation"] == "keep-me"
+        # Symmetric: the unknown field tolerated from the incoming side too.
+        merged = merge_metric_snapshots([second, first])
+        assert merged["histograms"]["latency"]["future_annotation"] == "keep-me"
+        assert merged["histograms"]["latency"]["count"] == 5
 
     def test_merging_nothing_yields_empty_sections(self):
         assert merge_metric_snapshots([]) == {"counters": {}, "gauges": {}, "histograms": {}}

@@ -1,0 +1,129 @@
+"""The flight recorder ring: capture predicate, eviction, concurrency."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.observability.recorder import (
+    FLIGHT_RECORDER_SCHEMA,
+    FlightRecorder,
+    DEFAULT_SLOW_THRESHOLD_MS,
+)
+
+
+class TestCapturePredicate:
+    def test_fast_healthy_requests_are_observed_not_captured(self):
+        recorder = FlightRecorder()
+        assert recorder.observe(path="/query", duration_ms=1.0, status=200) is False
+        snapshot = recorder.snapshot()
+        assert snapshot["observed"] == 1
+        assert snapshot["captured"] == 0
+        assert snapshot["entries"] == []
+
+    def test_errors_are_captured_regardless_of_speed(self):
+        recorder = FlightRecorder()
+        assert recorder.observe(
+            path="/query", duration_ms=0.5, status=404, error={"kind": "UnknownDatabaseError"}
+        )
+        assert recorder.observe(path="/query", duration_ms=0.5, status=503)
+        assert len(recorder) == 2
+
+    def test_slow_requests_are_captured(self):
+        recorder = FlightRecorder(slow_threshold_ms=10.0)
+        assert recorder.observe(path="/query", duration_ms=10.0, status=200)
+        assert not recorder.observe(path="/query", duration_ms=9.9, status=200)
+
+    def test_entry_holds_the_full_forensic_record(self):
+        recorder = FlightRecorder(slow_threshold_ms=0.0)
+        recorder.observe(
+            path="/query",
+            duration_ms=12.5,
+            status=200,
+            database="emp",
+            query="(x) . P(x)",
+            trace={"id": "t1", "spans": []},
+            profile={"engine": "algebra"},
+            cost={"schema": "repro-cost/v1", "rows_scanned": 3},
+            events=[{"kind": "admission.shed"}],
+        )
+        (entry,) = recorder.entries()
+        assert entry["database"] == "emp"
+        assert entry["trace"]["id"] == "t1"
+        assert entry["profile"]["engine"] == "algebra"
+        assert entry["cost"]["rows_scanned"] == 3
+        assert entry["events"] == [{"kind": "admission.shed"}]
+
+    def test_snapshot_shape(self):
+        snapshot = FlightRecorder(capacity=8, slow_threshold_ms=5.0).snapshot()
+        assert snapshot["schema"] == FLIGHT_RECORDER_SCHEMA
+        assert snapshot["capacity"] == 8
+        assert snapshot["slow_threshold_ms"] == 5.0
+
+    def test_slowest(self):
+        recorder = FlightRecorder(slow_threshold_ms=0.0)
+        assert recorder.slowest() is None
+        recorder.observe(path="/a", duration_ms=5.0, status=200)
+        recorder.observe(path="/b", duration_ms=50.0, status=200)
+        recorder.observe(path="/c", duration_ms=15.0, status=200)
+        assert recorder.slowest()["path"] == "/b"
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_default_threshold_is_the_documented_value(self):
+        assert FlightRecorder().slow_threshold_ms == DEFAULT_SLOW_THRESHOLD_MS
+
+
+class TestRingUnderConcurrency:
+    def test_oldest_evicted_first(self):
+        recorder = FlightRecorder(capacity=3, slow_threshold_ms=0.0)
+        for index in range(7):
+            recorder.observe(path=f"/{index}", duration_ms=1.0, status=200)
+        assert [entry["path"] for entry in recorder.entries()] == ["/4", "/5", "/6"]
+        snapshot = recorder.snapshot()
+        assert snapshot["captured"] == 7  # counts are not rewound by eviction
+        assert len(snapshot["entries"]) == 3
+
+    def test_concurrent_writers_no_torn_records_bounded_memory(self):
+        """Satellite: whole entries only, never more than ``capacity`` kept."""
+        recorder = FlightRecorder(capacity=16, slow_threshold_ms=0.0)
+        start = threading.Barrier(8)
+        per_writer = 50
+
+        def writer(worker: int):
+            start.wait()
+            for index in range(per_writer):
+                recorder.observe(
+                    path=f"/w{worker}",
+                    duration_ms=float(index),
+                    status=200,
+                    database=f"db{worker}",
+                    query=f"query {worker}:{index}",
+                    cost={"schema": "repro-cost/v1", "rows_scanned": index},
+                )
+
+        threads = [threading.Thread(target=writer, args=(n,)) for n in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        entries = recorder.entries()
+        assert len(entries) == 16  # bounded no matter the write volume
+        for entry in entries:
+            # A torn record would mix fields from different writers: every
+            # field of one entry must name the same writer and index.
+            worker = entry["path"].removeprefix("/w")
+            index = int(entry["duration_ms"])
+            assert entry["database"] == f"db{worker}"
+            assert entry["query"] == f"query {worker}:{index}"
+            assert entry["cost"]["rows_scanned"] == index
+        assert recorder.snapshot()["captured"] == 8 * per_writer
+
+    def test_readers_get_copies_not_live_references(self):
+        recorder = FlightRecorder(slow_threshold_ms=0.0)
+        recorder.observe(path="/a", duration_ms=1.0, status=200)
+        recorder.entries()[0]["path"] = "/mutated"
+        assert recorder.entries()[0]["path"] == "/a"

@@ -135,3 +135,81 @@ class TestV1DeprecationWarning:
                     warnings.simplefilter("always")
                     self._v1_query(server.base_url)
                 assert caught == []
+
+
+class TestCostField:
+    def test_cost_is_opt_in_via_the_account_envelope_key(self, service):
+        with running_server(service) as server:
+            plain = ServiceClient(server.base_url).query("emp", QUERY)
+            billed = ServiceClient(server.base_url, account=True).query("emp", QUERY)
+        assert plain.cost is None
+        assert billed.cost["schema"] == "repro-cost/v1"
+        assert billed.cost["rows_emitted"] == len(billed.answers["approximate"])
+        assert billed.cost["bytes_in"] > 0
+
+    def test_v1_clients_never_see_cost(self, service):
+        with running_server(service) as server:
+            payload = {
+                "type": "query_request",
+                "v": 1,
+                "database": "emp",
+                "query": QUERY,
+                "account": True,
+            }
+            http_request = urllib.request.Request(
+                server.base_url + "/query",
+                data=json.dumps(payload).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                with urllib.request.urlopen(http_request) as response:
+                    body = json.loads(response.read())
+        assert body["v"] == 1
+        assert body["cost"] is None  # the opt-in key is v2-only
+
+    def test_cost_never_enters_the_answer_cache(self, service):
+        with running_server(service) as server:
+            client = ServiceClient(server.base_url, account=True)
+            first = client.query("emp", QUERY)
+            second = client.query("emp", QUERY)
+        assert second.cached
+        # The bill is per-serving: the cached hit re-scanned nothing.
+        assert first.cost["rows_scanned"] > 0
+        assert second.cost["rows_scanned"] == 0
+        assert second.cost["cache_hits"] == 1
+
+
+class TestFlightRecorderEndpoint:
+    def test_fast_healthy_traffic_is_not_captured(self, service):
+        with running_server(service, slow_threshold_ms=60_000.0) as server:
+            client = ServiceClient(server.base_url)
+            client.query("emp", QUERY)
+            snapshot = client.debug()
+        assert snapshot["schema"] == "repro-flightrecorder/v1"
+        assert snapshot["observed"] >= 1
+        assert snapshot["entries"] == []
+
+    def test_errors_are_captured_with_the_full_forensic_record(self, service):
+        with running_server(service, slow_threshold_ms=60_000.0) as server:
+            client = ServiceClient(server.base_url)
+            with pytest.raises(Exception):
+                client.query("nope", QUERY)
+            snapshot = client.debug()
+        (entry,) = snapshot["entries"]
+        assert entry["status"] == 404
+        assert entry["database"] == "nope"
+        assert entry["error"]["kind"] == "UnknownDatabaseError"
+        assert entry["cost"]["schema"] == "repro-cost/v1"
+
+    def test_slow_requests_are_captured_with_trace_and_cost(self, service):
+        with running_server(service, slow_threshold_ms=0.0) as server:
+            client = ServiceClient(server.base_url)
+            client.query("emp", QUERY)
+            snapshot = client.debug()
+        entry = snapshot["entries"][0]
+        assert entry["path"] == "/query"
+        assert entry["cost"]["rows_emitted"] > 0
+        # The recorder synthesizes a trace even for untraced clients.
+        assert entry["trace"] is None or entry["trace"]["spans"]

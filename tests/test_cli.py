@@ -190,3 +190,80 @@ class TestServeNaming:
         code = main(["serve", str(stored_database), f"ripper2={stored_database}", "--port", "0"])
         assert code == 0
         assert served["names"] == ("ripper", "ripper2")
+
+
+class TestClientForensics:
+    def test_client_query_cost(self, live_server, capsys):
+        code = main(["client", live_server.base_url, "query", "ripper", "(x) . MURDERER(x)", "--cost"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cost: " in out
+        assert "emitted=1" in out
+
+    def test_client_debug_text_and_json(self, live_server, capsys):
+        assert main(["client", live_server.base_url, "debug"]) == 0
+        assert "flight recorder" in capsys.readouterr().out
+        assert main(["client", live_server.base_url, "debug", "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["schema"] == "repro-flightrecorder/v1"
+
+
+class TestTraceExport:
+    def test_export_renders_chrome_trace_json(self, live_server, tmp_path, capsys):
+        from repro.observability import tracing
+        from repro.service.client import ServiceClient
+
+        with tracing.trace("cli test") as trace:
+            client = ServiceClient(live_server.base_url)
+            client.query("ripper", "(x) . MURDERER(x)")
+            client.close()
+        source = tmp_path / "trace.json"
+        source.write_text(json.dumps({"trace": trace.to_wire()}))
+        assert main(["trace", "export", str(source)]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["displayTimeUnit"] == "ms"
+        assert any(event["ph"] == "X" for event in document["traceEvents"])
+
+    def test_export_to_file_reports_span_count(self, live_server, tmp_path, capsys):
+        from repro.observability import tracing
+        from repro.service.client import ServiceClient
+
+        with tracing.trace("cli test") as trace:
+            ServiceClient(live_server.base_url).query("ripper", "(x) . MURDERER(x)")
+        source = tmp_path / "trace.json"
+        source.write_text(json.dumps(trace.to_wire()))
+        out_path = tmp_path / "chrome.json"
+        assert main(["trace", "export", str(source), "-o", str(out_path)]) == 0
+        assert "span event(s)" in capsys.readouterr().out
+        assert json.loads(out_path.read_text())["traceEvents"]
+
+    def test_export_without_a_trace_is_a_clean_error(self, tmp_path, capsys):
+        source = tmp_path / "no_trace.json"
+        source.write_text(json.dumps({"answers": {}}))
+        assert main(["trace", "export", str(source)]) == 2
+        assert "no trace found" in capsys.readouterr().err
+
+    def test_export_unreadable_file_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["trace", "export", str(tmp_path / "missing.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTopCommand:
+    def test_single_refresh_plain(self, live_server, capsys):
+        code = main(["top", live_server.base_url, "--iterations", "1", "--plain", "--interval", "0.1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "1/1 server(s) up" in out
+        assert live_server.base_url in out
+
+    def test_down_servers_are_reported_not_fatal(self, capsys):
+        code = main(["top", "http://127.0.0.1:9", "--iterations", "1", "--plain", "--interval", "0.1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DOWN" in out
+        assert "0/1 server(s) up" in out
+
+    def test_nonpositive_interval_is_a_clean_error(self, capsys):
+        assert main(["top", "http://127.0.0.1:9", "--interval", "0"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -16,6 +16,7 @@ from repro.workloads.traffic import (
     cluster_traffic_stream,
     default_scenarios,
     load_traffic_log,
+    load_traffic_log_tolerant,
     register_scenarios,
     save_traffic_log,
     scenario_pool,
@@ -194,3 +195,46 @@ class TestClusterTraffic:
             cluster_traffic_stream(
                 10, "emp", employee, split_relations=(), replicated_relations=("DEPT_MGR",)
             )
+
+
+class TestTolerantTrafficLog:
+    def test_clean_log_skips_nothing(self, tmp_path):
+        stream = traffic_stream(5, seed=4)
+        path = save_traffic_log(stream, tmp_path / "traffic.jsonl")
+        requests, skipped = load_traffic_log_tolerant(path)
+        assert requests == list(stream)
+        assert skipped == []
+
+    def test_malformed_lines_are_skipped_with_line_and_reason(self, tmp_path):
+        """Satellite: one corrupt line must not cost the whole warm-up."""
+        path = save_traffic_log(traffic_stream(3, seed=4), tmp_path / "traffic.jsonl")
+        lines = path.read_text().splitlines()
+        lines.insert(1, "not json")  # line 2
+        lines.append('{"type": "health", "v": 1, "status": "ok", "library_version": "1.0"}')
+        path.write_text("\n".join(lines) + "\n")
+        requests, skipped = load_traffic_log_tolerant(path)
+        assert len(requests) == 3  # the good entries all survive
+        assert [line for line, __ in skipped] == [2, 5]
+        assert "JSON" in skipped[0][1]
+        assert "query_request" in skipped[1][1]
+
+    def test_each_skip_emits_a_structured_event(self, tmp_path):
+        from repro.observability.events import reset_default_log, default_log
+
+        path = tmp_path / "traffic.jsonl"
+        path.write_text("not json\n")
+        reset_default_log()
+        try:
+            load_traffic_log_tolerant(path)
+            records = [r for r in default_log().tail() if r["kind"] == "warmup.skipped_entry"]
+            (record,) = records
+            assert record["level"] == "warning"
+            assert record["attributes"]["line"] == 1
+            assert record["attributes"]["path"] == str(path)
+            assert record["attributes"]["reason"]
+        finally:
+            reset_default_log()
+
+    def test_unreadable_file_still_raises(self, tmp_path):
+        with pytest.raises(ProtocolError, match="cannot read traffic log"):
+            load_traffic_log_tolerant(tmp_path / "missing.jsonl")

@@ -65,6 +65,7 @@ from repro.logic.parser import parse_query
 from repro.logical.exact import certain_answers
 from repro.observability.explain import PlanProfiler, render_profile
 from repro.physical.csvio import load_cw_database
+from repro.physical.algebra import VECTOR_ENV_FLAG
 from repro.physical.optimizer import OPTIMIZER_ENV_FLAG, SIP_ENV_FLAG
 from repro.service.client import ServiceClient
 from repro.service.engine import QueryService
@@ -113,6 +114,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable sideways information passing (semi-join reduction) only; answers are identical",
     )
+    query.add_argument(
+        "--no-vector",
+        action="store_true",
+        help="run the tuple-at-a-time executor instead of the vectorized batch "
+        "executor — a debugging aid; answers are identical",
+    )
 
     classify = commands.add_parser("classify", help="show a query's prefix class and the paper's bounds")
     classify.add_argument("query", help="query text")
@@ -142,6 +149,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-sip",
         action="store_true",
         help="serve without sideways information passing (semi-join reduction); answers are identical",
+    )
+    serve.add_argument(
+        "--no-vector",
+        action="store_true",
+        help="serve with the tuple-at-a-time executor instead of the vectorized "
+        "batch executor; answers are identical",
     )
     serve.add_argument(
         "--shards",
@@ -188,6 +201,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.10,
         help="relative movement against a metric's direction of goodness "
         "before it counts as a regression (default 0.10)",
+    )
+    bench_diff.add_argument(
+        "--metric",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="compare only this metric (repeatable; default: every metric the "
+        "artifacts share) — a named metric missing from either side fails the check",
     )
 
     bench_validate = commands.add_parser(
@@ -475,6 +496,8 @@ def _command_query(arguments: argparse.Namespace) -> int:
         os.environ[OPTIMIZER_ENV_FLAG] = "1"
     if arguments.no_sip:
         os.environ[SIP_ENV_FLAG] = "1"
+    if arguments.no_vector:
+        os.environ[VECTOR_ENV_FLAG] = "1"
     params = _parse_params(arguments.param)
     if arguments.json:
         # One-shot service: same evaluation and same serialization as the server.
@@ -584,6 +607,8 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         os.environ[OPTIMIZER_ENV_FLAG] = "1"
     if arguments.no_sip:
         os.environ[SIP_ENV_FLAG] = "1"
+    if arguments.no_vector:
+        os.environ[VECTOR_ENV_FLAG] = "1"
     if arguments.shards < 1:
         print("error: --shards must be at least 1", file=sys.stderr)
         return 2
@@ -695,6 +720,16 @@ def _command_bench_diff(arguments: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     rows = diff_bench_reports(old, new, tolerance=arguments.tolerance)
+    if arguments.metric:
+        wanted = set(arguments.metric)
+        rows = [row for row in rows if row["metric"] in wanted]
+        missing = wanted - {row["metric"] for row in rows}
+        if missing:
+            print(
+                "error: metric(s) not present in both artifacts: " + ", ".join(sorted(missing)),
+                file=sys.stderr,
+            )
+            return 2
     if not rows:
         print("no comparable metrics between the two artifacts")
         return 0

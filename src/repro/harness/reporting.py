@@ -152,6 +152,7 @@ class BenchReport:
         self._metrics: dict[str, dict[str, object]] = {}
         self._latencies: dict[str, dict[str, float | int]] = {}
         self._notes: list[str] = []
+        self._environment: dict[str, object] = {}
 
     def metric(
         self,
@@ -176,6 +177,16 @@ class BenchReport:
     def note(self, text: str) -> None:
         self._notes.append(str(text))
 
+    def environment(self, **entries: object) -> None:
+        """Pin extra environment facts next to the machine/mode stanza.
+
+        Benchmarks use this to record configuration that explains the
+        numbers — e.g. E20 embeds the batch-size sweep that justified the
+        executor's default ``REPRO_BATCH_SIZE``.  Values must be
+        JSON-compatible; later calls overwrite earlier keys.
+        """
+        self._environment.update(entries)
+
     def payload(self) -> dict:
         """The JSON-compatible artifact body (schema :data:`BENCH_SCHEMA`)."""
         return {
@@ -190,6 +201,7 @@ class BenchReport:
                 "platform": sys.platform,
                 "machine": platform.machine(),
                 "cpu_count": os.cpu_count() or 0,
+                **self._environment,
             },
             "metrics": dict(self._metrics),
             "latencies": dict(self._latencies),

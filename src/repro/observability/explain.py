@@ -2,8 +2,10 @@
 
 A :class:`PlanProfiler` is handed to :func:`repro.physical.algebra.execute`
 (next to the PR-4 :class:`~repro.physical.statistics.CardinalityRecorder`,
-which shares its hook points).  The executor wraps each plan node's row
-iterator so the profiler observes, per node:
+which shares its hook points).  The tuple executor wraps each plan node's
+row iterator (``wrap``); the vectorized executor reports once per column
+batch instead (``observe_start``/``observe_batch``/``observe_tail``), which
+is both cheaper and exact.  Either way the profiler observes, per node:
 
 * **rows** — how many rows the node produced (rows-out; each child's entry
   is that node's rows-in);
@@ -31,7 +33,7 @@ __all__ = ["PlanProfiler", "profile_payload", "render_profile"]
 
 
 class _NodeStats:
-    __slots__ = ("rows", "seconds", "access", "memo_hits", "iterated")
+    __slots__ = ("rows", "seconds", "access", "memo_hits", "iterated", "batches")
 
     def __init__(self) -> None:
         self.rows = 0
@@ -39,6 +41,7 @@ class _NodeStats:
         self.access: str | None = None
         self.memo_hits = 0
         self.iterated = False
+        self.batches = 0
 
 
 class PlanProfiler:
@@ -85,6 +88,26 @@ class PlanProfiler:
 
         return metered()
 
+    # Batch-granular hooks (the vectorized executor's counterpart of ``wrap``:
+    # one call per column batch instead of two clock reads per row; row counts
+    # stay exact because every batch reports its live-row count).
+
+    def observe_start(self, plan) -> None:
+        """A node's batch stream was pulled (even a node producing no batches
+        reports ``rows=0`` rather than ``None``, exactly like ``wrap``)."""
+        self._entry(plan).iterated = True
+
+    def observe_batch(self, plan, rows: int, seconds: float) -> None:
+        """One batch of *rows* live rows left the node after *seconds* inside it."""
+        stats = self._entry(plan)
+        stats.rows += rows
+        stats.batches += 1
+        stats.seconds += seconds
+
+    def observe_tail(self, plan, seconds: float) -> None:
+        """The node's exhausted final pull took *seconds* (still its time)."""
+        self._entry(plan).seconds += seconds
+
     def memo_hit(self, plan) -> None:
         """A shared subplan was served from the materialization memo."""
         self._entry(plan).memo_hits += 1
@@ -112,6 +135,11 @@ class PlanProfiler:
         if stats is not None:
             payload["rows"] = stats.rows if stats.iterated else None
             payload["time_us"] = int(stats.seconds * 1_000_000)
+            # Only batch-granular (vectorized) executions set ``batches``;
+            # tuple-at-a-time profiles keep their exact prior shape, so
+            # profiles cached before this field existed stay byte-stable.
+            if stats.batches:
+                payload["batches"] = stats.batches
             if stats.access is not None:
                 payload["access"] = stats.access
             if stats.memo_hits:
@@ -160,6 +188,11 @@ def _flatten(node: Mapping[str, object], depth: int, rows: list) -> None:
     memo_hits = node.get("memo_hits")
     if isinstance(memo_hits, int) and memo_hits:
         cache_bits.append(f"memo x{memo_hits}")
+    # Emitted by the vectorized executor only; absent from (older or
+    # tuple-path) profiles, which render exactly as before.
+    batches = node.get("batches")
+    if isinstance(batches, int) and batches:
+        cache_bits.append(f"{batches} batch" + ("es" if batches != 1 else ""))
     rows.append(
         (
             "  " * depth + label,

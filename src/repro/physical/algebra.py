@@ -20,9 +20,19 @@ Two access paths consult the per-database hash indexes of
 
 Pass ``use_indexes=False`` to force the scan-and-filter paths (the
 benchmarks' naive configuration); answers are identical either way.
+
+Since PR 9 this tuple-at-a-time executor is the *fallback* path: by default
+:func:`execute` dispatches to the vectorized column-batch executor of
+:mod:`repro.physical.batch`, which mirrors every semantic detail of this
+module (memo, recorder, profiler and account hook points, index access
+paths) while moving data in column batches instead of one tuple at a time.
+Set ``REPRO_NO_VECTOR=1`` (or pass ``vectorize=False``) to restore the
+executor below byte-for-byte; answers are identical either way.
 """
 
 from __future__ import annotations
+
+import os
 
 from typing import Iterator
 
@@ -50,7 +60,28 @@ from repro.physical.plan import (
     UnionAll,
 )
 
-__all__ = ["execute", "node_label", "output_columns", "plan_size", "plan_to_text"]
+__all__ = [
+    "VECTOR_ENV_FLAG",
+    "execute",
+    "node_label",
+    "output_columns",
+    "plan_size",
+    "plan_to_text",
+    "vectorization_enabled",
+]
+
+#: Setting this environment variable to anything but ``0``/``false``/``no``
+#: disables the vectorized column-batch executor everywhere and restores the
+#: PR 2 tuple-at-a-time streaming executor byte-for-byte (the CLI's
+#: ``--no-vector`` flag sets it for one process).  Same convention as
+#: ``REPRO_NO_OPTIMIZER`` / ``REPRO_NO_SIP``.
+VECTOR_ENV_FLAG = "REPRO_NO_VECTOR"
+
+
+def vectorization_enabled() -> bool:
+    """Whether plans execute on column batches by default (honours the env flag)."""
+    value = os.environ.get(VECTOR_ENV_FLAG, "").strip().lower()
+    return value in ("", "0", "false", "no")
 
 
 def execute(
@@ -60,6 +91,7 @@ def execute(
     use_indexes: bool = True,
     recorder=None,
     profiler=None,
+    vectorize: bool | None = None,
 ) -> Table:
     """Execute *plan* against *database* and return the result table.
 
@@ -78,7 +110,21 @@ def execute(
     *streaming* iterators too, so profiled executions pay two clock reads
     per row — profiling is opt-in per request, and the disabled path costs
     one ``is None`` check per node.
+
+    *vectorize* selects the executor: ``True``/``False`` force the
+    column-batch / tuple-at-a-time path, ``None`` (the default) follows the
+    ``REPRO_NO_VECTOR`` environment flag.  Answers, recorder observations,
+    profiler row counts and account totals are identical either way — the
+    batch executor exists purely to cut per-tuple interpreter overhead.
     """
+    if vectorize is None:
+        vectorize = vectorization_enabled()
+    if vectorize:
+        from repro.physical.batch import execute_batched
+
+        return execute_batched(
+            plan, database, use_indexes=use_indexes, recorder=recorder, profiler=profiler
+        )
     context = _ExecutionContext(database, use_indexes, recorder, profiler)
     context.mark_shared_subplans(plan)
     if profiler is not None:
@@ -99,7 +145,16 @@ class _ExecutionContext:
         self.use_indexes = use_indexes
         self.recorder = recorder
         self.profiler = profiler
-        self._columns: dict[PlanNode, tuple[str, ...]] = {}
+        # Column resolution is structural per (database, plan) — the arity
+        # checks depend on the database's vocabulary — so the cache lives on
+        # the immutable database instance (the ``DatabaseIndexes`` idiom)
+        # and cached plans resolve each subplan once, not per execution.
+        # Failed resolutions are never stored, so wiring errors re-raise.
+        cache = database.__dict__.get("_plan_columns")
+        if cache is None:
+            cache = {}
+            object.__setattr__(database, "_plan_columns", cache)
+        self._columns: dict[PlanNode, tuple[str, ...]] = cache
         self._memo: dict[PlanNode, Table] = {}
         self._shared: frozenset[PlanNode] = frozenset()
         # Captured once per execution (one thread-local read); enforced at
@@ -120,7 +175,15 @@ class _ExecutionContext:
         Those nodes are materialized a single time into the memo and replayed
         at every occurrence; everything else streams.  Below a repeated node
         the walk does not descend twice — its children only ever execute once.
+
+        Sharing is a structural property of the immutable plan tree, so the
+        walk's result is cached on the root (the ``cached_hash`` idiom):
+        cached plans pay for the analysis once, not per execution.
         """
+        cached = root.__dict__.get("_cached_shared")
+        if cached is not None:
+            self._shared = cached
+            return
         counts: dict[PlanNode, int] = {}
         pending = [root]
         while pending:
@@ -129,7 +192,9 @@ class _ExecutionContext:
             counts[node] = seen + 1
             if seen == 0:
                 pending.extend(node.children())
-        self._shared = frozenset(node for node, count in counts.items() if count > 1)
+        shared = frozenset(node for node, count in counts.items() if count > 1)
+        object.__setattr__(root, "_cached_shared", shared)
+        self._shared = shared
 
     # Column resolution --------------------------------------------------------
 
@@ -223,7 +288,7 @@ class _ExecutionContext:
             iterator = self._iterate(plan)
             if self.profiler is not None:
                 iterator = self.profiler.wrap(plan, iterator)
-            cached = Table(self.columns(plan), frozenset(iterator))
+            cached = Table.trusted(self.columns(plan), frozenset(iterator))
             if plan in self._shared:
                 self._memo[plan] = cached
             if self.recorder is not None:

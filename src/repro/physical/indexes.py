@@ -26,7 +26,7 @@ values).
 from __future__ import annotations
 
 import threading
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.physical.database import PhysicalDatabase
 from repro.physical.relation import Relation
@@ -42,6 +42,10 @@ class DatabaseIndexes:
     def __init__(self, database: PhysicalDatabase) -> None:
         self._database = database
         self._prefix: dict[tuple[str, tuple[int, ...]], Mapping[tuple, tuple[tuple, ...]]] = {}
+        self._scalar: dict[tuple[str, int], Mapping[object, tuple[tuple, ...]]] = {}
+        self._scalar_columns: dict[tuple[str, int], Mapping[object, tuple[tuple, ...]]] = {}
+        self._columnar: dict[tuple[str, tuple[int, ...]], tuple] = {}
+        self._distinct: dict[tuple[str, int], frozenset] = {}
         self._lock = threading.Lock()
         self.built = 0  # number of distinct indexes constructed (observability)
 
@@ -75,6 +79,119 @@ class DatabaseIndexes:
     def column(self, relation: str, position: int) -> Mapping[tuple, tuple[tuple, ...]] | None:
         """Single-column convenience wrapper around :meth:`prefix`."""
         return self.prefix(relation, (position,))
+
+    def scalar(self, relation: str, position: int) -> Mapping[object, tuple[tuple, ...]] | None:
+        """Single-column index keyed by the bare value instead of a 1-tuple.
+
+        A re-keyed view of ``prefix(relation, (position,))`` (same buckets,
+        same rows), cached alongside it.  The vectorized executor probes this
+        on single-column joins: bare string keys hash from their cached hash,
+        where 1-tuple keys re-combine it on every lookup, and the probe side
+        never has to build key tuples at all.
+        """
+        index = self.prefix(relation, (position,))
+        if index is None:
+            return None
+        key = (relation, position)
+        view = self._scalar.get(key)
+        if view is None:
+            with self._lock:
+                view = self._scalar.get(key)
+                if view is None:
+                    view = {value: rows for (value,), rows in index.items()}
+                    self._scalar[key] = view
+        return view
+
+    def scalar_columns(self, relation: str, position: int) -> Mapping[object, tuple[tuple, ...]] | None:
+        """Scalar index with each bucket pre-transposed to column tuples.
+
+        Maps the bare key value to ``(col0_values, col1_values, ...)`` of the
+        matching rows.  The vectorized executor's indexed semi-join probe
+        concatenates these buckets columnwise, so no row tuple is ever built
+        or re-transposed on the probe path.
+        """
+        base = self.scalar(relation, position)
+        if base is None:
+            return None
+        key = (relation, position)
+        view = self._scalar_columns.get(key)
+        if view is None:
+            with self._lock:
+                view = self._scalar_columns.get(key)
+                if view is None:
+                    view = {value: tuple(zip(*rows)) for value, rows in base.items()}
+                    self._scalar_columns[key] = view
+        return view
+
+    def columnar(
+        self, relation: str, positions: tuple[int, ...]
+    ) -> tuple[Mapping, tuple[tuple, ...], bool] | None:
+        """``(buckets, columns, unique)`` join image of *relation*, or ``None``.
+
+        ``columns`` is the full relation transposed (one value tuple per
+        column, rows in the deterministic sorted-by-repr order); ``buckets``
+        maps each key — a bare value for single-column *positions*, a tuple
+        otherwise — to its **row indices** into those columns: a bare ``int``
+        when every key is distinct (``unique=True``), else a list.  This is
+        exactly the vectorized executor's fresh-build layout, so a cached
+        entry replaces the whole per-execution build and probes take the
+        fast index-gather path.  ``None`` for lazy relations, as ever.
+        """
+        if not positions:
+            return None
+        stored = self._database.relation(relation)
+        if not isinstance(stored, Relation):
+            return None
+        key = (relation, positions)
+        entry = self._columnar.get(key)
+        if entry is None:
+            with self._lock:
+                entry = self._columnar.get(key)
+                if entry is None:
+                    ordered = sorted(stored.tuples, key=repr)
+                    columns = tuple(zip(*ordered)) if ordered else ()
+                    if len(positions) == 1:
+                        keys: Sequence = columns[positions[0]] if columns else ()
+                    else:
+                        keys = list(zip(*(columns[p] for p in positions))) if columns else []
+                    count = len(ordered)
+                    flat = dict(zip(keys, range(count)))
+                    if len(flat) == count:
+                        buckets: Mapping = flat
+                        unique = True
+                    else:
+                        grouped: dict = {}
+                        for index, value in enumerate(keys):
+                            bucket = grouped.get(value)
+                            if bucket is None:
+                                grouped[value] = [index]
+                            else:
+                                bucket.append(index)
+                        buckets = grouped
+                        unique = False
+                    entry = self._columnar[key] = (buckets, columns, unique)
+                    self.built += 1
+        return entry
+
+    def distinct(self, relation: str, position: int) -> frozenset | None:
+        """The distinct values of one stored column, or ``None`` when lazy.
+
+        The vectorized executor serves semi/anti-join filter sides that
+        reduce to a pure stored column (through renames and projections)
+        from this cache instead of re-collecting the set per execution.
+        """
+        stored = self._database.relation(relation)
+        if not isinstance(stored, Relation):
+            return None
+        key = (relation, position)
+        values = self._distinct.get(key)
+        if values is None:
+            with self._lock:
+                values = self._distinct.get(key)
+                if values is None:
+                    values = frozenset(row[position] for row in stored.tuples)
+                    self._distinct[key] = values
+        return values
 
     def lookup(self, relation: str, positions: tuple[int, ...], key: tuple) -> tuple[tuple, ...] | None:
         """Rows of *relation* whose *positions* equal *key*; ``None`` = no index."""

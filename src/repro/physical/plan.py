@@ -56,11 +56,31 @@ class Table:
     rows: frozenset[tuple]
 
     def __post_init__(self) -> None:
-        for row in self.rows:
-            if len(row) != len(self.columns):
-                raise EvaluationError(
-                    f"row {row!r} does not match columns {self.columns!r}"
-                )
+        # C-speed width check (map/len run without interpreter frames); the
+        # executor builds a Table per materialization point, so this runs on
+        # the hot path and must not cost a Python-level loop per row.
+        width = len(self.columns)
+        if not set(map(len, self.rows)) <= {width}:
+            for row in self.rows:
+                if len(row) != width:
+                    raise EvaluationError(
+                        f"row {row!r} does not match columns {self.columns!r}"
+                    )
+
+    @classmethod
+    def trusted(cls, columns: tuple[str, ...], rows: frozenset) -> "Table":
+        """Construct without the per-row width check.
+
+        For executor internals only: every operator produces rows whose
+        width matches its resolved columns by construction, and the check
+        is a full extra pass over the result on the materialization hot
+        path.  Anything accepting externally supplied rows must use the
+        normal constructor.
+        """
+        table = object.__new__(cls)
+        object.__setattr__(table, "columns", columns)
+        object.__setattr__(table, "rows", rows)
+        return table
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -302,6 +322,49 @@ class Difference(PlanNode):
 
     def children(self) -> tuple[PlanNode, ...]:
         return (self.left, self.right)
+
+
+def _install_cached_hashes() -> None:
+    """Replace each node class's generated ``__hash__`` with a caching wrapper.
+
+    Plan nodes are immutable trees used as dict keys everywhere — the
+    executor's memo and column cache, the optimizer's rewrites, the service
+    plan cache, cardinality feedback.  The dataclass-generated ``__hash__``
+    recursively re-hashes the whole subtree on *every* lookup, which makes
+    per-node bookkeeping O(tree size); caching the value on first use (the
+    ``object.__setattr__`` idiom used for ``PhysicalDatabase`` caches) makes
+    every subsequent lookup O(1).  Safe because nodes are frozen: the hash
+    can never go stale.  Equality is untouched.
+    """
+    for node_class in (
+        ScanRelation,
+        IndexScan,
+        ActiveDomain,
+        LiteralTable,
+        Selection,
+        Projection,
+        RenameColumns,
+        NaturalJoin,
+        EquiJoin,
+        SemiJoin,
+        AntiJoin,
+        CrossProduct,
+        UnionAll,
+        Difference,
+    ):
+        generated = node_class.__hash__
+
+        def cached_hash(self, _generated=generated):
+            value = self.__dict__.get("_cached_hash")
+            if value is None:
+                value = _generated(self)
+                object.__setattr__(self, "_cached_hash", value)
+            return value
+
+        node_class.__hash__ = cached_hash
+
+
+_install_cached_hashes()
 
 
 def plan_fingerprint(plan: PlanNode) -> str | None:
